@@ -1,0 +1,87 @@
+// Cache-configuration ablation — the base-processor configuration axis the
+// paper mentions ("cache and memory interface configuration" among the
+// Xtensa options): how sensitive the crypto kernels are to the I/D cache
+// geometry, and how custom instructions shift the bottleneck.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "kernels/des_kernel.h"
+#include "kernels/modexp_kernel.h"
+#include "mp/prime.h"
+#include "support/random.h"
+
+namespace {
+
+using namespace wsp;
+
+sim::CpuConfig cache_config(std::size_t kib) {
+  sim::CpuConfig cfg;
+  if (kib == 0) return cfg;  // perfect caches
+  cfg.model_caches = true;
+  cfg.icache = sim::CacheConfig{kib * 1024, 16, 2, 20};
+  cfg.dcache = sim::CacheConfig{kib * 1024, 16, 2, 20};
+  return cfg;
+}
+
+}  // namespace
+
+int main() {
+  using namespace wsp;
+  bench::header("Cache-geometry sensitivity of the crypto kernels",
+                "base-processor configuration ablation (paper Sec. 2.1)");
+
+  Rng rng(81);
+  const auto data = rng.bytes(2048);
+  const std::uint64_t key = rng.next_u64();
+
+  std::printf("\nDES ECB of %zu bytes (cycles/byte):\n", data.size());
+  std::printf("  %-22s %12s %12s\n", "cache config", "base", "TIE");
+  for (std::size_t kib : {0u, 1u, 4u, 16u}) {
+    double cpb[2] = {};
+    int idx = 0;
+    for (bool tie : {false, true}) {
+      kernels::Machine m = kernels::make_des_machine(tie, cache_config(kib));
+      kernels::DesKernel k(m, tie);
+      k.set_key(key);
+      std::uint64_t cycles = 0;
+      k.encrypt_ecb(data, &cycles);
+      cpb[idx++] = static_cast<double>(cycles) / static_cast<double>(data.size());
+    }
+    if (kib == 0) {
+      std::printf("  %-22s %12.1f %12.1f\n", "perfect", cpb[0], cpb[1]);
+    } else {
+      std::printf("  %u KiB I$ + %u KiB D$%6s %12.1f %12.1f\n",
+                  unsigned(kib), unsigned(kib), "", cpb[0], cpb[1]);
+    }
+  }
+
+  std::printf("\nRSA-512 private op (cycles), Montgomery w=4:\n");
+  const auto rsa_key = rsa::generate_key(512, rng);
+  const Mpz ct = random_below(rsa_key.n, rng);
+  std::printf("  %-22s %14s %14s\n", "cache config", "base", "TIE(add8,mac8)");
+  for (std::size_t kib : {0u, 1u, 4u, 16u}) {
+    std::uint64_t cycles[2] = {};
+    int idx = 0;
+    for (bool tie : {false, true}) {
+      kernels::Machine m = kernels::make_modexp_machine(
+          tie ? kernels::MpnTieConfig{8, 8} : kernels::MpnTieConfig{},
+          cache_config(kib));
+      kernels::IssModexp mx(m);
+      cycles[idx++] = mx.rsa_crt(ct, rsa_key, 4).cycles;
+    }
+    if (kib == 0) {
+      std::printf("  %-22s %14llu %14llu\n", "perfect",
+                  static_cast<unsigned long long>(cycles[0]),
+                  static_cast<unsigned long long>(cycles[1]));
+    } else {
+      std::printf("  %u KiB I$ + %u KiB D$%6s %14llu %14llu\n", unsigned(kib),
+                  unsigned(kib), "",
+                  static_cast<unsigned long long>(cycles[0]),
+                  static_cast<unsigned long long>(cycles[1]));
+    }
+  }
+  std::printf("\nThe working sets (tables + operands) fit comfortably in the "
+              "16 KiB configuration\nthe paper's core carries; small caches "
+              "penalize the table-driven baseline most.\n");
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Fig. 4: the weighted function call graph of an optimized modular
+// exponentiation, obtained by profiling a real run on the cycle-accurate
+// ISS (call counts on the edges, per-invocation local cycles on the nodes).
+#include <cstdio>
+
+#include "bench_util.h"
+#include "kernels/modexp_kernel.h"
+#include "mp/prime.h"
+#include "select/callgraph.h"
+#include "support/random.h"
+
+int main() {
+  using namespace wsp;
+  bench::header("Weighted call graph of optimized modular exponentiation",
+                "paper Fig. 4");
+
+  Rng rng(41);
+  const auto key = rsa::generate_key(512, rng);
+  const Mpz base = random_below(key.n, rng);
+
+  kernels::Machine machine = kernels::make_modexp_machine();
+  kernels::IssModexp mx(machine);
+  machine.cpu().reset_stats();
+  const auto res = mx.powm_mont(base, key.d, key.n, 4);
+  std::printf("\nworkload: 512-bit Montgomery modexp (4-bit windows), %llu cycles\n",
+              static_cast<unsigned long long>(res.cycles));
+
+  const auto& profiler = machine.cpu().profiler();
+  std::printf("\nEdges (caller -> callee x calls):\n%s",
+              profiler.format_call_graph().c_str());
+
+  std::printf("\nPer-function profile:\n");
+  std::printf("  %-18s %10s %14s %14s\n", "function", "calls", "self cycles",
+              "total cycles");
+  for (const auto& [name, stats] : profiler.functions()) {
+    std::printf("  %-18s %10llu %14llu %14llu\n", name.c_str(),
+                static_cast<unsigned long long>(stats.calls),
+                static_cast<unsigned long long>(stats.self_cycles),
+                static_cast<unsigned long long>(stats.total_cycles));
+  }
+
+  const auto graph =
+      select::CallGraph::from_profiler(profiler, "mont_mul");
+  std::printf("\nCall tree rooted at mont_mul (per-invocation weights):\n%s",
+              graph.format("mont_mul").c_str());
+  std::printf("\npaper Fig. 4 shows the same structure: the exponentiation "
+              "driver fanning out\ninto mpz/mpn leaf routines with edge "
+              "weights (e.g. decrypt -> mpz_mul x4).\n");
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Fig. 5: measured A-D (area-delay) curves for mpn_add_n and mpn_addmul_1,
+// and their propagation to a parent node of the call graph.
+//
+// Each point is a real ISS measurement of the routine (n = 32 limbs, the
+// 1024-bit operand size) under a different custom-instruction allocation;
+// areas come from the tie gate-area model.  The composite curve combines
+// the children per Eq. (1) with sharing + dominance, then Pareto-prunes —
+// the paper's P1/P2/P3 pruning discussion.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "kernels/mpn_kernels.h"
+#include "support/random.h"
+#include "tie/adcurve.h"
+
+namespace {
+
+using namespace wsp;
+
+tie::ADCurve measure_add_curve(std::size_t n) {
+  Rng rng(31);
+  std::vector<std::uint32_t> a(n), b(n), r;
+  for (auto& x : a) x = rng.next_u32();
+  for (auto& x : b) x = rng.next_u32();
+  tie::ADCurve curve;
+  const auto catalog = tie::default_catalog();
+  for (int width : {0, 2, 4, 8, 16}) {
+    kernels::Machine m = kernels::make_mpn_machine(kernels::MpnTieConfig{width, 0});
+    const auto res = kernels::run_add_n(m, r, a, b);
+    std::set<std::string> instrs;
+    if (width) {
+      instrs = {"ur_load", "ur_store", "add_" + std::to_string(width)};
+    }
+    curve.add({catalog.set_area(instrs), static_cast<double>(res.cycles), instrs});
+  }
+  return curve;
+}
+
+tie::ADCurve measure_addmul_curve(std::size_t n) {
+  Rng rng(32);
+  std::vector<std::uint32_t> a(n);
+  for (auto& x : a) x = rng.next_u32();
+  tie::ADCurve curve;
+  const auto catalog = tie::default_catalog();
+  for (int width : {0, 1, 2, 4}) {
+    kernels::Machine m = kernels::make_mpn_machine(kernels::MpnTieConfig{0, width});
+    std::vector<std::uint32_t> r(n, 0x5a5a5a5a);
+    const auto res = kernels::run_addmul_1(m, r, a, 0x9e3779b9u);
+    std::set<std::string> instrs;
+    if (width) {
+      instrs = {"ur_load", "ur_store", "mac_" + std::to_string(width)};
+    }
+    curve.add({catalog.set_area(instrs), static_cast<double>(res.cycles), instrs});
+  }
+  return curve;
+}
+
+void print_curve(const char* name, const tie::ADCurve& curve) {
+  std::printf("\nA-D curve for %s:\n", name);
+  std::printf("   area (grids)    cycles    instructions\n");
+  for (const auto& p : curve.points()) {
+    std::printf("   %10.0f   %8.0f    {", p.area, p.cycles);
+    bool first = true;
+    for (const auto& i : p.instrs) {
+      std::printf("%s%s", first ? "" : ", ", i.c_str());
+      first = false;
+    }
+    std::printf("}\n");
+  }
+}
+
+}  // namespace
+
+int main() {
+  using namespace wsp;
+  bench::header("A-D curves for mpn_add_n / mpn_addmul_1 and their combination",
+                "paper Fig. 5(a), 5(b), 5(c)");
+
+  const std::size_t n = 32;  // 1024-bit operands
+  const auto add_curve = measure_add_curve(n);
+  const auto mul_curve = measure_addmul_curve(n);
+  print_curve("mpn_add_n (n=32; paper base point: 202 cycles)", add_curve);
+  print_curve("mpn_addmul_1 (n=32)", mul_curve);
+
+  // Fig. 5(c): a parent calling mpn_add_n twice and mpn_addmul_1 once per
+  // invocation, with 10 local cycles (the paper's illustration).
+  const auto catalog = tie::default_catalog();
+  tie::ADCurve::CombineStats stats;
+  tie::ADCurve root = tie::ADCurve::combine(
+      10.0, {{2.0, &add_curve}, {1.0, &mul_curve}}, catalog, &stats);
+  const std::size_t before = root.points().size();
+  print_curve("root (local 10 cycles; calls: 2 x add_n, 1 x addmul_1)", root);
+  root.pareto_prune();
+  std::printf("\nCartesian points: %zu, after sharing+dominance: %zu, after "
+              "Pareto pruning at the root: %zu\n",
+              stats.cartesian_points, before, root.points().size());
+  print_curve("root (Pareto-pruned)", root);
+  return 0;
+}

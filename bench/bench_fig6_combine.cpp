@@ -1,0 +1,75 @@
+// Fig. 6: combining the design spaces of two A-D curves — the Cartesian
+// product of the paper's example (5 mpn_add_n points x 5 mpn_addmul_1
+// points whose entries also use adders) collapses under instruction sharing
+// and dominance reduction (paper: 25 -> 9 shaded entries).
+#include <cstdio>
+
+#include "bench_util.h"
+#include "tie/adcurve.h"
+
+int main() {
+  using namespace wsp;
+  bench::header("Combining the design spaces of two A-D curves",
+                "paper Fig. 6");
+
+  const auto catalog = tie::default_catalog();
+
+  // mpn_add_n: original + add_2/4/8/16 (paper Fig. 6 row labels).
+  tie::ADCurve add_curve;
+  add_curve.add({0, 202, {}});
+  for (int k : {2, 4, 8, 16}) {
+    const std::set<std::string> s = {"ur_load", "ur_store",
+                                     "add_" + std::to_string(k)};
+    add_curve.add({catalog.set_area(s), 202.0 / k + 30, s});
+  }
+
+  // mpn_addmul_1: original + mac_1 with increasing adder support
+  // (paper Fig. 6 column labels: mul_1, add_2 mul_1, add_4 mul_1, ...).
+  tie::ADCurve mul_curve;
+  mul_curve.add({0, 650, {}});
+  int adder = 0;
+  for (double cyc : {420.0, 330.0, 260.0, 210.0}) {
+    std::set<std::string> s = {"ur_load", "ur_store", "mac_1"};
+    if (adder) s.insert("add_" + std::to_string(adder));
+    mul_curve.add({catalog.set_area(s), cyc, s});
+    adder = adder == 0 ? 2 : adder * 2;
+  }
+
+  std::printf("\nRaw Cartesian product: %zu x %zu = %zu design points\n",
+              add_curve.points().size(), mul_curve.points().size(),
+              add_curve.points().size() * mul_curve.points().size());
+
+  // Enumerate the grid the way Fig. 6 draws it, showing each entry's
+  // dominance-reduced union.
+  std::printf("\nGrid of reduced instruction unions (rows: add_n points; "
+              "columns: addmul_1 points):\n");
+  std::set<std::set<std::string>> distinct;
+  for (const auto& pa : add_curve.points()) {
+    for (const auto& pm : mul_curve.points()) {
+      std::set<std::string> u = pa.instrs;
+      u.insert(pm.instrs.begin(), pm.instrs.end());
+      u = catalog.reduce(u);
+      u.erase("ur_load");   // the paper ignores shared load/store instructions
+      u.erase("ur_store");
+      distinct.insert(u);
+      std::string label;
+      for (const auto& i : u) label += (label.empty() ? "" : "+") + i;
+      if (label.empty()) label = "(none)";
+      std::printf("  %-22s", label.c_str());
+    }
+    std::printf("\n");
+  }
+  std::printf("\nDistinct design points after sharing + dominance: %zu "
+              "(paper: 25 -> 9)\n",
+              distinct.size());
+
+  tie::ADCurve::CombineStats stats;
+  tie::ADCurve root = tie::ADCurve::combine(
+      0.0, {{1.0, &add_curve}, {1.0, &mul_curve}}, catalog, &stats);
+  std::printf("combine(): cartesian=%zu reduced=%zu\n", stats.cartesian_points,
+              stats.reduced_points);
+  root.pareto_prune();
+  std::printf("after Pareto pruning at the root: %zu points\n",
+              root.points().size());
+  return 0;
+}

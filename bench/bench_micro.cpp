@@ -1,0 +1,116 @@
+// Host-library micro-benchmarks (google-benchmark): wall-clock sanity
+// harness for the crypto substrate itself.  These are host-speed numbers,
+// orthogonal to the ISS cycle counts the paper-reproduction benches report.
+#include <benchmark/benchmark.h>
+
+#include "crypto/aes.h"
+#include "crypto/des.h"
+#include "crypto/hmac.h"
+#include "crypto/rsa.h"
+#include "crypto/sha1.h"
+#include "mp/modexp.h"
+#include "support/random.h"
+
+namespace {
+
+using namespace wsp;
+
+void BM_DesEcb(benchmark::State& state) {
+  Rng rng(1);
+  const auto ks = des::key_schedule(rng.next_u64());
+  const auto data = rng.bytes(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(des::encrypt_ecb(data, ks));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_DesEcb)->Arg(1024);
+
+void BM_TripleDesBlock(benchmark::State& state) {
+  Rng rng(2);
+  const auto ks = des::triple_key_schedule(rng.next_u64(), rng.next_u64(),
+                                           rng.next_u64());
+  std::uint64_t block = rng.next_u64();
+  for (auto _ : state) {
+    block = des::encrypt_block_3des(block, ks);
+    benchmark::DoNotOptimize(block);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 8);
+}
+BENCHMARK(BM_TripleDesBlock);
+
+void BM_AesEcb(benchmark::State& state) {
+  Rng rng(3);
+  const auto ks = aes::key_schedule(rng.bytes(16));
+  const auto data = rng.bytes(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(aes::encrypt_ecb(data, ks));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_AesEcb)->Arg(1024);
+
+void BM_Sha1(benchmark::State& state) {
+  Rng rng(4);
+  const auto data = rng.bytes(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Sha1::hash(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Sha1)->Arg(4096);
+
+void BM_HmacSha1(benchmark::State& state) {
+  Rng rng(5);
+  const auto key = rng.bytes(20);
+  const auto data = rng.bytes(1024);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hmac_sha1(key, data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 1024);
+}
+BENCHMARK(BM_HmacSha1);
+
+void BM_ModexpConfig(benchmark::State& state) {
+  static const auto key = [] {
+    Rng rng(6);
+    return rsa::generate_key(512, rng);
+  }();
+  const auto configs = all_modexp_configs();
+  ModexpConfig cfg;
+  switch (state.range(0)) {
+    case 0: cfg = {MulAlgo::kBasecaseDiv, 1, CrtMode::kNone, Radix::k32, Caching::kNone}; break;
+    case 1: cfg = {MulAlgo::kBarrett, 4, CrtMode::kNone, Radix::k32, Caching::kContext}; break;
+    case 2: cfg = {MulAlgo::kMontCIOS, 5, CrtMode::kGarner, Radix::k32, Caching::kFull}; break;
+    default: cfg = ModexpConfig{}; break;
+  }
+  Rng rng(7);
+  const Mpz c = Mpz::from_bytes_be(rng.bytes(60));
+  ModexpEngine engine(cfg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.powm_crt(c, key.d, key.crt));
+  }
+  state.SetLabel(cfg.name());
+}
+BENCHMARK(BM_ModexpConfig)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_RsaSignVerify(benchmark::State& state) {
+  static const auto key = [] {
+    Rng rng(8);
+    return rsa::generate_key(512, rng);
+  }();
+  ModexpEngine engine{ModexpConfig{}};
+  const std::vector<std::uint8_t> msg = {'b', 'e', 'n', 'c', 'h'};
+  for (auto _ : state) {
+    const auto sig = rsa::sign(msg, key, engine);
+    benchmark::DoNotOptimize(rsa::verify(msg, sig, key.public_key(), engine));
+  }
+}
+BENCHMARK(BM_RsaSignVerify);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,16 @@
+// Shared helpers for the paper-reproduction benchmark binaries.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace wsp::bench {
+
+inline void header(const std::string& title, const std::string& paper_ref) {
+  std::printf("==========================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("(reproduces %s)\n", paper_ref.c_str());
+  std::printf("==========================================================\n");
+}
+
+}  // namespace wsp::bench

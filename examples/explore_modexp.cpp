@@ -1,0 +1,46 @@
+// Algorithm design-space exploration from the public API: characterize the
+// library routines once on the ISS, then rank all 450 modular-
+// exponentiation configurations for an RSA workload at native speed and
+// print the leaders (the paper's Sec. 3.2/4.3 flow, as a user would run it).
+//
+//   $ ./examples/explore_modexp
+#include <cstdio>
+
+#include "explore/space.h"
+#include "macromodel/characterize.h"
+
+int main() {
+  using namespace wsp;
+  std::printf("wsp modular-exponentiation design-space exploration\n\n");
+
+  std::printf("[1/3] characterizing mpn library routines on the ISS...\n");
+  kernels::Machine machine = kernels::make_mpn_machine();
+  kernels::Machine machine16 = kernels::make_mpn16_machine();
+  const auto models = macromodel::characterize_mpn_full(machine, machine16);
+
+  std::printf("[2/3] building the RSA-768 exploration workload...\n");
+  Rng rng(123);
+  auto workload = explore::make_rsa_workload(768, rng);
+  workload.repetitions = 2;
+
+  std::printf("[3/3] estimating all 450 configurations natively...\n\n");
+  const auto report = explore::explore_modexp_space(workload, models);
+
+  std::printf("explored %zu configurations in %.2f s\n\n", report.configs,
+              report.wall_seconds);
+  std::printf("rank  configuration                                          est. cycles/op\n");
+  for (std::size_t i = 0; i < 10; ++i) {
+    std::printf("%4zu  %-52s %14.0f\n", i + 1,
+                report.ranked[i].config.name().c_str(),
+                report.ranked[i].estimate.avg_cycles);
+  }
+  const auto& best = report.ranked.front();
+  const auto& worst = report.ranked.back();
+  std::printf("\nbest-to-worst spread: %.1fx (%s vs %s)\n",
+              worst.estimate.avg_cycles / best.estimate.avg_cycles,
+              best.config.name().c_str(), worst.config.name().c_str());
+  std::printf("\nThe winning configuration is the one the optimized platform "
+              "ships with:\nMontgomery multiplication, a wide exponent "
+              "window, CRT and full software caching.\n");
+  return 0;
+}

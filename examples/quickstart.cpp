@@ -1,0 +1,60 @@
+// Quickstart: the SecurityPlatform public API.
+//
+// Creates the baseline and the optimized platform, runs the same
+// cryptographic primitives on both (every operation executes on the
+// cycle-accurate simulator), and prints the cycle costs and wall times at
+// the 188 MHz platform clock.
+//
+//   $ ./examples/quickstart
+#include <cstdio>
+
+#include "platform/platform.h"
+#include "support/hex.h"
+#include "support/random.h"
+
+int main() {
+  using namespace wsp;
+  std::printf("wsp quickstart: wireless security processing platform\n\n");
+
+  Rng rng(2026);
+  const auto message = rng.bytes(64);
+  const auto aes_key = rng.bytes(16);
+  const auto rsa_key = rsa::generate_key(512, rng);
+
+  for (platform::Config config :
+       {platform::Config::kBaseline, platform::Config::kOptimized}) {
+    platform::SecurityPlatform p(config);
+    std::printf("--- %s platform ---\n", to_string(config));
+
+    p.reset_cycles();
+    const auto des_ct = p.des_encrypt(message, 0x0123456789abcdefull);
+    std::printf("DES-ECB of %zu bytes:    %8llu cycles (%.1f us @188MHz)\n",
+                message.size(),
+                static_cast<unsigned long long>(p.cycles_consumed()),
+                p.seconds_at_clock() * 1e6);
+
+    p.reset_cycles();
+    const auto aes_ct = p.aes128_encrypt(message, aes_key);
+    std::printf("AES-128-ECB of %zu bytes:%8llu cycles (%.1f us)\n",
+                message.size(),
+                static_cast<unsigned long long>(p.cycles_consumed()),
+                p.seconds_at_clock() * 1e6);
+
+    p.reset_cycles();
+    const Mpz m = Mpz::from_bytes_be(rng.bytes(32));
+    const Mpz c = p.rsa_public(m, rsa_key.public_key());
+    const std::uint64_t pub_cycles = p.cycles_consumed();
+    const Mpz back = p.rsa_private(c, rsa_key);
+    std::printf("RSA-512 public op:      %8llu cycles\n",
+                static_cast<unsigned long long>(pub_cycles));
+    std::printf("RSA-512 private op:     %8llu cycles\n",
+                static_cast<unsigned long long>(p.cycles_consumed() - pub_cycles));
+    std::printf("round trip %s; DES ct head %s..., AES ct head %s...\n\n",
+                back == m ? "OK" : "FAILED",
+                to_hex(des_ct).substr(0, 16).c_str(),
+                to_hex(aes_ct).substr(0, 16).c_str());
+  }
+  std::printf("Both configurations compute identical results; the optimized\n"
+              "platform's custom instructions only change the cycle counts.\n");
+  return 0;
+}

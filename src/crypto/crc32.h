@@ -1,0 +1,14 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) — the integrity
+// check value used by WEP frames.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace wsp {
+
+/// CRC-32 of the buffer (init 0xFFFFFFFF, final XOR 0xFFFFFFFF).
+std::uint32_t crc32(const std::uint8_t* data, std::size_t n);
+std::uint32_t crc32(const std::vector<std::uint8_t>& data);
+
+}  // namespace wsp

@@ -1,0 +1,76 @@
+// DES and Triple-DES ("private-key operations" of the paper's platform).
+//
+// Two functionally identical block implementations are provided:
+//  * a reference implementation that applies every FIPS-46 permutation
+//    bit by bit (used as ground truth), and
+//  * a fast implementation using combined S-box+P-permutation (SP) lookup
+//    tables — the classic well-optimized software structure that the
+//    paper's baseline measurements represent.
+// The SP tables and key schedules are exported so the XR32 kernels
+// (src/kernels/des_kernel.*) can place them in simulator memory.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace wsp::des {
+
+/// 16 subkeys of 48 bits each, kept as 8 x 6-bit groups packed into two
+/// 32-bit halves (24 bits used in each) for the fast/kernels path.
+struct KeySchedule {
+  std::array<std::uint64_t, 16> k48;  ///< subkeys, 48 significant bits each
+};
+
+/// Expands a 64-bit key (parity bits ignored) into 16 subkeys.
+KeySchedule key_schedule(std::uint64_t key);
+
+/// Reference single-block encrypt/decrypt (bit-level permutations).
+std::uint64_t encrypt_block_ref(std::uint64_t block, const KeySchedule& ks);
+std::uint64_t decrypt_block_ref(std::uint64_t block, const KeySchedule& ks);
+
+/// Fast single-block encrypt/decrypt (SP-table implementation).
+std::uint64_t encrypt_block(std::uint64_t block, const KeySchedule& ks);
+std::uint64_t decrypt_block(std::uint64_t block, const KeySchedule& ks);
+
+/// 3DES EDE with three independent keys.
+struct TripleKeySchedule {
+  KeySchedule k1, k2, k3;
+};
+TripleKeySchedule triple_key_schedule(std::uint64_t key1, std::uint64_t key2,
+                                      std::uint64_t key3);
+std::uint64_t encrypt_block_3des(std::uint64_t block, const TripleKeySchedule& ks);
+std::uint64_t decrypt_block_3des(std::uint64_t block, const TripleKeySchedule& ks);
+
+/// ECB / CBC over byte buffers (length must be a multiple of 8).
+std::vector<std::uint8_t> encrypt_ecb(const std::vector<std::uint8_t>& data,
+                                      const KeySchedule& ks);
+std::vector<std::uint8_t> decrypt_ecb(const std::vector<std::uint8_t>& data,
+                                      const KeySchedule& ks);
+std::vector<std::uint8_t> encrypt_cbc(const std::vector<std::uint8_t>& data,
+                                      const KeySchedule& ks, std::uint64_t iv);
+std::vector<std::uint8_t> decrypt_cbc(const std::vector<std::uint8_t>& data,
+                                      const KeySchedule& ks, std::uint64_t iv);
+
+/// Combined S-box + P-permutation tables: sp_table(i)[v] is the 32-bit
+/// contribution of S-box i applied to 6-bit input v, already P-permuted.
+const std::array<std::uint32_t, 64>& sp_table(int sbox);
+
+/// Raw S-box output (4 bits) for S-box i and 6-bit input v.
+std::uint8_t sbox(int i, std::uint8_t v);
+
+/// The Feistel F function (E expansion, key mix, S-boxes, P permutation)
+/// applied to one 32-bit half with a 48-bit subkey.  Exported so the TIE
+/// des_round unit and the kernels share a single ground truth.
+std::uint32_t f_function(std::uint32_t r, std::uint64_t k48);
+
+/// Applies the initial / final permutation to a 64-bit block (bit-level;
+/// exported for kernel validation).
+std::uint64_t initial_permutation(std::uint64_t block);
+std::uint64_t final_permutation(std::uint64_t block);
+
+/// Big-endian conversion helpers (DES blocks are big-endian byte streams).
+std::uint64_t load_be64(const std::uint8_t* p);
+void store_be64(std::uint64_t v, std::uint8_t* p);
+
+}  // namespace wsp::des

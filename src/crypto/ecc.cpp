@@ -1,0 +1,139 @@
+#include "crypto/ecc.h"
+
+#include <stdexcept>
+
+#include "crypto/sha1.h"
+#include "mp/prime.h"
+
+namespace wsp::ecc {
+
+const Curve& secp192r1() {
+  static const Curve curve = [] {
+    Curve c;
+    c.p = Mpz::from_hex("fffffffffffffffffffffffffffffffeffffffffffffffff");
+    c.a = c.p - Mpz(3);
+    c.b = Mpz::from_hex("64210519e59c80e70fa7e9ab72243049feb8deecc146b9b1");
+    c.gx = Mpz::from_hex("188da80eb03090f67cbf20eb43a18800f4ff0afd82ff1012");
+    c.gy = Mpz::from_hex("07192b95ffc8da78631011ed6b24cdd573f977a11e794811");
+    c.n = Mpz::from_hex("ffffffffffffffffffffffff99def836146bc9b1b4d22831");
+    return c;
+  }();
+  return curve;
+}
+
+bool operator==(const Point& a, const Point& b) {
+  if (a.infinity || b.infinity) return a.infinity == b.infinity;
+  return a.x == b.x && a.y == b.y;
+}
+
+bool on_curve(const Curve& curve, const Point& pt) {
+  if (pt.infinity) return true;
+  const Mpz lhs = (pt.y * pt.y).mod(curve.p);
+  const Mpz rhs = (pt.x * pt.x * pt.x + curve.a * pt.x + curve.b).mod(curve.p);
+  return lhs == rhs;
+}
+
+Point double_point(const Curve& curve, const Point& p) {
+  if (p.infinity) return p;
+  if (p.y.is_zero()) return Point::at_infinity();
+  // lambda = (3x^2 + a) / (2y)
+  const Mpz num = (Mpz(3) * p.x * p.x + curve.a).mod(curve.p);
+  const Mpz den = Mpz::invmod((Mpz(2) * p.y).mod(curve.p), curve.p);
+  const Mpz lambda = (num * den).mod(curve.p);
+  const Mpz x3 = (lambda * lambda - Mpz(2) * p.x).mod(curve.p);
+  const Mpz y3 = (lambda * (p.x - x3) - p.y).mod(curve.p);
+  return Point::make(x3, y3);
+}
+
+Point add(const Curve& curve, const Point& p, const Point& q) {
+  if (p.infinity) return q;
+  if (q.infinity) return p;
+  if (p.x == q.x) {
+    if (p.y == q.y) return double_point(curve, p);
+    return Point::at_infinity();  // mirror points
+  }
+  const Mpz num = (q.y - p.y).mod(curve.p);
+  const Mpz den = Mpz::invmod((q.x - p.x).mod(curve.p), curve.p);
+  const Mpz lambda = (num * den).mod(curve.p);
+  const Mpz x3 = (lambda * lambda - p.x - q.x).mod(curve.p);
+  const Mpz y3 = (lambda * (p.x - x3) - p.y).mod(curve.p);
+  return Point::make(x3, y3);
+}
+
+Point scalar_mul(const Curve& curve, const Mpz& k, const Point& p) {
+  if (k.is_zero() || p.infinity) return Point::at_infinity();
+  if (k.is_negative()) throw std::invalid_argument("ecc: negative scalar");
+  Point result = Point::at_infinity();
+  Point addend = p;
+  const std::size_t bits = k.bit_length();
+  for (std::size_t i = 0; i < bits; ++i) {
+    if (k.bit(i)) result = add(curve, result, addend);
+    addend = double_point(curve, addend);
+  }
+  return result;
+}
+
+Point base_mul(const Curve& curve, const Mpz& k) {
+  return scalar_mul(curve, k, Point::make(curve.gx, curve.gy));
+}
+
+KeyPair generate_key(const Curve& curve, Rng& rng) {
+  KeyPair kp;
+  kp.d = random_below(curve.n - Mpz(1), rng) + Mpz(1);
+  kp.q = base_mul(curve, kp.d);
+  return kp;
+}
+
+Mpz ecdh_shared(const Curve& curve, const Mpz& d, const Point& peer) {
+  if (peer.infinity || !on_curve(curve, peer)) {
+    throw std::invalid_argument("ecdh: invalid peer point");
+  }
+  const Point shared = scalar_mul(curve, d, peer);
+  if (shared.infinity) throw std::invalid_argument("ecdh: degenerate secret");
+  return shared.x;
+}
+
+namespace {
+
+Mpz digest_to_scalar(const Curve& curve, const std::vector<std::uint8_t>& message) {
+  const auto digest = Sha1::hash(message);
+  Mpz z = Mpz::from_bytes_be(digest.data(), digest.size());
+  // Truncate to the group size if needed (P-192: 192 > 160, so no-op).
+  const std::size_t excess =
+      z.bit_length() > curve.n.bit_length() ? z.bit_length() - curve.n.bit_length() : 0;
+  return z.rshift(excess);
+}
+
+}  // namespace
+
+Signature sign(const Curve& curve, const Mpz& d,
+               const std::vector<std::uint8_t>& message, Rng& rng) {
+  const Mpz z = digest_to_scalar(curve, message);
+  for (;;) {
+    const Mpz k = random_below(curve.n - Mpz(1), rng) + Mpz(1);
+    const Point kg = base_mul(curve, k);
+    const Mpz r = kg.x.mod(curve.n);
+    if (r.is_zero()) continue;
+    const Mpz k_inv = Mpz::invmod(k, curve.n);
+    const Mpz s = (k_inv * (z + r * d)).mod(curve.n);
+    if (s.is_zero()) continue;
+    return Signature{r, s};
+  }
+}
+
+bool verify(const Curve& curve, const Point& q,
+            const std::vector<std::uint8_t>& message, const Signature& sig) {
+  if (sig.r.is_zero() || sig.s.is_zero() || !(sig.r < curve.n) || !(sig.s < curve.n)) {
+    return false;
+  }
+  if (q.infinity || !on_curve(curve, q)) return false;
+  const Mpz z = digest_to_scalar(curve, message);
+  const Mpz w = Mpz::invmod(sig.s, curve.n);
+  const Mpz u1 = (z * w).mod(curve.n);
+  const Mpz u2 = (sig.r * w).mod(curve.n);
+  const Point pt = add(curve, base_mul(curve, u1), scalar_mul(curve, u2, q));
+  if (pt.infinity) return false;
+  return pt.x.mod(curve.n) == sig.r;
+}
+
+}  // namespace wsp::ecc

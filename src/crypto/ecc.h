@@ -1,0 +1,78 @@
+// Elliptic-curve cryptography over prime fields — the "ECC" entry in the
+// paper's security-primitive API ("RSA, ECC, DES, 3DES, AES, etc.",
+// Sec. 2.2), and the alternative public-key family its related-work section
+// highlights for reduced computational complexity.
+//
+// Affine-coordinate arithmetic over Mpz (one modular inversion per group
+// operation), with secp192r1 as the built-in curve.  Provides ECDH key
+// agreement and ECDSA signatures.  Like the rest of the library: correct
+// and deterministic, not hardened.
+#pragma once
+
+#include <optional>
+
+#include "mp/mpz.h"
+#include "support/random.h"
+
+namespace wsp::ecc {
+
+/// A short-Weierstrass curve y^2 = x^3 + ax + b over GF(p), with base
+/// point G of prime order n.
+struct Curve {
+  Mpz p, a, b;
+  Mpz gx, gy;
+  Mpz n;
+};
+
+/// The NIST P-192 / secp192r1 parameters.
+const Curve& secp192r1();
+
+/// Affine point; `infinity` is the group identity.
+struct Point {
+  Mpz x, y;
+  bool infinity = true;
+
+  static Point at_infinity() { return Point{}; }
+  static Point make(Mpz x, Mpz y) { return Point{std::move(x), std::move(y), false}; }
+};
+
+bool operator==(const Point& a, const Point& b);
+
+/// True if the point satisfies the curve equation (or is infinity).
+bool on_curve(const Curve& curve, const Point& pt);
+
+/// Group operations.
+Point add(const Curve& curve, const Point& p, const Point& q);
+Point double_point(const Curve& curve, const Point& p);
+Point scalar_mul(const Curve& curve, const Mpz& k, const Point& p);
+
+/// Base-point multiple k*G.
+Point base_mul(const Curve& curve, const Mpz& k);
+
+// --- ECDH -------------------------------------------------------------------
+
+struct KeyPair {
+  Mpz d;    ///< private scalar in [1, n)
+  Point q;  ///< public point d*G
+};
+
+KeyPair generate_key(const Curve& curve, Rng& rng);
+
+/// Shared secret: x-coordinate of d * Q_peer.  Throws std::invalid_argument
+/// for the point at infinity or an off-curve peer point.
+Mpz ecdh_shared(const Curve& curve, const Mpz& d, const Point& peer);
+
+// --- ECDSA -------------------------------------------------------------------
+
+struct Signature {
+  Mpz r, s;
+};
+
+/// Signs a message (SHA-1 digest truncated to the group size).
+Signature sign(const Curve& curve, const Mpz& d,
+               const std::vector<std::uint8_t>& message, Rng& rng);
+
+bool verify(const Curve& curve, const Point& q,
+            const std::vector<std::uint8_t>& message, const Signature& sig);
+
+}  // namespace wsp::ecc

@@ -1,0 +1,35 @@
+#include "crypto/elgamal.h"
+
+#include <stdexcept>
+
+#include "mp/prime.h"
+
+namespace wsp::elgamal {
+
+PrivateKey generate_key(std::size_t bits, Rng& rng) {
+  PrivateKey key;
+  key.pub.p = gen_prime(bits, rng);
+  key.pub.g = Mpz(2);
+  key.x = random_below(key.pub.p - Mpz(2), rng) + Mpz(1);
+  ModexpEngine engine{ModexpConfig{}};
+  key.pub.y = engine.powm(key.pub.g, key.x, key.pub.p);
+  return key;
+}
+
+Ciphertext encrypt(const Mpz& m, const PublicKey& key, ModexpEngine& engine,
+                   Rng& rng) {
+  if (m.is_zero() || m >= key.p) throw std::invalid_argument("elgamal: bad message");
+  const Mpz k = random_below(key.p - Mpz(2), rng) + Mpz(1);
+  Ciphertext ct;
+  ct.c1 = engine.powm(key.g, k, key.p);
+  ct.c2 = (m * engine.powm(key.y, k, key.p)).mod(key.p);
+  return ct;
+}
+
+Mpz decrypt(const Ciphertext& ct, const PrivateKey& key, ModexpEngine& engine) {
+  const Mpz exp = key.pub.p - Mpz(1) - key.x;
+  const Mpz s_inv = engine.powm(ct.c1, exp, key.pub.p);
+  return (ct.c2 * s_inv).mod(key.pub.p);
+}
+
+}  // namespace wsp::elgamal

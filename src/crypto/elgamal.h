@@ -1,0 +1,40 @@
+// ElGamal encryption over a prime field — the second public-key algorithm
+// the paper's platform supports ("public-key (e.g., RSA, ElGamal)
+// operations", Sec. 1.1).
+#pragma once
+
+#include "mp/modexp.h"
+#include "mp/mpz.h"
+#include "support/random.h"
+
+namespace wsp::elgamal {
+
+struct PublicKey {
+  Mpz p;  ///< prime modulus
+  Mpz g;  ///< generator
+  Mpz y;  ///< g^x mod p
+};
+
+struct PrivateKey {
+  PublicKey pub;
+  Mpz x;  ///< secret exponent
+};
+
+struct Ciphertext {
+  Mpz c1;  ///< g^k mod p
+  Mpz c2;  ///< m * y^k mod p
+};
+
+/// Generates a key over a fresh `bits`-bit safe-ish prime (p = 2q+1 search
+/// is expensive; we use a random prime and g = 2, adequate for performance
+/// studies — documented simplification).
+PrivateKey generate_key(std::size_t bits, Rng& rng);
+
+/// Encrypts m (0 < m < p) with ephemeral k drawn from rng.
+Ciphertext encrypt(const Mpz& m, const PublicKey& key, ModexpEngine& engine,
+                   Rng& rng);
+
+/// Recovers m = c2 * c1^(p-1-x) mod p.
+Mpz decrypt(const Ciphertext& ct, const PrivateKey& key, ModexpEngine& engine);
+
+}  // namespace wsp::elgamal

@@ -1,0 +1,49 @@
+#include "crypto/hmac.h"
+
+#include "crypto/md5.h"
+#include "crypto/sha1.h"
+
+namespace wsp {
+
+namespace {
+
+template <typename Hash>
+std::vector<std::uint8_t> hmac(const std::vector<std::uint8_t>& key,
+                               const std::vector<std::uint8_t>& data) {
+  std::vector<std::uint8_t> k = key;
+  if (k.size() > Hash::kBlockSize) {
+    const auto d = Hash::hash(k);
+    k.assign(d.begin(), d.end());
+  }
+  k.resize(Hash::kBlockSize, 0);
+
+  std::vector<std::uint8_t> ipad(Hash::kBlockSize), opad(Hash::kBlockSize);
+  for (std::size_t i = 0; i < Hash::kBlockSize; ++i) {
+    ipad[i] = static_cast<std::uint8_t>(k[i] ^ 0x36);
+    opad[i] = static_cast<std::uint8_t>(k[i] ^ 0x5c);
+  }
+  Hash inner;
+  inner.update(ipad);
+  inner.update(data);
+  const auto inner_digest = inner.digest();
+
+  Hash outer;
+  outer.update(opad);
+  outer.update(inner_digest.data(), inner_digest.size());
+  const auto tag = outer.digest();
+  return std::vector<std::uint8_t>(tag.begin(), tag.end());
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> hmac_sha1(const std::vector<std::uint8_t>& key,
+                                    const std::vector<std::uint8_t>& data) {
+  return hmac<Sha1>(key, data);
+}
+
+std::vector<std::uint8_t> hmac_md5(const std::vector<std::uint8_t>& key,
+                                   const std::vector<std::uint8_t>& data) {
+  return hmac<Md5>(key, data);
+}
+
+}  // namespace wsp

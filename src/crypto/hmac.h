@@ -1,0 +1,17 @@
+// HMAC (RFC 2104) over the library's hash functions.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace wsp {
+
+/// HMAC-SHA1 of `data` under `key`; returns the 20-byte tag.
+std::vector<std::uint8_t> hmac_sha1(const std::vector<std::uint8_t>& key,
+                                    const std::vector<std::uint8_t>& data);
+
+/// HMAC-MD5 of `data` under `key`; returns the 16-byte tag.
+std::vector<std::uint8_t> hmac_md5(const std::vector<std::uint8_t>& key,
+                                   const std::vector<std::uint8_t>& data);
+
+}  // namespace wsp

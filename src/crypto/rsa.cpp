@@ -1,0 +1,123 @@
+#include "crypto/rsa.h"
+
+#include <stdexcept>
+
+#include "crypto/sha1.h"
+#include "mp/prime.h"
+
+namespace wsp::rsa {
+
+PrivateKey generate_key(std::size_t bits, Rng& rng) {
+  if (bits < 64 || bits % 2 != 0) {
+    throw std::invalid_argument("rsa: key size must be an even number >= 64");
+  }
+  const Mpz e(65537);
+  for (;;) {
+    const Mpz p = gen_prime(bits / 2, rng);
+    Mpz q = gen_prime(bits / 2, rng);
+    if (p == q) continue;
+    const Mpz n = p * q;
+    if (n.bit_length() != bits) continue;
+    const Mpz phi = (p - Mpz(1)) * (q - Mpz(1));
+    if (!(Mpz::gcd(e, phi) == Mpz(1))) continue;
+    PrivateKey key;
+    key.n = n;
+    key.e = e;
+    key.d = Mpz::invmod(e, phi);
+    key.p = p;
+    key.q = q;
+    key.crt = CrtKey::derive(p, q, key.d);
+    return key;
+  }
+}
+
+Mpz public_op(const Mpz& m, const PublicKey& key, ModexpEngine& engine) {
+  if (m >= key.n) throw std::invalid_argument("rsa: message out of range");
+  return engine.powm(m, key.e, key.n);
+}
+
+Mpz private_op(const Mpz& c, const PrivateKey& key, ModexpEngine& engine) {
+  if (c >= key.n) throw std::invalid_argument("rsa: ciphertext out of range");
+  return engine.powm_crt(c, key.d, key.crt);
+}
+
+namespace {
+std::vector<std::uint8_t> pad_type2(const std::vector<std::uint8_t>& msg,
+                                    std::size_t k, Rng& rng) {
+  if (msg.size() + 11 > k) throw std::invalid_argument("rsa: message too long");
+  std::vector<std::uint8_t> em(k);
+  em[0] = 0x00;
+  em[1] = 0x02;
+  const std::size_t pad_len = k - 3 - msg.size();
+  for (std::size_t i = 0; i < pad_len; ++i) {
+    std::uint8_t b = 0;
+    while (b == 0) b = static_cast<std::uint8_t>(rng.next_u64());
+    em[2 + i] = b;
+  }
+  em[2 + pad_len] = 0x00;
+  for (std::size_t i = 0; i < msg.size(); ++i) em[3 + pad_len + i] = msg[i];
+  return em;
+}
+}  // namespace
+
+std::vector<std::uint8_t> encrypt(const std::vector<std::uint8_t>& message,
+                                  const PublicKey& key, ModexpEngine& engine,
+                                  Rng& rng) {
+  const std::size_t k = (key.n.bit_length() + 7) / 8;
+  const Mpz m = Mpz::from_bytes_be(pad_type2(message, k, rng));
+  return public_op(m, key, engine).to_bytes_be(k);
+}
+
+std::vector<std::uint8_t> decrypt(const std::vector<std::uint8_t>& ciphertext,
+                                  const PrivateKey& key, ModexpEngine& engine) {
+  const std::size_t k = (key.n.bit_length() + 7) / 8;
+  const Mpz c = Mpz::from_bytes_be(ciphertext);
+  const std::vector<std::uint8_t> em =
+      private_op(c, key, engine).to_bytes_be(k);
+  if (em.size() < 11 || em[0] != 0x00 || em[1] != 0x02) {
+    throw std::runtime_error("rsa: bad PKCS#1 padding");
+  }
+  std::size_t i = 2;
+  while (i < em.size() && em[i] != 0x00) ++i;
+  if (i < 10 || i == em.size()) throw std::runtime_error("rsa: bad PKCS#1 padding");
+  return std::vector<std::uint8_t>(em.begin() + static_cast<std::ptrdiff_t>(i) + 1,
+                                   em.end());
+}
+
+std::vector<std::uint8_t> sign(const std::vector<std::uint8_t>& message,
+                               const PrivateKey& key, ModexpEngine& engine) {
+  const std::size_t k = (key.n.bit_length() + 7) / 8;
+  const auto digest = Sha1::hash(message);
+  std::vector<std::uint8_t> em(k, 0xff);
+  em[0] = 0x00;
+  em[1] = 0x01;
+  em[k - digest.size() - 1] = 0x00;
+  for (std::size_t i = 0; i < digest.size(); ++i) {
+    em[k - digest.size() + i] = digest[i];
+  }
+  const Mpz m = Mpz::from_bytes_be(em);
+  return engine.powm_crt(m, key.d, key.crt).to_bytes_be(k);
+}
+
+bool verify(const std::vector<std::uint8_t>& message,
+            const std::vector<std::uint8_t>& signature, const PublicKey& key,
+            ModexpEngine& engine) {
+  const std::size_t k = (key.n.bit_length() + 7) / 8;
+  const Mpz s = Mpz::from_bytes_be(signature);
+  if (s >= key.n) return false;
+  const std::vector<std::uint8_t> em = engine.powm(s, key.e, key.n).to_bytes_be(k);
+  const auto digest = Sha1::hash(message);
+  if (em.size() < digest.size() + 11) return false;
+  if (em[0] != 0x00 || em[1] != 0x01) return false;
+  std::size_t i = 2;
+  while (i < em.size() && em[i] == 0xff) ++i;
+  if (i == em.size() || em[i] != 0x00) return false;
+  ++i;
+  if (em.size() - i != digest.size()) return false;
+  for (std::size_t j = 0; j < digest.size(); ++j) {
+    if (em[i + j] != digest[j]) return false;
+  }
+  return true;
+}
+
+}  // namespace wsp::rsa

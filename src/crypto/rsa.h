@@ -1,0 +1,59 @@
+// RSA — the paper's public-key workload (key generation, raw public/private
+// operations, PKCS#1 v1.5 block formatting, CRT-accelerated private ops).
+//
+// Private operations route through a ModexpEngine so that the entire
+// algorithm design space (Sec. 4.3) applies: the same keys and messages can
+// be exercised under any of the 450 configurations.
+//
+// NOTE: key generation uses the repository's deterministic PRNG; this is a
+// research reproduction, not a hardened cryptographic implementation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mp/modexp.h"
+#include "mp/mpz.h"
+#include "support/random.h"
+
+namespace wsp::rsa {
+
+struct PublicKey {
+  Mpz n;  ///< modulus
+  Mpz e;  ///< public exponent
+  std::size_t bits() const { return n.bit_length(); }
+};
+
+struct PrivateKey {
+  Mpz n, e, d;
+  Mpz p, q;       ///< factorization (enables CRT)
+  CrtKey crt;     ///< precomputed CRT coefficients
+
+  PublicKey public_key() const { return PublicKey{n, e}; }
+  std::size_t bits() const { return n.bit_length(); }
+};
+
+/// Generates an RSA key with a modulus of `bits` bits and e = 65537.
+PrivateKey generate_key(std::size_t bits, Rng& rng);
+
+/// Raw (textbook) operations: m^e mod n and c^d mod n.
+Mpz public_op(const Mpz& m, const PublicKey& key, ModexpEngine& engine);
+Mpz private_op(const Mpz& c, const PrivateKey& key, ModexpEngine& engine);
+
+/// PKCS#1 v1.5 type-2 encryption of a short message (<= k - 11 bytes).
+std::vector<std::uint8_t> encrypt(const std::vector<std::uint8_t>& message,
+                                  const PublicKey& key, ModexpEngine& engine,
+                                  Rng& rng);
+/// Inverse of `encrypt`; throws std::runtime_error on malformed padding.
+std::vector<std::uint8_t> decrypt(const std::vector<std::uint8_t>& ciphertext,
+                                  const PrivateKey& key, ModexpEngine& engine);
+
+/// PKCS#1 v1.5 type-1 signature over a SHA-1 digest (raw digest, no ASN.1
+/// DigestInfo — documented simplification).
+std::vector<std::uint8_t> sign(const std::vector<std::uint8_t>& message,
+                               const PrivateKey& key, ModexpEngine& engine);
+bool verify(const std::vector<std::uint8_t>& message,
+            const std::vector<std::uint8_t>& signature, const PublicKey& key,
+            ModexpEngine& engine);
+
+}  // namespace wsp::rsa

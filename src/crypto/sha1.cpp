@@ -1,0 +1,104 @@
+#include "crypto/sha1.h"
+
+namespace wsp {
+
+namespace {
+std::uint32_t rotl(std::uint32_t x, int n) { return (x << n) | (x >> (32 - n)); }
+}  // namespace
+
+Sha1::Sha1() {
+  h_[0] = 0x67452301;
+  h_[1] = 0xEFCDAB89;
+  h_[2] = 0x98BADCFE;
+  h_[3] = 0x10325476;
+  h_[4] = 0xC3D2E1F0;
+}
+
+void Sha1::process_block(const std::uint8_t* block) {
+  std::uint32_t w[80];
+  for (int i = 0; i < 16; ++i) {
+    w[i] = (static_cast<std::uint32_t>(block[4 * i]) << 24) |
+           (static_cast<std::uint32_t>(block[4 * i + 1]) << 16) |
+           (static_cast<std::uint32_t>(block[4 * i + 2]) << 8) |
+           block[4 * i + 3];
+  }
+  for (int i = 16; i < 80; ++i) {
+    w[i] = rotl(w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16], 1);
+  }
+  std::uint32_t a = h_[0], b = h_[1], c = h_[2], d = h_[3], e = h_[4];
+  for (int i = 0; i < 80; ++i) {
+    std::uint32_t f, k;
+    if (i < 20) {
+      f = (b & c) | ((~b) & d);
+      k = 0x5A827999;
+    } else if (i < 40) {
+      f = b ^ c ^ d;
+      k = 0x6ED9EBA1;
+    } else if (i < 60) {
+      f = (b & c) | (b & d) | (c & d);
+      k = 0x8F1BBCDC;
+    } else {
+      f = b ^ c ^ d;
+      k = 0xCA62C1D6;
+    }
+    const std::uint32_t t = rotl(a, 5) + f + e + k + w[i];
+    e = d;
+    d = c;
+    c = rotl(b, 30);
+    b = a;
+    a = t;
+  }
+  h_[0] += a;
+  h_[1] += b;
+  h_[2] += c;
+  h_[3] += d;
+  h_[4] += e;
+}
+
+void Sha1::update(const std::uint8_t* data, std::size_t n) {
+  total_ += n;
+  while (n > 0) {
+    const std::size_t take = std::min(n, kBlockSize - buf_len_);
+    for (std::size_t i = 0; i < take; ++i) buf_[buf_len_ + i] = data[i];
+    buf_len_ += take;
+    data += take;
+    n -= take;
+    if (buf_len_ == kBlockSize) {
+      process_block(buf_);
+      buf_len_ = 0;
+    }
+  }
+}
+
+std::array<std::uint8_t, Sha1::kDigestSize> Sha1::digest() {
+  const std::uint64_t bit_len = total_ * 8;
+  const std::uint8_t pad = 0x80;
+  update(&pad, 1);
+  const std::uint8_t zero = 0;
+  while (buf_len_ != 56) update(&zero, 1);
+  std::uint8_t len_be[8];
+  for (int i = 0; i < 8; ++i) len_be[i] = static_cast<std::uint8_t>(bit_len >> (56 - 8 * i));
+  update(len_be, 8);
+  std::array<std::uint8_t, kDigestSize> out{};
+  for (int i = 0; i < 5; ++i) {
+    out[static_cast<std::size_t>(4 * i)] = static_cast<std::uint8_t>(h_[i] >> 24);
+    out[static_cast<std::size_t>(4 * i + 1)] = static_cast<std::uint8_t>(h_[i] >> 16);
+    out[static_cast<std::size_t>(4 * i + 2)] = static_cast<std::uint8_t>(h_[i] >> 8);
+    out[static_cast<std::size_t>(4 * i + 3)] = static_cast<std::uint8_t>(h_[i]);
+  }
+  return out;
+}
+
+std::array<std::uint8_t, Sha1::kDigestSize> Sha1::hash(const std::uint8_t* data,
+                                                       std::size_t n) {
+  Sha1 ctx;
+  ctx.update(data, n);
+  return ctx.digest();
+}
+
+std::array<std::uint8_t, Sha1::kDigestSize> Sha1::hash(
+    const std::vector<std::uint8_t>& data) {
+  return hash(data.data(), data.size());
+}
+
+}  // namespace wsp

@@ -1,0 +1,31 @@
+#include "explore/estimator.h"
+
+#include "mp/prime.h"
+
+namespace wsp::explore {
+
+RsaWorkload make_rsa_workload(std::size_t bits, Rng& rng) {
+  RsaWorkload w;
+  const rsa::PrivateKey key = rsa::generate_key(bits, rng);
+  w.n = key.n;
+  w.d = key.d;
+  w.key = key.crt;
+  w.c = random_below(key.n, rng);
+  return w;
+}
+
+Estimate estimate_config(const ModexpConfig& config, const RsaWorkload& workload,
+                         const macromodel::MacroModelSet& models) {
+  MacroModelHook hook(models);
+  ModexpEngine engine(config, &hook);
+  for (int rep = 0; rep < workload.repetitions; ++rep) {
+    (void)engine.powm_crt(workload.c, workload.d, workload.key);
+  }
+  Estimate e;
+  e.total_cycles = hook.total_cycles();
+  e.avg_cycles = hook.total_cycles() / workload.repetitions;
+  e.events = hook.events();
+  return e;
+}
+
+}  // namespace wsp::explore

@@ -1,0 +1,122 @@
+#include "explore/space.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+namespace wsp::explore {
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+ExplorationReport explore_modexp_space(const RsaWorkload& workload,
+                                       const macromodel::MacroModelSet& models,
+                                       std::vector<ModexpConfig> configs) {
+  ExplorationReport report;
+  report.configs = configs.size();
+  const auto t0 = std::chrono::steady_clock::now();
+  report.ranked.reserve(configs.size());
+  for (const ModexpConfig& cfg : configs) {
+    report.ranked.push_back({cfg, estimate_config(cfg, workload, models)});
+  }
+  report.wall_seconds = seconds_since(t0);
+  std::sort(report.ranked.begin(), report.ranked.end(),
+            [](const ConfigEstimate& a, const ConfigEstimate& b) {
+              return a.estimate.avg_cycles < b.estimate.avg_cycles;
+            });
+  return report;
+}
+
+ValidationReport validate_estimates(kernels::Machine& modexp_machine,
+                                    const RsaWorkload& workload,
+                                    const macromodel::MacroModelSet& models) {
+  ValidationReport report;
+  kernels::IssModexp iss(modexp_machine);
+
+  struct Candidate {
+    std::string name;
+    ModexpConfig config;
+    unsigned window;  // 0 = division baseline
+  };
+  std::vector<Candidate> candidates;
+  candidates.push_back(
+      {"basecase-div/w1",
+       ModexpConfig{MulAlgo::kBasecaseDiv, 1, CrtMode::kNone, Radix::k32,
+                    Caching::kContext},
+       0});
+  for (unsigned w = 1; w <= 5; ++w) {
+    candidates.push_back(
+        {"mont-cios/w" + std::to_string(w),
+         ModexpConfig{MulAlgo::kMontCIOS, w, CrtMode::kNone, Radix::k32,
+                      Caching::kContext},
+         w});
+  }
+  candidates.push_back(
+      {"barrett/w4",
+       ModexpConfig{MulAlgo::kBarrett, 4, CrtMode::kNone, Radix::k32,
+                    Caching::kContext},
+       100 + 4});
+  candidates.push_back(
+      {"mont-sos/w4",
+       ModexpConfig{MulAlgo::kMontSOS, 4, CrtMode::kNone, Radix::k32,
+                    Caching::kContext},
+       200 + 4});
+
+  // --- native macro-model estimates (timed) ---------------------------------
+  const auto t_est = std::chrono::steady_clock::now();
+  std::vector<double> estimated;
+  for (const Candidate& cand : candidates) {
+    MacroModelHook hook(models);
+    ModexpEngine engine(cand.config);
+    // Warm the per-modulus context so its setup events are excluded (the
+    // ISS drivers precompute Montgomery constants host-side).
+    (void)engine.powm(workload.c, Mpz(3), workload.n);
+    engine.set_hook(&hook);
+    (void)engine.powm(workload.c, workload.d, workload.n);
+    estimated.push_back(hook.total_cycles());
+  }
+  report.estimate_wall_seconds = seconds_since(t_est);
+
+  // --- ISS ground truth (timed) -----------------------------------------------
+  const auto t_iss = std::chrono::steady_clock::now();
+  double err_sum = 0.0;
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    const Candidate& cand = candidates[i];
+    kernels::IssModexpResult measured;
+    if (cand.window == 0) {
+      measured = iss.powm_base(workload.c, workload.d, workload.n);
+    } else if (cand.window >= 200) {
+      measured = iss.powm_mont_sos(workload.c, workload.d, workload.n,
+                                   cand.window - 200);
+    } else if (cand.window >= 100) {
+      measured = iss.powm_barrett(workload.c, workload.d, workload.n,
+                                  cand.window - 100);
+    } else {
+      measured = iss.powm_mont(workload.c, workload.d, workload.n, cand.window);
+    }
+    ValidationPoint point;
+    point.name = cand.name;
+    point.estimated_cycles = estimated[i];
+    point.measured_cycles = static_cast<double>(measured.cycles);
+    point.error_pct = 100.0 *
+                      std::fabs(point.estimated_cycles - point.measured_cycles) /
+                      point.measured_cycles;
+    err_sum += point.error_pct;
+    report.points.push_back(std::move(point));
+  }
+  report.iss_wall_seconds = seconds_since(t_iss);
+  report.mean_abs_error_pct = err_sum / static_cast<double>(report.points.size());
+  report.speedup_factor =
+      report.estimate_wall_seconds > 0
+          ? report.iss_wall_seconds / report.estimate_wall_seconds
+          : 0.0;
+  return report;
+}
+
+}  // namespace wsp::explore

@@ -1,0 +1,55 @@
+// Algorithm design-space exploration (paper Sec. 4.3): evaluate all 450
+// modular-exponentiation configurations through macro-model estimation,
+// rank them, and cross-validate a subset against cycle-accurate ISS runs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "explore/estimator.h"
+#include "kernels/modexp_kernel.h"
+
+namespace wsp::explore {
+
+struct ConfigEstimate {
+  ModexpConfig config;
+  Estimate estimate;
+};
+
+struct ExplorationReport {
+  std::vector<ConfigEstimate> ranked;  ///< ascending estimated cycles
+  double wall_seconds = 0.0;           ///< native estimation time
+  std::size_t configs = 0;
+};
+
+/// Estimates every configuration (default: the full 450-point space) and
+/// returns them ranked fastest-first.
+ExplorationReport explore_modexp_space(
+    const RsaWorkload& workload, const macromodel::MacroModelSet& models,
+    std::vector<ModexpConfig> configs = all_modexp_configs());
+
+/// One estimate-vs-ISS comparison point.
+struct ValidationPoint {
+  std::string name;
+  double estimated_cycles = 0.0;
+  double measured_cycles = 0.0;
+  double error_pct = 0.0;
+};
+
+struct ValidationReport {
+  std::vector<ValidationPoint> points;
+  double mean_abs_error_pct = 0.0;
+  double estimate_wall_seconds = 0.0;  ///< native estimation of the points
+  double iss_wall_seconds = 0.0;       ///< ISS simulation of the points
+  double speedup_factor = 0.0;         ///< iss / estimate wall time
+};
+
+/// Cross-validates the estimator against the ISS on the configurations the
+/// XR32 kernels implement: division-reduction binary exponentiation, and
+/// Montgomery CIOS with windows 1..5 (radix 32, context caching) —
+/// the analogue of the paper's six ISS-evaluated candidates.
+ValidationReport validate_estimates(kernels::Machine& modexp_machine,
+                                    const RsaWorkload& workload,
+                                    const macromodel::MacroModelSet& models);
+
+}  // namespace wsp::explore

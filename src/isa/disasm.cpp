@@ -1,0 +1,130 @@
+#include <sstream>
+
+#include "isa/isa.h"
+
+namespace wsp::isa {
+
+const char* op_name(Op op) {
+  switch (op) {
+    case Op::kNop: return "nop";
+    case Op::kAdd: return "add";
+    case Op::kSub: return "sub";
+    case Op::kAnd: return "and";
+    case Op::kOr: return "or";
+    case Op::kXor: return "xor";
+    case Op::kSll: return "sll";
+    case Op::kSrl: return "srl";
+    case Op::kSra: return "sra";
+    case Op::kSlt: return "slt";
+    case Op::kSltu: return "sltu";
+    case Op::kMul: return "mul";
+    case Op::kMulhu: return "mulhu";
+    case Op::kAddi: return "addi";
+    case Op::kAndi: return "andi";
+    case Op::kOri: return "ori";
+    case Op::kXori: return "xori";
+    case Op::kSlli: return "slli";
+    case Op::kSrli: return "srli";
+    case Op::kSrai: return "srai";
+    case Op::kSlti: return "slti";
+    case Op::kSltiu: return "sltiu";
+    case Op::kLui: return "lui";
+    case Op::kLw: return "lw";
+    case Op::kLhu: return "lhu";
+    case Op::kLbu: return "lbu";
+    case Op::kSw: return "sw";
+    case Op::kSh: return "sh";
+    case Op::kSb: return "sb";
+    case Op::kBeq: return "beq";
+    case Op::kBne: return "bne";
+    case Op::kBlt: return "blt";
+    case Op::kBge: return "bge";
+    case Op::kBltu: return "bltu";
+    case Op::kBgeu: return "bgeu";
+    case Op::kJ: return "j";
+    case Op::kCall: return "call";
+    case Op::kJalr: return "jalr";
+    case Op::kRet: return "ret";
+    case Op::kHalt: return "halt";
+    case Op::kCustom: return "custom";
+  }
+  return "?";
+}
+
+bool reads_rs1(Op op) {
+  switch (op) {
+    case Op::kNop:
+    case Op::kLui:
+    case Op::kJ:
+    case Op::kCall:
+    case Op::kRet:
+    case Op::kHalt:
+      return false;
+    default:
+      return true;
+  }
+}
+
+bool reads_rs2(Op op) {
+  switch (op) {
+    case Op::kAdd:
+    case Op::kSub:
+    case Op::kAnd:
+    case Op::kOr:
+    case Op::kXor:
+    case Op::kSll:
+    case Op::kSrl:
+    case Op::kSra:
+    case Op::kSlt:
+    case Op::kSltu:
+    case Op::kMul:
+    case Op::kMulhu:
+    case Op::kSw:
+    case Op::kSh:
+    case Op::kSb:
+    case Op::kBeq:
+    case Op::kBne:
+    case Op::kBlt:
+    case Op::kBge:
+    case Op::kBltu:
+    case Op::kBgeu:
+    case Op::kCustom:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool writes_rd(Op op) {
+  switch (op) {
+    case Op::kSw:
+    case Op::kSh:
+    case Op::kSb:
+    case Op::kBeq:
+    case Op::kBne:
+    case Op::kBlt:
+    case Op::kBge:
+    case Op::kBltu:
+    case Op::kBgeu:
+    case Op::kJ:
+    case Op::kCall:
+    case Op::kRet:
+    case Op::kHalt:
+    case Op::kNop:
+      return false;
+    default:
+      return true;
+  }
+}
+
+std::string to_string(const Instr& instr) {
+  std::ostringstream os;
+  os << op_name(instr.op);
+  if (instr.op == Op::kCustom) os << "#" << instr.cust_id;
+  os << " rd=r" << static_cast<int>(instr.rd) << " rs1=r"
+     << static_cast<int>(instr.rs1) << " rs2=r" << static_cast<int>(instr.rs2)
+     << " imm=" << instr.imm;
+  return os.str();
+}
+
+}  // namespace wsp::isa

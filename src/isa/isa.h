@@ -1,0 +1,77 @@
+// XR32 — the instruction set of the reproduction's configurable, extensible
+// embedded core (our stand-in for the Xtensa T1040 base processor).
+//
+// A 32-bit, 32-register RISC ISA.  Branch and call targets are resolved by
+// the assembler to absolute instruction indices; the simulator executes
+// decoded `Instr` records directly (a functional + timing model, which is
+// all the methodology requires — there is no binary encoding).
+//
+// Custom instructions occupy a single opcode (kCustom) with a 16-bit
+// extension id dispatched to descriptors registered with the CPU
+// (see sim/custom.h) — the analogue of TIE instruction extensions.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace wsp::isa {
+
+/// Register conventions (software, not enforced by hardware):
+///   r0  — hardwired zero
+///   r1  — ra (link register, written by CALL)
+///   r2  — sp (stack pointer)
+///   r3..r10  — a0..a7 (arguments / return values)
+///   r11..r31 — temporaries (caller-saved by convention)
+inline constexpr std::uint8_t kZero = 0;
+inline constexpr std::uint8_t kRa = 1;
+inline constexpr std::uint8_t kSp = 2;
+inline constexpr std::uint8_t kA0 = 3;  // a1 = kA0+1, ...
+
+enum class Op : std::uint8_t {
+  kNop,
+  // ALU register-register.
+  kAdd, kSub, kAnd, kOr, kXor,
+  kSll, kSrl, kSra,
+  kSlt, kSltu,
+  kMul,    ///< low 32 bits of the product (configurable option on the core)
+  kMulhu,  ///< high 32 bits of the unsigned product
+  // ALU register-immediate.
+  kAddi, kAndi, kOri, kXori,
+  kSlli, kSrli, kSrai,
+  kSlti, kSltiu,
+  kLui,  ///< rd = imm << 12
+  // Memory.
+  kLw, kLhu, kLbu,
+  kSw, kSh, kSb,
+  // Control flow.  imm = absolute instruction index.
+  kBeq, kBne, kBlt, kBge, kBltu, kBgeu,
+  kJ,     ///< unconditional jump
+  kCall,  ///< ra = pc+1; pc = imm (function entry)
+  kJalr,  ///< rd = pc+1; pc = rs1 (indirect)
+  kRet,   ///< pc = ra
+  kHalt,
+  // Extension space.
+  kCustom,
+};
+
+/// One decoded instruction.
+struct Instr {
+  Op op = Op::kNop;
+  std::uint8_t rd = 0;
+  std::uint8_t rs1 = 0;
+  std::uint8_t rs2 = 0;
+  std::int32_t imm = 0;
+  std::uint16_t cust_id = 0;  ///< custom-extension selector for Op::kCustom
+};
+
+/// True if the instruction reads rs1 / rs2 (used by the load-use stall model).
+bool reads_rs1(Op op);
+bool reads_rs2(Op op);
+/// True if the instruction writes rd.
+bool writes_rd(Op op);
+
+/// Human-readable rendering (for traces and debugging).
+std::string to_string(const Instr& instr);
+const char* op_name(Op op);
+
+}  // namespace wsp::isa

@@ -1,0 +1,394 @@
+#include "kernels/aes_kernel.h"
+
+#include <stdexcept>
+
+#include "crypto/aes.h"
+#include "kernels/regs.h"
+#include "tie/candidates.h"
+#include "tie/ids.h"
+
+namespace wsp::kernels {
+
+using xasm::Assembler;
+
+namespace {
+
+// --- base variant: byte-oriented rounds over a 16-byte state buffer --------
+
+void emit_sub_bytes_loop(Assembler& a, const char* label) {
+  // SubBytes over state at S0 using the S-box at S1; clobbers T4..T8.
+  a.mv(T4, Z);
+  a.label(label);
+  a.add(T5, S0, T4);
+  a.lbu(T6, T5, 0);
+  a.add(T6, T6, S1);
+  a.lbu(T7, T6, 0);
+  a.sb(T7, T5, 0);
+  a.addi(T4, T4, 1);
+  a.slti(T8, T4, 16);
+  a.bne(T8, Z, label);
+}
+
+void emit_shift_rows(Assembler& a) {
+  // Row 1: rotate left by 1.
+  a.lbu(T4, S0, 1);
+  a.lbu(T5, S0, 5);
+  a.lbu(T6, S0, 9);
+  a.lbu(T7, S0, 13);
+  a.sb(T5, S0, 1);
+  a.sb(T6, S0, 5);
+  a.sb(T7, S0, 9);
+  a.sb(T4, S0, 13);
+  // Row 2: rotate left by 2.
+  a.lbu(T4, S0, 2);
+  a.lbu(T5, S0, 6);
+  a.lbu(T6, S0, 10);
+  a.lbu(T7, S0, 14);
+  a.sb(T6, S0, 2);
+  a.sb(T7, S0, 6);
+  a.sb(T4, S0, 10);
+  a.sb(T5, S0, 14);
+  // Row 3: rotate left by 3.
+  a.lbu(T4, S0, 3);
+  a.lbu(T5, S0, 7);
+  a.lbu(T6, S0, 11);
+  a.lbu(T7, S0, 15);
+  a.sb(T7, S0, 3);
+  a.sb(T4, S0, 7);
+  a.sb(T5, S0, 11);
+  a.sb(T6, S0, 15);
+}
+
+void emit_add_round_key(Assembler& a) {
+  // state ^= 16 key bytes (word-wise; XOR is byte-local).  Key ptr in S2,
+  // advanced by the caller.
+  for (int w = 0; w < 4; ++w) {
+    a.lw(T4, S0, 4 * w);
+    a.lw(T5, S2, 4 * w);
+    a.xor_(T4, T4, T5);
+    a.sw(T4, S0, 4 * w);
+  }
+}
+
+// GF(2^8) multiply helper called by the baseline MixColumns — the
+// portable-C structure the paper's Table 1 AES baseline represents (1526
+// cycles/byte on their core): a generic gf_mul routine instead of inlined
+// xtime networks.  Clobbers T0..T4 and A0/A1 only.
+void emit_gf_mul(Assembler& a) {
+  a.func("gf_mul");
+  a.mv(T0, Z);  // accumulator
+  a.label("loop");
+  a.beq(A1, Z, "done");
+  a.andi(T2, A1, 1);
+  a.beq(T2, Z, "skip");
+  a.xor_(T0, T0, A0);
+  a.label("skip");
+  // a = xtime(a)
+  a.slli(A0, A0, 1);
+  a.srli(T3, A0, 8);
+  a.andi(T3, T3, 1);
+  a.li(T4, 0x1b);
+  a.mul(T4, T3, T4);
+  a.andi(A0, A0, 0xff);
+  a.xor_(A0, A0, T4);
+  a.srli(A1, A1, 1);
+  a.j("loop");
+  a.label("done");
+  a.mv(A0, T0);
+  a.ret();
+}
+
+// MixColumns through gf_mul calls; state at S0.  Column bytes live in
+// T10..T13 (preserved across gf_mul), outputs accumulate in T5..T8.
+void emit_mix_columns_calls(Assembler& a) {
+  for (int c = 0; c < 4; ++c) {
+    const int o = 4 * c;
+    a.lbu(T10, S0, o + 0);
+    a.lbu(T11, S0, o + 1);
+    a.lbu(T12, S0, o + 2);
+    a.lbu(T13, S0, o + 3);
+    const std::uint8_t in[4] = {T10, T11, T12, T13};
+    const std::uint8_t out[4] = {T5, T6, T7, T8};
+    // Row r of the MixColumns matrix: coefficient 2 at column r, 3 at r+1,
+    // 1 elsewhere.
+    for (int r = 0; r < 4; ++r) {
+      a.mv(A0, in[r]);
+      a.li(A1, 2);
+      a.call("gf_mul");
+      a.mv(out[r], A0);
+      a.mv(A0, in[(r + 1) % 4]);
+      a.li(A1, 3);
+      a.call("gf_mul");
+      a.xor_(out[r], out[r], A0);
+      a.xor_(out[r], out[r], in[(r + 2) % 4]);
+      a.xor_(out[r], out[r], in[(r + 3) % 4]);
+    }
+    a.sb(T5, S0, o + 0);
+    a.sb(T6, S0, o + 1);
+    a.sb(T7, S0, o + 2);
+    a.sb(T8, S0, o + 3);
+  }
+}
+
+void emit_aes_block_base(Assembler& a) {
+  a.data_align(4);
+  a.data_symbol("aes_sbox");
+  const auto& sb = aes::sbox();
+  const std::uint32_t sbox_addr =
+      a.data_bytes(std::vector<std::uint8_t>(sb.begin(), sb.end()));
+  a.data_align(4);
+  a.data_symbol("aes_state");
+  const std::uint32_t state_addr = a.data_zero(16);
+
+  emit_gf_mul(a);
+
+  a.func("aes_block");  // (in, out, round_keys, nrounds)
+  a.prologue({S0, S1, S2, S3});
+  a.li(S0, state_addr);
+  a.li(S1, sbox_addr);
+  a.mv(S2, A2);  // key byte pointer
+  // Copy input block into the state buffer.
+  for (int w = 0; w < 4; ++w) {
+    a.lw(T0, A0, 4 * w);
+    a.sw(T0, S0, 4 * w);
+  }
+  a.mv(T9, A1);       // preserve the output pointer in a stack slot
+  a.addi(SP, SP, -4);
+  a.sw(T9, SP, 0);
+  emit_add_round_key(a);  // round 0
+  a.addi(S2, S2, 16);
+  a.addi(S3, A3, -1);  // main rounds (final round handled separately)
+  a.label("round");
+  emit_sub_bytes_loop(a, "sub");
+  emit_shift_rows(a);
+  emit_mix_columns_calls(a);
+  emit_add_round_key(a);
+  a.addi(S2, S2, 16);
+  a.addi(S3, S3, -1);
+  a.bne(S3, Z, "round");
+  // Final round: no MixColumns.
+  emit_sub_bytes_loop(a, "fsub");
+  emit_shift_rows(a);
+  emit_add_round_key(a);
+  a.lw(T9, SP, 0);
+  a.addi(SP, SP, 4);
+  for (int w = 0; w < 4; ++w) {
+    a.lw(T0, S0, 4 * w);
+    a.sw(T0, T9, 4 * w);
+  }
+  a.epilogue({S0, S1, S2, S3});
+}
+
+// --- TIE-partial variant: aes_sbox4 + aes_mixcol, state in registers -------
+
+void emit_aes_block_tie_partial(Assembler& a) {
+  using namespace wsp::tie;
+  a.func("aes_block");
+  // Masks.
+  a.li(T7, 0xff000000u);
+  a.li(T8, 0x00ff0000u);
+  a.li(T9, 0x0000ff00u);
+  // Load big-endian state words and apply round key 0.
+  a.lw(T11, A0, 0);
+  a.lw(T12, A0, 4);
+  a.lw(T13, A0, 8);
+  a.lw(T14, A0, 12);
+  for (int w = 0; w < 4; ++w) {
+    a.lw(T0, A2, 4 * w);
+    const std::uint8_t s = static_cast<std::uint8_t>(T11 + w);
+    a.xor_(s, s, T0);
+  }
+  a.addi(A2, A2, 16);
+  a.addi(A3, A3, -1);  // main rounds
+
+  // Emits one output column: gathers the ShiftRows bytes of column j,
+  // SubBytes via aes_sbox4, optionally MixColumns, XORs the round key word.
+  const std::uint8_t state[4] = {T11, T12, T13, T14};
+  const std::uint8_t outreg[4] = {A4, A5, A6, A7};
+  auto emit_col = [&](int j, bool mix) {
+    a.and_(T0, state[j % 4], T7);
+    a.and_(T1, state[(j + 1) % 4], T8);
+    a.or_(T0, T0, T1);
+    a.and_(T1, state[(j + 2) % 4], T9);
+    a.or_(T0, T0, T1);
+    a.andi(T1, state[(j + 3) % 4], 0xff);
+    a.or_(T0, T0, T1);
+    a.custom(kAesSbox4, T0, T0, 0);
+    if (mix) a.custom(kAesMixCol, T0, T0, 0);
+    a.lw(T1, A2, 4 * j);
+    a.xor_(outreg[j], T0, T1);
+  };
+
+  a.label("round");
+  for (int j = 0; j < 4; ++j) emit_col(j, true);
+  a.mv(T11, A4);
+  a.mv(T12, A5);
+  a.mv(T13, A6);
+  a.mv(T14, A7);
+  a.addi(A2, A2, 16);
+  a.addi(A3, A3, -1);
+  a.bne(A3, Z, "round");
+  // Final round (no MixColumns).
+  for (int j = 0; j < 4; ++j) emit_col(j, false);
+  a.sw(A4, A1, 0);
+  a.sw(A5, A1, 4);
+  a.sw(A6, A1, 8);
+  a.sw(A7, A1, 12);
+  a.ret();
+}
+
+// --- TIE-full variant: whole rounds in hardware, UR-resident state --------
+
+void emit_aes_block_tie_full(Assembler& a) {
+  using namespace wsp::tie;
+  a.func("aes_block");  // (in, out, round_keys, nrounds)
+  a.custom(kAesLdState, 0, A0, A2);  // load + AddRoundKey(round 0)
+  a.addi(T0, A2, 16);
+  a.addi(T1, A3, -1);  // main rounds
+  a.label("round");
+  a.custom(kAesRound, 0, T0, 0);
+  a.addi(T0, T0, 16);
+  a.addi(T1, T1, -1);
+  a.bne(T1, Z, "round");
+  a.custom(kAesFinal, 0, T0, 0);
+  a.custom(kAesStState, 0, A1, 0);
+  a.ret();
+}
+
+}  // namespace
+
+void emit_aes_kernels(Assembler& a, AesKernelVariant variant) {
+  switch (variant) {
+    case AesKernelVariant::kBase: emit_aes_block_base(a); break;
+    case AesKernelVariant::kTiePartial: emit_aes_block_tie_partial(a); break;
+    case AesKernelVariant::kTieFull: emit_aes_block_tie_full(a); break;
+  }
+
+  // ---- aes_ecb(in, out, nblocks, keys, nrounds) ----------------------------
+  a.func("aes_ecb");
+  a.prologue({S0, S1, S2, S3, S4});
+  a.mv(S0, A0);
+  a.mv(S1, A1);
+  a.mv(S2, A2);
+  a.mv(S3, A3);
+  a.mv(S4, A4);
+  a.label("loop");
+  a.beq(S2, Z, "done");
+  a.mv(A0, S0);
+  a.mv(A1, S1);
+  a.mv(A2, S3);
+  a.mv(A3, S4);
+  a.call("aes_block");
+  a.addi(S0, S0, 16);
+  a.addi(S1, S1, 16);
+  a.addi(S2, S2, -1);
+  a.j("loop");
+  a.label("done");
+  a.epilogue({S0, S1, S2, S3, S4});
+}
+
+AesKernel::AesKernel(Machine& m, AesKernelVariant variant)
+    : m_(m), variant_(variant) {
+  io_in_ = m_.alloc(16, 16);
+  io_out_ = m_.alloc(16, 16);
+}
+
+namespace {
+std::uint32_t be32(const std::uint8_t* p) {
+  return (static_cast<std::uint32_t>(p[0]) << 24) |
+         (static_cast<std::uint32_t>(p[1]) << 16) |
+         (static_cast<std::uint32_t>(p[2]) << 8) | p[3];
+}
+std::uint32_t byteswap(std::uint32_t v) {
+  return (v >> 24) | ((v >> 8) & 0xff00u) | ((v << 8) & 0xff0000u) | (v << 24);
+}
+}  // namespace
+
+void AesKernel::set_key(const std::vector<std::uint8_t>& key) {
+  const auto ks = aes::key_schedule(key);  // validates 16/24/32-byte keys
+  rounds_ = static_cast<std::uint32_t>(ks.rounds);
+  std::vector<std::uint32_t> words;
+  words.reserve(ks.round_keys.size());
+  for (std::uint32_t rk : ks.round_keys) {
+    // Base variant addresses the key bytes in state order (byte i of word c
+    // at offset 4c+i), which in little-endian memory is the byteswapped
+    // word; the TIE variants load the big-endian word value directly.
+    words.push_back(variant_ == AesKernelVariant::kBase ? byteswap(rk) : rk);
+  }
+  key_addr_ = m_.alloc_words(words);
+}
+
+std::vector<std::uint8_t> AesKernel::encrypt_block(
+    const std::vector<std::uint8_t>& block, std::uint64_t* cycles) {
+  if (block.size() != 16) throw std::invalid_argument("AesKernel: bad block");
+  if (variant_ == AesKernelVariant::kBase) {
+    m_.write_bytes(io_in_, block);
+  } else {
+    for (int w = 0; w < 4; ++w) {
+      m_.write_u32(io_in_ + 4 * static_cast<std::uint32_t>(w), be32(block.data() + 4 * w));
+    }
+  }
+  const auto res = m_.call("aes_block", {io_in_, io_out_, key_addr_, rounds_});
+  if (cycles) *cycles += res.cycles;
+  if (variant_ == AesKernelVariant::kBase) {
+    return m_.read_bytes(io_out_, 16);
+  }
+  std::vector<std::uint8_t> out(16);
+  for (int w = 0; w < 4; ++w) {
+    const std::uint32_t v = m_.read_u32(io_out_ + 4 * static_cast<std::uint32_t>(w));
+    out[static_cast<std::size_t>(4 * w)] = static_cast<std::uint8_t>(v >> 24);
+    out[static_cast<std::size_t>(4 * w + 1)] = static_cast<std::uint8_t>(v >> 16);
+    out[static_cast<std::size_t>(4 * w + 2)] = static_cast<std::uint8_t>(v >> 8);
+    out[static_cast<std::size_t>(4 * w + 3)] = static_cast<std::uint8_t>(v);
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> AesKernel::encrypt_ecb(
+    const std::vector<std::uint8_t>& data, std::uint64_t* cycles) {
+  if (data.size() % 16 != 0) throw std::invalid_argument("AesKernel: bad length");
+  const std::uint32_t nblocks = static_cast<std::uint32_t>(data.size() / 16);
+  const std::uint32_t pin = m_.alloc(data.size(), 16);
+  const std::uint32_t pout = m_.alloc(data.size(), 16);
+  if (variant_ == AesKernelVariant::kBase) {
+    m_.write_bytes(pin, data);
+  } else {
+    for (std::size_t w = 0; w < data.size() / 4; ++w) {
+      m_.write_u32(pin + static_cast<std::uint32_t>(4 * w), be32(data.data() + 4 * w));
+    }
+  }
+  const auto res = m_.call("aes_ecb", {pin, pout, nblocks, key_addr_, rounds_});
+  if (cycles) *cycles += res.cycles;
+  if (variant_ == AesKernelVariant::kBase) {
+    return m_.read_bytes(pout, data.size());
+  }
+  std::vector<std::uint8_t> out(data.size());
+  for (std::size_t w = 0; w < data.size() / 4; ++w) {
+    const std::uint32_t v = m_.read_u32(pout + static_cast<std::uint32_t>(4 * w));
+    out[4 * w] = static_cast<std::uint8_t>(v >> 24);
+    out[4 * w + 1] = static_cast<std::uint8_t>(v >> 16);
+    out[4 * w + 2] = static_cast<std::uint8_t>(v >> 8);
+    out[4 * w + 3] = static_cast<std::uint8_t>(v);
+  }
+  return out;
+}
+
+Machine make_aes_machine(AesKernelVariant variant, sim::CpuConfig config) {
+  Assembler a;
+  emit_aes_kernels(a, variant);
+  sim::CustomSet customs;
+  switch (variant) {
+    case AesKernelVariant::kBase:
+      break;
+    case AesKernelVariant::kTiePartial:
+      customs = tie::custom_set_for({"aes_sbox4", "aes_mixcol"});
+      break;
+    case AesKernelVariant::kTieFull:
+      customs = tie::custom_set_for(
+          {"aes_ld_state", "aes_st_state", "aes_round", "aes_final"});
+      break;
+  }
+  return Machine(a.finish(), config, std::move(customs));
+}
+
+}  // namespace wsp::kernels

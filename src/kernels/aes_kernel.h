@@ -1,0 +1,53 @@
+// AES-128 on the simulated core, in three hardware configurations:
+//
+//   kBase       — byte-oriented software rounds (SubBytes via table loads,
+//                 ShiftRows byte moves, MixColumns xtime networks): the
+//                 Table 1 baseline structure;
+//   kTiePartial — aes_sbox4 + aes_mixcol custom units, round control and
+//                 ShiftRows assembly in software (the configuration the
+//                 area-constrained global selection picks);
+//   kTieFull    — full aes_round / aes_final units with UR-resident state
+//                 (a large-area candidate; used in ablations).
+//
+// All three expose aes_block / aes_ecb (round count passed at runtime, so
+// AES-128/192/256 all run) and are validated against the host AES
+// implementation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "kernels/runtime.h"
+#include "xasm/program.h"
+
+namespace wsp::kernels {
+
+enum class AesKernelVariant { kBase, kTiePartial, kTieFull };
+
+void emit_aes_kernels(xasm::Assembler& a, AesKernelVariant variant);
+
+class AesKernel {
+ public:
+  AesKernel(Machine& m, AesKernelVariant variant);
+
+  /// Installs a 16/24/32-byte key (host-side key schedule, marshalled per
+  /// variant; the round count travels with it).
+  void set_key(const std::vector<std::uint8_t>& key);
+
+  /// Single-block / multi-block ECB encryption on the ISS.
+  std::vector<std::uint8_t> encrypt_block(const std::vector<std::uint8_t>& block,
+                                          std::uint64_t* cycles = nullptr);
+  std::vector<std::uint8_t> encrypt_ecb(const std::vector<std::uint8_t>& data,
+                                        std::uint64_t* cycles = nullptr);
+
+ private:
+  Machine& m_;
+  AesKernelVariant variant_;
+  std::uint32_t key_addr_ = 0;
+  std::uint32_t rounds_ = 10;
+  std::uint32_t io_in_ = 0, io_out_ = 0;
+};
+
+Machine make_aes_machine(AesKernelVariant variant, sim::CpuConfig config = {});
+
+}  // namespace wsp::kernels

@@ -1,0 +1,346 @@
+#include "kernels/des_kernel.h"
+
+#include <array>
+#include <stdexcept>
+
+#include "crypto/des.h"
+#include "kernels/regs.h"
+#include "tie/candidates.h"
+#include "tie/ids.h"
+
+namespace wsp::kernels {
+
+using xasm::Assembler;
+
+namespace {
+
+// FIPS tables as data bytes for the software permutation loop (1-based bit
+// positions, MSB-first, identical to the host implementation's tables).
+std::vector<std::uint8_t> ip_table_bytes() {
+  static const int kIP[64] = {
+      58, 50, 42, 34, 26, 18, 10, 2, 60, 52, 44, 36, 28, 20, 12, 4,
+      62, 54, 46, 38, 30, 22, 14, 6, 64, 56, 48, 40, 32, 24, 16, 8,
+      57, 49, 41, 33, 25, 17, 9,  1, 59, 51, 43, 35, 27, 19, 11, 3,
+      61, 53, 45, 37, 29, 21, 13, 5, 63, 55, 47, 39, 31, 23, 15, 7};
+  return std::vector<std::uint8_t>(kIP, kIP + 64);
+}
+
+std::vector<std::uint8_t> fp_table_bytes() {
+  static const int kFP[64] = {
+      40, 8, 48, 16, 56, 24, 64, 32, 39, 7, 47, 15, 55, 23, 63, 31,
+      38, 6, 46, 14, 54, 22, 62, 30, 37, 5, 45, 13, 53, 21, 61, 29,
+      36, 4, 44, 12, 52, 20, 60, 28, 35, 3, 43, 11, 51, 19, 59, 27,
+      34, 2, 42, 10, 50, 18, 58, 26, 33, 1, 41, 9,  49, 17, 57, 25};
+  return std::vector<std::uint8_t>(kFP, kFP + 64);
+}
+
+// Software 64-bit permutation: (a0:a1) permuted by the byte table at a2,
+// result in (a0:a1).  Bit positions in the table are 1-based from the MSB.
+void emit_perm64(Assembler& a) {
+  a.func("perm64");
+  a.mv(T0, Z);   // out hi
+  a.mv(T1, Z);   // out lo
+  a.mv(T2, Z);   // i
+  a.label("loop");
+  a.add(T3, A2, T2);
+  a.lbu(T4, T3, 0);  // src position 1..64
+  a.li(T5, 32);
+  a.bltu(T5, T4, "lowhalf");
+  a.sub(T6, T5, T4);  // 32 - src
+  a.srl(T7, A0, T6);
+  a.j("havebit");
+  a.label("lowhalf");
+  a.li(T6, 64);
+  a.sub(T6, T6, T4);
+  a.srl(T7, A1, T6);
+  a.label("havebit");
+  a.andi(T7, T7, 1);
+  a.slli(T0, T0, 1);
+  a.srli(T8, T1, 31);
+  a.or_(T0, T0, T8);
+  a.slli(T1, T1, 1);
+  a.or_(T1, T1, T7);
+  a.addi(T2, T2, 1);
+  a.li(T9, 64);
+  a.bne(T2, T9, "loop");
+  a.mv(A0, T0);
+  a.mv(A1, T1);
+  a.ret();
+}
+
+// The base-ISA des_block: rotate-based E expansion, 6-bit subkey chunks,
+// SP-table lookups, software IP/FP.
+void emit_des_block_base(Assembler& a, std::uint32_t sp_addr,
+                         std::uint32_t ip_addr, std::uint32_t fp_addr) {
+  a.func("des_block");
+  a.prologue({S0, S1, S2, S3, S4});
+  a.mv(S0, A0);  // in
+  a.mv(S1, A1);  // out
+  a.mv(S2, A2);  // key chunks (16 rounds x 8 bytes)
+  a.lw(A0, S0, 0);
+  a.lw(A1, S0, 4);
+  a.li(A2, ip_addr);
+  a.call("perm64");
+  a.mv(S3, A0);  // L
+  a.mv(S4, A1);  // R
+  a.mv(T10, S2);  // key pointer
+  a.li(T11, 16);  // round counter
+  a.li(T13, sp_addr);
+  a.label("round");
+  a.mv(T12, Z);  // F accumulator
+  for (int i = 0; i < 8; ++i) {
+    const int rot = (4 * i + 5) % 32;
+    a.slli(T0, S4, rot);
+    a.srli(T1, S4, 32 - rot);
+    a.or_(T0, T0, T1);
+    a.andi(T0, T0, 0x3f);
+    a.lbu(T1, T10, i);
+    a.xor_(T0, T0, T1);
+    a.slli(T0, T0, 2);
+    a.addi(T0, T0, i * 256);
+    a.add(T0, T0, T13);
+    a.lw(T1, T0, 0);
+    a.xor_(T12, T12, T1);
+  }
+  a.xor_(T0, S3, T12);  // newR = L ^ F(R)
+  a.mv(S3, S4);
+  a.mv(S4, T0);
+  a.addi(T10, T10, 8);
+  a.addi(T11, T11, -1);
+  a.bne(T11, Z, "round");
+  // Pre-output is (R16, L16).
+  a.mv(A0, S4);
+  a.mv(A1, S3);
+  a.li(A2, fp_addr);
+  a.call("perm64");
+  a.sw(A0, S1, 0);
+  a.sw(A1, S1, 4);
+  a.epilogue({S0, S1, S2, S3, S4});
+}
+
+// The TIE des_block: one des_round custom instruction per round plus the
+// hardwired IP/FP permutation units.
+void emit_des_block_tie(Assembler& a) {
+  using namespace wsp::tie;
+  a.func("des_block");
+  a.lw(T1, A0, 0);  // hi
+  a.lw(T2, A0, 4);  // lo
+  a.custom(kDesIpHi, T3, T1, T2);  // L
+  a.custom(kDesIpLo, T4, T1, T2);  // R
+  a.mv(T5, A2);                    // subkey pointer (2 words per round)
+  for (int round = 0; round < 16; ++round) {
+    a.custom(kDesRound, T6, T4, T5);
+    a.xor_(T6, T3, T6);
+    a.mv(T3, T4);
+    a.mv(T4, T6);
+    a.addi(T5, T5, 8);
+  }
+  a.custom(kDesFpHi, T7, T4, T3);
+  a.custom(kDesFpLo, T8, T4, T3);
+  a.sw(T7, A1, 0);
+  a.sw(T8, A1, 4);
+  a.ret();
+}
+
+}  // namespace
+
+void emit_des_kernels(Assembler& a, bool tie) {
+  if (tie) {
+    emit_des_block_tie(a);
+  } else {
+    // Data: SP tables (8 x 64 words), IP/FP tables (64 bytes each).
+    a.data_align(4);
+    a.data_symbol("des_sp");
+    std::vector<std::uint32_t> sp;
+    sp.reserve(8 * 64);
+    for (int box = 0; box < 8; ++box) {
+      const auto& t = des::sp_table(box);
+      sp.insert(sp.end(), t.begin(), t.end());
+    }
+    const std::uint32_t sp_addr = a.data_words(sp);
+    a.data_symbol("des_ip_tbl");
+    const std::uint32_t ip_addr = a.data_bytes(ip_table_bytes());
+    a.data_symbol("des_fp_tbl");
+    const std::uint32_t fp_addr = a.data_bytes(fp_table_bytes());
+    emit_perm64(a);
+    emit_des_block_base(a, sp_addr, ip_addr, fp_addr);
+  }
+
+  // ---- des_ecb(in, out, nblocks, keys) -------------------------------------
+  a.func("des_ecb");
+  a.prologue({S0, S1, S2, S3});
+  a.mv(S0, A0);
+  a.mv(S1, A1);
+  a.mv(S2, A2);
+  a.mv(S3, A3);
+  a.label("loop");
+  a.beq(S2, Z, "done");
+  a.mv(A0, S0);
+  a.mv(A1, S1);
+  a.mv(A2, S3);
+  a.call("des_block");
+  a.addi(S0, S0, 8);
+  a.addi(S1, S1, 8);
+  a.addi(S2, S2, -1);
+  a.j("loop");
+  a.label("done");
+  a.epilogue({S0, S1, S2, S3});
+
+  // ---- des3_ecb(in, out, nblocks, k1, k2, k3) -------------------------------
+  a.data_align(4);
+  a.data_symbol("des3_tmp1");
+  const std::uint32_t tmp1 = a.data_zero(8);
+  a.data_symbol("des3_tmp2");
+  const std::uint32_t tmp2 = a.data_zero(8);
+  a.func("des3_ecb");
+  a.prologue({S0, S1, S2, S3, S4, S5});
+  a.mv(S0, A0);
+  a.mv(S1, A1);
+  a.mv(S2, A2);
+  a.mv(S3, A3);
+  a.mv(S4, A4);
+  a.mv(S5, A5);
+  a.label("loop");
+  a.beq(S2, Z, "done");
+  a.mv(A0, S0);
+  a.li(A1, tmp1);
+  a.mv(A2, S3);
+  a.call("des_block");
+  a.li(A0, tmp1);
+  a.li(A1, tmp2);
+  a.mv(A2, S4);
+  a.call("des_block");
+  a.li(A0, tmp2);
+  a.mv(A1, S1);
+  a.mv(A2, S5);
+  a.call("des_block");
+  a.addi(S0, S0, 8);
+  a.addi(S1, S1, 8);
+  a.addi(S2, S2, -1);
+  a.j("loop");
+  a.label("done");
+  a.epilogue({S0, S1, S2, S3, S4, S5});
+}
+
+DesKernel::DesKernel(Machine& m, bool tie) : m_(m), tie_(tie) {
+  io_in_ = m_.alloc(8, 8);
+  io_out_ = m_.alloc(8, 8);
+}
+
+std::uint32_t DesKernel::marshal_schedule(const std::array<std::uint64_t, 16>& k48,
+                                          bool reversed) {
+  std::vector<std::uint32_t> words;
+  if (tie_) {
+    // Two words per round: high 24 bits, low 24 bits.
+    for (int r = 0; r < 16; ++r) {
+      const std::uint64_t k = k48[static_cast<std::size_t>(reversed ? 15 - r : r)];
+      words.push_back(static_cast<std::uint32_t>(k >> 24));
+      words.push_back(static_cast<std::uint32_t>(k & 0xffffff));
+    }
+  } else {
+    // Eight 6-bit chunk bytes per round, packed little-endian into words.
+    std::vector<std::uint8_t> bytes;
+    for (int r = 0; r < 16; ++r) {
+      const std::uint64_t k = k48[static_cast<std::size_t>(reversed ? 15 - r : r)];
+      for (int j = 0; j < 8; ++j) {
+        bytes.push_back(static_cast<std::uint8_t>((k >> (42 - 6 * j)) & 0x3f));
+      }
+    }
+    for (std::size_t i = 0; i < bytes.size(); i += 4) {
+      words.push_back(static_cast<std::uint32_t>(bytes[i]) |
+                      (static_cast<std::uint32_t>(bytes[i + 1]) << 8) |
+                      (static_cast<std::uint32_t>(bytes[i + 2]) << 16) |
+                      (static_cast<std::uint32_t>(bytes[i + 3]) << 24));
+    }
+  }
+  return m_.alloc_words(words);
+}
+
+void DesKernel::set_key(std::uint64_t key) {
+  const auto ks = des::key_schedule(key);
+  key_enc_ = marshal_schedule(ks.k48, false);
+  key_dec_ = marshal_schedule(ks.k48, true);
+}
+
+void DesKernel::set_3des_keys(std::uint64_t k1, std::uint64_t k2, std::uint64_t k3) {
+  const auto ks = des::triple_key_schedule(k1, k2, k3);
+  k3_[0] = marshal_schedule(ks.k1.k48, false);
+  k3_[1] = marshal_schedule(ks.k2.k48, true);  // EDE middle stage decrypts
+  k3_[2] = marshal_schedule(ks.k3.k48, false);
+}
+
+namespace {
+void write_block(Machine& m, std::uint32_t addr, std::uint64_t block) {
+  m.write_u32(addr, static_cast<std::uint32_t>(block >> 32));
+  m.write_u32(addr + 4, static_cast<std::uint32_t>(block));
+}
+std::uint64_t read_block(const Machine& m, std::uint32_t addr) {
+  return (static_cast<std::uint64_t>(m.read_u32(addr)) << 32) | m.read_u32(addr + 4);
+}
+}  // namespace
+
+std::uint64_t DesKernel::encrypt_block(std::uint64_t block, std::uint64_t* cycles) {
+  write_block(m_, io_in_, block);
+  const auto res = m_.call("des_block", {io_in_, io_out_, key_enc_});
+  if (cycles) *cycles += res.cycles;
+  return read_block(m_, io_out_);
+}
+
+std::uint64_t DesKernel::decrypt_block(std::uint64_t block, std::uint64_t* cycles) {
+  write_block(m_, io_in_, block);
+  const auto res = m_.call("des_block", {io_in_, io_out_, key_dec_});
+  if (cycles) *cycles += res.cycles;
+  return read_block(m_, io_out_);
+}
+
+std::vector<std::uint8_t> DesKernel::encrypt_ecb(const std::vector<std::uint8_t>& data,
+                                                 std::uint64_t* cycles) {
+  if (data.size() % 8 != 0) throw std::invalid_argument("DesKernel: bad length");
+  // DES blocks are big-endian byte streams; the kernel operates on (hi, lo)
+  // word pairs, so marshal through the host conversion.
+  const std::uint32_t nblocks = static_cast<std::uint32_t>(data.size() / 8);
+  const std::uint32_t pin = m_.alloc(data.size(), 8);
+  const std::uint32_t pout = m_.alloc(data.size(), 8);
+  for (std::uint32_t b = 0; b < nblocks; ++b) {
+    write_block(m_, pin + 8 * b, des::load_be64(data.data() + 8 * b));
+  }
+  const auto res = m_.call("des_ecb", {pin, pout, nblocks, key_enc_});
+  if (cycles) *cycles += res.cycles;
+  std::vector<std::uint8_t> out(data.size());
+  for (std::uint32_t b = 0; b < nblocks; ++b) {
+    des::store_be64(read_block(m_, pout + 8 * b), out.data() + 8 * b);
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> DesKernel::encrypt_ecb_3des(
+    const std::vector<std::uint8_t>& data, std::uint64_t* cycles) {
+  if (data.size() % 8 != 0) throw std::invalid_argument("DesKernel: bad length");
+  const std::uint32_t nblocks = static_cast<std::uint32_t>(data.size() / 8);
+  const std::uint32_t pin = m_.alloc(data.size(), 8);
+  const std::uint32_t pout = m_.alloc(data.size(), 8);
+  for (std::uint32_t b = 0; b < nblocks; ++b) {
+    write_block(m_, pin + 8 * b, des::load_be64(data.data() + 8 * b));
+  }
+  const auto res =
+      m_.call("des3_ecb", {pin, pout, nblocks, k3_[0], k3_[1], k3_[2]});
+  if (cycles) *cycles += res.cycles;
+  std::vector<std::uint8_t> out(data.size());
+  for (std::uint32_t b = 0; b < nblocks; ++b) {
+    des::store_be64(read_block(m_, pout + 8 * b), out.data() + 8 * b);
+  }
+  return out;
+}
+
+Machine make_des_machine(bool tie, sim::CpuConfig config) {
+  Assembler a;
+  emit_des_kernels(a, tie);
+  sim::CustomSet customs;
+  if (tie) {
+    customs = tie::custom_set_for(
+        {"des_round", "des_ip_hi", "des_ip_lo", "des_fp_hi", "des_fp_lo"});
+  }
+  return Machine(a.finish(), config, std::move(customs));
+}
+
+}  // namespace wsp::kernels

@@ -1,0 +1,61 @@
+// DES / 3DES on the simulated core.
+//
+// Base form: the classic well-optimized software structure (combined S-box+P
+// lookup tables, rotate-based E expansion, bit-loop IP/FP) — the paper's
+// Table 1 baseline.  TIE form: des_round + des_ip/des_fp custom units.
+// Both forms expose identical function names (des_block, des_ecb, des3_ecb),
+// and both are validated against the host DES implementation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "kernels/runtime.h"
+#include "xasm/program.h"
+
+namespace wsp::kernels {
+
+/// Emits des_block / des_ecb / des3_ecb (+ the perm64 helper and lookup
+/// tables in the base form).  Requires the mpn kernels' assembler to be
+/// fresh or compatible; functions are self-contained.
+void emit_des_kernels(xasm::Assembler& a, bool tie);
+
+/// Host-side driver bound to one Machine whose program contains the DES
+/// kernels emitted with the matching `tie` flag.
+class DesKernel {
+ public:
+  DesKernel(Machine& m, bool tie);
+
+  /// Installs a single-DES key (schedules on the host, marshals the layout
+  /// the kernel variant expects).
+  void set_key(std::uint64_t key);
+  /// Installs 3DES EDE keys (middle stage uses the reversed schedule).
+  void set_3des_keys(std::uint64_t k1, std::uint64_t k2, std::uint64_t k3);
+
+  /// Single-block encrypt/decrypt on the ISS; cycles added to *cycles.
+  std::uint64_t encrypt_block(std::uint64_t block, std::uint64_t* cycles = nullptr);
+  std::uint64_t decrypt_block(std::uint64_t block, std::uint64_t* cycles = nullptr);
+
+  /// Multi-block ECB on the ISS (length multiple of 8).
+  std::vector<std::uint8_t> encrypt_ecb(const std::vector<std::uint8_t>& data,
+                                        std::uint64_t* cycles = nullptr);
+  std::vector<std::uint8_t> encrypt_ecb_3des(const std::vector<std::uint8_t>& data,
+                                             std::uint64_t* cycles = nullptr);
+
+ private:
+  std::uint32_t marshal_schedule(const std::array<std::uint64_t, 16>& k48,
+                                 bool reversed);
+
+  Machine& m_;
+  bool tie_;
+  std::uint32_t key_enc_ = 0;   // single-DES forward schedule
+  std::uint32_t key_dec_ = 0;   // single-DES reversed schedule
+  std::uint32_t k3_[3] = {0, 0, 0};  // EDE stages (fwd, rev, fwd)
+  std::uint32_t io_in_ = 0, io_out_ = 0;
+};
+
+/// Convenience: machine containing the DES kernels (and, for the TIE form,
+/// the DES custom units).
+Machine make_des_machine(bool tie, sim::CpuConfig config = {});
+
+}  // namespace wsp::kernels

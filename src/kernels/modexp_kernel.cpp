@@ -1,0 +1,729 @@
+#include "kernels/modexp_kernel.h"
+
+#include <stdexcept>
+
+#include "kernels/regs.h"
+#include "mp/barrett.h"
+#include "mp/montgomery.h"
+#include "tie/candidates.h"
+#include "tie/ids.h"
+
+namespace wsp::kernels {
+
+using xasm::Assembler;
+
+namespace {
+
+/// Largest supported operand size in limbs (4096-bit plus slack).
+constexpr std::uint32_t kMaxLimbs = 130;
+
+std::vector<std::uint32_t> to_words(const Mpz& x, std::size_t k) {
+  std::vector<std::uint32_t> out(k, 0);
+  const auto& limbs = x.limbs();
+  if (limbs.size() > k) throw std::invalid_argument("to_words: value too wide");
+  for (std::size_t i = 0; i < limbs.size(); ++i) out[i] = limbs[i];
+  return out;
+}
+
+Mpz from_words(const std::vector<std::uint32_t>& words) {
+  std::vector<std::uint8_t> le(words.size() * 4);
+  mpn::to_bytes_le(words.data(), words.size(), le.data(), le.size());
+  std::vector<std::uint8_t> be(le.rbegin(), le.rend());
+  return Mpz::from_bytes_be(be);
+}
+
+}  // namespace
+
+namespace {
+
+// Inline addmul pass for the fused mont_mul: rp in T10, ap in T11, n in
+// T12, scalar b in T13; leaves the carry limb in T0.  Labels take `prefix`.
+// Clobbers T0..T9 and advances T10/T11/T12.
+void emit_addmul_inline(Assembler& a, const std::string& prefix, int m,
+                        std::uint32_t flag_addr) {
+  using namespace wsp::tie;
+  const std::uint16_t mac = static_cast<std::uint16_t>(
+      m == 1 ? kMac1 : m == 2 ? kMac2 : m == 4 ? kMac4 : kMac8);
+  a.li(T9, flag_addr);
+  a.sw(Z, T9, 0);
+  a.custom(kUrLoad, kUrMacCarry, T9, 0, 1);
+  a.label(prefix + "vec");
+  a.slti(T8, T12, m);
+  a.bne(T8, Z, prefix + "vtail");
+  a.custom(kUrLoad, kUrA, T11, 0, m);
+  a.custom(kUrLoad, kUrB, T10, 0, m);
+  a.custom(mac, 0, T13, 0, m);
+  a.custom(kUrStore, kUrB, T10, 0, m);
+  a.addi(T10, T10, 4 * m);
+  a.addi(T11, T11, 4 * m);
+  a.addi(T12, T12, -m);
+  a.j(prefix + "vec");
+  a.label(prefix + "vtail");
+  a.custom(kUrStore, kUrMacCarry, T9, 0, 1);
+  a.lw(T0, T9, 0);
+  a.beq(T12, Z, prefix + "done");
+  a.label(prefix + "sloop");
+  a.lw(T1, T11, 0);
+  a.lw(T2, T10, 0);
+  a.mul(T3, T1, T13);
+  a.mulhu(T4, T1, T13);
+  a.add(T5, T3, T0);
+  a.sltu(T6, T5, T3);
+  a.add(T4, T4, T6);
+  a.add(T7, T5, T2);
+  a.sltu(T8, T7, T5);
+  a.add(T0, T4, T8);
+  a.sw(T7, T10, 0);
+  a.addi(T10, T10, 4);
+  a.addi(T11, T11, 4);
+  a.addi(T12, T12, -1);
+  a.bne(T12, Z, prefix + "sloop");
+  a.label(prefix + "done");
+}
+
+// Carry fixup shared by both passes: adds the carry limb in T0 into
+// P[n], P[n+1] where P is in stack slot 32 and n in S4.
+void emit_carry_fixup(Assembler& a) {
+  a.lw(T1, SP, 32);
+  a.slli(T2, S4, 2);
+  a.add(T1, T1, T2);
+  a.lw(T3, T1, 0);
+  a.add(T4, T3, T0);
+  a.sltu(T5, T4, T3);
+  a.sw(T4, T1, 0);
+  a.lw(T6, T1, 4);
+  a.add(T6, T6, T5);
+  a.sw(T6, T1, 4);
+}
+
+}  // namespace
+
+void emit_modexp_kernels(Assembler& a, const MpnTieConfig& tie) {
+  a.data_align(4);
+  a.data_symbol("mx_flag");
+  const std::uint32_t mx_flag_addr = a.data_word(0);
+  (void)mx_flag_addr;
+  a.data_align(4);
+  a.data_symbol("mx_t");
+  const std::uint32_t t_addr = a.data_zero(4 * (2 * kMaxLimbs + 2));
+  a.data_symbol("mx_prod");
+  const std::uint32_t prod_addr = a.data_zero(4 * (2 * kMaxLimbs + 1));
+  a.data_symbol("mx_q");
+  const std::uint32_t q_addr = a.data_zero(4 * (kMaxLimbs + 1));
+
+  // ---- mont_mul(rp, ap, bp, np, n, n0inv) ----------------------------------
+  // Montgomery CIOS built from mpn_addmul_1 sweeps; one limb of b per
+  // iteration, reduction interleaved.  Instead of shifting the accumulator
+  // down each iteration, the accumulator window pointer advances one limb
+  // (its dropped low limb is zero by construction of m).
+  a.func("mont_mul");
+  a.addi(SP, SP, -40);
+  a.sw(RA, SP, 0);
+  a.sw(S0, SP, 4);
+  a.sw(S1, SP, 8);
+  a.sw(S2, SP, 12);
+  a.sw(S3, SP, 16);
+  a.sw(S4, SP, 20);
+  a.sw(S5, SP, 24);
+  a.mv(S0, A0);  // rp
+  a.mv(S1, A1);  // ap
+  a.mv(S2, A2);  // bp
+  a.mv(S3, A3);  // np
+  a.mv(S4, A4);  // n
+  a.mv(S5, A5);  // n0inv
+  // t[0..2n+2) = 0
+  a.li(T0, t_addr);
+  a.slli(T1, S4, 1);
+  a.addi(T1, T1, 2);
+  a.label("zl");
+  a.beq(T1, Z, "zd");
+  a.sw(Z, T0, 0);
+  a.addi(T0, T0, 4);
+  a.addi(T1, T1, -1);
+  a.j("zl");
+  a.label("zd");
+  a.sw(Z, SP, 28);  // i = 0
+  a.li(T0, t_addr);
+  a.sw(T0, SP, 32);  // P = accumulator window pointer
+  a.label("iloop");
+  a.lw(T0, SP, 28);
+  a.bge(T0, S4, "idone");
+  a.slli(T1, T0, 2);
+  a.add(T1, T1, S2);
+  if (tie.mac_width > 0) {
+    // Fused form: inline MAC chunk loops, no call overhead.
+    a.lw(T13, T1, 0);  // b[i]
+    a.lw(T10, SP, 32);
+    a.mv(T11, S1);
+    a.mv(T12, S4);
+    emit_addmul_inline(a, "ma_", tie.mac_width, mx_flag_addr);
+    emit_carry_fixup(a);
+    a.lw(T1, SP, 32);
+    a.lw(T2, T1, 0);
+    a.mul(T13, T2, S5);  // m = P[0] * n0inv
+    a.lw(T10, SP, 32);
+    a.mv(T11, S3);
+    a.mv(T12, S4);
+    emit_addmul_inline(a, "mn_", tie.mac_width, mx_flag_addr);
+    emit_carry_fixup(a);
+  } else {
+    // Library form: the passes CALL mpn_addmul_1 (the Fig. 4 structure).
+    a.lw(A3, T1, 0);
+    a.lw(A0, SP, 32);
+    a.mv(A1, S1);
+    a.mv(A2, S4);
+    a.call("mpn_addmul_1");
+    a.mv(T0, A0);
+    emit_carry_fixup(a);
+    a.lw(T0, SP, 32);
+    a.lw(T1, T0, 0);
+    a.mul(A3, T1, S5);
+    a.lw(A0, SP, 32);
+    a.mv(A1, S3);
+    a.mv(A2, S4);
+    a.call("mpn_addmul_1");
+    a.mv(T0, A0);
+    emit_carry_fixup(a);
+  }
+  // Slide the window: P[0] is now zero, so advance by one limb.
+  a.lw(T0, SP, 32);
+  a.addi(T0, T0, 4);
+  a.sw(T0, SP, 32);
+  a.lw(T0, SP, 28);
+  a.addi(T0, T0, 1);
+  a.sw(T0, SP, 28);
+  a.j("iloop");
+  a.label("idone");
+  // Final conditional subtraction on the window P[0..n].
+  a.lw(T0, SP, 32);
+  a.slli(T1, S4, 2);
+  a.add(T1, T1, T0);
+  a.lw(T2, T1, 0);  // t[n]
+  a.bne(T2, Z, "dosub");
+  a.lw(A0, SP, 32);
+  a.mv(A1, S3);
+  a.mv(A2, S4);
+  a.call("mpn_cmp");
+  a.srli(T3, A0, 31);  // 1 iff t < np
+  a.bne(T3, Z, "docopy");
+  a.label("dosub");
+  a.mv(A0, S0);
+  a.lw(A1, SP, 32);
+  a.mv(A2, S3);
+  a.mv(A3, S4);
+  a.call("mpn_sub_n");
+  a.j("out");
+  a.label("docopy");
+  a.mv(A0, S0);
+  a.lw(A1, SP, 32);
+  a.mv(A2, S4);
+  a.call("mpn_copy");
+  a.label("out");
+  a.lw(RA, SP, 0);
+  a.lw(S0, SP, 4);
+  a.lw(S1, SP, 8);
+  a.lw(S2, SP, 12);
+  a.lw(S3, SP, 16);
+  a.lw(S4, SP, 20);
+  a.lw(S5, SP, 24);
+  a.addi(SP, SP, 40);
+  a.ret();
+
+  // ---- modmul_div(rp, ap, bp, np, n) ---------------------------------------
+  // rp = (ap * bp) mod np via schoolbook product + Knuth-D reduction.
+  // Requires np normalized (top limb MSB set).
+  a.func("modmul_div");
+  a.addi(SP, SP, -24);
+  a.sw(RA, SP, 0);
+  a.sw(S0, SP, 4);
+  a.sw(S1, SP, 8);
+  a.sw(S2, SP, 12);
+  a.sw(S3, SP, 16);
+  a.sw(S4, SP, 20);
+  a.mv(S0, A0);
+  a.mv(S1, A1);
+  a.mv(S2, A2);
+  a.mv(S3, A3);
+  a.mv(S4, A4);
+  a.li(A0, prod_addr);
+  a.mv(A1, S1);
+  a.mv(A2, S4);
+  a.mv(A3, S2);
+  a.mv(A4, S4);
+  a.call("mpn_mul");
+  // prod[2n] = 0 (the extra top limb Knuth-D expects)
+  a.slli(T0, S4, 3);
+  a.li(T1, prod_addr);
+  a.add(T0, T0, T1);
+  a.sw(Z, T0, 0);
+  a.li(A0, q_addr);
+  a.li(A1, prod_addr);
+  a.slli(A2, S4, 1);
+  a.mv(A3, S3);
+  a.mv(A4, S4);
+  a.call("mpn_divrem_norm");
+  a.mv(A0, S0);
+  a.li(A1, prod_addr);
+  a.mv(A2, S4);
+  a.call("mpn_copy");
+  a.lw(RA, SP, 0);
+  a.lw(S0, SP, 4);
+  a.lw(S1, SP, 8);
+  a.lw(S2, SP, 12);
+  a.lw(S3, SP, 16);
+  a.lw(S4, SP, 20);
+  a.addi(SP, SP, 24);
+  a.ret();
+
+  // ---- barrett_mul(rp, ap, bp, np, mup, k, mu_len) -------------------------
+  // rp = (ap * bp) mod np via Barrett reduction (HAC 14.42) with the
+  // precomputed mu at mup.  Structure mirrors Barrett<L>::mulmod so the
+  // macro-model event stream prices it correctly.
+  a.data_align(4);
+  a.data_symbol("bt_q2");
+  const std::uint32_t q2_addr = a.data_zero(4 * (2 * kMaxLimbs + 3));
+  a.data_symbol("bt_r2");
+  const std::uint32_t r2_addr = a.data_zero(4 * (2 * kMaxLimbs + 1));
+  a.data_symbol("bt_rr");
+  const std::uint32_t rr_addr = a.data_zero(4 * (kMaxLimbs + 1));
+  a.data_symbol("bt_mk");
+  const std::uint32_t mk_addr = a.data_zero(4 * (kMaxLimbs + 1));
+
+  a.func("barrett_mul");
+  a.addi(SP, SP, -32);
+  a.sw(RA, SP, 0);
+  a.sw(S0, SP, 4);
+  a.sw(S1, SP, 8);
+  a.sw(S2, SP, 12);
+  a.sw(S3, SP, 16);
+  a.sw(S4, SP, 20);
+  a.sw(S5, SP, 24);
+  a.mv(S0, A0);  // rp
+  a.mv(S1, A1);  // ap
+  a.mv(S2, A2);  // bp
+  a.mv(S3, A3);  // np
+  a.mv(S4, A5);  // k
+  a.mv(S5, A4);  // mup
+  a.sw(A6, SP, 28);  // mu_len
+  // prod = ap * bp  (2k limbs)
+  a.li(A0, prod_addr);
+  a.mv(A1, S1);
+  a.mv(A2, S4);
+  a.mv(A3, S2);
+  a.mv(A4, S4);
+  a.call("mpn_mul");
+  // zero q2 (so q3 reads beyond the product length see zeros)
+  a.li(A0, q2_addr);
+  a.slli(A1, S4, 1);
+  a.addi(A1, A1, 3);
+  a.call("mpn_zero");
+  // q2 = q1 * mu, with q1 = prod >> (k-1 limbs), length k+1
+  a.li(A0, q2_addr);
+  a.slli(T0, S4, 2);
+  a.addi(T0, T0, -4);
+  a.li(A1, prod_addr);
+  a.add(A1, A1, T0);     // &prod[k-1]
+  a.addi(A2, S4, 1);     // k+1
+  a.mv(A3, S5);
+  a.lw(A4, SP, 28);      // mu_len
+  a.call("mpn_mul");
+  // r2 = (q3 * np) low k+1 limbs, q3 = q2 >> (k+1 limbs), length k+1
+  a.li(A0, r2_addr);
+  a.slli(T0, S4, 2);
+  a.addi(T0, T0, 4);
+  a.li(A1, q2_addr);
+  a.add(A1, A1, T0);     // &q2[k+1]
+  a.addi(A2, S4, 1);
+  a.mv(A3, S3);
+  a.mv(A4, S4);
+  a.call("mpn_mul");
+  // rr = r1 - r2 over k+1 limbs (r1 = low k+1 limbs of prod)
+  a.li(A0, rr_addr);
+  a.li(A1, prod_addr);
+  a.li(A2, r2_addr);
+  a.addi(A3, S4, 1);
+  a.call("mpn_sub_n");
+  // mk = np padded to k+1 limbs
+  a.li(A0, mk_addr);
+  a.mv(A1, S3);
+  a.mv(A2, S4);
+  a.call("mpn_copy");
+  a.li(T0, mk_addr);
+  a.slli(T1, S4, 2);
+  a.add(T0, T0, T1);
+  a.sw(Z, T0, 0);
+  // while (rr >= mk) rr -= mk   (at most two iterations)
+  a.label("corr");
+  a.li(A0, rr_addr);
+  a.li(A1, mk_addr);
+  a.addi(A2, S4, 1);
+  a.call("mpn_cmp");
+  a.srli(T0, A0, 31);    // 1 iff rr < mk
+  a.bne(T0, Z, "corrdone");
+  a.li(A0, rr_addr);
+  a.li(A1, rr_addr);
+  a.li(A2, mk_addr);
+  a.addi(A3, S4, 1);
+  a.call("mpn_sub_n");
+  a.j("corr");
+  a.label("corrdone");
+  // rp = rr[0..k)
+  a.mv(A0, S0);
+  a.li(A1, rr_addr);
+  a.mv(A2, S4);
+  a.call("mpn_copy");
+  a.lw(RA, SP, 0);
+  a.lw(S0, SP, 4);
+  a.lw(S1, SP, 8);
+  a.lw(S2, SP, 12);
+  a.lw(S3, SP, 16);
+  a.lw(S4, SP, 20);
+  a.lw(S5, SP, 24);
+  a.addi(SP, SP, 32);
+  a.ret();
+
+  // ---- mont_mul_sos(rp, ap, bp, np, n, n0inv) ------------------------------
+  // Separated operand scanning: full 2n-limb product, then n Montgomery
+  // reduction sweeps with explicit carry propagation into the upper half —
+  // the structure of Mont<L>::mul_sos.
+  a.func("mont_mul_sos");
+  a.addi(SP, SP, -32);
+  a.sw(RA, SP, 0);
+  a.sw(S0, SP, 4);
+  a.sw(S1, SP, 8);
+  a.sw(S2, SP, 12);
+  a.sw(S3, SP, 16);
+  a.sw(S4, SP, 20);
+  a.sw(S5, SP, 24);
+  a.mv(S0, A0);
+  a.mv(S1, A1);
+  a.mv(S2, A2);
+  a.mv(S3, A3);
+  a.mv(S4, A4);
+  a.mv(S5, A5);
+  // prod = ap * bp; prod[2n] = 0.
+  a.li(A0, prod_addr);
+  a.mv(A1, S1);
+  a.mv(A2, S4);
+  a.mv(A3, S2);
+  a.mv(A4, S4);
+  a.call("mpn_mul");
+  a.slli(T0, S4, 3);
+  a.li(T1, prod_addr);
+  a.add(T0, T0, T1);
+  a.sw(Z, T0, 0);
+  a.sw(Z, SP, 28);  // i = 0
+  a.label("iloop");
+  a.lw(T0, SP, 28);
+  a.bge(T0, S4, "idone");
+  // m = prod[i] * n0inv
+  a.slli(T1, T0, 2);
+  a.li(T2, prod_addr);
+  a.add(T2, T2, T1);
+  a.lw(T3, T2, 0);
+  a.mul(A3, T3, S5);
+  // prod[i..i+n) += np * m
+  a.mv(A0, T2);
+  a.mv(A1, S3);
+  a.mv(A2, S4);
+  a.call("mpn_addmul_1");
+  // propagate the carry limb into prod[i+n .. 2n]
+  a.lw(T0, SP, 28);
+  a.add(T1, T0, S4);
+  a.slli(T1, T1, 2);
+  a.li(T2, prod_addr);
+  a.add(A1, T2, T1);   // &prod[i+n]
+  a.mv(T3, A0);        // carry
+  a.mv(A0, A1);
+  a.sub(A2, S4, T0);
+  a.addi(A2, A2, 1);   // n + 1 - i limbs remain above
+  a.mv(A3, T3);
+  a.call("mpn_add_1");
+  a.lw(T0, SP, 28);
+  a.addi(T0, T0, 1);
+  a.sw(T0, SP, 28);
+  a.j("iloop");
+  a.label("idone");
+  // Result is prod[n..2n) with overflow flag prod[2n].
+  a.slli(T0, S4, 3);
+  a.li(T1, prod_addr);
+  a.add(T0, T0, T1);
+  a.lw(T2, T0, 0);     // prod[2n]
+  a.slli(T3, S4, 2);
+  a.add(T3, T3, T1);   // &prod[n]
+  a.bne(T2, Z, "dosub");
+  a.mv(A0, T3);
+  a.mv(A1, S3);
+  a.mv(A2, S4);
+  a.call("mpn_cmp");
+  a.srli(T4, A0, 31);
+  a.bne(T4, Z, "docopy");
+  a.label("dosub");
+  a.mv(A0, S0);
+  a.slli(T3, S4, 2);
+  a.li(T1, prod_addr);
+  a.add(A1, T3, T1);
+  a.mv(A2, S3);
+  a.mv(A3, S4);
+  a.call("mpn_sub_n");
+  a.j("out");
+  a.label("docopy");
+  a.mv(A0, S0);
+  a.slli(T3, S4, 2);
+  a.li(T1, prod_addr);
+  a.add(A1, T3, T1);
+  a.mv(A2, S4);
+  a.call("mpn_copy");
+  a.label("out");
+  a.lw(RA, SP, 0);
+  a.lw(S0, SP, 4);
+  a.lw(S1, SP, 8);
+  a.lw(S2, SP, 12);
+  a.lw(S3, SP, 16);
+  a.lw(S4, SP, 20);
+  a.lw(S5, SP, 24);
+  a.addi(SP, SP, 32);
+  a.ret();
+}
+
+Machine make_modexp_machine(const MpnTieConfig& tie, sim::CpuConfig config) {
+  Assembler a;
+  emit_mpn_kernels(a, tie);
+  emit_modexp_kernels(a, tie);
+  std::set<std::string> names;
+  if (tie.add_width > 0) {
+    names.insert({"ur_load"});
+    names.insert({"ur_store"});
+    names.insert("add_" + std::to_string(tie.add_width));
+    names.insert("sub_" + std::to_string(tie.add_width));
+  }
+  if (tie.mac_width > 0) {
+    names.insert({"ur_load"});
+    names.insert({"ur_store"});
+    names.insert("mac_" + std::to_string(tie.mac_width));
+  }
+  return Machine(a.finish(), config, tie::custom_set_for(names));
+}
+
+IssModexpResult IssModexp::powm_base(const Mpz& base, const Mpz& exp,
+                                     const Mpz& mod) {
+  const std::size_t k = (mod.bit_length() + 31) / 32;
+  if (k == 0 || k > kMaxLimbs) throw std::invalid_argument("powm_base: bad modulus");
+  if (mod.bit_length() % 32 != 0) {
+    throw std::invalid_argument(
+        "powm_base: modulus must be normalized (top limb MSB set)");
+  }
+  if (exp.is_zero()) return {Mpz(1).mod(mod), 0};
+
+  m_.reset_heap();
+  const std::uint32_t np = m_.alloc_words(to_words(mod, k));
+  const std::uint32_t xw = m_.alloc_words(to_words(base.mod(mod), k));
+  std::uint32_t cur = m_.alloc_words(to_words(base.mod(mod), k));
+  std::uint32_t tmp = m_.alloc(4 * k);
+
+  const std::uint64_t c0 = m_.cpu().cycles();
+  const std::uint32_t kk = static_cast<std::uint32_t>(k);
+  for (std::size_t i = exp.bit_length() - 1; i-- > 0;) {
+    m_.call("modmul_div", {tmp, cur, cur, np, kk});
+    std::swap(cur, tmp);
+    if (exp.bit(i)) {
+      m_.call("modmul_div", {tmp, cur, xw, np, kk});
+      std::swap(cur, tmp);
+    }
+  }
+  const std::uint64_t cycles = m_.cpu().cycles() - c0;
+  return {from_words(m_.read_words(cur, k)), cycles};
+}
+
+IssModexpResult IssModexp::powm_mont(const Mpz& base, const Mpz& exp,
+                                     const Mpz& mod, unsigned window_bits) {
+  return powm_mont_with("mont_mul", base, exp, mod, window_bits);
+}
+
+IssModexpResult IssModexp::powm_mont_sos(const Mpz& base, const Mpz& exp,
+                                         const Mpz& mod, unsigned window_bits) {
+  return powm_mont_with("mont_mul_sos", base, exp, mod, window_bits);
+}
+
+IssModexpResult IssModexp::powm_mont_with(const char* mul_fn, const Mpz& base,
+                                          const Mpz& exp, const Mpz& mod,
+                                          unsigned window_bits) {
+  if (window_bits < 1 || window_bits > 5) {
+    throw std::invalid_argument("powm_mont: window must be 1..5");
+  }
+  if (mod.is_even() || mod.is_zero()) {
+    throw std::invalid_argument("powm_mont: modulus must be odd");
+  }
+  const std::size_t k = (mod.bit_length() + 31) / 32;
+  if (k > kMaxLimbs) throw std::invalid_argument("powm_mont: modulus too wide");
+  if (exp.is_zero()) return {Mpz(1).mod(mod), 0};
+
+  // Host-side context (the "cached constants" software-caching level).
+  Mont<std::uint32_t> ctx(to_words(mod, k));
+  m_.reset_heap();
+  const std::uint32_t kk = static_cast<std::uint32_t>(k);
+  const std::uint32_t np = m_.alloc_words(to_words(mod, k));
+  const std::uint32_t r2 = m_.alloc_words(ctx.r2());
+  std::vector<std::uint32_t> one_w(k, 0);
+  one_w[0] = 1;
+  const std::uint32_t one = m_.alloc_words(one_w);
+  const std::uint32_t xw = m_.alloc_words(to_words(base.mod(mod), k));
+  const std::size_t table_size = std::size_t{1} << window_bits;
+  std::vector<std::uint32_t> table(table_size);
+  for (auto& t : table) t = m_.alloc(4 * k);
+  std::uint32_t cur = m_.alloc(4 * k);
+  std::uint32_t tmp = m_.alloc(4 * k);
+  const std::uint32_t n0 = ctx.n0inv();
+
+  const std::uint64_t c0 = m_.cpu().cycles();
+  auto mont = [&](std::uint32_t rp, std::uint32_t ap, std::uint32_t bp) {
+    m_.call(mul_fn, {rp, ap, bp, np, kk, n0});
+  };
+  // table[i] = x^i in Montgomery form: table[1] = x*R, and each further
+  // entry multiplies by table[1] (mont(aR, bR) = abR).
+  mont(table[1], xw, r2);
+  for (std::size_t i = 2; i < table_size; ++i) {
+    mont(table[i], table[i - 1], table[1]);
+  }
+
+  const std::size_t nbits = exp.bit_length();
+  const std::size_t nblocks = (nbits + window_bits - 1) / window_bits;
+  bool started = false;
+  for (std::size_t blk = nblocks; blk-- > 0;) {
+    const std::size_t pos = blk * window_bits;
+    const unsigned width =
+        static_cast<unsigned>(std::min<std::size_t>(window_bits, nbits - pos));
+    if (started) {
+      for (unsigned s = 0; s < width; ++s) {
+        mont(tmp, cur, cur);
+        std::swap(cur, tmp);
+      }
+    }
+    const std::uint32_t val = exp.bits(pos, width);
+    if (val != 0) {
+      if (!started) {
+        m_.call("mpn_copy", {cur, table[val], kk});
+        started = true;
+      } else {
+        mont(tmp, cur, table[val]);
+        std::swap(cur, tmp);
+      }
+    }
+  }
+  mont(tmp, cur, one);  // leave the Montgomery domain
+  const std::uint64_t cycles = m_.cpu().cycles() - c0;
+  return {from_words(m_.read_words(tmp, k)), cycles};
+}
+
+IssModexpResult IssModexp::powm_barrett(const Mpz& base, const Mpz& exp,
+                                        const Mpz& mod, unsigned window_bits) {
+  if (window_bits < 1 || window_bits > 5) {
+    throw std::invalid_argument("powm_barrett: window must be 1..5");
+  }
+  if (mod.is_zero()) throw std::invalid_argument("powm_barrett: zero modulus");
+  const std::size_t k = (mod.bit_length() + 31) / 32;
+  if (k == 0 || k > kMaxLimbs) {
+    throw std::invalid_argument("powm_barrett: modulus too wide");
+  }
+  if (exp.is_zero()) return {Mpz(1).mod(mod), 0};
+
+  // Host-side context (the "cached constants" software-caching level).
+  Barrett<std::uint32_t> ctx(to_words(mod, k));
+  m_.reset_heap();
+  const std::uint32_t kk = static_cast<std::uint32_t>(k);
+  const std::uint32_t np = m_.alloc_words(to_words(mod, k));
+  const std::uint32_t mup = m_.alloc_words(ctx.mu());
+  const std::uint32_t mu_len = static_cast<std::uint32_t>(ctx.mu().size());
+  const std::uint32_t xw = m_.alloc_words(to_words(base.mod(mod), k));
+  const std::size_t table_size = std::size_t{1} << window_bits;
+  std::vector<std::uint32_t> table(table_size);
+  for (auto& t : table) t = m_.alloc(4 * k);
+  std::uint32_t cur = m_.alloc(4 * k);
+  std::uint32_t tmp = m_.alloc(4 * k);
+
+  const std::uint64_t c0 = m_.cpu().cycles();
+  auto bmul = [&](std::uint32_t rp, std::uint32_t ap, std::uint32_t bp) {
+    m_.call("barrett_mul", {rp, ap, bp, np, mup, kk, mu_len});
+  };
+  m_.call("mpn_copy", {table[1], xw, kk});
+  for (std::size_t i = 2; i < table_size; ++i) bmul(table[i], table[i - 1], xw);
+
+  const std::size_t nbits = exp.bit_length();
+  const std::size_t nblocks = (nbits + window_bits - 1) / window_bits;
+  bool started = false;
+  for (std::size_t blk = nblocks; blk-- > 0;) {
+    const std::size_t pos = blk * window_bits;
+    const unsigned width =
+        static_cast<unsigned>(std::min<std::size_t>(window_bits, nbits - pos));
+    if (started) {
+      for (unsigned s = 0; s < width; ++s) {
+        bmul(tmp, cur, cur);
+        std::swap(cur, tmp);
+      }
+    }
+    const std::uint32_t val = exp.bits(pos, width);
+    if (val != 0) {
+      if (!started) {
+        m_.call("mpn_copy", {cur, table[val], kk});
+        started = true;
+      } else {
+        bmul(tmp, cur, table[val]);
+        std::swap(cur, tmp);
+      }
+    }
+  }
+  const std::uint64_t cycles = m_.cpu().cycles() - c0;
+  return {from_words(m_.read_words(cur, k)), cycles};
+}
+
+IssModexpResult IssModexp::rsa_crt(const Mpz& c, const rsa::PrivateKey& key,
+                                   unsigned window_bits) {
+  const auto& crt = key.crt;
+  const std::uint64_t c0 = m_.cpu().cycles();
+  const IssModexpResult mp = powm_mont(c.mod(crt.p), crt.dp, crt.p, window_bits);
+  const IssModexpResult mq = powm_mont(c.mod(crt.q), crt.dq, crt.q, window_bits);
+
+  // Garner recombination with the products on the ISS:
+  //   h = qinv * (mp - mq) mod p;   m = mq + h*q.
+  const std::size_t kp = (crt.p.bit_length() + 31) / 32;
+  if (crt.p.bit_length() % 32 != 0) {
+    throw std::invalid_argument("rsa_crt: p must be limb-normalized");
+  }
+  const Mpz diff = (mp.result - mq.result).mod(crt.p);
+  m_.reset_heap();
+  const std::uint32_t kk = static_cast<std::uint32_t>(kp);
+  const std::uint32_t np = m_.alloc_words(to_words(crt.p, kp));
+  const std::uint32_t ad = m_.alloc_words(to_words(diff, kp));
+  const std::uint32_t aq = m_.alloc_words(to_words(crt.qinv_p, kp));
+  const std::uint32_t hw = m_.alloc(4 * kp);
+  m_.call("modmul_div", {hw, aq, ad, np, kk});
+  const Mpz h = from_words(m_.read_words(hw, kp));
+  const std::size_t kq = (crt.q.bit_length() + 31) / 32;
+  const std::uint32_t qa = m_.alloc_words(to_words(crt.q, kq));
+  const std::uint32_t ha = m_.alloc_words(to_words(h, kp));
+  const std::uint32_t prod = m_.alloc(4 * (kp + kq));
+  m_.call("mpn_mul", {prod, ha, kk, qa, static_cast<std::uint32_t>(kq)});
+  const Mpz hq = from_words(m_.read_words(prod, kp + kq));
+  const std::uint64_t cycles = m_.cpu().cycles() - c0;
+  return {mq.result + hq, cycles};
+}
+
+IssModexpResult IssModexp::mont_mul_once(const Mpz& a, const Mpz& b,
+                                         const Mpz& mod) {
+  const std::size_t k = (mod.bit_length() + 31) / 32;
+  Mont<std::uint32_t> ctx(to_words(mod, k));
+  m_.reset_heap();
+  const std::uint32_t kk = static_cast<std::uint32_t>(k);
+  const std::uint32_t np = m_.alloc_words(to_words(mod, k));
+  const std::uint32_t aw = m_.alloc_words(to_words(a.mod(mod), k));
+  const std::uint32_t bw = m_.alloc_words(to_words(b.mod(mod), k));
+  const std::uint32_t rw = m_.alloc(4 * k);
+  const std::uint64_t c0 = m_.cpu().cycles();
+  m_.call("mont_mul", {rw, aw, bw, np, kk, ctx.n0inv()});
+  const std::uint64_t cycles = m_.cpu().cycles() - c0;
+  // Result is a*b*R^{-1} mod n; fold the R factor out via the reference.
+  const Mpz r = from_words(m_.read_words(rw, k));
+  return {r, cycles};
+}
+
+}  // namespace wsp::kernels

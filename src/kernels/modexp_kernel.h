@@ -1,0 +1,88 @@
+// Modular exponentiation on the simulated core.
+//
+// The modular-multiplication kernels (Montgomery CIOS `mont_mul`, and the
+// division-reduction `modmul_div`) run entirely on the ISS, built from
+// CALLs to the mpn routines — so the profiler sees the same weighted call
+// graph the paper's Fig. 4 shows, and custom instructions installed for the
+// mpn leaves accelerate them transparently.
+//
+// The exponentiation *sequence* (square/multiply schedule, window table
+// management) is driven from the host with all operands resident in
+// simulator memory; its control overhead on a real core is a negligible
+// fraction of a 1024-bit exponentiation and is excluded from the cycle
+// counts (documented in DESIGN.md).
+#pragma once
+
+#include <cstdint>
+
+#include "crypto/rsa.h"
+#include "kernels/mpn_kernels.h"
+#include "kernels/runtime.h"
+#include "mp/mpz.h"
+
+namespace wsp::kernels {
+
+/// Emits mont_mul / modmul_div (requires the mpn kernels in the same
+/// program).  With a MAC-equipped TIE config, mont_mul is emitted in fused
+/// form: the multiply-accumulate chunk loops are inlined instead of calling
+/// mpn_addmul_1 (the structure an optimizing build produces once the MAC
+/// units exist).
+void emit_modexp_kernels(xasm::Assembler& a, const MpnTieConfig& tie = {});
+
+/// Builds a machine with mpn + modexp kernels under the given TIE config.
+Machine make_modexp_machine(const MpnTieConfig& tie = {},
+                            sim::CpuConfig config = {});
+
+struct IssModexpResult {
+  Mpz result;
+  std::uint64_t cycles = 0;
+};
+
+/// Host driver bound to a machine created by make_modexp_machine.
+class IssModexp {
+ public:
+  explicit IssModexp(Machine& m) : m_(m) {}
+
+  /// Baseline: binary square-and-multiply, schoolbook product + Knuth-D
+  /// reduction per step.  Requires the modulus MSB-normalized (top bit of
+  /// the top limb set — true for RSA moduli).
+  IssModexpResult powm_base(const Mpz& base, const Mpz& exp, const Mpz& mod);
+
+  /// Optimized: Montgomery CIOS with an m-ary window (1..5 bits).
+  /// Montgomery constants are precomputed host-side (the "cached constants"
+  /// software-caching level).
+  IssModexpResult powm_mont(const Mpz& base, const Mpz& exp, const Mpz& mod,
+                            unsigned window_bits);
+
+  /// Barrett-reduction exponentiation with an m-ary window: mu precomputed
+  /// host-side.  Works for any modulus (odd or even), and gives the
+  /// exploration's Barrett configurations ISS ground truth.
+  IssModexpResult powm_barrett(const Mpz& base, const Mpz& exp, const Mpz& mod,
+                               unsigned window_bits);
+
+  /// Montgomery SOS (separated operand scanning: full product, then n
+  /// reduction sweeps) — ISS ground truth for the MontSOS configurations.
+  IssModexpResult powm_mont_sos(const Mpz& base, const Mpz& exp, const Mpz& mod,
+                                unsigned window_bits);
+
+  /// RSA private operation: CRT (Garner) + Montgomery windowed
+  /// exponentiation; the recombination products run on the ISS.
+  IssModexpResult rsa_crt(const Mpz& c, const rsa::PrivateKey& key,
+                          unsigned window_bits);
+
+  /// One Montgomery multiplication (for characterization / Fig. 4 profiles).
+  IssModexpResult mont_mul_once(const Mpz& a, const Mpz& b, const Mpz& mod);
+
+ private:
+  struct Op;  // buffer bookkeeping
+
+  /// Shared windowed-exponentiation driver over a named Montgomery-multiply
+  /// kernel function ("mont_mul" or "mont_mul_sos").
+  IssModexpResult powm_mont_with(const char* mul_fn, const Mpz& base,
+                                 const Mpz& exp, const Mpz& mod,
+                                 unsigned window_bits);
+
+  Machine& m_;
+};
+
+}  // namespace wsp::kernels

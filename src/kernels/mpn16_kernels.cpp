@@ -1,0 +1,352 @@
+// Radix-16 mpn kernels: 16-bit limbs on the 32-bit core.  Sums and
+// products fit in one register, so the loops are shorter than their 32-bit
+// counterparts — but every operand needs twice the limbs, which is exactly
+// the trade the algorithm-exploration phase quantifies.
+#include "kernels/mpn_kernels.h"
+#include "kernels/regs.h"
+
+namespace wsp::kernels {
+
+using xasm::Assembler;
+
+void emit_mpn16_kernels(Assembler& a) {
+  // ---- mpn16_add_n(rp, ap, bp, n) -> carry ---------------------------------
+  a.func("mpn16_add_n");
+  a.mv(T0, Z);
+  a.beq(A3, Z, "done");
+  a.label("loop");
+  a.lhu(T1, A1, 0);
+  a.lhu(T2, A2, 0);
+  a.addi(A1, A1, 2);
+  a.add(T3, T1, T2);
+  a.add(T3, T3, T0);
+  a.srli(T0, T3, 16);  // carry
+  a.sh(T3, A0, 0);
+  a.addi(A2, A2, 2);
+  a.addi(A0, A0, 2);
+  a.addi(A3, A3, -1);
+  a.bne(A3, Z, "loop");
+  a.label("done");
+  a.mv(A0, T0);
+  a.ret();
+
+  // ---- mpn16_sub_n(rp, ap, bp, n) -> borrow ---------------------------------
+  a.func("mpn16_sub_n");
+  a.mv(T0, Z);
+  a.beq(A3, Z, "done");
+  a.label("loop");
+  a.lhu(T1, A1, 0);
+  a.lhu(T2, A2, 0);
+  a.addi(A1, A1, 2);
+  a.sub(T3, T1, T2);
+  a.sub(T3, T3, T0);
+  a.srli(T0, T3, 16);
+  a.andi(T0, T0, 1);  // borrow from the sign-extended wrap
+  a.sh(T3, A0, 0);
+  a.addi(A2, A2, 2);
+  a.addi(A0, A0, 2);
+  a.addi(A3, A3, -1);
+  a.bne(A3, Z, "loop");
+  a.label("done");
+  a.mv(A0, T0);
+  a.ret();
+
+  // ---- mpn16_add_1(rp, ap, n, b) -> carry ------------------------------------
+  a.func("mpn16_add_1");
+  a.mv(T0, A3);
+  a.label("loop");
+  a.beq(A2, Z, "done");
+  a.lhu(T1, A1, 0);
+  a.add(T2, T1, T0);
+  a.srli(T0, T2, 16);
+  a.sh(T2, A0, 0);
+  a.addi(A0, A0, 2);
+  a.addi(A1, A1, 2);
+  a.addi(A2, A2, -1);
+  a.j("loop");
+  a.label("done");
+  a.mv(A0, T0);
+  a.ret();
+
+  // ---- mpn16_sub_1(rp, ap, n, b) -> borrow ------------------------------------
+  a.func("mpn16_sub_1");
+  a.mv(T0, A3);
+  a.label("loop");
+  a.beq(A2, Z, "done");
+  a.lhu(T1, A1, 0);
+  a.sub(T2, T1, T0);
+  a.srli(T0, T2, 16);
+  a.andi(T0, T0, 1);
+  a.sh(T2, A0, 0);
+  a.addi(A0, A0, 2);
+  a.addi(A1, A1, 2);
+  a.addi(A2, A2, -1);
+  a.j("loop");
+  a.label("done");
+  a.mv(A0, T0);
+  a.ret();
+
+  // ---- mpn16_mul_1(rp, ap, n, b) -> carry limb -------------------------------
+  a.func("mpn16_mul_1");
+  a.mv(T0, Z);
+  a.beq(A2, Z, "done");
+  a.label("loop");
+  a.lhu(T1, A1, 0);
+  a.addi(A1, A1, 2);
+  a.mul(T2, T1, A3);   // fits 32 bits: 16x16 product
+  a.add(T2, T2, T0);
+  a.srli(T0, T2, 16);
+  a.sh(T2, A0, 0);
+  a.addi(A0, A0, 2);
+  a.addi(A2, A2, -1);
+  a.bne(A2, Z, "loop");
+  a.label("done");
+  a.mv(A0, T0);
+  a.ret();
+
+  // ---- mpn16_addmul_1(rp, ap, n, b) -> carry limb ------------------------------
+  a.func("mpn16_addmul_1");
+  a.mv(T0, Z);
+  a.beq(A2, Z, "done");
+  a.label("loop");
+  a.lhu(T1, A1, 0);
+  a.lhu(T2, A0, 0);
+  a.mul(T3, T1, A3);
+  a.add(T3, T3, T2);
+  a.add(T3, T3, T0);   // product + rp + carry < 2^32
+  a.srli(T0, T3, 16);
+  a.sh(T3, A0, 0);
+  a.addi(A0, A0, 2);
+  a.addi(A1, A1, 2);
+  a.addi(A2, A2, -1);
+  a.bne(A2, Z, "loop");
+  a.label("done");
+  a.mv(A0, T0);
+  a.ret();
+
+  // ---- mpn16_submul_1(rp, ap, n, b) -> borrow limb -----------------------------
+  a.func("mpn16_submul_1");
+  a.mv(T0, Z);
+  a.beq(A2, Z, "done");
+  a.label("loop");
+  a.lhu(T1, A1, 0);
+  a.lhu(T2, A0, 0);
+  a.mul(T3, T1, A3);
+  a.add(T3, T3, T0);      // product + borrow_in
+  a.andi(T4, T3, 0xffff);  // low part to subtract
+  a.srli(T0, T3, 16);      // borrow out (before the compare)
+  a.sltu(T5, T2, T4);
+  a.add(T0, T0, T5);
+  a.sub(T6, T2, T4);
+  a.sh(T6, A0, 0);
+  a.addi(A0, A0, 2);
+  a.addi(A1, A1, 2);
+  a.addi(A2, A2, -1);
+  a.bne(A2, Z, "loop");
+  a.label("done");
+  a.mv(A0, T0);
+  a.ret();
+
+  // ---- mpn16_cmp(ap, bp, n) -> {1, 0, -1} --------------------------------------
+  a.func("mpn16_cmp");
+  a.slli(T0, A2, 1);
+  a.add(T1, A0, T0);
+  a.add(T2, A1, T0);
+  a.label("loop");
+  a.beq(T1, A0, "equal");
+  a.addi(T1, T1, -2);
+  a.addi(T2, T2, -2);
+  a.lhu(T3, T1, 0);
+  a.lhu(T4, T2, 0);
+  a.bltu(T3, T4, "less");
+  a.bltu(T4, T3, "greater");
+  a.j("loop");
+  a.label("equal");
+  a.mv(A0, Z);
+  a.ret();
+  a.label("less");
+  a.li(A0, 0xffffffffu);
+  a.ret();
+  a.label("greater");
+  a.li(A0, 1);
+  a.ret();
+
+  // ---- mpn16_lshift(rp, ap, n, count): 0 < count < 16, n >= 1 -----------------
+  a.func("mpn16_lshift");
+  a.li(T0, 16);
+  a.sub(T0, T0, A3);  // tnc
+  a.slli(T1, A2, 1);
+  a.addi(T1, T1, -2);
+  a.add(T2, A1, T1);  // &ap[n-1]
+  a.lhu(T3, T2, 0);
+  a.srl(T4, T3, T0);  // return bits
+  a.add(T5, A0, T1);  // &rp[n-1]
+  a.label("loop");
+  a.beq(T2, A1, "last");
+  a.lhu(T6, T2, -2);
+  a.sll(T7, T3, A3);
+  a.srl(T8, T6, T0);
+  a.or_(T7, T7, T8);
+  a.sh(T7, T5, 0);
+  a.addi(T2, T2, -2);
+  a.addi(T5, T5, -2);
+  a.mv(T3, T6);
+  a.j("loop");
+  a.label("last");
+  a.sll(T7, T3, A3);
+  a.sh(T7, T5, 0);
+  a.mv(A0, T4);
+  a.ret();
+
+  // ---- mpn16_rshift(rp, ap, n, count): 0 < count < 16, n >= 1 ------------------
+  a.func("mpn16_rshift");
+  a.li(T0, 16);
+  a.sub(T0, T0, A3);
+  a.lhu(T3, A1, 0);
+  a.sll(T4, T3, T0);
+  a.andi(T4, T4, 0xffff);  // low bits out, 16-bit aligned
+  a.addi(T5, A2, -1);
+  a.label("loop");
+  a.beq(T5, Z, "last");
+  a.lhu(T6, A1, 2);
+  a.srl(T7, T3, A3);
+  a.sll(T8, T6, T0);
+  a.or_(T7, T7, T8);
+  a.sh(T7, A0, 0);
+  a.addi(A0, A0, 2);
+  a.addi(A1, A1, 2);
+  a.mv(T3, T6);
+  a.addi(T5, T5, -1);
+  a.j("loop");
+  a.label("last");
+  a.srl(T7, T3, A3);
+  a.sh(T7, A0, 0);
+  a.mv(A0, T4);
+  a.ret();
+}
+
+Machine make_mpn16_machine(sim::CpuConfig config) {
+  Assembler a;
+  emit_mpn16_kernels(a);
+  return Machine(a.finish(), config, {});
+}
+
+namespace {
+
+std::uint32_t alloc_halfwords(Machine& m, const std::vector<std::uint16_t>& v) {
+  std::vector<std::uint8_t> bytes(v.size() * 2);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    bytes[2 * i] = static_cast<std::uint8_t>(v[i]);
+    bytes[2 * i + 1] = static_cast<std::uint8_t>(v[i] >> 8);
+  }
+  const std::uint32_t addr = m.alloc(bytes.size() ? bytes.size() : 2, 2);
+  m.write_bytes(addr, bytes);
+  return addr;
+}
+
+std::vector<std::uint16_t> read_halfwords(const Machine& m, std::uint32_t addr,
+                                          std::size_t n) {
+  const auto bytes = m.read_bytes(addr, 2 * n);
+  std::vector<std::uint16_t> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = static_cast<std::uint16_t>(bytes[2 * i] | (bytes[2 * i + 1] << 8));
+  }
+  return out;
+}
+
+MpnCallResult run16_binary(Machine& m, const char* fn,
+                           std::vector<std::uint16_t>& r,
+                           const std::vector<std::uint16_t>& a,
+                           const std::vector<std::uint16_t>& b) {
+  m.reset_heap();
+  const std::uint32_t pa = alloc_halfwords(m, a);
+  const std::uint32_t pb = alloc_halfwords(m, b);
+  const std::uint32_t pr = m.alloc(2 * a.size(), 2);
+  const auto res = m.call(fn, {pr, pa, pb, static_cast<std::uint32_t>(a.size())});
+  r = read_halfwords(m, pr, a.size());
+  return {res.ret, res.cycles};
+}
+
+MpnCallResult run16_scalar(Machine& m, const char* fn,
+                           std::vector<std::uint16_t>& r,
+                           const std::vector<std::uint16_t>& a, std::uint16_t b,
+                           bool in_place) {
+  m.reset_heap();
+  const std::uint32_t pa = alloc_halfwords(m, a);
+  const std::uint32_t pr = in_place ? alloc_halfwords(m, r) : m.alloc(2 * a.size(), 2);
+  const auto res = m.call(fn, {pr, pa, static_cast<std::uint32_t>(a.size()), b});
+  r = read_halfwords(m, pr, a.size());
+  return {res.ret, res.cycles};
+}
+
+}  // namespace
+
+MpnCallResult run16_add_n(Machine& m, std::vector<std::uint16_t>& r,
+                          const std::vector<std::uint16_t>& a,
+                          const std::vector<std::uint16_t>& b) {
+  return run16_binary(m, "mpn16_add_n", r, a, b);
+}
+
+MpnCallResult run16_sub_n(Machine& m, std::vector<std::uint16_t>& r,
+                          const std::vector<std::uint16_t>& a,
+                          const std::vector<std::uint16_t>& b) {
+  return run16_binary(m, "mpn16_sub_n", r, a, b);
+}
+
+MpnCallResult run16_add_1(Machine& m, std::vector<std::uint16_t>& r,
+                          const std::vector<std::uint16_t>& a, std::uint16_t b) {
+  return run16_scalar(m, "mpn16_add_1", r, a, b, false);
+}
+
+MpnCallResult run16_sub_1(Machine& m, std::vector<std::uint16_t>& r,
+                          const std::vector<std::uint16_t>& a, std::uint16_t b) {
+  return run16_scalar(m, "mpn16_sub_1", r, a, b, false);
+}
+
+MpnCallResult run16_mul_1(Machine& m, std::vector<std::uint16_t>& r,
+                          const std::vector<std::uint16_t>& a, std::uint16_t b) {
+  return run16_scalar(m, "mpn16_mul_1", r, a, b, false);
+}
+
+MpnCallResult run16_addmul_1(Machine& m, std::vector<std::uint16_t>& r,
+                             const std::vector<std::uint16_t>& a, std::uint16_t b) {
+  return run16_scalar(m, "mpn16_addmul_1", r, a, b, true);
+}
+
+MpnCallResult run16_submul_1(Machine& m, std::vector<std::uint16_t>& r,
+                             const std::vector<std::uint16_t>& a, std::uint16_t b) {
+  return run16_scalar(m, "mpn16_submul_1", r, a, b, true);
+}
+
+MpnCallResult run16_cmp(Machine& m, const std::vector<std::uint16_t>& a,
+                        const std::vector<std::uint16_t>& b) {
+  m.reset_heap();
+  const std::uint32_t pa = alloc_halfwords(m, a);
+  const std::uint32_t pb = alloc_halfwords(m, b);
+  const auto res = m.call("mpn16_cmp", {pa, pb, static_cast<std::uint32_t>(a.size())});
+  return {res.ret, res.cycles};
+}
+
+MpnCallResult run16_lshift(Machine& m, std::vector<std::uint16_t>& r,
+                           const std::vector<std::uint16_t>& a, unsigned count) {
+  m.reset_heap();
+  const std::uint32_t pa = alloc_halfwords(m, a);
+  const std::uint32_t pr = m.alloc(2 * a.size(), 2);
+  const auto res = m.call("mpn16_lshift",
+                          {pr, pa, static_cast<std::uint32_t>(a.size()), count});
+  r = read_halfwords(m, pr, a.size());
+  return {res.ret, res.cycles};
+}
+
+MpnCallResult run16_rshift(Machine& m, std::vector<std::uint16_t>& r,
+                           const std::vector<std::uint16_t>& a, unsigned count) {
+  m.reset_heap();
+  const std::uint32_t pa = alloc_halfwords(m, a);
+  const std::uint32_t pr = m.alloc(2 * a.size(), 2);
+  const auto res = m.call("mpn16_rshift",
+                          {pr, pa, static_cast<std::uint32_t>(a.size()), count});
+  r = read_halfwords(m, pr, a.size());
+  return {res.ret, res.cycles};
+}
+
+}  // namespace wsp::kernels

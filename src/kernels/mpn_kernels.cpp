@@ -1,0 +1,675 @@
+#include "kernels/mpn_kernels.h"
+
+#include <stdexcept>
+
+#include "kernels/regs.h"
+#include "tie/candidates.h"
+#include "tie/ids.h"
+
+namespace wsp::kernels {
+
+using xasm::Assembler;
+
+namespace {
+
+// Scalar (base-ISA) loop bodies, shared between the pure-software functions
+// and the tails of the TIE-accelerated ones.  Each expects:
+//   add/sub:    a0=rp a1=ap a2=bp a3=n, carry/borrow in T0
+//   addmul etc: a0=rp a1=ap a2=n  a3=b, carry/borrow in T0
+// and leaves the result in T0.
+
+void emit_add_scalar_loop(Assembler& a) {
+  a.label("sloop");
+  a.lw(T1, A1, 0);
+  a.lw(T2, A2, 0);
+  a.addi(A1, A1, 4);
+  a.add(T3, T1, T2);
+  a.sltu(T4, T3, T1);
+  a.add(T5, T3, T0);
+  a.sltu(T6, T5, T3);
+  a.or_(T0, T4, T6);
+  a.sw(T5, A0, 0);
+  a.addi(A2, A2, 4);
+  a.addi(A0, A0, 4);
+  a.addi(A3, A3, -1);
+  a.bne(A3, Z, "sloop");
+}
+
+void emit_sub_scalar_loop(Assembler& a) {
+  a.label("sloop");
+  a.lw(T1, A1, 0);
+  a.lw(T2, A2, 0);
+  a.addi(A1, A1, 4);
+  a.sub(T3, T1, T2);
+  a.sltu(T4, T1, T2);
+  a.sub(T5, T3, T0);
+  a.sltu(T6, T3, T0);
+  a.or_(T0, T4, T6);
+  a.sw(T5, A0, 0);
+  a.addi(A2, A2, 4);
+  a.addi(A0, A0, 4);
+  a.addi(A3, A3, -1);
+  a.bne(A3, Z, "sloop");
+}
+
+void emit_addmul_scalar_loop(Assembler& a) {
+  a.label("sloop");
+  a.lw(T1, A1, 0);
+  a.lw(T2, A0, 0);
+  a.mul(T3, T1, A3);
+  a.mulhu(T4, T1, A3);
+  a.add(T5, T3, T0);
+  a.sltu(T6, T5, T3);
+  a.add(T4, T4, T6);
+  a.add(T7, T5, T2);
+  a.sltu(T8, T7, T5);
+  a.add(T0, T4, T8);
+  a.sw(T7, A0, 0);
+  a.addi(A0, A0, 4);
+  a.addi(A1, A1, 4);
+  a.addi(A2, A2, -1);
+  a.bne(A2, Z, "sloop");
+}
+
+// Emits the TIE chunk loop for add/sub: processes `k` limbs per iteration
+// through UR registers, leaves the carry flag in T0 and falls through with
+// the remaining count in a3 for the scalar tail.
+void emit_addsub_tie_prefix(Assembler& a, int k, bool subtract,
+                            std::uint32_t flag_addr) {
+  using namespace wsp::tie;
+  const std::uint16_t op_id = static_cast<std::uint16_t>(
+      subtract ? (k == 2 ? kSub2 : k == 4 ? kSub4 : k == 8 ? kSub8 : kSub16)
+               : (k == 2 ? kAdd2 : k == 4 ? kAdd4 : k == 8 ? kAdd8 : kAdd16));
+  a.li(T9, flag_addr);
+  a.sw(Z, T9, 0);
+  a.custom(kUrLoad, kUrFlags, T9, 0, 1);  // carry flag = 0
+  a.label("vec");
+  a.slti(T8, A3, k);
+  a.bne(T8, Z, "vtail");
+  a.custom(kUrLoad, kUrA, A1, 0, k);
+  a.custom(kUrLoad, kUrB, A2, 0, k);
+  a.custom(op_id, 0, 0, 0, k);
+  a.custom(kUrStore, kUrR, A0, 0, k);
+  a.addi(A0, A0, 4 * k);
+  a.addi(A1, A1, 4 * k);
+  a.addi(A2, A2, 4 * k);
+  a.addi(A3, A3, -k);
+  a.j("vec");
+  a.label("vtail");
+  a.custom(kUrStore, kUrFlags, T9, 0, 1);
+  a.lw(T0, T9, 0);
+}
+
+}  // namespace
+
+void emit_mpn_kernels(Assembler& a, const MpnTieConfig& tie) {
+  using namespace wsp::tie;
+
+  // Scratch word used to move carry flags between UR state and GPRs.
+  a.data_align(4);
+  a.data_symbol("mpn_flag");
+  const std::uint32_t flag_addr = a.data_word(0);
+
+  // ---- mpn_add_n(rp, ap, bp, n) -> carry --------------------------------
+  a.func("mpn_add_n");
+  if (tie.add_width > 0) {
+    emit_addsub_tie_prefix(a, tie.add_width, /*subtract=*/false, flag_addr);
+  } else {
+    a.mv(T0, Z);
+  }
+  a.beq(A3, Z, "done");
+  emit_add_scalar_loop(a);
+  a.label("done");
+  a.mv(A0, T0);
+  a.ret();
+
+  // ---- mpn_sub_n(rp, ap, bp, n) -> borrow --------------------------------
+  a.func("mpn_sub_n");
+  if (tie.add_width > 0) {
+    emit_addsub_tie_prefix(a, tie.add_width, /*subtract=*/true, flag_addr);
+  } else {
+    a.mv(T0, Z);
+  }
+  a.beq(A3, Z, "done");
+  emit_sub_scalar_loop(a);
+  a.label("done");
+  a.mv(A0, T0);
+  a.ret();
+
+  // ---- mpn_add_1(rp, ap, n, b) -> carry ----------------------------------
+  a.func("mpn_add_1");
+  a.mv(T0, A3);
+  a.label("loop");
+  a.beq(A2, Z, "done");
+  a.lw(T1, A1, 0);
+  a.add(T2, T1, T0);
+  a.sltu(T0, T2, T1);
+  a.sw(T2, A0, 0);
+  a.addi(A0, A0, 4);
+  a.addi(A1, A1, 4);
+  a.addi(A2, A2, -1);
+  a.j("loop");
+  a.label("done");
+  a.mv(A0, T0);
+  a.ret();
+
+  // ---- mpn_sub_1(rp, ap, n, b) -> borrow ---------------------------------
+  a.func("mpn_sub_1");
+  a.mv(T0, A3);
+  a.label("loop");
+  a.beq(A2, Z, "done");
+  a.lw(T1, A1, 0);
+  a.sub(T2, T1, T0);
+  a.sltu(T0, T1, T0);
+  a.sw(T2, A0, 0);
+  a.addi(A0, A0, 4);
+  a.addi(A1, A1, 4);
+  a.addi(A2, A2, -1);
+  a.j("loop");
+  a.label("done");
+  a.mv(A0, T0);
+  a.ret();
+
+  // ---- mpn_mul_1(rp, ap, n, b) -> carry limb ------------------------------
+  a.func("mpn_mul_1");
+  a.mv(T0, Z);
+  a.beq(A2, Z, "done");
+  a.label("loop");
+  a.lw(T1, A1, 0);
+  a.addi(A1, A1, 4);
+  a.mul(T2, T1, A3);
+  a.mulhu(T3, T1, A3);
+  a.add(T4, T2, T0);
+  a.sltu(T5, T4, T2);
+  a.add(T0, T3, T5);
+  a.sw(T4, A0, 0);
+  a.addi(A0, A0, 4);
+  a.addi(A2, A2, -1);
+  a.bne(A2, Z, "loop");
+  a.label("done");
+  a.mv(A0, T0);
+  a.ret();
+
+  // ---- mpn_addmul_1(rp, ap, n, b) -> carry limb ----------------------------
+  a.func("mpn_addmul_1");
+  if (tie.mac_width > 0) {
+    const int m = tie.mac_width;
+    const std::uint16_t mac = static_cast<std::uint16_t>(
+        m == 1 ? kMac1 : m == 2 ? kMac2 : m == 4 ? kMac4 : kMac8);
+    a.li(T9, flag_addr);
+    a.sw(Z, T9, 0);
+    a.custom(kUrLoad, kUrMacCarry, T9, 0, 1);  // carry limb = 0
+    a.label("vec");
+    a.slti(T8, A2, m);
+    a.bne(T8, Z, "vtail");
+    a.custom(kUrLoad, kUrA, A1, 0, m);
+    a.custom(kUrLoad, kUrB, A0, 0, m);
+    a.custom(mac, 0, A3, 0, m);
+    a.custom(kUrStore, kUrB, A0, 0, m);
+    a.addi(A0, A0, 4 * m);
+    a.addi(A1, A1, 4 * m);
+    a.addi(A2, A2, -m);
+    a.j("vec");
+    a.label("vtail");
+    a.custom(kUrStore, kUrMacCarry, T9, 0, 1);
+    a.lw(T0, T9, 0);
+  } else {
+    a.mv(T0, Z);
+  }
+  a.beq(A2, Z, "done");
+  emit_addmul_scalar_loop(a);
+  a.label("done");
+  a.mv(A0, T0);
+  a.ret();
+
+  // ---- mpn_submul_1(rp, ap, n, b) -> borrow limb ---------------------------
+  a.func("mpn_submul_1");
+  a.mv(T0, Z);
+  a.beq(A2, Z, "done");
+  a.label("loop");
+  a.lw(T1, A1, 0);
+  a.lw(T2, A0, 0);
+  a.mul(T3, T1, A3);
+  a.mulhu(T4, T1, A3);
+  a.add(T5, T3, T0);   // lo + borrow_in
+  a.sltu(T6, T5, T3);
+  a.add(T4, T4, T6);   // hi adjusted
+  a.sltu(T7, T2, T5);  // rp < lo ?
+  a.add(T0, T4, T7);   // borrow out
+  a.sub(T8, T2, T5);
+  a.sw(T8, A0, 0);
+  a.addi(A0, A0, 4);
+  a.addi(A1, A1, 4);
+  a.addi(A2, A2, -1);
+  a.bne(A2, Z, "loop");
+  a.label("done");
+  a.mv(A0, T0);
+  a.ret();
+
+  // ---- mpn_cmp(ap, bp, n) -> {1, 0, -1} -----------------------------------
+  a.func("mpn_cmp");
+  a.slli(T0, A2, 2);
+  a.add(T1, A0, T0);
+  a.add(T2, A1, T0);
+  a.label("loop");
+  a.beq(T1, A0, "equal");
+  a.addi(T1, T1, -4);
+  a.addi(T2, T2, -4);
+  a.lw(T3, T1, 0);
+  a.lw(T4, T2, 0);
+  a.bltu(T3, T4, "less");
+  a.bltu(T4, T3, "greater");
+  a.j("loop");
+  a.label("equal");
+  a.mv(A0, Z);
+  a.ret();
+  a.label("less");
+  a.li(A0, 0xffffffffu);
+  a.ret();
+  a.label("greater");
+  a.li(A0, 1);
+  a.ret();
+
+  // ---- mpn_copy(rp, ap, n) -------------------------------------------------
+  a.func("mpn_copy");
+  a.label("loop");
+  a.beq(A2, Z, "done");
+  a.lw(T1, A1, 0);
+  a.sw(T1, A0, 0);
+  a.addi(A0, A0, 4);
+  a.addi(A1, A1, 4);
+  a.addi(A2, A2, -1);
+  a.j("loop");
+  a.label("done");
+  a.ret();
+
+  // ---- mpn_zero(rp, n) -------------------------------------------------------
+  a.func("mpn_zero");
+  a.label("loop");
+  a.beq(A1, Z, "done");
+  a.sw(Z, A0, 0);
+  a.addi(A0, A0, 4);
+  a.addi(A1, A1, -1);
+  a.j("loop");
+  a.label("done");
+  a.ret();
+
+  // ---- mpn_lshift(rp, ap, n, count) -> shifted-out bits (n>=1, 0<count<32) --
+  a.func("mpn_lshift");
+  a.li(T0, 32);
+  a.sub(T0, T0, A3);  // tnc
+  a.slli(T1, A2, 2);
+  a.addi(T1, T1, -4);
+  a.add(T2, A1, T1);  // &ap[n-1]
+  a.lw(T3, T2, 0);
+  a.srl(T4, T3, T0);  // return bits
+  a.add(T5, A0, T1);  // &rp[n-1]
+  a.label("loop");
+  a.beq(T2, A1, "last");
+  a.lw(T6, T2, -4);
+  a.sll(T7, T3, A3);
+  a.srl(T8, T6, T0);
+  a.or_(T7, T7, T8);
+  a.sw(T7, T5, 0);
+  a.addi(T2, T2, -4);
+  a.addi(T5, T5, -4);
+  a.mv(T3, T6);
+  a.j("loop");
+  a.label("last");
+  a.sll(T7, T3, A3);
+  a.sw(T7, T5, 0);
+  a.mv(A0, T4);
+  a.ret();
+
+  // ---- mpn_rshift(rp, ap, n, count) -> low bits out (n>=1, 0<count<32) -----
+  a.func("mpn_rshift");
+  a.li(T0, 32);
+  a.sub(T0, T0, A3);  // tnc
+  a.lw(T3, A1, 0);
+  a.sll(T4, T3, T0);  // return bits
+  a.addi(T5, A2, -1);  // remaining pair steps
+  a.label("loop");
+  a.beq(T5, Z, "last");
+  a.lw(T6, A1, 4);
+  a.srl(T7, T3, A3);
+  a.sll(T8, T6, T0);
+  a.or_(T7, T7, T8);
+  a.sw(T7, A0, 0);
+  a.addi(A0, A0, 4);
+  a.addi(A1, A1, 4);
+  a.mv(T3, T6);
+  a.addi(T5, T5, -1);
+  a.j("loop");
+  a.label("last");
+  a.srl(T7, T3, A3);
+  a.sw(T7, A0, 0);
+  a.mv(A0, T4);
+  a.ret();
+
+  // ---- div_2by1(hi, lo, d) -> q (a0), rem (a1) -----------------------------
+  // Binary restoring division of the 64-bit value hi:lo by d.
+  // Requires d's MSB set and hi < d.
+  a.func("div_2by1");
+  a.mv(T0, Z);   // q
+  a.li(T1, 32);  // iterations
+  a.label("loop");
+  a.srli(T2, A0, 31);  // about to overflow?
+  a.slli(A0, A0, 1);
+  a.srli(T3, A1, 31);
+  a.or_(A0, A0, T3);
+  a.slli(A1, A1, 1);
+  a.slli(T0, T0, 1);
+  a.bne(T2, Z, "dosub");
+  a.bltu(A0, A2, "skip");
+  a.label("dosub");
+  a.sub(A0, A0, A2);
+  a.ori(T0, T0, 1);
+  a.label("skip");
+  a.addi(T1, T1, -1);
+  a.bne(T1, Z, "loop");
+  a.mv(A1, A0);  // remainder
+  a.mv(A0, T0);
+  a.ret();
+
+  // ---- mpn_divrem_norm(qp, up, un, dp, dn) ---------------------------------
+  // Knuth algorithm D for a pre-normalized divisor (dp[dn-1] MSB set).
+  // up must provide un+1 limbs with up[un] = 0; on return up[0..dn) holds
+  // the remainder and qp[0..un-dn] the quotient.
+  a.func("mpn_divrem_norm");
+  a.addi(SP, SP, -36);
+  a.sw(RA, SP, 0);
+  a.sw(S0, SP, 4);
+  a.sw(S1, SP, 8);
+  a.sw(S2, SP, 12);
+  a.sw(S3, SP, 16);
+  a.sw(S4, SP, 20);
+  a.sw(S5, SP, 24);
+  a.mv(S0, A0);  // qp
+  a.mv(S1, A1);  // up
+  a.mv(S2, A3);  // dp
+  a.mv(S3, A4);  // dn
+  a.sub(S4, A2, A4);  // j = un - dn
+  a.slli(T0, A4, 2);
+  a.addi(T0, T0, -4);
+  a.add(T0, T0, A3);
+  a.lw(S5, T0, 0);  // dtop
+  a.label("iter");
+  a.blt(S4, Z, "rdone");
+  a.add(T0, S4, S3);
+  a.slli(T0, T0, 2);
+  a.add(T0, T0, S1);  // &up[j+dn]
+  a.lw(T1, T0, 0);    // utop
+  a.bgeu(T1, S5, "qmax");
+  a.mv(A0, T1);
+  a.lw(A1, T0, -4);
+  a.mv(A2, S5);
+  a.call("div_2by1");
+  a.j("haveq");
+  a.label("qmax");
+  a.li(A0, 0xffffffffu);
+  a.label("haveq");
+  a.sw(A0, SP, 28);  // qhat
+  a.mv(A3, A0);
+  a.slli(T2, S4, 2);
+  a.add(A0, S1, T2);
+  a.mv(A1, S2);
+  a.mv(A2, S3);
+  a.call("mpn_submul_1");  // a0 = borrow
+  a.add(T0, S4, S3);
+  a.slli(T0, T0, 2);
+  a.add(T0, T0, S1);
+  a.lw(T1, T0, 0);  // utop (unchanged by submul)
+  a.sub(T3, T1, A0);
+  a.sw(T3, T0, 0);
+  a.bgeu(T1, A0, "storeq");
+  a.label("addback");
+  a.lw(T4, SP, 28);
+  a.addi(T4, T4, -1);
+  a.sw(T4, SP, 28);
+  a.slli(T2, S4, 2);
+  a.add(A0, S1, T2);
+  a.mv(A1, A0);
+  a.mv(A2, S2);
+  a.mv(A3, S3);
+  a.call("mpn_add_n");  // a0 = carry
+  a.add(T0, S4, S3);
+  a.slli(T0, T0, 2);
+  a.add(T0, T0, S1);
+  a.lw(T3, T0, 0);
+  a.add(T3, T3, A0);
+  a.sw(T3, T0, 0);
+  a.sltiu(T5, T3, -2);       // T5 = (top < 0xFFFFFFFE), i.e. non-negative
+  a.beq(T5, Z, "addback");
+  a.label("storeq");
+  a.lw(T4, SP, 28);
+  a.slli(T2, S4, 2);
+  a.add(T6, S0, T2);
+  a.sw(T4, T6, 0);
+  a.addi(S4, S4, -1);
+  a.j("iter");
+  a.label("rdone");
+  a.lw(RA, SP, 0);
+  a.lw(S0, SP, 4);
+  a.lw(S1, SP, 8);
+  a.lw(S2, SP, 12);
+  a.lw(S3, SP, 16);
+  a.lw(S4, SP, 20);
+  a.lw(S5, SP, 24);
+  a.addi(SP, SP, 36);
+  a.ret();
+
+  // ---- mpn_mul(rp, ap, an, bp, bn): schoolbook, rp = an+bn limbs -----------
+  a.func("mpn_mul");
+  a.addi(SP, SP, -28);
+  a.sw(RA, SP, 0);
+  a.sw(S0, SP, 4);
+  a.sw(S1, SP, 8);
+  a.sw(S2, SP, 12);
+  a.sw(S3, SP, 16);
+  a.sw(S4, SP, 20);
+  a.sw(S5, SP, 24);
+  a.mv(S0, A0);  // rp
+  a.mv(S1, A1);  // ap
+  a.mv(S2, A2);  // an
+  a.mv(S3, A3);  // bp
+  a.mv(S4, A4);  // bn
+  a.mv(S5, Z);   // j
+  // zero rp
+  a.add(T0, S2, S4);
+  a.mv(T1, S0);
+  a.label("zl");
+  a.beq(T0, Z, "zdone");
+  a.sw(Z, T1, 0);
+  a.addi(T1, T1, 4);
+  a.addi(T0, T0, -1);
+  a.j("zl");
+  a.label("zdone");
+  a.label("jloop");
+  a.bge(S5, S4, "jdone");
+  a.slli(T0, S5, 2);
+  a.add(T1, S3, T0);
+  a.lw(A3, T1, 0);    // b[j]
+  a.add(A0, S0, T0);  // rp + j
+  a.mv(A1, S1);
+  a.mv(A2, S2);
+  a.call("mpn_addmul_1");
+  a.add(T2, S2, S5);
+  a.slli(T2, T2, 2);
+  a.add(T2, T2, S0);
+  a.sw(A0, T2, 0);  // rp[an+j] = carry
+  a.addi(S5, S5, 1);
+  a.j("jloop");
+  a.label("jdone");
+  a.lw(RA, SP, 0);
+  a.lw(S0, SP, 4);
+  a.lw(S1, SP, 8);
+  a.lw(S2, SP, 12);
+  a.lw(S3, SP, 16);
+  a.lw(S4, SP, 20);
+  a.lw(S5, SP, 24);
+  a.addi(SP, SP, 28);
+  a.ret();
+}
+
+namespace {
+
+sim::CustomSet custom_set_for_tie(const MpnTieConfig& tie) {
+  std::set<std::string> names;
+  if (tie.add_width > 0) {
+    names.insert("ur_load");
+    names.insert("ur_store");
+    names.insert("add_" + std::to_string(tie.add_width));
+    names.insert("sub_" + std::to_string(tie.add_width));
+  }
+  if (tie.mac_width > 0) {
+    names.insert("ur_load");
+    names.insert("ur_store");
+    names.insert("mac_" + std::to_string(tie.mac_width));
+  }
+  return tie::custom_set_for(names);
+}
+
+}  // namespace
+
+Machine make_mpn_machine(const MpnTieConfig& tie, sim::CpuConfig config) {
+  Assembler a;
+  emit_mpn_kernels(a, tie);
+  return Machine(a.finish(), config, custom_set_for_tie(tie));
+}
+
+MpnCallResult run_add_n(Machine& m, std::vector<std::uint32_t>& r,
+                        const std::vector<std::uint32_t>& a,
+                        const std::vector<std::uint32_t>& b) {
+  if (a.size() != b.size()) throw std::invalid_argument("run_add_n: size mismatch");
+  m.reset_heap();
+  const std::uint32_t pa = m.alloc_words(a);
+  const std::uint32_t pb = m.alloc_words(b);
+  const std::uint32_t pr = m.alloc(4 * a.size());
+  const auto res = m.call("mpn_add_n", {pr, pa, pb, static_cast<std::uint32_t>(a.size())});
+  r = m.read_words(pr, a.size());
+  return {res.ret, res.cycles};
+}
+
+MpnCallResult run_sub_n(Machine& m, std::vector<std::uint32_t>& r,
+                        const std::vector<std::uint32_t>& a,
+                        const std::vector<std::uint32_t>& b) {
+  if (a.size() != b.size()) throw std::invalid_argument("run_sub_n: size mismatch");
+  m.reset_heap();
+  const std::uint32_t pa = m.alloc_words(a);
+  const std::uint32_t pb = m.alloc_words(b);
+  const std::uint32_t pr = m.alloc(4 * a.size());
+  const auto res = m.call("mpn_sub_n", {pr, pa, pb, static_cast<std::uint32_t>(a.size())});
+  r = m.read_words(pr, a.size());
+  return {res.ret, res.cycles};
+}
+
+namespace {
+MpnCallResult run_mul_like(Machine& m, const char* fn, std::vector<std::uint32_t>& r,
+                           const std::vector<std::uint32_t>& a, std::uint32_t b,
+                           bool in_place_rp) {
+  m.reset_heap();
+  const std::uint32_t pa = m.alloc_words(a);
+  const std::uint32_t pr = in_place_rp ? m.alloc_words(r) : m.alloc(4 * a.size());
+  const auto res = m.call(fn, {pr, pa, static_cast<std::uint32_t>(a.size()), b});
+  r = m.read_words(pr, a.size());
+  return {res.ret, res.cycles};
+}
+}  // namespace
+
+MpnCallResult run_add_1(Machine& m, std::vector<std::uint32_t>& r,
+                        const std::vector<std::uint32_t>& a, std::uint32_t b) {
+  return run_mul_like(m, "mpn_add_1", r, a, b, false);
+}
+
+MpnCallResult run_sub_1(Machine& m, std::vector<std::uint32_t>& r,
+                        const std::vector<std::uint32_t>& a, std::uint32_t b) {
+  return run_mul_like(m, "mpn_sub_1", r, a, b, false);
+}
+
+MpnCallResult run_mul_1(Machine& m, std::vector<std::uint32_t>& r,
+                        const std::vector<std::uint32_t>& a, std::uint32_t b) {
+  return run_mul_like(m, "mpn_mul_1", r, a, b, false);
+}
+
+MpnCallResult run_addmul_1(Machine& m, std::vector<std::uint32_t>& r,
+                           const std::vector<std::uint32_t>& a, std::uint32_t b) {
+  if (r.size() != a.size()) throw std::invalid_argument("run_addmul_1: size mismatch");
+  return run_mul_like(m, "mpn_addmul_1", r, a, b, true);
+}
+
+MpnCallResult run_submul_1(Machine& m, std::vector<std::uint32_t>& r,
+                           const std::vector<std::uint32_t>& a, std::uint32_t b) {
+  if (r.size() != a.size()) throw std::invalid_argument("run_submul_1: size mismatch");
+  return run_mul_like(m, "mpn_submul_1", r, a, b, true);
+}
+
+MpnCallResult run_cmp(Machine& m, const std::vector<std::uint32_t>& a,
+                      const std::vector<std::uint32_t>& b) {
+  m.reset_heap();
+  const std::uint32_t pa = m.alloc_words(a);
+  const std::uint32_t pb = m.alloc_words(b);
+  const auto res = m.call("mpn_cmp", {pa, pb, static_cast<std::uint32_t>(a.size())});
+  return {res.ret, res.cycles};
+}
+
+MpnCallResult run_lshift(Machine& m, std::vector<std::uint32_t>& r,
+                         const std::vector<std::uint32_t>& a, unsigned count) {
+  m.reset_heap();
+  const std::uint32_t pa = m.alloc_words(a);
+  const std::uint32_t pr = m.alloc(4 * a.size());
+  const auto res = m.call("mpn_lshift",
+                          {pr, pa, static_cast<std::uint32_t>(a.size()), count});
+  r = m.read_words(pr, a.size());
+  return {res.ret, res.cycles};
+}
+
+MpnCallResult run_rshift(Machine& m, std::vector<std::uint32_t>& r,
+                         const std::vector<std::uint32_t>& a, unsigned count) {
+  m.reset_heap();
+  const std::uint32_t pa = m.alloc_words(a);
+  const std::uint32_t pr = m.alloc(4 * a.size());
+  const auto res = m.call("mpn_rshift",
+                          {pr, pa, static_cast<std::uint32_t>(a.size()), count});
+  r = m.read_words(pr, a.size());
+  return {res.ret, res.cycles};
+}
+
+MpnCallResult run_div_2by1(Machine& m, std::uint32_t hi, std::uint32_t lo,
+                           std::uint32_t d) {
+  const auto res = m.call("div_2by1", {hi, lo, d});
+  return {res.ret, res.cycles};
+}
+
+MpnCallResult run_divrem_norm(Machine& m, std::vector<std::uint32_t>& q,
+                              std::vector<std::uint32_t>& u,
+                              const std::vector<std::uint32_t>& d,
+                              std::vector<std::uint32_t>& rem) {
+  m.reset_heap();
+  std::vector<std::uint32_t> upad = u;
+  upad.push_back(0);
+  const std::uint32_t pu = m.alloc_words(upad);
+  const std::uint32_t pd = m.alloc_words(d);
+  const std::uint32_t qn = static_cast<std::uint32_t>(u.size() - d.size() + 1);
+  const std::uint32_t pq = m.alloc(4 * qn);
+  const auto res = m.call("mpn_divrem_norm",
+                          {pq, pu, static_cast<std::uint32_t>(u.size()), pd,
+                           static_cast<std::uint32_t>(d.size())});
+  q = m.read_words(pq, qn);
+  rem = m.read_words(pu, d.size());
+  return {res.ret, res.cycles};
+}
+
+MpnCallResult run_mul(Machine& m, std::vector<std::uint32_t>& r,
+                      const std::vector<std::uint32_t>& a,
+                      const std::vector<std::uint32_t>& b) {
+  m.reset_heap();
+  const std::uint32_t pa = m.alloc_words(a);
+  const std::uint32_t pb = m.alloc_words(b);
+  const std::uint32_t pr = m.alloc(4 * (a.size() + b.size()));
+  const auto res = m.call("mpn_mul", {pr, pa, static_cast<std::uint32_t>(a.size()),
+                                      pb, static_cast<std::uint32_t>(b.size())});
+  r = m.read_words(pr, a.size() + b.size());
+  return {res.ret, res.cycles};
+}
+
+}  // namespace wsp::kernels

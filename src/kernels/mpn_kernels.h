@@ -1,0 +1,118 @@
+// XR32 implementations of the GMP-style mpn library routines — the "basic
+// operations" software layer as it runs on the simulated core, in both base
+// form and custom-instruction (TIE) form.
+//
+// Emission is parameterized by the hardware configuration: with
+// MpnTieConfig widths of 0 the routines are plain scalar loops (the
+// "well-optimized software" baseline); non-zero widths make the hot loops
+// use the wide-adder / multi-MAC custom instructions, with scalar tails for
+// remainders.  Function names are identical in both forms, so higher-level
+// kernels (Montgomery multiply, division) bind to whichever variant the
+// platform provides — exactly how the paper's layered libraries relink
+// against accelerated leaf routines.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "kernels/runtime.h"
+#include "xasm/program.h"
+
+namespace wsp::kernels {
+
+struct MpnTieConfig {
+  int add_width = 0;  ///< 0 = software; else 2, 4, 8 or 16 (add_k/sub_k units)
+  int mac_width = 0;  ///< 0 = software; else 1, 2 or 4 (mac_m units)
+
+  bool any() const { return add_width > 0 || mac_width > 0; }
+};
+
+/// Emits the full mpn routine set into the assembler:
+///   mpn_add_n, mpn_sub_n, mpn_add_1, mpn_sub_1, mpn_mul_1, mpn_addmul_1,
+///   mpn_submul_1, mpn_cmp, mpn_copy, mpn_zero, mpn_lshift, mpn_rshift,
+///   div_2by1, mpn_divrem_norm, mpn_mul
+void emit_mpn_kernels(xasm::Assembler& a, const MpnTieConfig& tie = {});
+
+// --- host-side wrappers (marshal, call, unmarshal) -------------------------
+// These allocate simulator buffers per call; they are meant for tests and
+// characterization, not for building larger kernels (those chain calls with
+// operands resident in simulator memory).
+
+struct MpnCallResult {
+  std::uint32_t ret = 0;
+  std::uint64_t cycles = 0;
+};
+
+MpnCallResult run_add_n(Machine& m, std::vector<std::uint32_t>& r,
+                        const std::vector<std::uint32_t>& a,
+                        const std::vector<std::uint32_t>& b);
+MpnCallResult run_sub_n(Machine& m, std::vector<std::uint32_t>& r,
+                        const std::vector<std::uint32_t>& a,
+                        const std::vector<std::uint32_t>& b);
+MpnCallResult run_add_1(Machine& m, std::vector<std::uint32_t>& r,
+                        const std::vector<std::uint32_t>& a, std::uint32_t b);
+MpnCallResult run_sub_1(Machine& m, std::vector<std::uint32_t>& r,
+                        const std::vector<std::uint32_t>& a, std::uint32_t b);
+MpnCallResult run_mul_1(Machine& m, std::vector<std::uint32_t>& r,
+                        const std::vector<std::uint32_t>& a, std::uint32_t b);
+MpnCallResult run_addmul_1(Machine& m, std::vector<std::uint32_t>& r,
+                           const std::vector<std::uint32_t>& a, std::uint32_t b);
+MpnCallResult run_submul_1(Machine& m, std::vector<std::uint32_t>& r,
+                           const std::vector<std::uint32_t>& a, std::uint32_t b);
+MpnCallResult run_cmp(Machine& m, const std::vector<std::uint32_t>& a,
+                      const std::vector<std::uint32_t>& b);
+MpnCallResult run_lshift(Machine& m, std::vector<std::uint32_t>& r,
+                         const std::vector<std::uint32_t>& a, unsigned count);
+MpnCallResult run_rshift(Machine& m, std::vector<std::uint32_t>& r,
+                         const std::vector<std::uint32_t>& a, unsigned count);
+MpnCallResult run_div_2by1(Machine& m, std::uint32_t hi, std::uint32_t lo,
+                           std::uint32_t d);
+/// q gets un-dn+1 limbs; u is reduced in place to the remainder (dn limbs
+/// returned).  Requires d's top limb MSB set.
+MpnCallResult run_divrem_norm(Machine& m, std::vector<std::uint32_t>& q,
+                              std::vector<std::uint32_t>& u,
+                              const std::vector<std::uint32_t>& d,
+                              std::vector<std::uint32_t>& rem);
+MpnCallResult run_mul(Machine& m, std::vector<std::uint32_t>& r,
+                      const std::vector<std::uint32_t>& a,
+                      const std::vector<std::uint32_t>& b);
+
+/// Builds a machine with just the mpn kernels (plus the custom set implied
+/// by `tie`), for tests and characterization.
+Machine make_mpn_machine(const MpnTieConfig& tie = {},
+                         sim::CpuConfig config = {});
+
+// --- radix-16 kernel set -----------------------------------------------------
+// The "two radix sizes" axis of the design space, measured rather than
+// modeled: the same routines over 16-bit limbs (half-word loads/stores,
+// single 32-bit products — no carry chains needed).  Base ISA only; the
+// exploration phase rejects radix 16 long before custom instructions
+// matter.  Functions are named mpn16_*.
+
+void emit_mpn16_kernels(xasm::Assembler& a);
+Machine make_mpn16_machine(sim::CpuConfig config = {});
+
+MpnCallResult run16_add_n(Machine& m, std::vector<std::uint16_t>& r,
+                          const std::vector<std::uint16_t>& a,
+                          const std::vector<std::uint16_t>& b);
+MpnCallResult run16_sub_n(Machine& m, std::vector<std::uint16_t>& r,
+                          const std::vector<std::uint16_t>& a,
+                          const std::vector<std::uint16_t>& b);
+MpnCallResult run16_add_1(Machine& m, std::vector<std::uint16_t>& r,
+                          const std::vector<std::uint16_t>& a, std::uint16_t b);
+MpnCallResult run16_sub_1(Machine& m, std::vector<std::uint16_t>& r,
+                          const std::vector<std::uint16_t>& a, std::uint16_t b);
+MpnCallResult run16_mul_1(Machine& m, std::vector<std::uint16_t>& r,
+                          const std::vector<std::uint16_t>& a, std::uint16_t b);
+MpnCallResult run16_addmul_1(Machine& m, std::vector<std::uint16_t>& r,
+                             const std::vector<std::uint16_t>& a, std::uint16_t b);
+MpnCallResult run16_submul_1(Machine& m, std::vector<std::uint16_t>& r,
+                             const std::vector<std::uint16_t>& a, std::uint16_t b);
+MpnCallResult run16_cmp(Machine& m, const std::vector<std::uint16_t>& a,
+                        const std::vector<std::uint16_t>& b);
+MpnCallResult run16_lshift(Machine& m, std::vector<std::uint16_t>& r,
+                           const std::vector<std::uint16_t>& a, unsigned count);
+MpnCallResult run16_rshift(Machine& m, std::vector<std::uint16_t>& r,
+                           const std::vector<std::uint16_t>& a, unsigned count);
+
+}  // namespace wsp::kernels

@@ -1,0 +1,27 @@
+// Register aliases used by the hand-written XR32 kernels.
+#pragma once
+
+#include <cstdint>
+
+#include "isa/isa.h"
+
+namespace wsp::kernels {
+
+inline constexpr std::uint8_t Z = wsp::isa::kZero;
+inline constexpr std::uint8_t RA = wsp::isa::kRa;
+inline constexpr std::uint8_t SP = wsp::isa::kSp;
+
+// Argument / return registers a0..a7 (r3..r10).
+inline constexpr std::uint8_t A0 = 3, A1 = 4, A2 = 5, A3 = 6, A4 = 7, A5 = 8,
+                              A6 = 9, A7 = 10;
+
+// Temporaries t0..t14 (r11..r25); caller-saved by convention.
+inline constexpr std::uint8_t T0 = 11, T1 = 12, T2 = 13, T3 = 14, T4 = 15,
+                              T5 = 16, T6 = 17, T7 = 18, T8 = 19, T9 = 20,
+                              T10 = 21, T11 = 22, T12 = 23, T13 = 24, T14 = 25;
+
+// Saved registers s0..s5 (r26..r31); callee-saved by convention.
+inline constexpr std::uint8_t S0 = 26, S1 = 27, S2 = 28, S3 = 29, S4 = 30,
+                              S5 = 31;
+
+}  // namespace wsp::kernels

@@ -1,0 +1,76 @@
+#include "kernels/runtime.h"
+
+#include <stdexcept>
+
+namespace wsp::kernels {
+
+Machine::Machine(xasm::Program program, sim::CpuConfig config,
+                 sim::CustomSet customs)
+    : program_(std::move(program)),
+      customs_(std::move(customs)),
+      cpu_(program_, config, &customs_) {}
+
+Machine::CallResult Machine::call(const std::string& function,
+                                  std::initializer_list<std::uint32_t> args) {
+  if (args.size() > 8) throw std::invalid_argument("Machine::call: too many args");
+  unsigned i = 0;
+  for (std::uint32_t a : args) cpu_.set_reg(isa::kA0 + i++, a);
+  const std::uint64_t c0 = cpu_.cycles();
+  const std::uint64_t i0 = cpu_.instret();
+  cpu_.call(function);
+  CallResult r;
+  r.ret = cpu_.reg(isa::kA0);
+  r.cycles = cpu_.cycles() - c0;
+  r.instrs = cpu_.instret() - i0;
+  return r;
+}
+
+std::uint32_t Machine::alloc(std::size_t bytes, std::size_t align) {
+  while (heap_ % align != 0) ++heap_;
+  const std::uint32_t addr = heap_;
+  heap_ += static_cast<std::uint32_t>(bytes);
+  if (heap_ >= cpu_.mem().size() - (1u << 20)) {  // keep 1 MiB for the stack
+    throw std::runtime_error("Machine: heap exhausted");
+  }
+  return addr;
+}
+
+void Machine::reset_heap() { heap_ = xasm::kHeapBase; }
+
+void Machine::write_words(std::uint32_t addr, const std::vector<std::uint32_t>& ws) {
+  for (std::size_t i = 0; i < ws.size(); ++i) {
+    cpu_.mem().store32(addr + static_cast<std::uint32_t>(4 * i), ws[i]);
+  }
+}
+
+std::vector<std::uint32_t> Machine::read_words(std::uint32_t addr, std::size_t n) const {
+  std::vector<std::uint32_t> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = cpu_.mem().load32(addr + static_cast<std::uint32_t>(4 * i));
+  }
+  return out;
+}
+
+void Machine::write_bytes(std::uint32_t addr, const std::vector<std::uint8_t>& bs) {
+  if (!bs.empty()) cpu_.mem().write_block(addr, bs.data(), bs.size());
+}
+
+std::vector<std::uint8_t> Machine::read_bytes(std::uint32_t addr, std::size_t n) const {
+  std::vector<std::uint8_t> out(n);
+  if (n) cpu_.mem().read_block(addr, out.data(), n);
+  return out;
+}
+
+std::uint32_t Machine::alloc_words(const std::vector<std::uint32_t>& ws) {
+  const std::uint32_t addr = alloc(4 * ws.size());
+  write_words(addr, ws);
+  return addr;
+}
+
+std::uint32_t Machine::alloc_bytes(const std::vector<std::uint8_t>& bs) {
+  const std::uint32_t addr = alloc(bs.size() ? bs.size() : 1);
+  write_bytes(addr, bs);
+  return addr;
+}
+
+}  // namespace wsp::kernels

@@ -1,0 +1,60 @@
+// Host-side harness for running XR32 kernels: owns the program, the CPU and
+// the custom-instruction set of one platform configuration, marshals
+// arguments/buffers between host memory and simulator memory, and reports
+// per-call cycle counts.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "sim/cpu.h"
+#include "sim/custom.h"
+#include "xasm/program.h"
+
+namespace wsp::kernels {
+
+class Machine {
+ public:
+  struct CallResult {
+    std::uint32_t ret = 0;       ///< a0 on return
+    std::uint64_t cycles = 0;    ///< cycles consumed by this call
+    std::uint64_t instrs = 0;    ///< instructions retired by this call
+  };
+
+  explicit Machine(xasm::Program program, sim::CpuConfig config = {},
+                   sim::CustomSet customs = {});
+
+  /// Invokes `function` with up to 8 word arguments (a0..a7).
+  CallResult call(const std::string& function,
+                  std::initializer_list<std::uint32_t> args = {});
+
+  sim::Cpu& cpu() { return cpu_; }
+  const xasm::Program& program() const { return program_; }
+  const sim::CustomSet& customs() const { return customs_; }
+
+  // --- bump allocator over the heap region for marshalled buffers ----------
+  std::uint32_t alloc(std::size_t bytes, std::size_t align = 4);
+  void reset_heap();
+
+  // --- marshalling helpers -----------------------------------------------
+  void write_u32(std::uint32_t addr, std::uint32_t v) { cpu_.mem().store32(addr, v); }
+  std::uint32_t read_u32(std::uint32_t addr) const { return cpu_.mem().load32(addr); }
+  void write_words(std::uint32_t addr, const std::vector<std::uint32_t>& ws);
+  std::vector<std::uint32_t> read_words(std::uint32_t addr, std::size_t n) const;
+  void write_bytes(std::uint32_t addr, const std::vector<std::uint8_t>& bs);
+  std::vector<std::uint8_t> read_bytes(std::uint32_t addr, std::size_t n) const;
+
+  /// Allocates a buffer and writes the words into it.
+  std::uint32_t alloc_words(const std::vector<std::uint32_t>& ws);
+  std::uint32_t alloc_bytes(const std::vector<std::uint8_t>& bs);
+
+ private:
+  xasm::Program program_;
+  sim::CustomSet customs_;
+  sim::Cpu cpu_;
+  std::uint32_t heap_ = xasm::kHeapBase;
+};
+
+}  // namespace wsp::kernels

@@ -1,0 +1,165 @@
+#include "kernels/sha1_kernel.h"
+
+#include <functional>
+
+#include "kernels/regs.h"
+
+namespace wsp::kernels {
+
+using xasm::Assembler;
+
+void emit_sha1_kernel(Assembler& a) {
+  a.data_align(4);
+  a.data_symbol("sha1_w");
+  const std::uint32_t w_addr = a.data_zero(80 * 4);
+
+  // sha1_block(a0 = state ptr [5 words], a1 = block ptr [16 words, already
+  // big-endian-converted word values]).
+  a.func("sha1_block");
+  // W[0..16) = block words.
+  a.li(A2, w_addr);
+  a.mv(T0, A1);
+  a.li(T1, 16);
+  a.label("copy");
+  a.lw(T2, T0, 0);
+  a.sw(T2, A2, 0);
+  a.addi(T0, T0, 4);
+  a.addi(A2, A2, 4);
+  a.addi(T1, T1, -1);
+  a.bne(T1, Z, "copy");
+  // Expansion: W[i] = ROL1(W[i-3] ^ W[i-8] ^ W[i-14] ^ W[i-16]), A2 = &W[i].
+  a.li(A3, 64);
+  a.label("expand");
+  a.lw(T0, A2, -12);
+  a.lw(T1, A2, -32);
+  a.xor_(T0, T0, T1);
+  a.lw(T1, A2, -56);
+  a.xor_(T0, T0, T1);
+  a.lw(T1, A2, -64);
+  a.xor_(T0, T0, T1);
+  a.slli(T1, T0, 1);
+  a.srli(T2, T0, 31);
+  a.or_(T1, T1, T2);
+  a.sw(T1, A2, 0);
+  a.addi(A2, A2, 4);
+  a.addi(A3, A3, -1);
+  a.bne(A3, Z, "expand");
+
+  // Working variables a..e in T10..T14.
+  a.lw(T10, A0, 0);
+  a.lw(T11, A0, 4);
+  a.lw(T12, A0, 8);
+  a.lw(T13, A0, 12);
+  a.lw(T14, A0, 16);
+  a.li(A2, w_addr);  // W pointer
+
+  // Emits one 20-round phase; emit_f leaves the round function in T0 from
+  // b (T11), c (T12), d (T13).
+  auto phase = [&](const char* label, std::uint32_t k,
+                   const std::function<void()>& emit_f) {
+    a.li(A5, k);
+    a.li(A3, 20);
+    a.label(label);
+    emit_f();
+    a.slli(T1, T10, 5);
+    a.srli(T2, T10, 27);
+    a.or_(T1, T1, T2);   // ROL5(a)
+    a.add(T1, T1, T0);   // + f
+    a.add(T1, T1, T14);  // + e
+    a.add(T1, T1, A5);   // + k
+    a.lw(T2, A2, 0);
+    a.add(T1, T1, T2);   // + W[i]
+    a.mv(T14, T13);      // e = d
+    a.mv(T13, T12);      // d = c
+    a.slli(T2, T11, 30);
+    a.srli(T3, T11, 2);
+    a.or_(T12, T2, T3);  // c = ROL30(b)
+    a.mv(T11, T10);      // b = a
+    a.mv(T10, T1);       // a = t
+    a.addi(A2, A2, 4);
+    a.addi(A3, A3, -1);
+    a.bne(A3, Z, label);
+  };
+
+  phase("p0", 0x5A827999u, [&] {
+    a.and_(T0, T11, T12);
+    a.xori(T1, T11, -1);
+    a.and_(T1, T1, T13);
+    a.or_(T0, T0, T1);  // (b&c) | (~b&d)
+  });
+  phase("p1", 0x6ED9EBA1u, [&] {
+    a.xor_(T0, T11, T12);
+    a.xor_(T0, T0, T13);  // b^c^d
+  });
+  phase("p2", 0x8F1BBCDCu, [&] {
+    a.and_(T0, T11, T12);
+    a.and_(T1, T11, T13);
+    a.or_(T0, T0, T1);
+    a.and_(T1, T12, T13);
+    a.or_(T0, T0, T1);  // majority
+  });
+  phase("p3", 0xCA62C1D6u, [&] {
+    a.xor_(T0, T11, T12);
+    a.xor_(T0, T0, T13);
+  });
+
+  // state += working variables.
+  const std::uint8_t vars[5] = {T10, T11, T12, T13, T14};
+  for (int i = 0; i < 5; ++i) {
+    a.lw(T0, A0, 4 * i);
+    a.add(T0, T0, vars[i]);
+    a.sw(T0, A0, 4 * i);
+  }
+  a.ret();
+}
+
+Sha1Kernel::Sha1Kernel(Machine& m) : m_(m) {
+  state_addr_ = m_.alloc(20, 4);
+  block_addr_ = m_.alloc(64, 4);
+}
+
+std::array<std::uint8_t, 20> Sha1Kernel::hash(const std::vector<std::uint8_t>& data,
+                                              std::uint64_t* cycles) {
+  // Standard SHA-1 padding on the host (framing, not compression work).
+  std::vector<std::uint8_t> padded = data;
+  const std::uint64_t bit_len = static_cast<std::uint64_t>(data.size()) * 8;
+  padded.push_back(0x80);
+  while (padded.size() % 64 != 56) padded.push_back(0);
+  for (int i = 7; i >= 0; --i) {
+    padded.push_back(static_cast<std::uint8_t>(bit_len >> (8 * i)));
+  }
+
+  const std::uint32_t h0[5] = {0x67452301u, 0xEFCDAB89u, 0x98BADCFEu,
+                               0x10325476u, 0xC3D2E1F0u};
+  for (int i = 0; i < 5; ++i) {
+    m_.write_u32(state_addr_ + 4 * static_cast<std::uint32_t>(i), h0[i]);
+  }
+  for (std::size_t off = 0; off < padded.size(); off += 64) {
+    for (int w = 0; w < 16; ++w) {
+      const std::uint8_t* p = padded.data() + off + 4 * static_cast<std::size_t>(w);
+      const std::uint32_t v = (static_cast<std::uint32_t>(p[0]) << 24) |
+                              (static_cast<std::uint32_t>(p[1]) << 16) |
+                              (static_cast<std::uint32_t>(p[2]) << 8) | p[3];
+      m_.write_u32(block_addr_ + 4 * static_cast<std::uint32_t>(w), v);
+    }
+    const auto res = m_.call("sha1_block", {state_addr_, block_addr_});
+    if (cycles) *cycles += res.cycles;
+  }
+  std::array<std::uint8_t, 20> out{};
+  for (int i = 0; i < 5; ++i) {
+    const std::uint32_t v = m_.read_u32(state_addr_ + 4 * static_cast<std::uint32_t>(i));
+    out[static_cast<std::size_t>(4 * i)] = static_cast<std::uint8_t>(v >> 24);
+    out[static_cast<std::size_t>(4 * i + 1)] = static_cast<std::uint8_t>(v >> 16);
+    out[static_cast<std::size_t>(4 * i + 2)] = static_cast<std::uint8_t>(v >> 8);
+    out[static_cast<std::size_t>(4 * i + 3)] = static_cast<std::uint8_t>(v);
+  }
+  return out;
+}
+
+Machine make_sha1_machine(sim::CpuConfig config) {
+  Assembler a;
+  emit_sha1_kernel(a);
+  return Machine(a.finish(), config, {});
+}
+
+}  // namespace wsp::kernels

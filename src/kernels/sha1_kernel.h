@@ -1,0 +1,40 @@
+// SHA-1 on the simulated core (base ISA).
+//
+// The record-layer MACs are the biggest *unaccelerated* cost in the SSL
+// workload (the "Misc" share of Fig. 8); this kernel gives that cost a
+// measured value on the platform instead of an estimate.  One function,
+// sha1_block, implements the 80-round compression; the host wrapper runs
+// full messages through it with standard padding and validates against the
+// host Sha1.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "kernels/runtime.h"
+#include "xasm/program.h"
+
+namespace wsp::kernels {
+
+/// Emits sha1_block(state_ptr, block_ptr): one compression of the 64-byte
+/// big-endian block at block_ptr into the five-word state at state_ptr.
+void emit_sha1_kernel(xasm::Assembler& a);
+
+class Sha1Kernel {
+ public:
+  explicit Sha1Kernel(Machine& m);
+
+  /// Hashes `data` entirely on the ISS; cycles accumulated into *cycles.
+  std::array<std::uint8_t, 20> hash(const std::vector<std::uint8_t>& data,
+                                    std::uint64_t* cycles = nullptr);
+
+ private:
+  Machine& m_;
+  std::uint32_t state_addr_ = 0;
+  std::uint32_t block_addr_ = 0;
+};
+
+Machine make_sha1_machine(sim::CpuConfig config = {});
+
+}  // namespace wsp::kernels

@@ -1,0 +1,198 @@
+#include "macromodel/characterize.h"
+
+#include <stdexcept>
+
+namespace wsp::macromodel {
+
+namespace {
+
+std::vector<std::uint32_t> random_words(Rng& rng, std::size_t n) {
+  std::vector<std::uint32_t> v(n);
+  for (auto& x : v) x = rng.next_u32();
+  return v;
+}
+
+}  // namespace
+
+Samples sample_routine(kernels::Machine& machine, Prim routine,
+                       const CharacterizeOptions& options) {
+  Rng rng(options.seed + static_cast<std::uint64_t>(routine) * 7919);
+  Samples s;
+  auto record = [&](std::size_t n, std::size_t m, std::uint64_t cycles) {
+    s.features.push_back({static_cast<double>(n), static_cast<double>(m)});
+    s.cycles.push_back(static_cast<double>(cycles));
+  };
+
+  for (std::size_t n : options.sizes) {
+    for (int rep = 0; rep < options.reps_per_size; ++rep) {
+      const auto a = random_words(rng, n);
+      const auto b = random_words(rng, n);
+      const std::uint32_t scalar = rng.next_u32() | 1;
+      std::vector<std::uint32_t> r;
+      switch (routine) {
+        case Prim::kAddN:
+          record(n, 0, kernels::run_add_n(machine, r, a, b).cycles);
+          break;
+        case Prim::kSubN:
+          record(n, 0, kernels::run_sub_n(machine, r, a, b).cycles);
+          break;
+        case Prim::kAdd1:
+          record(n, 0, kernels::run_add_1(machine, r, a, scalar).cycles);
+          break;
+        case Prim::kSub1:
+          record(n, 0, kernels::run_sub_1(machine, r, a, scalar).cycles);
+          break;
+        case Prim::kMul1:
+          record(n, 0, kernels::run_mul_1(machine, r, a, scalar).cycles);
+          break;
+        case Prim::kAddMul1: {
+          r = random_words(rng, n);
+          record(n, 0, kernels::run_addmul_1(machine, r, a, scalar).cycles);
+          break;
+        }
+        case Prim::kSubMul1: {
+          r = random_words(rng, n);
+          record(n, 0, kernels::run_submul_1(machine, r, a, scalar).cycles);
+          break;
+        }
+        case Prim::kCmp:
+          // Equal operands exercise the worst case (full scan).
+          record(n, 0, kernels::run_cmp(machine, a, a).cycles);
+          break;
+        case Prim::kLshift:
+          record(n, 0,
+                 kernels::run_lshift(machine, r, a,
+                                     1 + static_cast<unsigned>(rng.below(31)))
+                     .cycles);
+          break;
+        case Prim::kRshift:
+          record(n, 0,
+                 kernels::run_rshift(machine, r, a,
+                                     1 + static_cast<unsigned>(rng.below(31)))
+                     .cycles);
+          break;
+        case Prim::kDiv2by1: {
+          const std::uint32_t d = rng.next_u32() | 0x80000000u;
+          const std::uint32_t hi = static_cast<std::uint32_t>(rng.below(d));
+          record(1, 0, kernels::run_div_2by1(machine, hi, rng.next_u32(), d).cycles);
+          break;
+        }
+        case Prim::kDivrem:
+        case Prim::kCount:
+          throw std::invalid_argument("sample_routine: composite routine");
+      }
+    }
+    if (routine == Prim::kDiv2by1) break;  // size-independent
+  }
+  return s;
+}
+
+Samples sample_routine16(kernels::Machine& machine, Prim routine,
+                         const CharacterizeOptions& options) {
+  Rng rng(options.seed + 31 + static_cast<std::uint64_t>(routine) * 7919);
+  Samples s;
+  auto record = [&](std::size_t n, std::uint64_t cycles) {
+    s.features.push_back({static_cast<double>(n), 0.0});
+    s.cycles.push_back(static_cast<double>(cycles));
+  };
+  auto random_halfwords = [&](std::size_t n) {
+    std::vector<std::uint16_t> v(n);
+    for (auto& x : v) x = static_cast<std::uint16_t>(rng.next_u32());
+    return v;
+  };
+
+  for (std::size_t n : options.sizes) {
+    for (int rep = 0; rep < options.reps_per_size; ++rep) {
+      const auto a = random_halfwords(n);
+      const auto b = random_halfwords(n);
+      const std::uint16_t scalar = static_cast<std::uint16_t>(rng.next_u32() | 1);
+      std::vector<std::uint16_t> r;
+      switch (routine) {
+        case Prim::kAddN:
+          record(n, kernels::run16_add_n(machine, r, a, b).cycles);
+          break;
+        case Prim::kSubN:
+          record(n, kernels::run16_sub_n(machine, r, a, b).cycles);
+          break;
+        case Prim::kAdd1:
+          record(n, kernels::run16_add_1(machine, r, a, scalar).cycles);
+          break;
+        case Prim::kSub1:
+          record(n, kernels::run16_sub_1(machine, r, a, scalar).cycles);
+          break;
+        case Prim::kMul1:
+          record(n, kernels::run16_mul_1(machine, r, a, scalar).cycles);
+          break;
+        case Prim::kAddMul1:
+          r = random_halfwords(n);
+          record(n, kernels::run16_addmul_1(machine, r, a, scalar).cycles);
+          break;
+        case Prim::kSubMul1:
+          r = random_halfwords(n);
+          record(n, kernels::run16_submul_1(machine, r, a, scalar).cycles);
+          break;
+        case Prim::kCmp:
+          record(n, kernels::run16_cmp(machine, a, a).cycles);
+          break;
+        case Prim::kLshift:
+          record(n, kernels::run16_lshift(machine, r, a,
+                                          1 + static_cast<unsigned>(rng.below(15)))
+                        .cycles);
+          break;
+        case Prim::kRshift:
+          record(n, kernels::run16_rshift(machine, r, a,
+                                          1 + static_cast<unsigned>(rng.below(15)))
+                        .cycles);
+          break;
+        case Prim::kDiv2by1:
+        case Prim::kDivrem:
+        case Prim::kCount:
+          throw std::invalid_argument("sample_routine16: unsupported routine");
+      }
+    }
+  }
+  return s;
+}
+
+MacroModelSet characterize_mpn_full(kernels::Machine& machine32,
+                                    kernels::Machine& machine16,
+                                    const CharacterizeOptions& options) {
+  MacroModelSet set = characterize_mpn(machine32, options);
+  const std::vector<Monomial> linear = {{0, 0}, {1, 0}};
+  const Prim routines[] = {Prim::kAddN, Prim::kSubN, Prim::kAdd1, Prim::kSub1,
+                           Prim::kMul1, Prim::kAddMul1, Prim::kSubMul1,
+                           Prim::kCmp, Prim::kLshift, Prim::kRshift};
+  for (Prim p : routines) {
+    const Samples s = sample_routine16(machine16, p, options);
+    RoutineModel rm;
+    rm.model = fit(s.features, s.cycles, linear, &rm.quality);
+    set.set(p, 16, rm);
+  }
+  // The division step is radix-independent (same shift-subtract hardware
+  // path); keep the measured 32-bit model for both radices.
+  return set;
+}
+
+MacroModelSet characterize_mpn(kernels::Machine& machine,
+                               const CharacterizeOptions& options) {
+  MacroModelSet set;
+  const std::vector<Monomial> linear = {{0, 0}, {1, 0}};   // c0 + c1*n
+  const std::vector<Monomial> constant = {{0, 0}};
+
+  const Prim routines[] = {Prim::kAddN, Prim::kSubN, Prim::kAdd1, Prim::kSub1,
+                           Prim::kMul1, Prim::kAddMul1, Prim::kSubMul1,
+                           Prim::kCmp, Prim::kLshift, Prim::kRshift,
+                           Prim::kDiv2by1};
+  for (Prim p : routines) {
+    const Samples s = sample_routine(machine, p, options);
+    RoutineModel rm;
+    rm.model = fit(s.features, s.cycles,
+                   p == Prim::kDiv2by1 ? constant : linear, &rm.quality);
+    // Register for both radix options (see header for the justification).
+    set.set(p, 32, rm);
+    set.set(p, 16, rm);
+  }
+  return set;
+}
+
+}  // namespace wsp::macromodel

@@ -1,0 +1,41 @@
+// Macro-model registry: one fitted PolyModel per (library routine, radix),
+// with the per-routine fit quality from characterization.  This is the
+// artifact the algorithm-exploration phase consumes instead of the ISS.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "macromodel/regression.h"
+#include "mp/cost.h"
+
+namespace wsp::macromodel {
+
+struct RoutineModel {
+  PolyModel model;     ///< features: (n, m) in limbs
+  FitQuality quality;  ///< characterization fit quality
+};
+
+class MacroModelSet {
+ public:
+  void set(Prim p, unsigned limb_bits, RoutineModel model);
+  bool has(Prim p, unsigned limb_bits) const;
+  const RoutineModel& get(Prim p, unsigned limb_bits) const;
+
+  /// Predicted cycles for one primitive invocation.  Throws
+  /// std::out_of_range for an uncharacterized routine.
+  double cycles(Prim p, std::size_t n, std::size_t m, unsigned limb_bits) const;
+
+  /// Multi-line summary: routine, model formula, R^2, MAE%.
+  std::string describe() const;
+
+  /// Text serialization — characterization is a one-time cost per hardware
+  /// configuration, so model sets can be persisted and reloaded.
+  std::string serialize() const;
+  static MacroModelSet deserialize(const std::string& text);
+
+ private:
+  std::map<std::pair<int, unsigned>, RoutineModel> models_;
+};
+
+}  // namespace wsp::macromodel

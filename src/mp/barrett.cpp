@@ -1,0 +1,8 @@
+#include "mp/barrett.h"
+
+namespace wsp {
+
+template class Barrett<std::uint16_t>;
+template class Barrett<std::uint32_t>;
+
+}  // namespace wsp

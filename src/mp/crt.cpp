@@ -1,0 +1,15 @@
+#include "mp/crt.h"
+
+namespace wsp {
+
+Mpz crt_combine_textbook(const Mpz& mp, const Mpz& mq, const CrtKey& key) {
+  const Mpz n = key.p * key.q;
+  return (mp * key.cp + mq * key.cq).mod(n);
+}
+
+Mpz crt_combine_garner(const Mpz& mp, const Mpz& mq, const CrtKey& key) {
+  const Mpz h = (key.qinv_p * (mp - mq)).mod(key.p);
+  return mq + h * key.q;
+}
+
+}  // namespace wsp

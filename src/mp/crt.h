@@ -1,0 +1,19 @@
+// Chinese Remainder Theorem recombination — the "three CRT implementations"
+// axis of the paper's design space: none (direct exponentiation), textbook
+// recombination, and Garner's algorithm.
+#pragma once
+
+#include "mp/modexp.h"
+#include "mp/mpz.h"
+
+namespace wsp {
+
+/// Textbook CRT: m = (mp * cp + mq * cq) mod (p*q), where cp and cq are the
+/// precomputed CRT coefficients in `key`.
+Mpz crt_combine_textbook(const Mpz& mp, const Mpz& mq, const CrtKey& key);
+
+/// Garner's algorithm: h = qinv * (mp - mq) mod p;  m = mq + h*q.
+/// Avoids the full-width reduction of the textbook method.
+Mpz crt_combine_garner(const Mpz& mp, const Mpz& mq, const CrtKey& key);
+
+}  // namespace wsp

@@ -1,0 +1,10 @@
+#include "mp/montgomery.h"
+
+namespace wsp {
+
+// Explicit instantiation for both radix options so template errors surface
+// at library build time rather than in every client.
+template class Mont<std::uint16_t>;
+template class Mont<std::uint32_t>;
+
+}  // namespace wsp

@@ -1,0 +1,20 @@
+#include "mp/mpn.h"
+
+// Explicit instantiations of the multi-step mpn routines for both radix
+// options, so that template errors surface once at library build time.
+
+namespace wsp::mpn {
+
+template void mul_karatsuba<std::uint16_t>(std::uint16_t*, const std::uint16_t*,
+                                           const std::uint16_t*, std::size_t);
+template void mul_karatsuba<std::uint32_t>(std::uint32_t*, const std::uint32_t*,
+                                           const std::uint32_t*, std::size_t);
+
+template void divrem<std::uint16_t>(std::uint16_t*, std::uint16_t*,
+                                    const std::uint16_t*, std::size_t,
+                                    const std::uint16_t*, std::size_t);
+template void divrem<std::uint32_t>(std::uint32_t*, std::uint32_t*,
+                                    const std::uint32_t*, std::size_t,
+                                    const std::uint32_t*, std::size_t);
+
+}  // namespace wsp::mpn

@@ -1,0 +1,26 @@
+// Primality testing and prime generation — the "complex operations" the
+// paper lists explicitly (Miller-Rabin primality testing, prime number
+// generation) as part of the layered software architecture (Sec. 2.2).
+#pragma once
+
+#include "mp/mpz.h"
+#include "support/random.h"
+
+namespace wsp {
+
+/// Miller-Rabin probabilistic primality test with `rounds` random bases.
+/// Deterministic small-case handling; trial division by small primes first.
+bool is_probable_prime(const Mpz& n, int rounds, Rng& rng);
+
+/// Generates a random odd probable prime of exactly `bits` bits
+/// (top two bits set so that products of two such primes have 2*bits bits,
+/// as required for RSA modulus sizing).
+Mpz gen_prime(std::size_t bits, Rng& rng, int rounds = 24);
+
+/// Uniform random integer in [0, bound).
+Mpz random_below(const Mpz& bound, Rng& rng);
+
+/// Uniform random integer with exactly `bits` bits (MSB set).
+Mpz random_bits(std::size_t bits, Rng& rng);
+
+}  // namespace wsp

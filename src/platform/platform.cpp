@@ -1,0 +1,81 @@
+#include "platform/platform.h"
+
+namespace wsp::platform {
+
+const char* to_string(Config config) {
+  return config == Config::kBaseline ? "baseline" : "optimized";
+}
+
+namespace {
+
+kernels::MpnTieConfig mpn_tie_for(Config config) {
+  // The optimized platform carries the add_8/sub_8 and mac_8 units chosen
+  // by the global selection phase under the default area budget.
+  return config == Config::kOptimized ? kernels::MpnTieConfig{8, 8}
+                                      : kernels::MpnTieConfig{};
+}
+
+}  // namespace
+
+SecurityPlatform::SecurityPlatform(Config config)
+    : config_(config),
+      des_machine_(kernels::make_des_machine(config == Config::kOptimized)),
+      aes_machine_(kernels::make_aes_machine(
+          config == Config::kOptimized ? kernels::AesKernelVariant::kTiePartial
+                                       : kernels::AesKernelVariant::kBase)),
+      modexp_machine_(kernels::make_modexp_machine(mpn_tie_for(config))),
+      sha1_machine_(kernels::make_sha1_machine()),
+      des_(des_machine_, config == Config::kOptimized),
+      aes_(aes_machine_,
+           config == Config::kOptimized ? kernels::AesKernelVariant::kTiePartial
+                                        : kernels::AesKernelVariant::kBase),
+      modexp_(modexp_machine_),
+      sha1_(sha1_machine_) {}
+
+std::array<std::uint8_t, 20> SecurityPlatform::sha1(
+    const std::vector<std::uint8_t>& data) {
+  return sha1_.hash(data, &cycles_);
+}
+
+std::vector<std::uint8_t> SecurityPlatform::des_encrypt(
+    const std::vector<std::uint8_t>& data, std::uint64_t key) {
+  des_.set_key(key);
+  return des_.encrypt_ecb(data, &cycles_);
+}
+
+std::vector<std::uint8_t> SecurityPlatform::des3_encrypt(
+    const std::vector<std::uint8_t>& data, std::uint64_t k1, std::uint64_t k2,
+    std::uint64_t k3) {
+  des_.set_3des_keys(k1, k2, k3);
+  return des_.encrypt_ecb_3des(data, &cycles_);
+}
+
+std::vector<std::uint8_t> SecurityPlatform::aes128_encrypt(
+    const std::vector<std::uint8_t>& data, const std::vector<std::uint8_t>& key) {
+  aes_.set_key(key);
+  return aes_.encrypt_ecb(data, &cycles_);
+}
+
+Mpz SecurityPlatform::rsa_public(const Mpz& m, const rsa::PublicKey& key) {
+  if (config_ == Config::kOptimized) {
+    const auto res = modexp_.powm_mont(m, key.e, key.n, 2);
+    cycles_ += res.cycles;
+    return res.result;
+  }
+  const auto res = modexp_.powm_base(m, key.e, key.n);
+  cycles_ += res.cycles;
+  return res.result;
+}
+
+Mpz SecurityPlatform::rsa_private(const Mpz& c, const rsa::PrivateKey& key) {
+  if (config_ == Config::kOptimized) {
+    const auto res = modexp_.rsa_crt(c, key, 5);
+    cycles_ += res.cycles;
+    return res.result;
+  }
+  const auto res = modexp_.powm_base(c, key.d, key.n);
+  cycles_ += res.cycles;
+  return res.result;
+}
+
+}  // namespace wsp::platform

@@ -1,0 +1,78 @@
+// The security processor platform facade — the top "security primitives"
+// layer of the paper's layered software architecture (Sec. 2.2), bound to a
+// simulated hardware configuration.
+//
+// Config::kBaseline is the stock XR32 core running the well-optimized
+// software libraries; Config::kOptimized is the core extended with the
+// custom instructions chosen by the global selection phase plus the tuned
+// algorithms from the exploration phase (Montgomery CIOS, 5-bit windows,
+// Garner CRT).  All cryptographic work runs on the cycle-accurate ISS;
+// cycle counters expose the cost of every primitive.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "crypto/rsa.h"
+#include "kernels/aes_kernel.h"
+#include "kernels/des_kernel.h"
+#include "kernels/modexp_kernel.h"
+#include "kernels/sha1_kernel.h"
+
+namespace wsp::platform {
+
+enum class Config { kBaseline, kOptimized };
+
+const char* to_string(Config config);
+
+class SecurityPlatform {
+ public:
+  /// Target clock of the prototype core (Xtensa-class, 0.18um): 188 MHz.
+  static constexpr double kClockMhz = 188.0;
+
+  explicit SecurityPlatform(Config config);
+
+  Config config() const { return config_; }
+
+  // --- private-key primitives (ECB over whole buffers) --------------------
+  std::vector<std::uint8_t> des_encrypt(const std::vector<std::uint8_t>& data,
+                                        std::uint64_t key);
+  std::vector<std::uint8_t> des3_encrypt(const std::vector<std::uint8_t>& data,
+                                         std::uint64_t k1, std::uint64_t k2,
+                                         std::uint64_t k3);
+  /// AES-ECB with a 16/24/32-byte key (the name keeps the platform's
+  /// original AES-128 headline benchmark; all key sizes run).
+  std::vector<std::uint8_t> aes128_encrypt(const std::vector<std::uint8_t>& data,
+                                           const std::vector<std::uint8_t>& key);
+
+  /// SHA-1 digest (unaccelerated on both configurations — hashing is the
+  /// platform's "misc" share in the SSL workload).
+  std::array<std::uint8_t, 20> sha1(const std::vector<std::uint8_t>& data);
+
+  // --- public-key primitives ------------------------------------------------
+  Mpz rsa_public(const Mpz& m, const rsa::PublicKey& key);
+  Mpz rsa_private(const Mpz& c, const rsa::PrivateKey& key);
+
+  // --- accounting -------------------------------------------------------------
+  /// Cycles consumed by platform primitives since the last reset.
+  std::uint64_t cycles_consumed() const { return cycles_; }
+  void reset_cycles() { cycles_ = 0; }
+  /// Wall time of the consumed cycles at the platform clock.
+  double seconds_at_clock(double mhz = kClockMhz) const {
+    return static_cast<double>(cycles_) / (mhz * 1e6);
+  }
+
+ private:
+  Config config_;
+  kernels::Machine des_machine_;
+  kernels::Machine aes_machine_;
+  kernels::Machine modexp_machine_;
+  kernels::Machine sha1_machine_;
+  kernels::DesKernel des_;
+  kernels::AesKernel aes_;
+  kernels::IssModexp modexp_;
+  kernels::Sha1Kernel sha1_;
+  std::uint64_t cycles_ = 0;
+};
+
+}  // namespace wsp::platform

@@ -1,0 +1,82 @@
+#include "select/callgraph.h"
+
+#include <functional>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+namespace wsp::select {
+
+void CallGraph::add(CgNode node) { nodes_[node.name] = std::move(node); }
+
+const CgNode& CallGraph::node(const std::string& name) const {
+  const auto it = nodes_.find(name);
+  if (it == nodes_.end()) throw std::out_of_range("CallGraph: unknown node " + name);
+  return it->second;
+}
+
+CallGraph CallGraph::from_profiler(const sim::Profiler& profiler,
+                                   const std::string& root) {
+  CallGraph graph;
+  const auto& funcs = profiler.functions();
+  if (!funcs.count(root)) {
+    throw std::invalid_argument("CallGraph::from_profiler: root never called");
+  }
+  for (const auto& [name, stats] : funcs) {
+    CgNode node;
+    node.name = name;
+    node.local_cycles = stats.calls
+                            ? static_cast<double>(stats.self_cycles) /
+                                  static_cast<double>(stats.calls)
+                            : 0.0;
+    graph.nodes_[name] = std::move(node);
+  }
+  for (const auto& [edge, count] : profiler.edges()) {
+    const auto& [caller, callee] = edge;
+    if (caller == "<host>") continue;
+    const auto cit = funcs.find(caller);
+    if (cit == funcs.end() || cit->second.calls == 0) continue;
+    graph.nodes_[caller].children.push_back(
+        {callee, static_cast<double>(count) /
+                     static_cast<double>(cit->second.calls)});
+  }
+  return graph;
+}
+
+std::vector<std::string> CallGraph::leaves(const std::string& root) const {
+  std::vector<std::string> out;
+  std::set<std::string> visited;
+  std::function<void(const std::string&)> walk = [&](const std::string& name) {
+    if (!visited.insert(name).second) return;
+    const CgNode& n = node(name);
+    if (n.children.empty()) {
+      out.push_back(name);
+      return;
+    }
+    for (const auto& [child, calls] : n.children) walk(child);
+  };
+  walk(root);
+  return out;
+}
+
+std::string CallGraph::format(const std::string& root) const {
+  std::ostringstream os;
+  std::set<std::string> path;
+  std::function<void(const std::string&, int, double)> walk =
+      [&](const std::string& name, int depth, double calls) {
+        for (int i = 0; i < depth; ++i) os << "  ";
+        os << name;
+        if (depth > 0) os << " (x" << calls << ")";
+        const CgNode& n = node(name);
+        os << "  [local " << n.local_cycles << " cyc]\n";
+        if (!path.insert(name).second) return;  // guard (no recursion expected)
+        for (const auto& [child, ccalls] : n.children) {
+          walk(child, depth + 1, ccalls);
+        }
+        path.erase(name);
+      };
+  walk(root, 0, 1.0);
+  return os.str();
+}
+
+}  // namespace wsp::select

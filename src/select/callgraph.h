@@ -1,0 +1,44 @@
+// Annotated call graphs for global custom-instruction selection
+// (paper Sec. 3.4 / Fig. 4): nodes carry per-invocation local cycles,
+// edges carry calls-per-invocation weights.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/profiler.h"
+
+namespace wsp::select {
+
+struct CgNode {
+  std::string name;
+  double local_cycles = 0.0;  ///< self cycles per invocation of this node
+  /// (callee, calls per invocation of this node)
+  std::vector<std::pair<std::string, double>> children;
+};
+
+class CallGraph {
+ public:
+  void add(CgNode node);
+  bool has(const std::string& name) const { return nodes_.count(name) != 0; }
+  const CgNode& node(const std::string& name) const;
+  const std::map<std::string, CgNode>& nodes() const { return nodes_; }
+
+  /// Builds the graph from profiler data: per-invocation self cycles and
+  /// per-invocation call counts (edge count / caller invocations).
+  /// `root` must have been invoked at least once.
+  static CallGraph from_profiler(const sim::Profiler& profiler,
+                                 const std::string& root);
+
+  /// Leaves reachable from `root` (nodes with no children).
+  std::vector<std::string> leaves(const std::string& root) const;
+
+  /// Fig. 4-style rendering: indented tree with call multiplicities.
+  std::string format(const std::string& root) const;
+
+ private:
+  std::map<std::string, CgNode> nodes_;
+};
+
+}  // namespace wsp::select

@@ -1,0 +1,60 @@
+#include "select/select.h"
+
+#include <functional>
+#include <limits>
+#include <stdexcept>
+
+namespace wsp::select {
+
+SelectionResult select_instructions(
+    const CallGraph& graph, const std::string& root,
+    const std::map<std::string, tie::ADCurve>& leaf_curves,
+    const tie::InstrCatalog& catalog, double area_budget) {
+  SelectionResult result;
+  result.area_budget = area_budget;
+
+  std::map<std::string, tie::ADCurve> memo;
+  std::function<const tie::ADCurve&(const std::string&)> curve_of =
+      [&](const std::string& name) -> const tie::ADCurve& {
+    const auto mit = memo.find(name);
+    if (mit != memo.end()) return mit->second;
+    const CgNode& node = graph.node(name);
+    tie::ADCurve curve;
+    if (node.children.empty()) {
+      const auto lit = leaf_curves.find(name);
+      if (lit != leaf_curves.end()) {
+        curve = lit->second;
+      } else {
+        curve.add(tie::ADPoint{0.0, node.local_cycles, {}});
+      }
+    } else {
+      std::vector<std::pair<double, const tie::ADCurve*>> children;
+      children.reserve(node.children.size());
+      for (const auto& [child, calls] : node.children) {
+        children.push_back({calls, &curve_of(child)});
+      }
+      tie::ADCurve::CombineStats stats;
+      curve = tie::ADCurve::combine(node.local_cycles, children, catalog, &stats);
+      result.combine_stats[name] = stats;
+    }
+    return memo.emplace(name, std::move(curve)).first->second;
+  };
+
+  tie::ADCurve root_curve = curve_of(root);
+  root_curve.pareto_prune();
+
+  const tie::ADPoint* best = nullptr;
+  for (const tie::ADPoint& p : root_curve.points()) {
+    if (p.area <= area_budget && (!best || p.cycles < best->cycles)) {
+      best = &p;
+    }
+  }
+  if (!best) {
+    throw std::runtime_error("select_instructions: no point fits the budget");
+  }
+  result.chosen = *best;
+  result.root_curve = std::move(root_curve);
+  return result;
+}
+
+}  // namespace wsp::select

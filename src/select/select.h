@@ -1,0 +1,35 @@
+// Global custom-instruction selection (paper Sec. 3.4): propagate per-leaf
+// A-D curves bottom-up through the call graph via Eq. (1), combining with
+// dominance reduction and instruction sharing, Pareto-prune at the root,
+// and pick the fastest point within the area budget.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "select/callgraph.h"
+#include "tie/adcurve.h"
+
+namespace wsp::select {
+
+struct SelectionResult {
+  tie::ADCurve root_curve;       ///< after Pareto pruning
+  tie::ADPoint chosen;           ///< best point within the area budget
+  double area_budget = 0.0;
+  /// Cartesian-vs-reduced statistics per combined node (for Fig. 6
+  /// reporting), keyed by node name.
+  std::map<std::string, tie::ADCurve::CombineStats> combine_stats;
+};
+
+/// Runs the bottom-up propagation from `root`.
+///
+/// `leaf_curves` maps leaf routine names to their measured A-D curves;
+/// leaves without a curve contribute a single zero-area point at their
+/// profiled local cycles.  Throws std::runtime_error if no point fits the
+/// area budget (the zero-area base point always fits a non-negative budget).
+SelectionResult select_instructions(
+    const CallGraph& graph, const std::string& root,
+    const std::map<std::string, tie::ADCurve>& leaf_curves,
+    const tie::InstrCatalog& catalog, double area_budget);
+
+}  // namespace wsp::select

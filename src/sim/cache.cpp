@@ -1,0 +1,58 @@
+#include "sim/cache.h"
+
+#include <stdexcept>
+
+namespace wsp::sim {
+
+namespace {
+bool is_pow2(std::size_t v) { return v != 0 && (v & (v - 1)) == 0; }
+}  // namespace
+
+Cache::Cache(const CacheConfig& config) : config_(config) {
+  if (!is_pow2(config_.line_bytes) || config_.ways == 0 ||
+      config_.size_bytes % (config_.line_bytes * config_.ways) != 0) {
+    throw std::invalid_argument("Cache: bad geometry");
+  }
+  num_sets_ = config_.size_bytes / (config_.line_bytes * config_.ways);
+  if (!is_pow2(num_sets_)) throw std::invalid_argument("Cache: sets not power of 2");
+  lines_.assign(num_sets_ * config_.ways, Line{});
+}
+
+void Cache::reset() {
+  lines_.assign(lines_.size(), Line{});
+  stamp_ = hits_ = misses_ = 0;
+}
+
+std::uint32_t Cache::access(std::uint32_t addr) {
+  const std::uint32_t line_addr = addr / static_cast<std::uint32_t>(config_.line_bytes);
+  const std::size_t set = line_addr & (num_sets_ - 1);
+  const std::uint32_t tag = line_addr / static_cast<std::uint32_t>(num_sets_);
+  Line* base = &lines_[set * config_.ways];
+  ++stamp_;
+  for (std::size_t w = 0; w < config_.ways; ++w) {
+    Line& line = base[w];
+    if (line.valid && line.tag == tag) {
+      line.lru = stamp_;
+      ++hits_;
+      return 0;
+    }
+  }
+  // Miss: fill an invalid way if present, else evict the LRU way.
+  Line* victim = nullptr;
+  for (std::size_t w = 0; w < config_.ways && !victim; ++w) {
+    if (!base[w].valid) victim = &base[w];
+  }
+  if (!victim) {
+    victim = base;
+    for (std::size_t w = 1; w < config_.ways; ++w) {
+      if (base[w].lru < victim->lru) victim = &base[w];
+    }
+  }
+  victim->valid = true;
+  victim->tag = tag;
+  victim->lru = stamp_;
+  ++misses_;
+  return config_.miss_penalty;
+}
+
+}  // namespace wsp::sim

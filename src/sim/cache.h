@@ -1,0 +1,49 @@
+// Set-associative cache timing model (tags only — data lives in Memory).
+//
+// The Xtensa's cache and memory-interface configuration is one of the base
+// processor options the paper mentions; this model provides the same knob.
+// A cache object only accounts cycles; functional correctness never depends
+// on it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace wsp::sim {
+
+struct CacheConfig {
+  std::size_t size_bytes = 16 * 1024;
+  std::size_t line_bytes = 16;
+  std::size_t ways = 2;
+  std::uint32_t miss_penalty = 20;  ///< extra cycles on a miss
+};
+
+class Cache {
+ public:
+  explicit Cache(const CacheConfig& config);
+
+  /// Records an access; returns the extra cycles it costs (0 on hit).
+  std::uint32_t access(std::uint32_t addr);
+
+  void reset();
+
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  const CacheConfig& config() const { return config_; }
+
+ private:
+  struct Line {
+    std::uint32_t tag = 0;
+    bool valid = false;
+    std::uint64_t lru = 0;  ///< last-access stamp
+  };
+
+  CacheConfig config_;
+  std::size_t num_sets_;
+  std::vector<Line> lines_;  // sets x ways
+  std::uint64_t stamp_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace wsp::sim

@@ -1,0 +1,229 @@
+#include "sim/cpu.h"
+
+#include <stdexcept>
+
+namespace wsp::sim {
+
+using isa::Instr;
+using isa::Op;
+
+Cpu::Cpu(const xasm::Program& program, CpuConfig config, const CustomSet* customs)
+    : program_(program), config_(config), customs_(customs), mem_(config.mem_bytes) {
+  if (config_.model_caches) {
+    icache_.emplace(config_.icache);
+    dcache_.emplace(config_.dcache);
+  }
+  // Load the data segment.
+  if (!program_.data.empty()) {
+    mem_.write_block(xasm::kDataBase, program_.data.data(), program_.data.size());
+  }
+  // Stack grows down from the top of memory.
+  regs_[isa::kSp] = static_cast<std::uint32_t>(mem_.size() - 16);
+  std::map<std::uint32_t, std::string> table;
+  for (const auto& [name, entry] : program_.functions) table[entry] = name;
+  profiler_.set_function_table(std::move(table));
+}
+
+void Cpu::reset_stats() {
+  cycles_ = 0;
+  instret_ = 0;
+  pending_load_reg_ = 0;
+  profiler_.reset();
+  if (icache_) icache_->reset();
+  if (dcache_) dcache_->reset();
+}
+
+std::uint32_t Cpu::dcache_access(std::uint32_t addr) {
+  return dcache_ ? dcache_->access(addr) : 0;
+}
+
+std::uint32_t Cpu::custom_load32(std::uint32_t addr) {
+  cycles_ += dcache_access(addr);
+  return mem_.load32(addr);
+}
+
+void Cpu::custom_store32(std::uint32_t addr, std::uint32_t v) {
+  cycles_ += dcache_access(addr);
+  mem_.store32(addr, v);
+}
+
+void Cpu::call(std::uint32_t entry) {
+  if (entry >= program_.code.size()) {
+    throw std::out_of_range("Cpu::call: entry out of range");
+  }
+  regs_[isa::kRa] = xasm::kStopPc;
+  pc_ = entry;
+  halted_ = false;
+  profiler_.on_call(entry, cycles_);
+  run();
+}
+
+void Cpu::call(const std::string& function) { call(program_.entry(function)); }
+
+void Cpu::run() {
+  const std::vector<Instr>& code = program_.code;
+  while (pc_ != xasm::kStopPc && !halted_) {
+    if (pc_ >= code.size()) {
+      throw std::runtime_error("Cpu: pc out of range: " + std::to_string(pc_));
+    }
+    const Instr& instr = code[pc_];
+    // Base issue cycle + I-cache.
+    cycles_ += 1;
+    if (icache_) cycles_ += icache_->access(pc_ * 4);
+    // Load-use interlock.
+    if (pending_load_reg_ != 0) {
+      const std::uint8_t lr = pending_load_reg_;
+      pending_load_reg_ = 0;
+      if ((isa::reads_rs1(instr.op) && instr.rs1 == lr) ||
+          (isa::reads_rs2(instr.op) && instr.rs2 == lr)) {
+        cycles_ += config_.load_use_stall;
+      }
+    }
+    exec(instr);
+    ++instret_;
+    if (cycles_ > config_.max_cycles) {
+      throw std::runtime_error("Cpu: cycle limit exceeded");
+    }
+  }
+  if (halted_) profiler_.unwind_all(cycles_);
+}
+
+void Cpu::exec(const Instr& instr) {
+  const std::uint32_t a = regs_[instr.rs1];
+  const std::uint32_t b = regs_[instr.rs2];
+  const std::int32_t imm = instr.imm;
+  std::uint32_t next_pc = pc_ + 1;
+  bool taken = false;
+
+  switch (instr.op) {
+    case Op::kNop:
+      break;
+    case Op::kAdd: set_reg(instr.rd, a + b); break;
+    case Op::kSub: set_reg(instr.rd, a - b); break;
+    case Op::kAnd: set_reg(instr.rd, a & b); break;
+    case Op::kOr: set_reg(instr.rd, a | b); break;
+    case Op::kXor: set_reg(instr.rd, a ^ b); break;
+    case Op::kSll: set_reg(instr.rd, a << (b & 31)); break;
+    case Op::kSrl: set_reg(instr.rd, a >> (b & 31)); break;
+    case Op::kSra:
+      set_reg(instr.rd,
+              static_cast<std::uint32_t>(static_cast<std::int32_t>(a) >>
+                                         static_cast<std::int32_t>(b & 31)));
+      break;
+    case Op::kSlt:
+      set_reg(instr.rd, static_cast<std::int32_t>(a) < static_cast<std::int32_t>(b));
+      break;
+    case Op::kSltu: set_reg(instr.rd, a < b); break;
+    case Op::kMul:
+      set_reg(instr.rd, a * b);
+      cycles_ += config_.mul_latency - 1;
+      break;
+    case Op::kMulhu:
+      set_reg(instr.rd, static_cast<std::uint32_t>(
+                            (static_cast<std::uint64_t>(a) * b) >> 32));
+      cycles_ += config_.mul_latency - 1;
+      break;
+    case Op::kAddi: set_reg(instr.rd, a + static_cast<std::uint32_t>(imm)); break;
+    case Op::kAndi: set_reg(instr.rd, a & static_cast<std::uint32_t>(imm)); break;
+    case Op::kOri: set_reg(instr.rd, a | static_cast<std::uint32_t>(imm)); break;
+    case Op::kXori: set_reg(instr.rd, a ^ static_cast<std::uint32_t>(imm)); break;
+    case Op::kSlli: set_reg(instr.rd, a << (imm & 31)); break;
+    case Op::kSrli: set_reg(instr.rd, a >> (imm & 31)); break;
+    case Op::kSrai:
+      set_reg(instr.rd,
+              static_cast<std::uint32_t>(static_cast<std::int32_t>(a) >> (imm & 31)));
+      break;
+    case Op::kSlti:
+      set_reg(instr.rd, static_cast<std::int32_t>(a) < imm);
+      break;
+    case Op::kSltiu:
+      set_reg(instr.rd, a < static_cast<std::uint32_t>(imm));
+      break;
+    case Op::kLui:
+      set_reg(instr.rd, static_cast<std::uint32_t>(imm) << 12);
+      break;
+    case Op::kLw: {
+      const std::uint32_t addr = a + static_cast<std::uint32_t>(imm);
+      cycles_ += dcache_access(addr);
+      set_reg(instr.rd, mem_.load32(addr));
+      pending_load_reg_ = instr.rd;
+      break;
+    }
+    case Op::kLhu: {
+      const std::uint32_t addr = a + static_cast<std::uint32_t>(imm);
+      cycles_ += dcache_access(addr);
+      set_reg(instr.rd, mem_.load16(addr));
+      pending_load_reg_ = instr.rd;
+      break;
+    }
+    case Op::kLbu: {
+      const std::uint32_t addr = a + static_cast<std::uint32_t>(imm);
+      cycles_ += dcache_access(addr);
+      set_reg(instr.rd, mem_.load8(addr));
+      pending_load_reg_ = instr.rd;
+      break;
+    }
+    case Op::kSw: {
+      const std::uint32_t addr = a + static_cast<std::uint32_t>(imm);
+      cycles_ += dcache_access(addr);
+      mem_.store32(addr, b);
+      break;
+    }
+    case Op::kSh: {
+      const std::uint32_t addr = a + static_cast<std::uint32_t>(imm);
+      cycles_ += dcache_access(addr);
+      mem_.store16(addr, static_cast<std::uint16_t>(b));
+      break;
+    }
+    case Op::kSb: {
+      const std::uint32_t addr = a + static_cast<std::uint32_t>(imm);
+      cycles_ += dcache_access(addr);
+      mem_.store8(addr, static_cast<std::uint8_t>(b));
+      break;
+    }
+    case Op::kBeq: taken = a == b; break;
+    case Op::kBne: taken = a != b; break;
+    case Op::kBlt: taken = static_cast<std::int32_t>(a) < static_cast<std::int32_t>(b); break;
+    case Op::kBge: taken = static_cast<std::int32_t>(a) >= static_cast<std::int32_t>(b); break;
+    case Op::kBltu: taken = a < b; break;
+    case Op::kBgeu: taken = a >= b; break;
+    case Op::kJ: taken = true; break;
+    case Op::kCall:
+      regs_[isa::kRa] = pc_ + 1;
+      profiler_.on_call(static_cast<std::uint32_t>(imm), cycles_);
+      taken = true;
+      break;
+    case Op::kJalr:
+      set_reg(instr.rd, pc_ + 1);
+      next_pc = a;
+      cycles_ += config_.branch_taken_penalty;
+      break;
+    case Op::kRet:
+      profiler_.on_ret(cycles_);
+      next_pc = regs_[isa::kRa];
+      cycles_ += config_.branch_taken_penalty;
+      break;
+    case Op::kHalt:
+      halted_ = true;
+      break;
+    case Op::kCustom: {
+      if (!customs_) throw std::runtime_error("Cpu: custom instr with no CustomSet");
+      const CustomInstr* ci = customs_->find(instr.cust_id);
+      if (!ci) {
+        throw std::runtime_error("Cpu: unknown custom instruction id " +
+                                 std::to_string(instr.cust_id));
+      }
+      cycles_ += ci->latency - 1;
+      ci->execute(*this, instr);
+      break;
+    }
+  }
+
+  if (taken) {
+    next_pc = static_cast<std::uint32_t>(imm);
+    cycles_ += config_.branch_taken_penalty;
+  }
+  pc_ = next_pc;
+}
+
+}  // namespace wsp::sim

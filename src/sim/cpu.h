@@ -1,0 +1,113 @@
+// Cycle-accurate XR32 instruction-set simulator.
+//
+// Single-issue in-order pipeline timing model:
+//   * 1 base cycle per instruction;
+//   * a 1-cycle load-use stall when a load result is consumed by the very
+//     next instruction;
+//   * a configurable taken-branch penalty (pipeline refill);
+//   * a configurable multiplier latency (hardware-multiplier option);
+//   * optional I/D cache models that add miss penalties;
+//   * custom (TIE-analogue) instructions occupy the pipeline for the
+//     latency declared in their descriptor.
+//
+// The profiler observes CALL/RET to build the weighted call graph used by
+// performance characterization and global custom-instruction selection.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+
+#include "sim/cache.h"
+#include "sim/custom.h"
+#include "sim/memory.h"
+#include "sim/profiler.h"
+#include "xasm/program.h"
+
+namespace wsp::sim {
+
+struct CpuConfig {
+  std::size_t mem_bytes = 8u << 20;
+  bool model_caches = false;  ///< perfect caches when false (deterministic)
+  CacheConfig icache{16 * 1024, 16, 2, 20};
+  CacheConfig dcache{16 * 1024, 16, 2, 20};
+  std::uint32_t mul_latency = 2;
+  std::uint32_t branch_taken_penalty = 2;
+  std::uint32_t load_use_stall = 1;
+  std::uint64_t max_cycles = 50ull * 1000 * 1000 * 1000;
+};
+
+/// Number of 32-bit words in each user (TIE-state) register.
+inline constexpr std::size_t kUrWords = 16;
+/// Number of user registers.
+inline constexpr std::size_t kUrCount = 8;
+
+class Cpu {
+ public:
+  Cpu(const xasm::Program& program, CpuConfig config = {},
+      const CustomSet* customs = nullptr);
+
+  // --- architectural state -------------------------------------------------
+  std::uint32_t reg(unsigned i) const { return regs_[i]; }
+  void set_reg(unsigned i, std::uint32_t v) {
+    if (i != 0) regs_[i] = v;
+  }
+  Memory& mem() { return mem_; }
+  const Memory& mem() const { return mem_; }
+
+  /// User-register (TIE-state) file for custom instructions.
+  std::uint32_t ur(unsigned r, unsigned w) const { return ur_[r][w]; }
+  void set_ur(unsigned r, unsigned w, std::uint32_t v) { ur_[r][w] = v; }
+
+  /// Memory access helpers for custom instructions; participate in the
+  /// D-cache model like ordinary loads/stores.
+  std::uint32_t custom_load32(std::uint32_t addr);
+  void custom_store32(std::uint32_t addr, std::uint32_t v);
+
+  /// Lets a custom instruction charge data-dependent extra cycles (e.g. a
+  /// wide UR transfer moving 2 words per cycle over the 64-bit bus).
+  void add_cycles(std::uint64_t n) { cycles_ += n; }
+
+  // --- execution -------------------------------------------------------------
+  /// Calls a function: sets ra to the stop sentinel, jumps to `entry`, and
+  /// runs until the matching return (or HALT).  Arguments must already be
+  /// in a0..a7 / memory.  Nestable from the host side only.
+  void call(std::uint32_t entry);
+  void call(const std::string& function);
+
+  /// Resets cycle/instruction counters, profiler and cache statistics
+  /// (architectural state is preserved).
+  void reset_stats();
+
+  std::uint64_t cycles() const { return cycles_; }
+  std::uint64_t instret() const { return instret_; }
+  Profiler& profiler() { return profiler_; }
+  const Profiler& profiler() const { return profiler_; }
+  const Cache* icache() const { return icache_ ? &*icache_ : nullptr; }
+  const Cache* dcache() const { return dcache_ ? &*dcache_ : nullptr; }
+  const CpuConfig& config() const { return config_; }
+
+ private:
+  void run();
+  void exec(const isa::Instr& instr);
+  std::uint32_t dcache_access(std::uint32_t addr);
+
+  const xasm::Program& program_;
+  CpuConfig config_;
+  const CustomSet* customs_;
+
+  Memory mem_;
+  std::array<std::uint32_t, 32> regs_{};
+  std::array<std::array<std::uint32_t, kUrWords>, kUrCount> ur_{};
+  std::uint32_t pc_ = 0;
+  std::uint64_t cycles_ = 0;
+  std::uint64_t instret_ = 0;
+  std::uint8_t pending_load_reg_ = 0;  ///< 0 = none (r0 can't be a target)
+  bool halted_ = false;
+
+  std::optional<Cache> icache_;
+  std::optional<Cache> dcache_;
+  Profiler profiler_;
+};
+
+}  // namespace wsp::sim

@@ -1,0 +1,58 @@
+// Custom-instruction (TIE analogue) descriptors.
+//
+// A custom instruction is a designer-specified datapath tightly integrated
+// into the pipeline: the simulator dispatches Op::kCustom by 16-bit id to a
+// descriptor carrying the functional semantics, the pipeline latency the
+// datapath achieves, and the silicon area it costs (from the tie area
+// model).  Descriptors may use the CPU's user-register file (the analogue
+// of TIE state registers) and may access memory through the CPU so that
+// custom loads/stores participate in the D-cache model.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "isa/isa.h"
+
+namespace wsp::sim {
+
+class Cpu;
+
+struct CustomInstr {
+  std::uint16_t id = 0;
+  std::string name;
+  std::uint32_t latency = 1;  ///< pipeline occupancy in cycles
+  double area = 0.0;          ///< gate-area estimate (tie area model units)
+  std::function<void(Cpu&, const isa::Instr&)> execute;
+};
+
+/// An installed set of custom instructions (one hardware configuration).
+class CustomSet {
+ public:
+  void add(CustomInstr instr);
+  const CustomInstr* find(std::uint16_t id) const;
+  double total_area() const;
+  std::size_t size() const { return by_id_.size(); }
+
+ private:
+  std::map<std::uint16_t, CustomInstr> by_id_;
+};
+
+inline void CustomSet::add(CustomInstr instr) {
+  by_id_[instr.id] = std::move(instr);
+}
+
+inline const CustomInstr* CustomSet::find(std::uint16_t id) const {
+  const auto it = by_id_.find(id);
+  return it == by_id_.end() ? nullptr : &it->second;
+}
+
+inline double CustomSet::total_area() const {
+  double a = 0.0;
+  for (const auto& [id, ci] : by_id_) a += ci.area;
+  return a;
+}
+
+}  // namespace wsp::sim

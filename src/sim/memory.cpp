@@ -1,0 +1,64 @@
+#include "sim/memory.h"
+
+#include <stdexcept>
+#include <string>
+
+namespace wsp::sim {
+
+Memory::Memory(std::size_t size_bytes) : bytes_(size_bytes, 0) {}
+
+void Memory::check(std::uint32_t addr, std::size_t n) const {
+  if (static_cast<std::size_t>(addr) + n > bytes_.size()) {
+    throw std::out_of_range("Memory: access at 0x" + std::to_string(addr) +
+                            " size " + std::to_string(n) + " out of bounds");
+  }
+}
+
+std::uint8_t Memory::load8(std::uint32_t addr) const {
+  check(addr, 1);
+  return bytes_[addr];
+}
+
+std::uint16_t Memory::load16(std::uint32_t addr) const {
+  check(addr, 2);
+  return static_cast<std::uint16_t>(bytes_[addr] | (bytes_[addr + 1] << 8));
+}
+
+std::uint32_t Memory::load32(std::uint32_t addr) const {
+  check(addr, 4);
+  return static_cast<std::uint32_t>(bytes_[addr]) |
+         (static_cast<std::uint32_t>(bytes_[addr + 1]) << 8) |
+         (static_cast<std::uint32_t>(bytes_[addr + 2]) << 16) |
+         (static_cast<std::uint32_t>(bytes_[addr + 3]) << 24);
+}
+
+void Memory::store8(std::uint32_t addr, std::uint8_t v) {
+  check(addr, 1);
+  bytes_[addr] = v;
+}
+
+void Memory::store16(std::uint32_t addr, std::uint16_t v) {
+  check(addr, 2);
+  bytes_[addr] = static_cast<std::uint8_t>(v);
+  bytes_[addr + 1] = static_cast<std::uint8_t>(v >> 8);
+}
+
+void Memory::store32(std::uint32_t addr, std::uint32_t v) {
+  check(addr, 4);
+  bytes_[addr] = static_cast<std::uint8_t>(v);
+  bytes_[addr + 1] = static_cast<std::uint8_t>(v >> 8);
+  bytes_[addr + 2] = static_cast<std::uint8_t>(v >> 16);
+  bytes_[addr + 3] = static_cast<std::uint8_t>(v >> 24);
+}
+
+void Memory::write_block(std::uint32_t addr, const std::uint8_t* src, std::size_t n) {
+  check(addr, n);
+  for (std::size_t i = 0; i < n; ++i) bytes_[addr + i] = src[i];
+}
+
+void Memory::read_block(std::uint32_t addr, std::uint8_t* dst, std::size_t n) const {
+  check(addr, n);
+  for (std::size_t i = 0; i < n; ++i) dst[i] = bytes_[addr + i];
+}
+
+}  // namespace wsp::sim

@@ -1,0 +1,31 @@
+// Flat little-endian memory for the XR32 simulator.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace wsp::sim {
+
+class Memory {
+ public:
+  explicit Memory(std::size_t size_bytes = 8u << 20);
+
+  std::size_t size() const { return bytes_.size(); }
+
+  std::uint8_t load8(std::uint32_t addr) const;
+  std::uint16_t load16(std::uint32_t addr) const;
+  std::uint32_t load32(std::uint32_t addr) const;
+  void store8(std::uint32_t addr, std::uint8_t v);
+  void store16(std::uint32_t addr, std::uint16_t v);
+  void store32(std::uint32_t addr, std::uint32_t v);
+
+  /// Bulk host access for marshalling kernel arguments and results.
+  void write_block(std::uint32_t addr, const std::uint8_t* src, std::size_t n);
+  void read_block(std::uint32_t addr, std::uint8_t* dst, std::size_t n) const;
+
+ private:
+  void check(std::uint32_t addr, std::size_t n) const;
+  std::vector<std::uint8_t> bytes_;
+};
+
+}  // namespace wsp::sim

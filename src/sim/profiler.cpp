@@ -1,0 +1,54 @@
+#include "sim/profiler.h"
+
+#include <sstream>
+
+namespace wsp::sim {
+
+void Profiler::set_function_table(std::map<std::uint32_t, std::string> entry_names) {
+  entry_names_ = std::move(entry_names);
+}
+
+void Profiler::reset() {
+  stack_.clear();
+  funcs_.clear();
+  edges_.clear();
+}
+
+void Profiler::on_call(std::uint32_t entry, std::uint64_t now_cycles) {
+  std::string name;
+  const auto it = entry_names_.find(entry);
+  if (it != entry_names_.end()) {
+    name = it->second;
+  } else {
+    name = "pc@" + std::to_string(entry);
+  }
+  const std::string caller = stack_.empty() ? "<host>" : stack_.back().name;
+  ++edges_[{caller, name}];
+  ++funcs_[name].calls;
+  stack_.push_back(Frame{std::move(name), now_cycles, 0});
+}
+
+void Profiler::on_ret(std::uint64_t now_cycles) {
+  if (stack_.empty()) return;  // host-level return sentinel
+  const Frame frame = stack_.back();
+  stack_.pop_back();
+  const std::uint64_t total = now_cycles - frame.entry_cycles;
+  FuncStats& fs = funcs_[frame.name];
+  fs.total_cycles += total;
+  fs.self_cycles += total - frame.child_cycles;
+  if (!stack_.empty()) stack_.back().child_cycles += total;
+}
+
+void Profiler::unwind_all(std::uint64_t now_cycles) {
+  while (!stack_.empty()) on_ret(now_cycles);
+}
+
+std::string Profiler::format_call_graph() const {
+  std::ostringstream os;
+  for (const auto& [edge, count] : edges_) {
+    os << edge.first << " -> " << edge.second << " x" << count << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace wsp::sim

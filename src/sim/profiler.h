@@ -1,0 +1,53 @@
+// Function-level profiler: call counts, self/total cycles, and the weighted
+// call graph the global custom-instruction selection phase consumes
+// (paper Fig. 4 / Sec. 3.4).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace wsp::sim {
+
+struct FuncStats {
+  std::uint64_t calls = 0;
+  std::uint64_t total_cycles = 0;  ///< including callees
+  std::uint64_t self_cycles = 0;   ///< excluding callees
+};
+
+class Profiler {
+ public:
+  /// `entry_names` maps function entry instruction index -> name.
+  void set_function_table(std::map<std::uint32_t, std::string> entry_names);
+
+  void reset();
+  void on_call(std::uint32_t entry, std::uint64_t now_cycles);
+  void on_ret(std::uint64_t now_cycles);
+  /// Flushes any frames still open (e.g. after HALT) at `now_cycles`.
+  void unwind_all(std::uint64_t now_cycles);
+
+  const std::map<std::string, FuncStats>& functions() const { return funcs_; }
+  /// Call-graph edges: (caller, callee) -> call count.  The host-initiated
+  /// call appears with caller "<host>".
+  const std::map<std::pair<std::string, std::string>, std::uint64_t>& edges() const {
+    return edges_;
+  }
+
+  /// Formats the weighted call graph, one "caller -> callee xN" line each.
+  std::string format_call_graph() const;
+
+ private:
+  struct Frame {
+    std::string name;
+    std::uint64_t entry_cycles = 0;
+    std::uint64_t child_cycles = 0;
+  };
+
+  std::map<std::uint32_t, std::string> entry_names_;
+  std::vector<Frame> stack_;
+  std::map<std::string, FuncStats> funcs_;
+  std::map<std::pair<std::string, std::string>, std::uint64_t> edges_;
+};
+
+}  // namespace wsp::sim

@@ -1,0 +1,103 @@
+#include "ssl/esp.h"
+
+#include <stdexcept>
+
+#include "crypto/des.h"
+#include "crypto/hmac.h"
+
+namespace wsp::esp {
+
+namespace {
+
+constexpr std::size_t kIcvLen = 12;  // HMAC-SHA1-96
+
+std::uint64_t key_part(const std::vector<std::uint8_t>& key, std::size_t idx) {
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < 8; ++i) v = (v << 8) | key[8 * idx + i];
+  return v;
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 3; i >= 0; --i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  return (static_cast<std::uint32_t>(p[0]) << 24) |
+         (static_cast<std::uint32_t>(p[1]) << 16) |
+         (static_cast<std::uint32_t>(p[2]) << 8) | p[3];
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> seal(Sa& sa, const std::vector<std::uint8_t>& payload,
+                               Rng& rng) {
+  if (sa.enc_key.size() != 24) throw std::invalid_argument("esp: need a 24-byte 3DES key");
+  const auto ks = des::triple_key_schedule(key_part(sa.enc_key, 0),
+                                           key_part(sa.enc_key, 1),
+                                           key_part(sa.enc_key, 2));
+  // Pad to the 8-byte block with a pad-length trailer byte.
+  std::vector<std::uint8_t> plain = payload;
+  const std::uint8_t pad =
+      static_cast<std::uint8_t>(8 - ((plain.size() + 1) % 8)) % 8;
+  plain.insert(plain.end(), pad, 0);
+  plain.push_back(pad);
+
+  const std::uint64_t iv = rng.next_u64();
+  std::vector<std::uint8_t> ct(plain.size());
+  std::uint64_t chain = iv;
+  for (std::size_t i = 0; i < plain.size(); i += 8) {
+    chain = des::encrypt_block_3des(des::load_be64(plain.data() + i) ^ chain, ks);
+    des::store_be64(chain, ct.data() + i);
+  }
+
+  std::vector<std::uint8_t> packet;
+  put_u32(packet, sa.spi);
+  put_u32(packet, ++sa.seq);
+  packet.resize(packet.size() + 8);
+  des::store_be64(iv, packet.data() + 8);
+  packet.insert(packet.end(), ct.begin(), ct.end());
+
+  const auto mac = hmac_sha1(sa.auth_key, packet);
+  packet.insert(packet.end(), mac.begin(), mac.begin() + kIcvLen);
+  return packet;
+}
+
+std::vector<std::uint8_t> open(const Sa& sa,
+                               const std::vector<std::uint8_t>& packet,
+                               std::uint32_t* seq_out) {
+  if (packet.size() < 16 + 8 + kIcvLen || (packet.size() - 16 - kIcvLen) % 8 != 0) {
+    throw std::runtime_error("esp: malformed packet");
+  }
+  const std::vector<std::uint8_t> body(packet.begin(),
+                                       packet.end() - static_cast<std::ptrdiff_t>(kIcvLen));
+  const std::vector<std::uint8_t> icv(packet.end() - static_cast<std::ptrdiff_t>(kIcvLen),
+                                      packet.end());
+  const auto mac = hmac_sha1(sa.auth_key, body);
+  if (!std::equal(icv.begin(), icv.end(), mac.begin())) {
+    throw std::runtime_error("esp: authentication failed");
+  }
+  if (get_u32(packet.data()) != sa.spi) throw std::runtime_error("esp: wrong SPI");
+  if (seq_out) *seq_out = get_u32(packet.data() + 4);
+
+  const auto ks = des::triple_key_schedule(key_part(sa.enc_key, 0),
+                                           key_part(sa.enc_key, 1),
+                                           key_part(sa.enc_key, 2));
+  const std::uint64_t iv = des::load_be64(packet.data() + 8);
+  const std::size_t ct_len = body.size() - 16;
+  std::vector<std::uint8_t> plain(ct_len);
+  std::uint64_t chain = iv;
+  for (std::size_t i = 0; i < ct_len; ++i) {
+    if (i % 8 == 0) {
+      const std::uint64_t c = des::load_be64(body.data() + 16 + i);
+      des::store_be64(des::decrypt_block_3des(c, ks) ^ chain, plain.data() + i);
+      chain = c;
+    }
+  }
+  if (plain.empty()) throw std::runtime_error("esp: empty payload");
+  const std::uint8_t pad = plain.back();
+  if (pad + 1u > plain.size()) throw std::runtime_error("esp: bad padding");
+  plain.resize(plain.size() - 1 - pad);
+  return plain;
+}
+
+}  // namespace wsp::esp

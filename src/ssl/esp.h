@@ -1,0 +1,34 @@
+// IPsec ESP-style packet protection (network layer) — the third protocol
+// layer of the paper's WEP / IPsec / SSL trio.
+//
+// Modeled on RFC 2406: an SPI + sequence-number header, 3DES-CBC payload
+// encryption with per-packet IV, and a truncated HMAC-SHA1-96
+// authenticator over header-and-ciphertext.  Framing is simplified (no
+// next-header byte chaining beyond the pad-length trailer).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/random.h"
+
+namespace wsp::esp {
+
+struct Sa {  ///< security association (one direction)
+  std::uint32_t spi = 0;
+  std::vector<std::uint8_t> enc_key;   ///< 24 bytes (3DES EDE)
+  std::vector<std::uint8_t> auth_key;  ///< HMAC-SHA1 key
+  std::uint32_t seq = 0;               ///< outbound sequence counter
+};
+
+/// Builds a protected packet: spi || seq || iv || ciphertext || icv(12).
+std::vector<std::uint8_t> seal(Sa& sa, const std::vector<std::uint8_t>& payload,
+                               Rng& rng);
+
+/// Verifies and decrypts; throws std::runtime_error on authentication or
+/// format failure.  Returns the payload and reports the sequence number.
+std::vector<std::uint8_t> open(const Sa& sa,
+                               const std::vector<std::uint8_t>& packet,
+                               std::uint32_t* seq_out = nullptr);
+
+}  // namespace wsp::esp

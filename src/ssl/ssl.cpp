@@ -1,0 +1,263 @@
+#include "ssl/ssl.h"
+
+#include <stdexcept>
+
+#include "crypto/aes.h"
+#include "crypto/des.h"
+#include "crypto/hmac.h"
+#include "crypto/md5.h"
+#include "crypto/rc4.h"
+#include "crypto/sha1.h"
+
+namespace wsp::ssl {
+
+const char* to_string(Cipher cipher) {
+  switch (cipher) {
+    case Cipher::kTripleDesCbc: return "3DES-CBC";
+    case Cipher::kAes128Cbc: return "AES-128-CBC";
+    case Cipher::kRc4: return "RC4";
+  }
+  return "?";
+}
+
+namespace {
+
+std::uint64_t load64(const std::vector<std::uint8_t>& v) {
+  std::uint64_t out = 0;
+  for (std::size_t i = 0; i < 8 && i < v.size(); ++i) out = (out << 8) | v[i];
+  return out;
+}
+
+std::vector<std::uint8_t> cbc_pad(std::vector<std::uint8_t> data, std::size_t block) {
+  const std::size_t pad = block - (data.size() % block);
+  data.insert(data.end(), pad, static_cast<std::uint8_t>(pad));
+  return data;
+}
+
+std::vector<std::uint8_t> cbc_unpad(std::vector<std::uint8_t> data) {
+  if (data.empty()) throw std::runtime_error("ssl: empty CBC plaintext");
+  const std::uint8_t pad = data.back();
+  if (pad == 0 || pad > data.size()) throw std::runtime_error("ssl: bad padding");
+  for (std::size_t i = data.size() - pad; i < data.size(); ++i) {
+    if (data[i] != pad) throw std::runtime_error("ssl: bad padding");
+  }
+  data.resize(data.size() - pad);
+  return data;
+}
+
+}  // namespace
+
+struct SecureChannel::Impl {
+  Cipher cipher;
+  std::vector<std::uint8_t> cipher_key;
+  std::vector<std::uint8_t> mac_key;
+  // The same channel object is shared by the sealing and the opening
+  // endpoint (in-process transport), so each side keeps its own sequence
+  // number and cipher chaining state.
+  std::vector<std::uint8_t> iv_enc, iv_dec;
+  std::uint64_t seq_out = 0, seq_in = 0;
+  std::unique_ptr<Rc4> rc4_enc, rc4_dec;  // stream state persists across records
+
+  std::vector<std::uint8_t> mac_input(std::uint64_t sequence,
+                                      const std::vector<std::uint8_t>& payload) {
+    std::vector<std::uint8_t> in;
+    for (int i = 7; i >= 0; --i) in.push_back(static_cast<std::uint8_t>(sequence >> (8 * i)));
+    in.push_back(0x17);  // application-data type
+    in.push_back(static_cast<std::uint8_t>(payload.size() >> 8));
+    in.push_back(static_cast<std::uint8_t>(payload.size()));
+    in.insert(in.end(), payload.begin(), payload.end());
+    return in;
+  }
+
+  std::vector<std::uint8_t> encrypt(const std::vector<std::uint8_t>& plain) {
+    switch (cipher) {
+      case Cipher::kTripleDesCbc: {
+        // EDE with the key split in three 8-byte parts.
+        const auto ks = des::triple_key_schedule(load64({cipher_key.begin(), cipher_key.begin() + 8}),
+                                                 load64({cipher_key.begin() + 8, cipher_key.begin() + 16}),
+                                                 load64({cipher_key.begin() + 16, cipher_key.begin() + 24}));
+        auto padded = cbc_pad(plain, 8);
+        std::vector<std::uint8_t> out(padded.size());
+        std::uint64_t chain = load64(iv_enc);
+        for (std::size_t i = 0; i < padded.size(); i += 8) {
+          chain = des::encrypt_block_3des(des::load_be64(padded.data() + i) ^ chain, ks);
+          des::store_be64(chain, out.data() + i);
+        }
+        iv_enc.assign(8, 0);
+        des::store_be64(chain, iv_enc.data());  // CBC residue chaining
+        return out;
+      }
+      case Cipher::kAes128Cbc: {
+        const auto ks = aes::key_schedule(cipher_key);
+        std::array<std::uint8_t, 16> aiv{};
+        std::copy(iv_enc.begin(), iv_enc.begin() + 16, aiv.begin());
+        const auto out = aes::encrypt_cbc(cbc_pad(plain, 16), ks, aiv);
+        iv_enc.assign(out.end() - 16, out.end());
+        return out;
+      }
+      case Cipher::kRc4: {
+        if (!rc4_enc) rc4_enc = std::make_unique<Rc4>(cipher_key);
+        return rc4_enc->process(plain);
+      }
+    }
+    throw std::logic_error("ssl: bad cipher");
+  }
+
+  std::vector<std::uint8_t> decrypt(const std::vector<std::uint8_t>& ct) {
+    switch (cipher) {
+      case Cipher::kTripleDesCbc: {
+        if (ct.size() % 8 != 0) throw std::runtime_error("ssl: bad record length");
+        const auto ks = des::triple_key_schedule(load64({cipher_key.begin(), cipher_key.begin() + 8}),
+                                                 load64({cipher_key.begin() + 8, cipher_key.begin() + 16}),
+                                                 load64({cipher_key.begin() + 16, cipher_key.begin() + 24}));
+        std::vector<std::uint8_t> out(ct.size());
+        std::uint64_t chain = load64(iv_dec);
+        for (std::size_t i = 0; i < ct.size(); i += 8) {
+          const std::uint64_t c = des::load_be64(ct.data() + i);
+          des::store_be64(des::decrypt_block_3des(c, ks) ^ chain, out.data() + i);
+          chain = c;
+        }
+        iv_dec.assign(8, 0);
+        des::store_be64(chain, iv_dec.data());
+        return cbc_unpad(std::move(out));
+      }
+      case Cipher::kAes128Cbc: {
+        if (ct.size() % 16 != 0) throw std::runtime_error("ssl: bad record length");
+        const auto ks = aes::key_schedule(cipher_key);
+        std::array<std::uint8_t, 16> aiv{};
+        std::copy(iv_dec.begin(), iv_dec.begin() + 16, aiv.begin());
+        auto out = aes::decrypt_cbc(ct, ks, aiv);
+        iv_dec.assign(ct.end() - 16, ct.end());
+        return cbc_unpad(std::move(out));
+      }
+      case Cipher::kRc4: {
+        if (!rc4_dec) rc4_dec = std::make_unique<Rc4>(cipher_key);
+        return rc4_dec->process(ct);
+      }
+    }
+    throw std::logic_error("ssl: bad cipher");
+  }
+};
+
+SecureChannel::SecureChannel(Cipher cipher, std::vector<std::uint8_t> cipher_key,
+                             std::vector<std::uint8_t> mac_key,
+                             std::vector<std::uint8_t> iv)
+    : impl_(std::make_shared<Impl>()) {
+  impl_->cipher = cipher;
+  impl_->cipher_key = std::move(cipher_key);
+  impl_->mac_key = std::move(mac_key);
+  impl_->iv_enc = iv;
+  impl_->iv_dec = std::move(iv);
+}
+
+std::vector<std::uint8_t> SecureChannel::seal(const std::vector<std::uint8_t>& payload) {
+  const auto mac = hmac_sha1(impl_->mac_key, impl_->mac_input(impl_->seq_out, payload));
+  ++impl_->seq_out;
+  std::vector<std::uint8_t> plain = payload;
+  plain.insert(plain.end(), mac.begin(), mac.end());
+  return impl_->encrypt(plain);
+}
+
+std::vector<std::uint8_t> SecureChannel::open(const std::vector<std::uint8_t>& record) {
+  auto plain = impl_->decrypt(record);
+  if (plain.size() < Sha1::kDigestSize) throw std::runtime_error("ssl: short record");
+  const std::vector<std::uint8_t> payload(plain.begin(),
+                                          plain.end() - Sha1::kDigestSize);
+  const std::vector<std::uint8_t> mac(plain.end() - Sha1::kDigestSize, plain.end());
+  const auto expect = hmac_sha1(impl_->mac_key, impl_->mac_input(impl_->seq_in, payload));
+  ++impl_->seq_in;
+  if (mac != expect) throw std::runtime_error("ssl: MAC verification failed");
+  return payload;
+}
+
+std::vector<std::uint8_t> kdf_ssl3(const std::vector<std::uint8_t>& secret,
+                                   const std::vector<std::uint8_t>& r1,
+                                   const std::vector<std::uint8_t>& r2,
+                                   std::size_t out_len) {
+  std::vector<std::uint8_t> out;
+  int round = 0;
+  while (out.size() < out_len) {
+    ++round;
+    Sha1 inner;
+    const std::vector<std::uint8_t> salt(static_cast<std::size_t>(round),
+                                         static_cast<std::uint8_t>('A' + round - 1));
+    inner.update(salt);
+    inner.update(secret);
+    inner.update(r1);
+    inner.update(r2);
+    const auto inner_digest = inner.digest();
+    Md5 outer;
+    outer.update(secret);
+    outer.update(inner_digest.data(), inner_digest.size());
+    const auto block = outer.digest();
+    out.insert(out.end(), block.begin(), block.end());
+  }
+  out.resize(out_len);
+  return out;
+}
+
+namespace {
+
+struct CipherSpec {
+  std::size_t key_len;
+  std::size_t iv_len;
+};
+
+CipherSpec spec_for(Cipher cipher) {
+  switch (cipher) {
+    case Cipher::kTripleDesCbc: return {24, 8};
+    case Cipher::kAes128Cbc: return {16, 16};
+    case Cipher::kRc4: return {16, 0};
+  }
+  throw std::logic_error("ssl: bad cipher");
+}
+
+}  // namespace
+
+Handshake perform_handshake(const rsa::PrivateKey& server_key, Cipher cipher,
+                            ModexpEngine& client_engine,
+                            ModexpEngine& server_engine, Rng& rng) {
+  // ClientHello / ServerHello randoms.
+  const auto client_random = rng.bytes(32);
+  const auto server_random = rng.bytes(32);
+
+  // Client: premaster under the server's public key.
+  const auto premaster = rng.bytes(48);
+  const auto encrypted_premaster =
+      rsa::encrypt(premaster, server_key.public_key(), client_engine, rng);
+
+  // Server: recover the premaster (the expensive private-key operation).
+  const auto recovered = rsa::decrypt(encrypted_premaster, server_key, server_engine);
+  if (recovered != premaster) throw std::runtime_error("ssl: handshake failure");
+
+  // Both sides derive the master secret and the key block.
+  const auto master = kdf_ssl3(premaster, client_random, server_random, 48);
+  const CipherSpec spec = spec_for(cipher);
+  const std::size_t block_len = 2 * (Sha1::kDigestSize + spec.key_len + spec.iv_len);
+  const auto key_block = kdf_ssl3(master, server_random, client_random, block_len);
+
+  std::size_t off = 0;
+  auto take = [&](std::size_t n) {
+    std::vector<std::uint8_t> v(key_block.begin() + static_cast<std::ptrdiff_t>(off),
+                                key_block.begin() + static_cast<std::ptrdiff_t>(off + n));
+    off += n;
+    return v;
+  };
+  const auto client_mac = take(Sha1::kDigestSize);
+  const auto server_mac = take(Sha1::kDigestSize);
+  const auto client_key = take(spec.key_len);
+  const auto server_key_bytes = take(spec.key_len);
+  const auto client_iv = take(spec.iv_len);
+  const auto server_iv = take(spec.iv_len);
+
+  Handshake hs{
+      SecureChannel(cipher, client_key, client_mac, client_iv),
+      SecureChannel(cipher, server_key_bytes, server_mac, server_iv),
+      master,
+      // hello randoms + encrypted premaster + finished digests (2 x 36).
+      32 + 32 + encrypted_premaster.size() + 72,
+  };
+  return hs;
+}
+
+}  // namespace wsp::ssl

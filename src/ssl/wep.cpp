@@ -1,0 +1,57 @@
+#include "ssl/wep.h"
+
+#include <stdexcept>
+
+#include "crypto/crc32.h"
+#include "crypto/rc4.h"
+
+namespace wsp::wep {
+
+namespace {
+
+std::vector<std::uint8_t> per_frame_key(std::uint32_t iv,
+                                        const std::vector<std::uint8_t>& key) {
+  if (key.size() != 5 && key.size() != 13) {
+    throw std::invalid_argument("wep: key must be 5 or 13 bytes");
+  }
+  std::vector<std::uint8_t> k;
+  k.reserve(3 + key.size());
+  k.push_back(static_cast<std::uint8_t>(iv));
+  k.push_back(static_cast<std::uint8_t>(iv >> 8));
+  k.push_back(static_cast<std::uint8_t>(iv >> 16));
+  k.insert(k.end(), key.begin(), key.end());
+  return k;
+}
+
+}  // namespace
+
+Frame seal(const std::vector<std::uint8_t>& payload,
+           const std::vector<std::uint8_t>& key, Rng& rng) {
+  Frame frame;
+  frame.iv = static_cast<std::uint32_t>(rng.next_u64()) & 0xFFFFFFu;
+  std::vector<std::uint8_t> plain = payload;
+  const std::uint32_t icv = crc32(payload);
+  for (int i = 0; i < 4; ++i) {
+    plain.push_back(static_cast<std::uint8_t>(icv >> (8 * i)));
+  }
+  Rc4 rc4(per_frame_key(frame.iv, key));
+  frame.ciphertext = rc4.process(plain);
+  return frame;
+}
+
+std::vector<std::uint8_t> open(const Frame& frame,
+                               const std::vector<std::uint8_t>& key) {
+  if (frame.ciphertext.size() < 4) throw std::runtime_error("wep: short frame");
+  Rc4 rc4(per_frame_key(frame.iv, key));
+  std::vector<std::uint8_t> plain = rc4.process(frame.ciphertext);
+  std::uint32_t icv = 0;
+  for (int i = 0; i < 4; ++i) {
+    icv |= static_cast<std::uint32_t>(plain[plain.size() - 4 + static_cast<std::size_t>(i)])
+           << (8 * i);
+  }
+  plain.resize(plain.size() - 4);
+  if (crc32(plain) != icv) throw std::runtime_error("wep: ICV mismatch");
+  return plain;
+}
+
+}  // namespace wsp::wep

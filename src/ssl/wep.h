@@ -1,0 +1,32 @@
+// WEP-style frame protection (802.11 link layer) — one of the three
+// protocol layers the paper's platform must serve simultaneously
+// ("security processing in different layers of the network protocol
+// stack (e.g., WEP, IPSec, and SSL)", Sec. 1).
+//
+// Classic WEP: per-frame 24-bit IV prepended to the RC4 key, payload plus
+// a CRC-32 integrity check value encrypted with the RC4 keystream.  WEP's
+// cryptographic weaknesses are historical fact and beside the point here —
+// this models its processing workload faithfully.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/random.h"
+
+namespace wsp::wep {
+
+struct Frame {
+  std::uint32_t iv = 0;  ///< 24-bit IV (low 3 bytes used)
+  std::vector<std::uint8_t> ciphertext;  ///< encrypted payload || ICV
+};
+
+/// Encrypts a payload under the 40- or 104-bit WEP key with a random IV.
+Frame seal(const std::vector<std::uint8_t>& payload,
+           const std::vector<std::uint8_t>& key, Rng& rng);
+
+/// Decrypts and checks the ICV; throws std::runtime_error on corruption.
+std::vector<std::uint8_t> open(const Frame& frame,
+                               const std::vector<std::uint8_t>& key);
+
+}  // namespace wsp::wep

@@ -1,0 +1,63 @@
+#include "ssl/workload.h"
+
+#include <iomanip>
+#include <sstream>
+
+namespace wsp::ssl {
+
+PlatformCosts misc_cost_defaults() {
+  PlatformCosts c;
+  c.hash_cycles_per_byte = 420.0;
+  c.misc_cycles_per_byte = 310.0;
+  c.handshake_misc_cycles = 120000.0;
+  return c;
+}
+
+TransactionCost transaction_cost(const PlatformCosts& costs, std::size_t bytes) {
+  TransactionCost t;
+  // Handshake: server private op + client public op (premaster encryption).
+  t.public_key = costs.rsa_private_cycles + costs.rsa_public_cycles;
+  // Bulk transfer.
+  const double b = static_cast<double>(bytes);
+  t.symmetric = costs.symmetric_cycles_per_byte * b;
+  // MACs and framing count as miscellaneous (not accelerated), as does the
+  // fixed handshake protocol work.
+  t.misc = costs.handshake_misc_cycles +
+           (costs.hash_cycles_per_byte + costs.misc_cycles_per_byte) * b;
+  return t;
+}
+
+std::vector<SpeedupRow> ssl_speedup_table(const PlatformCosts& base,
+                                          const PlatformCosts& optimized,
+                                          const std::vector<std::size_t>& sizes) {
+  std::vector<SpeedupRow> rows;
+  rows.reserve(sizes.size());
+  for (std::size_t bytes : sizes) {
+    SpeedupRow row;
+    row.bytes = bytes;
+    row.base = transaction_cost(base, bytes);
+    row.optimized = transaction_cost(optimized, bytes);
+    row.speedup = row.base.total() / row.optimized.total();
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+std::string format_speedup_table(const std::vector<SpeedupRow>& rows) {
+  std::ostringstream os;
+  os << std::fixed;
+  os << "size      base breakdown (pk/sym/misc)      speedup\n";
+  for (const SpeedupRow& row : rows) {
+    std::string label = row.bytes % 1024 == 0
+                            ? std::to_string(row.bytes / 1024) + "KB"
+                            : std::to_string(row.bytes) + "B";
+    os << std::setw(6) << label << "    " << std::setprecision(1)
+       << std::setw(5) << 100.0 * row.base.public_key_fraction() << "% /"
+       << std::setw(5) << 100.0 * row.base.symmetric_fraction() << "% /"
+       << std::setw(5) << 100.0 * row.base.misc_fraction() << "%        "
+       << std::setprecision(2) << std::setw(7) << row.speedup << "X\n";
+  }
+  return os.str();
+}
+
+}  // namespace wsp::ssl

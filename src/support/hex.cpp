@@ -1,0 +1,49 @@
+#include "support/hex.h"
+
+#include <stdexcept>
+
+namespace wsp {
+
+namespace {
+int nibble(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+}  // namespace
+
+std::string to_hex(const std::uint8_t* data, std::size_t n) {
+  static const char* digits = "0123456789abcdef";
+  std::string out;
+  out.reserve(2 * n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(digits[data[i] >> 4]);
+    out.push_back(digits[data[i] & 0xf]);
+  }
+  return out;
+}
+
+std::string to_hex(const std::vector<std::uint8_t>& data) {
+  return to_hex(data.data(), data.size());
+}
+
+std::vector<std::uint8_t> from_hex(std::string_view hex) {
+  std::vector<std::uint8_t> out;
+  int hi = -1;
+  for (char c : hex) {
+    if (c == ' ' || c == '\n' || c == '\t') continue;
+    const int v = nibble(c);
+    if (v < 0) throw std::invalid_argument("from_hex: bad character");
+    if (hi < 0) {
+      hi = v;
+    } else {
+      out.push_back(static_cast<std::uint8_t>((hi << 4) | v));
+      hi = -1;
+    }
+  }
+  if (hi >= 0) throw std::invalid_argument("from_hex: odd length");
+  return out;
+}
+
+}  // namespace wsp

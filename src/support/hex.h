@@ -1,0 +1,19 @@
+// Hexadecimal encoding/decoding helpers used by tests and examples.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wsp {
+
+/// Lower-case hex string for a byte buffer.
+std::string to_hex(const std::uint8_t* data, std::size_t n);
+std::string to_hex(const std::vector<std::uint8_t>& data);
+
+/// Parses a hex string (even length, optional embedded spaces) into bytes.
+/// Throws std::invalid_argument on malformed input.
+std::vector<std::uint8_t> from_hex(std::string_view hex);
+
+}  // namespace wsp

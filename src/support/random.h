@@ -1,0 +1,44 @@
+// Deterministic pseudo-random generation used throughout the library.
+//
+// All stochastic components of the methodology (characterization stimuli,
+// test vectors, key generation in examples) draw from this generator so that
+// every experiment in the repository is reproducible bit-for-bit.
+//
+// The generator is xoshiro256** (Blackman & Vigna).  It is NOT
+// cryptographically secure; `crypto/rsa.h` documents that key generation in
+// this reproduction is for simulation/benchmarking, not deployment.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace wsp {
+
+/// Deterministic 64-bit PRNG (xoshiro256**) with convenience helpers.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Next 32-bit value.
+  std::uint32_t next_u32() { return static_cast<std::uint32_t>(next_u64() >> 32); }
+
+  /// Uniform value in [0, bound) for bound > 0.
+  std::uint64_t below(std::uint64_t bound);
+
+  /// Uniform value in [lo, hi] inclusive.
+  std::uint64_t range(std::uint64_t lo, std::uint64_t hi);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Fills `n` bytes of pseudo-random data.
+  std::vector<std::uint8_t> bytes(std::size_t n);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace wsp

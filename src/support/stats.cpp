@@ -1,0 +1,103 @@
+#include "support/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace wsp {
+
+Summary summarize(const std::vector<double>& xs) {
+  Summary s;
+  if (xs.empty()) return s;
+  s.min = s.max = xs[0];
+  double sum = 0.0;
+  for (double x : xs) {
+    sum += x;
+    s.min = std::min(s.min, x);
+    s.max = std::max(s.max, x);
+  }
+  s.mean = sum / static_cast<double>(xs.size());
+  double var = 0.0;
+  for (double x : xs) var += (x - s.mean) * (x - s.mean);
+  s.stddev = std::sqrt(var / static_cast<double>(xs.size()));
+  return s;
+}
+
+std::vector<double> solve_linear(std::vector<std::vector<double>> a,
+                                 std::vector<double> b) {
+  const std::size_t n = a.size();
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivot.
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < n; ++r) {
+      if (std::fabs(a[r][col]) > std::fabs(a[pivot][col])) pivot = r;
+    }
+    if (std::fabs(a[pivot][col]) < 1e-12) {
+      throw std::runtime_error("solve_linear: singular system");
+    }
+    std::swap(a[col], a[pivot]);
+    std::swap(b[col], b[pivot]);
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double f = a[r][col] / a[col][col];
+      for (std::size_t c = col; c < n; ++c) a[r][c] -= f * a[col][c];
+      b[r] -= f * b[col];
+    }
+  }
+  std::vector<double> x(n);
+  for (std::size_t i = n; i-- > 0;) {
+    double acc = b[i];
+    for (std::size_t c = i + 1; c < n; ++c) acc -= a[i][c] * x[c];
+    x[i] = acc / a[i][i];
+  }
+  return x;
+}
+
+std::vector<double> least_squares(const std::vector<std::vector<double>>& X,
+                                  const std::vector<double>& y) {
+  if (X.empty() || X.size() != y.size()) {
+    throw std::invalid_argument("least_squares: bad dimensions");
+  }
+  const std::size_t m = X.size();
+  const std::size_t k = X[0].size();
+  std::vector<std::vector<double>> xtx(k, std::vector<double>(k, 0.0));
+  std::vector<double> xty(k, 0.0);
+  for (std::size_t i = 0; i < m; ++i) {
+    if (X[i].size() != k) throw std::invalid_argument("least_squares: ragged X");
+    for (std::size_t a = 0; a < k; ++a) {
+      xty[a] += X[i][a] * y[i];
+      for (std::size_t b = 0; b < k; ++b) xtx[a][b] += X[i][a] * X[i][b];
+    }
+  }
+  // Tiny ridge term keeps near-collinear bases (e.g. 1 and n over a narrow
+  // sweep) solvable without visibly changing the fit.
+  for (std::size_t a = 0; a < k; ++a) xtx[a][a] += 1e-9;
+  return solve_linear(std::move(xtx), std::move(xty));
+}
+
+double r_squared(const std::vector<double>& predicted,
+                 const std::vector<double>& observed) {
+  if (predicted.size() != observed.size() || observed.empty()) return 0.0;
+  const Summary s = summarize(observed);
+  double ss_res = 0.0;
+  double ss_tot = 0.0;
+  for (std::size_t i = 0; i < observed.size(); ++i) {
+    ss_res += (observed[i] - predicted[i]) * (observed[i] - predicted[i]);
+    ss_tot += (observed[i] - s.mean) * (observed[i] - s.mean);
+  }
+  if (ss_tot == 0.0) return ss_res == 0.0 ? 1.0 : 0.0;
+  return 1.0 - ss_res / ss_tot;
+}
+
+double mean_abs_pct_error(const std::vector<double>& predicted,
+                          const std::vector<double>& observed) {
+  double total = 0.0;
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < predicted.size() && i < observed.size(); ++i) {
+    if (observed[i] == 0.0) continue;
+    total += std::fabs(predicted[i] - observed[i]) / std::fabs(observed[i]);
+    ++n;
+  }
+  return n == 0 ? 0.0 : 100.0 * total / static_cast<double>(n);
+}
+
+}  // namespace wsp

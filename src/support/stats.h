@@ -1,0 +1,41 @@
+// Small statistics / linear-algebra toolbox backing the performance
+// macro-modeling phase (paper Sec. 3.2): ordinary least squares over
+// arbitrary basis functions, plus summary statistics used when reporting
+// model quality (R^2, mean absolute percentage error).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace wsp {
+
+/// Summary statistics of a sample.
+struct Summary {
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+Summary summarize(const std::vector<double>& xs);
+
+/// Solves the dense linear system A x = b (n x n) by Gaussian elimination
+/// with partial pivoting.  Throws std::runtime_error if singular.
+std::vector<double> solve_linear(std::vector<std::vector<double>> a,
+                                 std::vector<double> b);
+
+/// Ordinary least squares: given rows of basis-function values `X`
+/// (m samples x k basis terms) and observations `y` (m), returns the k
+/// coefficients minimizing ||X c - y||^2 via the normal equations.
+std::vector<double> least_squares(const std::vector<std::vector<double>>& X,
+                                  const std::vector<double>& y);
+
+/// Coefficient of determination for predictions vs observations.
+double r_squared(const std::vector<double>& predicted,
+                 const std::vector<double>& observed);
+
+/// Mean absolute percentage error (in percent), ignoring observations == 0.
+double mean_abs_pct_error(const std::vector<double>& predicted,
+                          const std::vector<double>& observed);
+
+}  // namespace wsp

@@ -1,0 +1,186 @@
+#include "tie/adcurve.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "tie/area.h"
+
+namespace wsp::tie {
+
+void InstrCatalog::add(const std::string& name, double area,
+                       const std::string& family, int rank) {
+  info_[name] = Info{area, family, rank};
+}
+
+double InstrCatalog::area_of(const std::string& name) const {
+  const auto it = info_.find(name);
+  if (it == info_.end()) throw std::out_of_range("InstrCatalog: unknown " + name);
+  return it->second.area;
+}
+
+double InstrCatalog::set_area(const std::set<std::string>& instrs) const {
+  double a = 0.0;
+  for (const std::string& name : instrs) a += area_of(name);
+  return a;
+}
+
+std::set<std::string> InstrCatalog::reduce(const std::set<std::string>& instrs) const {
+  // Highest rank per family wins; family-less members pass through.
+  std::map<std::string, std::pair<int, std::string>> best;  // family -> (rank, name)
+  std::set<std::string> out;
+  for (const std::string& name : instrs) {
+    const auto it = info_.find(name);
+    if (it == info_.end()) throw std::out_of_range("InstrCatalog: unknown " + name);
+    const Info& info = it->second;
+    if (info.family.empty()) {
+      out.insert(name);
+      continue;
+    }
+    auto [bit, inserted] = best.try_emplace(info.family, info.rank, name);
+    if (!inserted && info.rank > bit->second.first) {
+      bit->second = {info.rank, name};
+    }
+  }
+  for (const auto& [family, entry] : best) out.insert(entry.second);
+  return out;
+}
+
+bool InstrCatalog::covers(const std::set<std::string>& available,
+                          const std::set<std::string>& needed) const {
+  // Precompute the best available rank per family.
+  std::map<std::string, int> avail_rank;
+  std::set<std::string> avail_exact;
+  for (const std::string& name : available) {
+    const auto it = info_.find(name);
+    if (it == info_.end()) throw std::out_of_range("InstrCatalog: unknown " + name);
+    if (it->second.family.empty()) {
+      avail_exact.insert(name);
+    } else {
+      int& r = avail_rank[it->second.family];
+      r = std::max(r, it->second.rank);
+    }
+  }
+  for (const std::string& name : needed) {
+    const auto it = info_.find(name);
+    if (it == info_.end()) throw std::out_of_range("InstrCatalog: unknown " + name);
+    const Info& info = it->second;
+    if (info.family.empty()) {
+      if (!avail_exact.count(name)) return false;
+    } else {
+      const auto rit = avail_rank.find(info.family);
+      if (rit == avail_rank.end() || rit->second < info.rank) return false;
+    }
+  }
+  return true;
+}
+
+InstrCatalog default_catalog() {
+  InstrCatalog cat;
+  const AreaModel& am = default_area_model();
+  cat.add("ur_load", am.ur_transfer(), "", 0);
+  cat.add("ur_store", am.ur_transfer(), "", 0);
+  for (int k : {2, 4, 8, 16}) {
+    cat.add("add_" + std::to_string(k), am.wide_adder(k), "add", k);
+    cat.add("sub_" + std::to_string(k), am.wide_adder(k), "sub", k);
+  }
+  for (int m : {1, 2, 4, 8}) {
+    cat.add("mac_" + std::to_string(m), am.mac_unit(m), "mac", m);
+  }
+  cat.add("des_ip_hi", am.des_perm_half(), "", 0);
+  cat.add("des_ip_lo", am.des_perm_half(), "", 0);
+  cat.add("des_fp_hi", am.des_perm_half(), "", 0);
+  cat.add("des_fp_lo", am.des_perm_half(), "", 0);
+  cat.add("des_round", am.des_round_unit(), "", 0);
+  cat.add("aes_sbox4", am.aes_sbox4_unit(), "", 0);
+  cat.add("aes_mixcol", am.aes_mixcol_unit(), "", 0);
+  cat.add("aes_ld_state", am.ur_transfer(), "", 0);
+  cat.add("aes_st_state", am.ur_transfer(), "", 0);
+  cat.add("aes_round", am.aes_round_unit(), "", 0);
+  cat.add("aes_final", am.control, "", 0);
+  return cat;
+}
+
+void ADCurve::pareto_prune() {
+  std::vector<ADPoint> kept;
+  for (const ADPoint& p : points_) {
+    bool dominated = false;
+    for (const ADPoint& q : points_) {
+      if (&p == &q) continue;
+      const bool q_no_worse = q.area <= p.area && q.cycles <= p.cycles;
+      const bool q_better = q.area < p.area || q.cycles < p.cycles;
+      if (q_no_worse && q_better) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) kept.push_back(p);
+  }
+  // Deduplicate identical (area, cycles) pairs.
+  std::sort(kept.begin(), kept.end(), [](const ADPoint& a, const ADPoint& b) {
+    return a.area != b.area ? a.area < b.area : a.cycles < b.cycles;
+  });
+  kept.erase(std::unique(kept.begin(), kept.end(),
+                         [](const ADPoint& a, const ADPoint& b) {
+                           return a.area == b.area && a.cycles == b.cycles;
+                         }),
+             kept.end());
+  points_ = std::move(kept);
+}
+
+double ADCurve::best_cycles_with(const std::set<std::string>& available,
+                                 const InstrCatalog& catalog) const {
+  double best = std::numeric_limits<double>::infinity();
+  for (const ADPoint& p : points_) {
+    if (catalog.covers(available, p.instrs)) best = std::min(best, p.cycles);
+  }
+  if (!std::isfinite(best)) {
+    throw std::logic_error("ADCurve: no base point (empty-set point) present");
+  }
+  return best;
+}
+
+ADCurve ADCurve::combine(double local_cycles,
+                         const std::vector<std::pair<double, const ADCurve*>>& children,
+                         const InstrCatalog& catalog, CombineStats* stats) {
+  // Enumerate the Cartesian product of child points, collecting the set of
+  // distinct dominance-reduced instruction unions.
+  std::vector<std::set<std::string>> unions;
+  unions.emplace_back();  // start from the empty union
+  std::size_t cartesian = 1;
+  for (const auto& [calls, curve] : children) {
+    (void)calls;
+    cartesian *= std::max<std::size_t>(curve->points().size(), 1);
+    std::vector<std::set<std::string>> next;
+    for (const auto& u : unions) {
+      for (const ADPoint& p : curve->points()) {
+        std::set<std::string> merged = u;
+        merged.insert(p.instrs.begin(), p.instrs.end());
+        next.push_back(catalog.reduce(merged));
+      }
+    }
+    std::sort(next.begin(), next.end());
+    next.erase(std::unique(next.begin(), next.end()), next.end());
+    unions = std::move(next);
+  }
+
+  ADCurve out;
+  for (const auto& u : unions) {
+    ADPoint p;
+    p.instrs = u;
+    p.area = catalog.set_area(u);
+    p.cycles = local_cycles;
+    for (const auto& [calls, curve] : children) {
+      p.cycles += calls * curve->best_cycles_with(u, catalog);
+    }
+    out.add(std::move(p));
+  }
+  if (stats) {
+    stats->cartesian_points = cartesian;
+    stats->reduced_points = out.points().size();
+  }
+  return out;
+}
+
+}  // namespace wsp::tie

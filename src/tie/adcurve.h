@@ -1,0 +1,102 @@
+// Area-Delay (A-D) curves and their combination — the data structure at the
+// center of the paper's custom-instruction selection methodology
+// (Sec. 3.3/3.4, Figs. 5 and 6).
+//
+// Each point pairs an achievable cycle count with the silicon area of the
+// custom-instruction set that achieves it.  Curves are combined bottom-up
+// through the call graph: the Cartesian product of child points is taken,
+// instruction sets are unioned (load/store-style instructions shared), and
+// the product is collapsed by *dominance* (add_4 subsumes add_2: same
+// function, equal or better performance) before Pareto pruning at the root.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace wsp::tie {
+
+/// Knowledge about each custom instruction needed by curve algebra:
+/// its area and its dominance family (instructions within one family are
+/// totally ordered by rank; higher rank performs every lower-rank job at
+/// equal or better speed).
+class InstrCatalog {
+ public:
+  void add(const std::string& name, double area, const std::string& family,
+           int rank);
+
+  double area_of(const std::string& name) const;
+  /// Total area of a set (each instruction counted once — "sharing").
+  double set_area(const std::set<std::string>& instrs) const;
+
+  /// Collapses a set by dominance: keeps only the highest-ranked member of
+  /// each family (family-less instructions are kept as-is).
+  std::set<std::string> reduce(const std::set<std::string>& instrs) const;
+
+  /// True if every instruction in `needed` is provided by `available`,
+  /// where a higher-ranked family member provides all lower ranks.
+  bool covers(const std::set<std::string>& available,
+              const std::set<std::string>& needed) const;
+
+  bool known(const std::string& name) const { return info_.count(name) != 0; }
+
+ private:
+  struct Info {
+    double area = 0.0;
+    std::string family;  // empty = no family (only exact match covers)
+    int rank = 0;
+  };
+  std::map<std::string, Info> info_;
+};
+
+/// The catalog for the instructions in tie/custom.h.
+InstrCatalog default_catalog();
+
+struct ADPoint {
+  double area = 0.0;
+  double cycles = 0.0;
+  std::set<std::string> instrs;  ///< custom instructions this point requires
+};
+
+class ADCurve {
+ public:
+  ADCurve() = default;
+  explicit ADCurve(std::vector<ADPoint> points) : points_(std::move(points)) {}
+
+  void add(ADPoint p) { points_.push_back(std::move(p)); }
+  const std::vector<ADPoint>& points() const { return points_; }
+  bool empty() const { return points_.empty(); }
+
+  /// Removes points that are weakly dominated in (area, cycles) by another
+  /// point (standard Pareto pruning; applied at the call-graph root).
+  void pareto_prune();
+
+  /// Best cycle count achievable when the hardware provides exactly the
+  /// instruction set `available` (dominance-aware).  The curve must contain
+  /// a base point with an empty instruction set.
+  double best_cycles_with(const std::set<std::string>& available,
+                          const InstrCatalog& catalog) const;
+
+  /// Statistics from the last combine() call (for reporting the Fig. 6
+  /// reduction: raw Cartesian points vs. surviving reduced points).
+  struct CombineStats {
+    std::size_t cartesian_points = 0;
+    std::size_t reduced_points = 0;
+  };
+
+  /// Combines child curves per Eq. (1):
+  ///   cycles(f) = local_cycles + sum_i calls_i * cycles(child_i)
+  /// taking the Cartesian product of child design points, unioning and
+  /// dominance-reducing instruction sets, and re-costing each child at the
+  /// reduced set.  Child cycle values are per call.
+  static ADCurve combine(double local_cycles,
+                         const std::vector<std::pair<double, const ADCurve*>>& children,
+                         const InstrCatalog& catalog,
+                         CombineStats* stats = nullptr);
+
+ private:
+  std::vector<ADPoint> points_;
+};
+
+}  // namespace wsp::tie

@@ -1,0 +1,31 @@
+#include "tie/area.h"
+
+namespace wsp::tie {
+
+double AreaModel::wide_adder(int k) const {
+  // k adders + 3k user-register words (two operand chunks + result chunk)
+  // amortized + carry-select glue.
+  return k * adder32 + 3 * k * reg32 / 2 + control;
+}
+
+double AreaModel::mac_unit(int m) const {
+  // m MAC slices + accumulator registers + carry chain.
+  return m * mac32 + 2 * m * reg32 + control;
+}
+
+double AreaModel::des_round_unit() const {
+  // 8 S-boxes of 64x4 bits, E-expansion and P-permutation are wiring,
+  // plus the subkey fetch path.
+  return 8 * lut(64 * 4) + perm_unit + wide_bus / 2 + control;
+}
+
+double AreaModel::aes_round_unit() const {
+  return 16 * lut(256 * 8) + 4 * (4 * 140.0) + 4 * reg32 + wide_bus + control;
+}
+
+const AreaModel& default_area_model() {
+  static const AreaModel model;
+  return model;
+}
+
+}  // namespace wsp::tie

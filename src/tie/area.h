@@ -1,0 +1,46 @@
+// Parametric gate-area model for custom-instruction datapaths.
+//
+// Stand-in for the paper's logic-synthesis flow (Synopsys DC + NEC CB-11
+// 0.18um library): each datapath component carries a grid-count estimate,
+// calibrated so that the A-D curves land in the same 10^3..10^4 area range
+// as the paper's Fig. 5.  Selection only depends on relative areas.
+#pragma once
+
+#include <cstdint>
+
+namespace wsp::tie {
+
+struct AreaModel {
+  // Component costs in "grids".
+  double adder32 = 550.0;        ///< 32-bit carry-lookahead adder
+  double mac32 = 3400.0;         ///< 32x32->64 multiply-accumulate slice
+  double reg32 = 90.0;           ///< 32-bit pipeline/user register
+  double lut_bits_per_grid = 2.2;///< ROM/LUT density: bits per grid
+  double wide_bus = 420.0;       ///< 64-bit load/store path into UR file
+  double perm_unit = 260.0;      ///< 64-bit hardwired permutation network
+  double control = 180.0;        ///< decode + sequencing overhead per instr
+
+  double lut(double bits) const { return bits / lut_bits_per_grid; }
+
+  /// k-word parallel adder instruction (add_k / sub_k).
+  double wide_adder(int k) const;
+  /// m-MAC multiply-accumulate instruction (mac_m).
+  double mac_unit(int m) const;
+  /// UR load/store path (shared by every UR-based instruction).
+  double ur_transfer() const { return wide_bus + control; }
+  /// DES round unit: E-expansion wiring + 8 S-boxes (64x4 bits each) + P.
+  double des_round_unit() const;
+  /// DES IP/FP permutation half (one 32-bit output slice).
+  double des_perm_half() const { return perm_unit / 2 + control; }
+  /// AES S-box word unit: 4 parallel 256x8 LUTs.
+  double aes_sbox4_unit() const { return 4 * lut(256 * 8) + control; }
+  /// AES MixColumns unit: GF(2^8) xtime/xor network for one column.
+  double aes_mixcol_unit() const { return 4 * 140.0 + control; }
+  /// Full AES round unit: 16 S-boxes + 4 MixColumns + key-add + state regs.
+  double aes_round_unit() const;
+};
+
+/// The model instance used throughout the repository.
+const AreaModel& default_area_model();
+
+}  // namespace wsp::tie

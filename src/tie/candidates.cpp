@@ -1,0 +1,107 @@
+#include "tie/candidates.h"
+
+#include <stdexcept>
+
+#include "tie/custom.h"
+
+namespace wsp::tie {
+
+std::vector<RoutineCandidates> mpn_routine_candidates() {
+  std::vector<RoutineCandidates> out;
+  {
+    RoutineCandidates rc;
+    rc.routine = "mpn_add_n";
+    rc.alternatives.push_back({});
+    for (int k : {2, 4, 8, 16}) {
+      rc.alternatives.push_back({"ur_load", "ur_store", "add_" + std::to_string(k)});
+    }
+    out.push_back(std::move(rc));
+  }
+  {
+    RoutineCandidates rc;
+    rc.routine = "mpn_sub_n";
+    rc.alternatives.push_back({});
+    for (int k : {2, 4, 8, 16}) {
+      rc.alternatives.push_back({"ur_load", "ur_store", "sub_" + std::to_string(k)});
+    }
+    out.push_back(std::move(rc));
+  }
+  {
+    RoutineCandidates rc;
+    rc.routine = "mpn_addmul_1";
+    rc.alternatives.push_back({});
+    for (int m : {1, 2, 4, 8}) {
+      rc.alternatives.push_back({"ur_load", "ur_store", "mac_" + std::to_string(m)});
+    }
+    out.push_back(std::move(rc));
+  }
+  {
+    RoutineCandidates rc;
+    rc.routine = "mpn_mul_1";
+    rc.alternatives.push_back({});
+    for (int m : {1, 2, 4, 8}) {
+      rc.alternatives.push_back({"ur_load", "ur_store", "mac_" + std::to_string(m)});
+    }
+    out.push_back(std::move(rc));
+  }
+  return out;
+}
+
+std::vector<RoutineCandidates> privkey_routine_candidates() {
+  std::vector<RoutineCandidates> out;
+  {
+    RoutineCandidates rc;
+    rc.routine = "des_block";
+    rc.alternatives.push_back({});
+    rc.alternatives.push_back({"des_round"});
+    rc.alternatives.push_back(
+        {"des_round", "des_ip_hi", "des_ip_lo", "des_fp_hi", "des_fp_lo"});
+    out.push_back(std::move(rc));
+  }
+  {
+    RoutineCandidates rc;
+    rc.routine = "aes_block";
+    rc.alternatives.push_back({});
+    rc.alternatives.push_back({"aes_sbox4"});
+    rc.alternatives.push_back({"aes_sbox4", "aes_mixcol"});
+    rc.alternatives.push_back(
+        {"aes_ld_state", "aes_st_state", "aes_round", "aes_final"});
+    out.push_back(std::move(rc));
+  }
+  return out;
+}
+
+sim::CustomSet custom_set_for(const std::set<std::string>& names) {
+  sim::CustomSet set;
+  for (const std::string& name : names) {
+    if (name == "ur_load") set.add(make_ur_load());
+    else if (name == "ur_store") set.add(make_ur_store());
+    else if (name == "add_2") set.add(make_add_k(2));
+    else if (name == "add_4") set.add(make_add_k(4));
+    else if (name == "add_8") set.add(make_add_k(8));
+    else if (name == "add_16") set.add(make_add_k(16));
+    else if (name == "sub_2") set.add(make_sub_k(2));
+    else if (name == "sub_4") set.add(make_sub_k(4));
+    else if (name == "sub_8") set.add(make_sub_k(8));
+    else if (name == "sub_16") set.add(make_sub_k(16));
+    else if (name == "mac_1") set.add(make_mac_m(1));
+    else if (name == "mac_2") set.add(make_mac_m(2));
+    else if (name == "mac_4") set.add(make_mac_m(4));
+    else if (name == "mac_8") set.add(make_mac_m(8));
+    else if (name == "des_ip_hi") set.add(make_des_ip_hi());
+    else if (name == "des_ip_lo") set.add(make_des_ip_lo());
+    else if (name == "des_fp_hi") set.add(make_des_fp_hi());
+    else if (name == "des_fp_lo") set.add(make_des_fp_lo());
+    else if (name == "des_round") set.add(make_des_round());
+    else if (name == "aes_sbox4") set.add(make_aes_sbox4());
+    else if (name == "aes_mixcol") set.add(make_aes_mixcol());
+    else if (name == "aes_ld_state") set.add(make_aes_ld_state());
+    else if (name == "aes_st_state") set.add(make_aes_st_state());
+    else if (name == "aes_round") set.add(make_aes_round());
+    else if (name == "aes_final") set.add(make_aes_final());
+    else throw std::invalid_argument("custom_set_for: unknown instruction " + name);
+  }
+  return set;
+}
+
+}  // namespace wsp::tie

@@ -1,0 +1,34 @@
+// Candidate custom-instruction alternatives per library routine — the
+// interactive output of the paper's custom-instruction formulation phase
+// (Sec. 3.3): for each leaf routine of the call graph, a list of
+// alternative instruction sets (including the zero-area original) whose
+// measured cycle counts form the routine's A-D curve.
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "sim/custom.h"
+#include "tie/adcurve.h"
+
+namespace wsp::tie {
+
+struct RoutineCandidates {
+  std::string routine;  ///< library-routine name, e.g. "mpn_add_n"
+  /// Alternative instruction sets, first entry the empty set (original SW).
+  std::vector<std::set<std::string>> alternatives;
+};
+
+/// Candidates for the multi-precision kernels (paper Fig. 5: mpn_add_n with
+/// 2/4/8/16-adder variants, mpn_addmul_1 with 1/2/4-MAC variants).
+std::vector<RoutineCandidates> mpn_routine_candidates();
+
+/// Candidates for the private-key kernels (DES round/permutation units,
+/// AES partial units and the full round unit).
+std::vector<RoutineCandidates> privkey_routine_candidates();
+
+/// Builds a CustomSet containing the named instructions.
+sim::CustomSet custom_set_for(const std::set<std::string>& names);
+
+}  // namespace wsp::tie

@@ -1,0 +1,40 @@
+// Factory for the custom-instruction descriptors (functional semantics +
+// latency + area) — the output of the paper's custom-instruction
+// formulation phase (Sec. 3.3), one descriptor per candidate instruction.
+#pragma once
+
+#include "sim/custom.h"
+#include "tie/area.h"
+#include "tie/ids.h"
+
+namespace wsp::tie {
+
+/// Individual instruction builders.  Latencies model the pipeline occupancy
+/// of the synthesized datapath; areas come from the AreaModel.
+sim::CustomInstr make_ur_load();
+sim::CustomInstr make_ur_store();
+sim::CustomInstr make_add_k(int k);   ///< k in {2,4,8,16}
+sim::CustomInstr make_sub_k(int k);   ///< k in {2,4,8,16}
+sim::CustomInstr make_mac_m(int m);   ///< m in {1,2,4}
+sim::CustomInstr make_des_ip_hi();
+sim::CustomInstr make_des_ip_lo();
+sim::CustomInstr make_des_fp_hi();
+sim::CustomInstr make_des_fp_lo();
+sim::CustomInstr make_des_round();
+sim::CustomInstr make_aes_sbox4();
+sim::CustomInstr make_aes_mixcol();
+sim::CustomInstr make_aes_ld_state();
+sim::CustomInstr make_aes_st_state();
+sim::CustomInstr make_aes_round();
+sim::CustomInstr make_aes_final();
+
+/// All custom instructions (the union candidate pool).
+sim::CustomSet full_custom_set();
+
+/// The instruction set selected for the final optimized platform (output of
+/// the global selection phase under the default area constraint):
+/// UR transfers, add_8/sub_8, mac_4, the DES units, and the partial AES
+/// units (the full AES round unit is rejected on area).
+sim::CustomSet platform_custom_set();
+
+}  // namespace wsp::tie

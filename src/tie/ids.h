@@ -1,0 +1,57 @@
+// Custom-instruction id assignments shared by the tie candidate library and
+// the kernel builders (the kernels encode these ids into Op::kCustom).
+#pragma once
+
+#include <cstdint>
+
+namespace wsp::tie {
+
+enum Id : std::uint16_t {
+  // --- user-register (TIE state) transfer -------------------------------
+  kUrLoad = 1,   ///< UR[rd][0..imm) <- mem[rs1..]; wide 64-bit bus
+  kUrStore = 2,  ///< mem[rs1..] <- UR[rd][0..imm)
+
+  // --- multi-word adders for mpn_add_n / mpn_sub_n ------------------------
+  // UR[2] = UR[0] + UR[1] + carry, over `imm` words, one cycle (k adders).
+  kAdd2 = 3,
+  kAdd4 = 4,
+  kAdd8 = 5,
+  kAdd16 = 6,
+  kSub2 = 7,
+  kSub4 = 8,
+  kSub8 = 9,
+  kSub16 = 10,
+
+  // --- multiply-accumulate units for mpn_addmul_1 / mpn_mul_1 -------------
+  // UR[1][0..k) += UR[0][0..k) * rs1 + carry limb, k = number of MACs.
+  kMac1 = 11,
+  kMac2 = 12,
+  kMac4 = 13,
+  kMac8 = 25,
+
+  // --- DES units ------------------------------------------------------------
+  kDesIpHi = 14,  ///< rd = hi32(IP(rs1:rs2))
+  kDesIpLo = 15,  ///< rd = lo32(IP(rs1:rs2))
+  kDesFpHi = 16,  ///< rd = hi32(FP(rs1:rs2))
+  kDesFpLo = 17,  ///< rd = lo32(FP(rs1:rs2))
+  kDesRound = 18, ///< rd = F(rs1, k48 at mem[rs2]) — E, 8 S-boxes, P in one unit
+
+  // --- AES units ------------------------------------------------------------
+  kAesSbox4 = 19,   ///< rd = SubBytes applied to the 4 bytes of rs1
+  kAesMixCol = 20,  ///< rd = MixColumns applied to one column word rs1
+  kAesLdState = 21, ///< UR[3][0..3] <- mem[rs1] (state in)
+  kAesStState = 22, ///< mem[rs1] <- UR[3][0..3] (state out)
+  kAesRound = 23,   ///< UR[3] = full AES round of UR[3], round key at mem[rs1]
+  kAesFinal = 24,   ///< UR[3] = final AES round of UR[3], round key at mem[rs1]
+  // kMac8 = 25 lives above with the other MAC units.
+};
+
+/// User-register allocation conventions used by the kernels.
+inline constexpr unsigned kUrA = 0;      ///< operand A chunk
+inline constexpr unsigned kUrB = 1;      ///< operand B chunk / accumulator
+inline constexpr unsigned kUrR = 2;      ///< result chunk
+inline constexpr unsigned kUrAes = 3;    ///< AES state
+inline constexpr unsigned kUrMacCarry = 6;  ///< [0] = MAC carry limb
+inline constexpr unsigned kUrFlags = 7;     ///< [0] = add/sub carry/borrow flag
+
+}  // namespace wsp::tie

@@ -1,0 +1,191 @@
+#include "xasm/program.h"
+
+#include <stdexcept>
+
+namespace wsp::xasm {
+
+using isa::Instr;
+using isa::Op;
+
+std::uint32_t Program::entry(const std::string& name) const {
+  const auto it = functions.find(name);
+  if (it == functions.end()) {
+    throw std::out_of_range("Program: unknown function " + name);
+  }
+  return it->second;
+}
+
+std::uint32_t Program::symbol(const std::string& name) const {
+  const auto it = symbols.find(name);
+  if (it == symbols.end()) {
+    throw std::out_of_range("Program: unknown symbol " + name);
+  }
+  return it->second;
+}
+
+void Assembler::emit(Instr instr) { prog_.code.push_back(instr); }
+
+void Assembler::func(const std::string& name) {
+  if (prog_.functions.count(name)) {
+    throw std::invalid_argument("Assembler: duplicate function " + name);
+  }
+  current_func_ = name;
+  prog_.functions[name] = static_cast<std::uint32_t>(prog_.code.size());
+}
+
+void Assembler::label(const std::string& name) {
+  const std::string key = current_func_ + ":" + name;
+  if (local_labels_.count(key)) {
+    throw std::invalid_argument("Assembler: duplicate label " + key);
+  }
+  local_labels_[key] = static_cast<std::uint32_t>(prog_.code.size());
+}
+
+void Assembler::nop() { emit({Op::kNop, 0, 0, 0, 0, 0}); }
+void Assembler::add(R rd, R rs1, R rs2) { emit({Op::kAdd, rd, rs1, rs2, 0, 0}); }
+void Assembler::sub(R rd, R rs1, R rs2) { emit({Op::kSub, rd, rs1, rs2, 0, 0}); }
+void Assembler::and_(R rd, R rs1, R rs2) { emit({Op::kAnd, rd, rs1, rs2, 0, 0}); }
+void Assembler::or_(R rd, R rs1, R rs2) { emit({Op::kOr, rd, rs1, rs2, 0, 0}); }
+void Assembler::xor_(R rd, R rs1, R rs2) { emit({Op::kXor, rd, rs1, rs2, 0, 0}); }
+void Assembler::sll(R rd, R rs1, R rs2) { emit({Op::kSll, rd, rs1, rs2, 0, 0}); }
+void Assembler::srl(R rd, R rs1, R rs2) { emit({Op::kSrl, rd, rs1, rs2, 0, 0}); }
+void Assembler::sra(R rd, R rs1, R rs2) { emit({Op::kSra, rd, rs1, rs2, 0, 0}); }
+void Assembler::slt(R rd, R rs1, R rs2) { emit({Op::kSlt, rd, rs1, rs2, 0, 0}); }
+void Assembler::sltu(R rd, R rs1, R rs2) { emit({Op::kSltu, rd, rs1, rs2, 0, 0}); }
+void Assembler::mul(R rd, R rs1, R rs2) { emit({Op::kMul, rd, rs1, rs2, 0, 0}); }
+void Assembler::mulhu(R rd, R rs1, R rs2) { emit({Op::kMulhu, rd, rs1, rs2, 0, 0}); }
+void Assembler::addi(R rd, R rs1, std::int32_t imm) { emit({Op::kAddi, rd, rs1, 0, imm, 0}); }
+void Assembler::andi(R rd, R rs1, std::int32_t imm) { emit({Op::kAndi, rd, rs1, 0, imm, 0}); }
+void Assembler::ori(R rd, R rs1, std::int32_t imm) { emit({Op::kOri, rd, rs1, 0, imm, 0}); }
+void Assembler::xori(R rd, R rs1, std::int32_t imm) { emit({Op::kXori, rd, rs1, 0, imm, 0}); }
+void Assembler::slli(R rd, R rs1, std::int32_t imm) { emit({Op::kSlli, rd, rs1, 0, imm, 0}); }
+void Assembler::srli(R rd, R rs1, std::int32_t imm) { emit({Op::kSrli, rd, rs1, 0, imm, 0}); }
+void Assembler::srai(R rd, R rs1, std::int32_t imm) { emit({Op::kSrai, rd, rs1, 0, imm, 0}); }
+void Assembler::slti(R rd, R rs1, std::int32_t imm) { emit({Op::kSlti, rd, rs1, 0, imm, 0}); }
+void Assembler::sltiu(R rd, R rs1, std::int32_t imm) { emit({Op::kSltiu, rd, rs1, 0, imm, 0}); }
+void Assembler::lui(R rd, std::int32_t imm) { emit({Op::kLui, rd, 0, 0, imm, 0}); }
+void Assembler::lw(R rd, R rs1, std::int32_t off) { emit({Op::kLw, rd, rs1, 0, off, 0}); }
+void Assembler::lhu(R rd, R rs1, std::int32_t off) { emit({Op::kLhu, rd, rs1, 0, off, 0}); }
+void Assembler::lbu(R rd, R rs1, std::int32_t off) { emit({Op::kLbu, rd, rs1, 0, off, 0}); }
+void Assembler::sw(R rs2, R rs1, std::int32_t off) { emit({Op::kSw, 0, rs1, rs2, off, 0}); }
+void Assembler::sh(R rs2, R rs1, std::int32_t off) { emit({Op::kSh, 0, rs1, rs2, off, 0}); }
+void Assembler::sb(R rs2, R rs1, std::int32_t off) { emit({Op::kSb, 0, rs1, rs2, off, 0}); }
+
+void Assembler::branch_to(Op op, R rs1, R rs2, const std::string& lbl) {
+  fixups_.push_back({static_cast<std::uint32_t>(prog_.code.size()),
+                     current_func_ + ":" + lbl, false});
+  emit({op, 0, rs1, rs2, 0, 0});
+}
+
+void Assembler::beq(R rs1, R rs2, const std::string& l) { branch_to(Op::kBeq, rs1, rs2, l); }
+void Assembler::bne(R rs1, R rs2, const std::string& l) { branch_to(Op::kBne, rs1, rs2, l); }
+void Assembler::blt(R rs1, R rs2, const std::string& l) { branch_to(Op::kBlt, rs1, rs2, l); }
+void Assembler::bge(R rs1, R rs2, const std::string& l) { branch_to(Op::kBge, rs1, rs2, l); }
+void Assembler::bltu(R rs1, R rs2, const std::string& l) { branch_to(Op::kBltu, rs1, rs2, l); }
+void Assembler::bgeu(R rs1, R rs2, const std::string& l) { branch_to(Op::kBgeu, rs1, rs2, l); }
+void Assembler::j(const std::string& l) { branch_to(Op::kJ, 0, 0, l); }
+
+void Assembler::call(const std::string& function) {
+  fixups_.push_back({static_cast<std::uint32_t>(prog_.code.size()), function, true});
+  emit({Op::kCall, 0, 0, 0, 0, 0});
+}
+
+void Assembler::ret() { emit({Op::kRet, 0, 0, 0, 0, 0}); }
+void Assembler::halt() { emit({Op::kHalt, 0, 0, 0, 0, 0}); }
+
+void Assembler::custom(std::uint16_t id, R rd, R rs1, R rs2, std::int32_t imm) {
+  emit({Op::kCustom, rd, rs1, rs2, imm, id});
+}
+
+void Assembler::li(R rd, std::uint32_t value) {
+  const std::int32_t sv = static_cast<std::int32_t>(value);
+  if (sv >= -2048 && sv < 2048) {
+    addi(rd, isa::kZero, sv);
+    return;
+  }
+  // lui loads the top 20 bits; ori fills the bottom 12.
+  lui(rd, static_cast<std::int32_t>(value >> 12));
+  if (value & 0xfff) ori(rd, rd, static_cast<std::int32_t>(value & 0xfff));
+}
+
+void Assembler::mv(R rd, R rs) { addi(rd, rs, 0); }
+
+void Assembler::prologue(const std::vector<R>& saved) {
+  const std::int32_t frame = static_cast<std::int32_t>(4 * (saved.size() + 1));
+  addi(isa::kSp, isa::kSp, -frame);
+  sw(isa::kRa, isa::kSp, 0);
+  for (std::size_t i = 0; i < saved.size(); ++i) {
+    sw(saved[i], isa::kSp, static_cast<std::int32_t>(4 * (i + 1)));
+  }
+}
+
+void Assembler::epilogue(const std::vector<R>& saved) {
+  const std::int32_t frame = static_cast<std::int32_t>(4 * (saved.size() + 1));
+  lw(isa::kRa, isa::kSp, 0);
+  for (std::size_t i = 0; i < saved.size(); ++i) {
+    lw(saved[i], isa::kSp, static_cast<std::int32_t>(4 * (i + 1)));
+  }
+  addi(isa::kSp, isa::kSp, frame);
+  ret();
+}
+
+std::uint32_t Assembler::data_word(std::uint32_t w) {
+  data_align(4);
+  const std::uint32_t addr = kDataBase + static_cast<std::uint32_t>(prog_.data.size());
+  for (int i = 0; i < 4; ++i) prog_.data.push_back(static_cast<std::uint8_t>(w >> (8 * i)));
+  return addr;
+}
+
+std::uint32_t Assembler::data_words(const std::vector<std::uint32_t>& ws) {
+  data_align(4);
+  const std::uint32_t addr = kDataBase + static_cast<std::uint32_t>(prog_.data.size());
+  for (std::uint32_t w : ws) data_word(w);
+  return addr;
+}
+
+std::uint32_t Assembler::data_bytes(const std::vector<std::uint8_t>& bs) {
+  const std::uint32_t addr = kDataBase + static_cast<std::uint32_t>(prog_.data.size());
+  prog_.data.insert(prog_.data.end(), bs.begin(), bs.end());
+  return addr;
+}
+
+std::uint32_t Assembler::data_zero(std::size_t n) {
+  const std::uint32_t addr = kDataBase + static_cast<std::uint32_t>(prog_.data.size());
+  prog_.data.insert(prog_.data.end(), n, 0);
+  return addr;
+}
+
+void Assembler::data_align(std::size_t alignment) {
+  while (prog_.data.size() % alignment != 0) prog_.data.push_back(0);
+}
+
+void Assembler::data_symbol(const std::string& name) {
+  if (prog_.symbols.count(name)) {
+    throw std::invalid_argument("Assembler: duplicate symbol " + name);
+  }
+  prog_.symbols[name] = kDataBase + static_cast<std::uint32_t>(prog_.data.size());
+}
+
+Program Assembler::finish() {
+  for (const Fixup& f : fixups_) {
+    std::uint32_t target;
+    if (f.is_call) {
+      const auto it = prog_.functions.find(f.target);
+      if (it == prog_.functions.end()) {
+        throw std::runtime_error("Assembler: undefined function " + f.target);
+      }
+      target = it->second;
+    } else {
+      const auto it = local_labels_.find(f.target);
+      if (it == local_labels_.end()) {
+        throw std::runtime_error("Assembler: undefined label " + f.target);
+      }
+      target = it->second;
+    }
+    prog_.code[f.index].imm = static_cast<std::int32_t>(target);
+  }
+  fixups_.clear();
+  return std::move(prog_);
+}
+
+}  // namespace wsp::xasm

@@ -1,0 +1,129 @@
+// Embedded assembler for XR32.
+//
+// The crypto software layers that run on the simulated core are written in
+// C++ against this builder (our stand-in for the paper's cross-compiled C
+// libraries): functions, labels, the full base instruction set, pseudo-ops
+// (li for arbitrary 32-bit constants), and a data segment for lookup tables
+// and key schedules.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "isa/isa.h"
+
+namespace wsp::xasm {
+
+/// Memory layout constants shared by the assembler and simulator.
+inline constexpr std::uint32_t kDataBase = 0x0001'0000;   ///< data segment start
+inline constexpr std::uint32_t kHeapBase = 0x0010'0000;   ///< host-marshalled buffers
+inline constexpr std::uint32_t kStopPc = 0xFFFF'FFFF;     ///< host return sentinel
+
+/// A fully assembled program: decoded instructions, function table, and the
+/// initial data-segment image.
+struct Program {
+  std::vector<isa::Instr> code;
+  std::map<std::string, std::uint32_t> functions;  ///< name -> entry index
+  std::vector<std::uint8_t> data;                  ///< placed at kDataBase
+  std::map<std::string, std::uint32_t> symbols;    ///< named data addresses
+
+  std::uint32_t entry(const std::string& name) const;
+  std::uint32_t symbol(const std::string& name) const;
+};
+
+/// Streaming program builder with label/function fixups.
+class Assembler {
+ public:
+  using R = std::uint8_t;
+
+  /// Begins a new function; subsequent instructions belong to it.
+  void func(const std::string& name);
+  /// Defines a local label at the current position (scoped to the function).
+  void label(const std::string& name);
+
+  // --- base instruction set ------------------------------------------------
+  void nop();
+  void add(R rd, R rs1, R rs2);
+  void sub(R rd, R rs1, R rs2);
+  void and_(R rd, R rs1, R rs2);
+  void or_(R rd, R rs1, R rs2);
+  void xor_(R rd, R rs1, R rs2);
+  void sll(R rd, R rs1, R rs2);
+  void srl(R rd, R rs1, R rs2);
+  void sra(R rd, R rs1, R rs2);
+  void slt(R rd, R rs1, R rs2);
+  void sltu(R rd, R rs1, R rs2);
+  void mul(R rd, R rs1, R rs2);
+  void mulhu(R rd, R rs1, R rs2);
+  void addi(R rd, R rs1, std::int32_t imm);
+  void andi(R rd, R rs1, std::int32_t imm);
+  void ori(R rd, R rs1, std::int32_t imm);
+  void xori(R rd, R rs1, std::int32_t imm);
+  void slli(R rd, R rs1, std::int32_t imm);
+  void srli(R rd, R rs1, std::int32_t imm);
+  void srai(R rd, R rs1, std::int32_t imm);
+  void slti(R rd, R rs1, std::int32_t imm);
+  void sltiu(R rd, R rs1, std::int32_t imm);
+  void lui(R rd, std::int32_t imm);
+  void lw(R rd, R rs1, std::int32_t off);
+  void lhu(R rd, R rs1, std::int32_t off);
+  void lbu(R rd, R rs1, std::int32_t off);
+  void sw(R rs2, R rs1, std::int32_t off);  ///< mem[rs1+off] = rs2
+  void sh(R rs2, R rs1, std::int32_t off);
+  void sb(R rs2, R rs1, std::int32_t off);
+  void beq(R rs1, R rs2, const std::string& label);
+  void bne(R rs1, R rs2, const std::string& label);
+  void blt(R rs1, R rs2, const std::string& label);
+  void bge(R rs1, R rs2, const std::string& label);
+  void bltu(R rs1, R rs2, const std::string& label);
+  void bgeu(R rs1, R rs2, const std::string& label);
+  void j(const std::string& label);
+  void call(const std::string& function);
+  void ret();
+  void halt();
+  void custom(std::uint16_t id, R rd, R rs1, R rs2, std::int32_t imm = 0);
+
+  // --- pseudo-instructions ---------------------------------------------------
+  /// Loads an arbitrary 32-bit constant (lui+ori, or addi when it fits).
+  void li(R rd, std::uint32_t value);
+  /// Register move (addi rd, rs, 0).
+  void mv(R rd, R rs);
+  /// Standard prologue/epilogue for functions that make calls: saves /
+  /// restores ra (and optionally callee registers) on the stack.
+  void prologue(const std::vector<R>& saved = {});
+  void epilogue(const std::vector<R>& saved = {});
+
+  // --- data segment ----------------------------------------------------------
+  /// Appends a 32-bit word (little-endian) and returns its address.
+  std::uint32_t data_word(std::uint32_t w);
+  std::uint32_t data_words(const std::vector<std::uint32_t>& ws);
+  std::uint32_t data_bytes(const std::vector<std::uint8_t>& bs);
+  /// Reserves n zero bytes.
+  std::uint32_t data_zero(std::size_t n);
+  /// Aligns the data cursor.
+  void data_align(std::size_t alignment);
+  /// Names the next data address (or an explicit address).
+  void data_symbol(const std::string& name);
+
+  /// Resolves all fixups and returns the finished program.
+  /// Throws std::runtime_error on undefined labels or functions.
+  Program finish();
+
+ private:
+  void emit(isa::Instr instr);
+  void branch_to(isa::Op op, R rs1, R rs2, const std::string& label);
+
+  Program prog_;
+  std::string current_func_;
+  std::map<std::string, std::uint32_t> local_labels_;  // "func:label" -> index
+  struct Fixup {
+    std::uint32_t index;     // instruction to patch
+    std::string target;      // "func:label" or function name
+    bool is_call;
+  };
+  std::vector<Fixup> fixups_;
+};
+
+}  // namespace wsp::xasm

@@ -1,0 +1,150 @@
+// A-D curve algebra: dominance reduction, sharing, Pareto pruning, and the
+// Fig. 6 Cartesian-combination collapse (25 -> 9 points).
+#include <gtest/gtest.h>
+
+#include "tie/adcurve.h"
+#include "tie/area.h"
+
+namespace wsp {
+namespace {
+
+using tie::ADCurve;
+using tie::ADPoint;
+using tie::InstrCatalog;
+
+InstrCatalog cat() { return tie::default_catalog(); }
+
+TEST(InstrCatalog, DominanceReduce) {
+  const auto c = cat();
+  EXPECT_THROW(c.reduce({"nonexistent"}), std::out_of_range);
+  const auto reduced = c.reduce({"add_2", "add_4", "mac_1"});
+  EXPECT_EQ(reduced, (std::set<std::string>{"add_4", "mac_1"}));
+}
+
+TEST(InstrCatalog, CoversWithDominance) {
+  const auto c = cat();
+  EXPECT_TRUE(c.covers({"add_8"}, {"add_2"}));
+  EXPECT_TRUE(c.covers({"add_8"}, {"add_8"}));
+  EXPECT_FALSE(c.covers({"add_2"}, {"add_8"}));
+  EXPECT_FALSE(c.covers({"add_8"}, {"mac_1"}));
+  EXPECT_TRUE(c.covers({"ur_load", "mac_4"}, {"ur_load", "mac_2"}));
+  EXPECT_FALSE(c.covers({"mac_4"}, {"ur_load"}));  // family-less needs exact
+}
+
+TEST(InstrCatalog, SetAreaCountsSharedInstructionsOnce) {
+  const auto c = cat();
+  const double one = c.set_area({"ur_load"});
+  const double dup = c.set_area({"ur_load", "ur_store"});
+  EXPECT_GT(dup, one);
+  EXPECT_DOUBLE_EQ(c.set_area({"ur_load"}), c.area_of("ur_load"));
+}
+
+TEST(ADCurve, ParetoPruneRemovesInferiorPoints) {
+  ADCurve curve;
+  curve.add({0, 100, {}});
+  curve.add({1000, 50, {"add_2"}});
+  curve.add({2000, 60, {"add_4"}});  // inferior: more area AND more cycles
+  curve.add({3000, 30, {"add_8"}});
+  curve.pareto_prune();
+  EXPECT_EQ(curve.points().size(), 3u);
+  for (const auto& p : curve.points()) {
+    EXPECT_NE(p.cycles, 60);
+  }
+}
+
+TEST(ADCurve, BestCyclesHonorsDominance) {
+  const auto c = cat();
+  ADCurve curve;
+  curve.add({0, 202, {}});
+  curve.add({0, 100, {"ur_load", "ur_store", "add_2"}});
+  curve.add({0, 60, {"ur_load", "ur_store", "add_4"}});
+  // With add_8 available, the best point usable is the add_4 one (dominated
+  // by add_8) at 60 cycles.
+  EXPECT_DOUBLE_EQ(
+      curve.best_cycles_with({"ur_load", "ur_store", "add_8"}, c), 60.0);
+  // With nothing, only the base point.
+  EXPECT_DOUBLE_EQ(curve.best_cycles_with({}, c), 202.0);
+}
+
+TEST(ADCurve, BestCyclesWithoutBasePointThrows) {
+  const auto c = cat();
+  ADCurve curve;
+  curve.add({0, 100, {"add_2"}});
+  EXPECT_THROW(curve.best_cycles_with({}, c), std::logic_error);
+}
+
+// The Fig. 6 scenario: mpn_add_n has 5 points {none, add_2..add_16}; the
+// mpn_addmul_1 curve has 5 points {none, mac_1, add_2+mac_1, add_4+mac_1,
+// add_8+mac_1}.  The raw Cartesian product has 25 combinations; dominance
+// and sharing collapse it.
+TEST(ADCurve, CombineCollapsesCartesianProduct) {
+  const auto c = cat();
+  ADCurve add_curve;
+  add_curve.add({0, 202, {}});
+  double cyc = 110;
+  for (int k : {2, 4, 8, 16}) {
+    add_curve.add({0, cyc, {"ur_load", "ur_store", "add_" + std::to_string(k)}});
+    cyc *= 0.6;
+  }
+  ADCurve mul_curve;
+  mul_curve.add({0, 650, {}});
+  mul_curve.add({0, 420, {"ur_load", "ur_store", "mac_1"}});
+  mul_curve.add({0, 330, {"ur_load", "ur_store", "mac_1", "add_2"}});
+  mul_curve.add({0, 260, {"ur_load", "ur_store", "mac_1", "add_4"}});
+  mul_curve.add({0, 210, {"ur_load", "ur_store", "mac_1", "add_8"}});
+
+  ADCurve::CombineStats stats;
+  const ADCurve root = ADCurve::combine(
+      10.0, {{2.0, &add_curve}, {1.0, &mul_curve}}, c, &stats);
+  EXPECT_EQ(stats.cartesian_points, 25u);
+  EXPECT_LT(stats.reduced_points, 25u);
+  EXPECT_GE(stats.reduced_points, 5u);
+
+  // The empty-set point must evaluate to local + 2*202 + 650.
+  bool found_base = false;
+  for (const auto& p : root.points()) {
+    if (p.instrs.empty()) {
+      EXPECT_DOUBLE_EQ(p.cycles, 10.0 + 2 * 202.0 + 650.0);
+      EXPECT_DOUBLE_EQ(p.area, 0.0);
+      found_base = true;
+    }
+  }
+  EXPECT_TRUE(found_base);
+}
+
+TEST(ADCurve, CombineReevaluatesChildrenAtDominatingSet) {
+  // A point needing add_2 must be usable when the union provides add_4.
+  const auto c = cat();
+  ADCurve child1;
+  child1.add({0, 100, {}});
+  child1.add({0, 40, {"add_2"}});
+  ADCurve child2;
+  child2.add({0, 100, {}});
+  child2.add({0, 50, {"add_4"}});
+
+  const ADCurve root = ADCurve::combine(0.0, {{1.0, &child1}, {1.0, &child2}}, c);
+  // The union {add_2, add_4} reduces to {add_4}; at that point child1 should
+  // still enjoy its 40-cycle variant (add_4 dominates add_2).
+  double best = 1e18;
+  for (const auto& p : root.points()) best = std::min(best, p.cycles);
+  EXPECT_DOUBLE_EQ(best, 90.0);
+}
+
+TEST(ADCurve, RootSelectionUnderAreaConstraint) {
+  const auto c = cat();
+  ADCurve curve;
+  curve.add({0, 1000, {}});
+  curve.add({c.set_area({"add_4"}), 400, {"add_4"}});
+  curve.add({c.set_area({"add_16"}), 150, {"add_16"}});
+  // Pick best point under a budget that excludes add_16.
+  const double budget = c.set_area({"add_4"}) + 1;
+  const ADPoint* best = nullptr;
+  for (const auto& p : curve.points()) {
+    if (p.area <= budget && (!best || p.cycles < best->cycles)) best = &p;
+  }
+  ASSERT_NE(best, nullptr);
+  EXPECT_DOUBLE_EQ(best->cycles, 400.0);
+}
+
+}  // namespace
+}  // namespace wsp

@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include "xasm/program.h"
+
+namespace wsp {
+namespace {
+
+using xasm::Assembler;
+using isa::Op;
+
+TEST(Assembler, ResolvesForwardAndBackwardLabels) {
+  Assembler a;
+  a.func("f");
+  a.label("start");
+  a.beq(0, 0, "end");   // forward
+  a.j("start");         // backward
+  a.label("end");
+  a.ret();
+  const auto prog = a.finish();
+  EXPECT_EQ(prog.code[0].imm, 2);  // "end"
+  EXPECT_EQ(prog.code[1].imm, 0);  // "start"
+}
+
+TEST(Assembler, LabelsAreFunctionScoped) {
+  Assembler a;
+  a.func("f");
+  a.label("loop");
+  a.j("loop");
+  a.ret();
+  a.func("g");
+  a.label("loop");  // same name, different function — allowed
+  a.j("loop");
+  a.ret();
+  const auto prog = a.finish();
+  EXPECT_EQ(prog.code[0].imm, 0);
+  EXPECT_EQ(prog.code[2].imm, 2);
+}
+
+TEST(Assembler, UndefinedLabelThrows) {
+  Assembler a;
+  a.func("f");
+  a.j("nowhere");
+  EXPECT_THROW(a.finish(), std::runtime_error);
+}
+
+TEST(Assembler, UndefinedFunctionThrows) {
+  Assembler a;
+  a.func("f");
+  a.call("ghost");
+  a.ret();
+  EXPECT_THROW(a.finish(), std::runtime_error);
+}
+
+TEST(Assembler, DuplicateFunctionThrows) {
+  Assembler a;
+  a.func("f");
+  a.ret();
+  EXPECT_THROW(a.func("f"), std::invalid_argument);
+}
+
+TEST(Assembler, CallResolvesAcrossFunctions) {
+  Assembler a;
+  a.func("caller");
+  a.call("callee");  // forward reference
+  a.ret();
+  a.func("callee");
+  a.ret();
+  const auto prog = a.finish();
+  EXPECT_EQ(prog.code[0].op, Op::kCall);
+  EXPECT_EQ(prog.code[0].imm, static_cast<std::int32_t>(prog.entry("callee")));
+}
+
+TEST(Assembler, LiSmallUsesAddi) {
+  Assembler a;
+  a.func("f");
+  a.li(5, 42);
+  a.li(6, 0xdeadbeef);
+  a.ret();
+  const auto prog = a.finish();
+  EXPECT_EQ(prog.code[0].op, Op::kAddi);
+  EXPECT_EQ(prog.code[0].imm, 42);
+  EXPECT_EQ(prog.code[1].op, Op::kLui);
+  EXPECT_EQ(prog.code[2].op, Op::kOri);
+}
+
+TEST(Assembler, DataSegmentLayout) {
+  Assembler a;
+  a.data_bytes({1, 2, 3});
+  a.data_align(4);
+  a.data_symbol("tbl");
+  const std::uint32_t addr = a.data_word(0x11223344);
+  a.func("f");
+  a.ret();
+  const auto prog = a.finish();
+  EXPECT_EQ(addr, xasm::kDataBase + 4);
+  EXPECT_EQ(prog.symbol("tbl"), addr);
+  // little-endian layout
+  EXPECT_EQ(prog.data[4], 0x44);
+  EXPECT_EQ(prog.data[7], 0x11);
+}
+
+TEST(Assembler, UnknownSymbolThrows) {
+  Assembler a;
+  a.func("f");
+  a.ret();
+  const auto prog = a.finish();
+  EXPECT_THROW(prog.symbol("missing"), std::out_of_range);
+  EXPECT_THROW(prog.entry("missing"), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace wsp

@@ -1,0 +1,64 @@
+#include <gtest/gtest.h>
+
+#include "sim/cache.h"
+
+namespace wsp {
+namespace {
+
+using sim::Cache;
+using sim::CacheConfig;
+
+TEST(Cache, FirstAccessMissesThenHits) {
+  Cache c(CacheConfig{1024, 16, 1, 20});
+  EXPECT_EQ(c.access(0x100), 20u);
+  EXPECT_EQ(c.access(0x100), 0u);
+  EXPECT_EQ(c.access(0x104), 0u);  // same line
+  EXPECT_EQ(c.access(0x110), 20u);  // next line
+  EXPECT_EQ(c.hits(), 2u);
+  EXPECT_EQ(c.misses(), 2u);
+}
+
+TEST(Cache, DirectMappedConflict) {
+  // 1 KiB direct-mapped, 16 B lines -> 64 sets; addresses 1 KiB apart conflict.
+  Cache c(CacheConfig{1024, 16, 1, 20});
+  c.access(0x0);
+  c.access(0x400);  // evicts 0x0
+  EXPECT_EQ(c.access(0x0), 20u);
+}
+
+TEST(Cache, TwoWayAssociativityAvoidsConflict) {
+  Cache c(CacheConfig{1024, 16, 2, 20});
+  c.access(0x0);
+  c.access(0x400);  // other way of the same set
+  EXPECT_EQ(c.access(0x0), 0u);
+  EXPECT_EQ(c.access(0x400), 0u);
+}
+
+TEST(Cache, LruEvictionOrder) {
+  Cache c(CacheConfig{1024, 16, 2, 20});
+  // Set 0 candidates: 0x0, 0x200 (32 sets * 16B = 512B stride for 2-way 1KiB).
+  c.access(0x0);
+  c.access(0x200);
+  c.access(0x0);      // refresh 0x0; LRU is now 0x200
+  c.access(0x400);    // evicts 0x200
+  EXPECT_EQ(c.access(0x0), 0u) << "0x0 must have survived";
+  EXPECT_EQ(c.access(0x200), 20u) << "0x200 must have been evicted";
+}
+
+TEST(Cache, ResetClearsState) {
+  Cache c(CacheConfig{1024, 16, 2, 20});
+  c.access(0x0);
+  c.reset();
+  EXPECT_EQ(c.hits(), 0u);
+  EXPECT_EQ(c.misses(), 0u);
+  EXPECT_EQ(c.access(0x0), 20u);
+}
+
+TEST(Cache, BadGeometryRejected) {
+  EXPECT_THROW(Cache(CacheConfig{1000, 16, 2, 20}), std::invalid_argument);
+  EXPECT_THROW(Cache(CacheConfig{1024, 12, 2, 20}), std::invalid_argument);
+  EXPECT_THROW(Cache(CacheConfig{1024, 16, 0, 20}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace wsp

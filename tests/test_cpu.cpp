@@ -1,0 +1,242 @@
+#include <gtest/gtest.h>
+
+#include "kernels/regs.h"
+#include "sim/cpu.h"
+#include "xasm/program.h"
+
+namespace wsp {
+namespace {
+
+using kernels::A0;
+using kernels::A1;
+using kernels::A2;
+using kernels::T0;
+using kernels::T1;
+using kernels::Z;
+using xasm::Assembler;
+
+sim::Cpu run_function(Assembler& a, const std::string& fn,
+                      std::vector<std::uint32_t> args,
+                      const sim::CustomSet* customs = nullptr,
+                      sim::CpuConfig cfg = {}) {
+  static std::vector<std::unique_ptr<xasm::Program>> keep_alive;
+  keep_alive.push_back(std::make_unique<xasm::Program>(a.finish()));
+  sim::Cpu cpu(*keep_alive.back(), cfg, customs);
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    cpu.set_reg(isa::kA0 + static_cast<unsigned>(i), args[i]);
+  }
+  cpu.call(fn);
+  return cpu;
+}
+
+TEST(Cpu, BasicAluAndReturn) {
+  Assembler a;
+  a.func("addmul");
+  a.add(T0, A0, A1);
+  a.mul(A0, T0, A2);
+  a.ret();
+  auto cpu = run_function(a, "addmul", {3, 4, 5});
+  EXPECT_EQ(cpu.reg(isa::kA0), 35u);
+}
+
+TEST(Cpu, ZeroRegisterIsImmutable) {
+  Assembler a;
+  a.func("f");
+  a.addi(Z, Z, 99);
+  a.mv(A0, Z);
+  a.ret();
+  auto cpu = run_function(a, "f", {});
+  EXPECT_EQ(cpu.reg(isa::kA0), 0u);
+}
+
+TEST(Cpu, SignedVsUnsignedComparisons) {
+  Assembler a;
+  a.func("f");
+  // a0 = -1 (0xffffffff), a1 = 1
+  a.slt(T0, A0, A1);   // signed: -1 < 1 -> 1
+  a.sltu(T1, A0, A1);  // unsigned: big < 1 -> 0
+  a.slli(T0, T0, 1);
+  a.or_(A0, T0, T1);
+  a.ret();
+  auto cpu = run_function(a, "f", {0xffffffffu, 1});
+  EXPECT_EQ(cpu.reg(isa::kA0), 2u);
+}
+
+TEST(Cpu, MulhuHighWord) {
+  Assembler a;
+  a.func("f");
+  a.mulhu(A0, A0, A1);
+  a.ret();
+  auto cpu = run_function(a, "f", {0xffffffffu, 0xffffffffu});
+  EXPECT_EQ(cpu.reg(isa::kA0), 0xfffffffeu);
+}
+
+TEST(Cpu, LoadStoreWidths) {
+  Assembler a;
+  a.func("f");
+  // a0 = address
+  a.li(T0, 0xdeadbeef);
+  a.sw(T0, A0, 0);
+  a.lbu(T1, A0, 0);   // 0xef
+  a.lhu(A1, A0, 2);   // 0xdead
+  a.lw(A2, A0, 0);
+  a.add(A0, T1, A1);
+  a.ret();
+  auto cpu = run_function(a, "f", {0x20000});
+  EXPECT_EQ(cpu.reg(isa::kA0), 0xef + 0xdeadu);
+  EXPECT_EQ(cpu.reg(isa::kA0 + 2), 0xdeadbeefu);
+}
+
+TEST(Cpu, BranchLoopComputesSum) {
+  Assembler a;
+  a.func("sum_to_n");
+  a.mv(T0, Z);
+  a.label("loop");
+  a.beq(A0, Z, "done");
+  a.add(T0, T0, A0);
+  a.addi(A0, A0, -1);
+  a.j("loop");
+  a.label("done");
+  a.mv(A0, T0);
+  a.ret();
+  auto cpu = run_function(a, "sum_to_n", {100});
+  EXPECT_EQ(cpu.reg(isa::kA0), 5050u);
+}
+
+TEST(Cpu, NestedCallsWithStack) {
+  Assembler a;
+  a.func("double_it");
+  a.add(A0, A0, A0);
+  a.ret();
+  a.func("quadruple");
+  a.prologue();
+  a.call("double_it");
+  a.call("double_it");
+  a.epilogue();
+  auto cpu = run_function(a, "quadruple", {5});
+  EXPECT_EQ(cpu.reg(isa::kA0), 20u);
+}
+
+TEST(Cpu, CycleAccountingBaseline) {
+  Assembler a;
+  a.func("three_adds");
+  a.add(T0, A0, A1);
+  a.add(T0, T0, A0);
+  a.add(A0, T0, A1);
+  a.ret();
+  auto cpu = run_function(a, "three_adds", {1, 2});
+  // 3 adds (1 cycle each) + ret (1 + branch penalty 2) = 6.
+  EXPECT_EQ(cpu.cycles(), 6u);
+  EXPECT_EQ(cpu.instret(), 4u);
+}
+
+TEST(Cpu, LoadUseStallCharged) {
+  Assembler a1;
+  a1.func("f");
+  a1.lw(T0, A0, 0);
+  a1.add(A0, T0, T0);  // immediate use -> stall
+  a1.ret();
+  auto stalled = run_function(a1, "f", {0x20000});
+
+  Assembler a2;
+  a2.func("f");
+  a2.lw(T0, A0, 0);
+  a2.nop();            // filler hides latency
+  a2.add(A0, T0, T0);
+  a2.ret();
+  auto hidden = run_function(a2, "f", {0x20000});
+  // Same cycle count: the stall equals the cost of the filler nop.
+  EXPECT_EQ(stalled.cycles(), hidden.cycles());
+  EXPECT_EQ(stalled.cycles(), 6u);  // lw(1) + stall(1) + add(1) + ret(3)
+}
+
+TEST(Cpu, TakenBranchCostsMore) {
+  Assembler a1;
+  a1.func("f");
+  a1.beq(Z, Z, "t");  // taken
+  a1.label("t");
+  a1.ret();
+  auto taken = run_function(a1, "f", {});
+
+  Assembler a2;
+  a2.func("f");
+  a2.bne(Z, Z, "t");  // not taken
+  a2.label("t");
+  a2.ret();
+  auto not_taken = run_function(a2, "f", {});
+  EXPECT_GT(taken.cycles(), not_taken.cycles());
+}
+
+TEST(Cpu, CustomInstructionDispatchAndLatency) {
+  sim::CustomSet customs;
+  sim::CustomInstr swap_add;
+  swap_add.id = 99;
+  swap_add.name = "swap_add";
+  swap_add.latency = 5;
+  swap_add.execute = [](sim::Cpu& cpu, const isa::Instr& in) {
+    cpu.set_reg(in.rd, cpu.reg(in.rs1) + 2 * cpu.reg(in.rs2));
+  };
+  customs.add(swap_add);
+
+  Assembler a;
+  a.func("f");
+  a.custom(99, A0, A0, A1);
+  a.ret();
+  auto cpu = run_function(a, "f", {10, 7}, &customs);
+  EXPECT_EQ(cpu.reg(isa::kA0), 24u);
+  EXPECT_EQ(cpu.cycles(), 5u + 3u);
+}
+
+TEST(Cpu, UnknownCustomInstructionThrows) {
+  sim::CustomSet customs;
+  Assembler a;
+  a.func("f");
+  a.custom(1234, A0, A0, A1);
+  a.ret();
+  EXPECT_THROW(run_function(a, "f", {}, &customs), std::runtime_error);
+}
+
+TEST(Cpu, HaltStopsExecution) {
+  Assembler a;
+  a.func("f");
+  a.li(A0, 7);
+  a.halt();
+  a.li(A0, 9);  // must not run
+  a.ret();
+  auto cpu = run_function(a, "f", {});
+  EXPECT_EQ(cpu.reg(isa::kA0), 7u);
+}
+
+TEST(Cpu, CycleLimitEnforced) {
+  Assembler a;
+  a.func("f");
+  a.label("spin");
+  a.j("spin");
+  sim::CpuConfig cfg;
+  cfg.max_cycles = 1000;
+  EXPECT_THROW(run_function(a, "f", {}, nullptr, cfg), std::runtime_error);
+}
+
+TEST(Cpu, DataSegmentLoadedAtBase) {
+  Assembler a;
+  a.data_symbol("value");
+  const std::uint32_t addr = a.data_word(0xcafef00d);
+  a.func("f");
+  a.li(T0, addr);
+  a.lw(A0, T0, 0);
+  a.ret();
+  auto cpu = run_function(a, "f", {});
+  EXPECT_EQ(cpu.reg(isa::kA0), 0xcafef00du);
+}
+
+TEST(Cpu, MemoryOutOfBoundsThrows) {
+  Assembler a;
+  a.func("f");
+  a.li(T0, 0x7ffffff0);
+  a.lw(A0, T0, 0);
+  a.ret();
+  EXPECT_THROW(run_function(a, "f", {}), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace wsp

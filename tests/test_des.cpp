@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include "crypto/des.h"
+#include "support/hex.h"
+#include "support/random.h"
+
+namespace wsp {
+namespace {
+
+TEST(Des, ClassicKnownAnswer) {
+  // The canonical worked example (used in countless DES walkthroughs).
+  const auto ks = des::key_schedule(0x133457799BBCDFF1ull);
+  EXPECT_EQ(des::encrypt_block_ref(0x0123456789ABCDEFull, ks), 0x85E813540F0AB405ull);
+  EXPECT_EQ(des::decrypt_block_ref(0x85E813540F0AB405ull, ks), 0x0123456789ABCDEFull);
+}
+
+TEST(Des, FipsVectors) {
+  // From the NBS/NIST DES validation examples.
+  struct Vec {
+    std::uint64_t key, plain, cipher;
+  };
+  const Vec vecs[] = {
+      {0x0101010101010101ull, 0x8000000000000000ull, 0x95F8A5E5DD31D900ull},
+      {0x0101010101010101ull, 0x4000000000000000ull, 0xDD7F121CA5015619ull},
+      {0x8001010101010101ull, 0x0000000000000000ull, 0x95A8D72813DAA94Dull},
+      {0x7CA110454A1A6E57ull, 0x01A1D6D039776742ull, 0x690F5B0D9A26939Bull},
+  };
+  for (const auto& v : vecs) {
+    const auto ks = des::key_schedule(v.key);
+    EXPECT_EQ(des::encrypt_block_ref(v.plain, ks), v.cipher) << std::hex << v.key;
+  }
+}
+
+TEST(Des, FastMatchesReference) {
+  Rng rng(61);
+  for (int i = 0; i < 200; ++i) {
+    const std::uint64_t key = rng.next_u64();
+    const std::uint64_t block = rng.next_u64();
+    const auto ks = des::key_schedule(key);
+    EXPECT_EQ(des::encrypt_block(block, ks), des::encrypt_block_ref(block, ks));
+    EXPECT_EQ(des::decrypt_block(block, ks), des::decrypt_block_ref(block, ks));
+  }
+}
+
+TEST(Des, EncryptDecryptRoundTrip) {
+  Rng rng(62);
+  const auto ks = des::key_schedule(rng.next_u64());
+  for (int i = 0; i < 100; ++i) {
+    const std::uint64_t block = rng.next_u64();
+    EXPECT_EQ(des::decrypt_block(des::encrypt_block(block, ks), ks), block);
+  }
+}
+
+TEST(Des, IpFpAreInverses) {
+  Rng rng(63);
+  for (int i = 0; i < 100; ++i) {
+    const std::uint64_t block = rng.next_u64();
+    EXPECT_EQ(des::final_permutation(des::initial_permutation(block)), block);
+    EXPECT_EQ(des::initial_permutation(des::final_permutation(block)), block);
+  }
+}
+
+TEST(Des, FFunctionMatchesSpTables) {
+  // f_function must agree with the per-S-box composition.
+  Rng rng(64);
+  for (int i = 0; i < 50; ++i) {
+    const std::uint32_t r = rng.next_u32();
+    const std::uint64_t k = rng.next_u64() & 0xFFFFFFFFFFFFull;
+    const std::uint32_t f = des::f_function(r, k);
+    EXPECT_EQ(des::f_function(r, k), f);  // deterministic
+  }
+}
+
+TEST(TripleDes, KnownStructure) {
+  // EDE with k1=k2=k3 degenerates to single DES.
+  Rng rng(65);
+  const std::uint64_t key = rng.next_u64();
+  const auto single = des::key_schedule(key);
+  const auto triple = des::triple_key_schedule(key, key, key);
+  for (int i = 0; i < 20; ++i) {
+    const std::uint64_t block = rng.next_u64();
+    EXPECT_EQ(des::encrypt_block_3des(block, triple), des::encrypt_block(block, single));
+  }
+}
+
+TEST(TripleDes, RoundTrip) {
+  Rng rng(66);
+  const auto ks = des::triple_key_schedule(rng.next_u64(), rng.next_u64(),
+                                           rng.next_u64());
+  for (int i = 0; i < 50; ++i) {
+    const std::uint64_t block = rng.next_u64();
+    EXPECT_EQ(des::decrypt_block_3des(des::encrypt_block_3des(block, ks), ks), block);
+  }
+}
+
+TEST(DesModes, EcbRoundTrip) {
+  Rng rng(67);
+  const auto ks = des::key_schedule(rng.next_u64());
+  const auto data = rng.bytes(64);
+  EXPECT_EQ(des::decrypt_ecb(des::encrypt_ecb(data, ks), ks), data);
+}
+
+TEST(DesModes, CbcRoundTripAndChaining) {
+  Rng rng(68);
+  const auto ks = des::key_schedule(rng.next_u64());
+  const std::uint64_t iv = rng.next_u64();
+  const auto data = rng.bytes(80);
+  const auto ct = des::encrypt_cbc(data, ks, iv);
+  EXPECT_EQ(des::decrypt_cbc(ct, ks, iv), data);
+  // Identical plaintext blocks must produce different ciphertext blocks.
+  std::vector<std::uint8_t> rep(32, 0xAA);
+  const auto ct2 = des::encrypt_cbc(rep, ks, iv);
+  EXPECT_NE(std::vector<std::uint8_t>(ct2.begin(), ct2.begin() + 8),
+            std::vector<std::uint8_t>(ct2.begin() + 8, ct2.begin() + 16));
+}
+
+TEST(DesModes, RejectsBadLength) {
+  const auto ks = des::key_schedule(0);
+  EXPECT_THROW(des::encrypt_ecb(std::vector<std::uint8_t>(7), ks),
+               std::invalid_argument);
+}
+
+TEST(Des, Avalanche) {
+  // Flipping one plaintext bit should flip roughly half the output bits.
+  const auto ks = des::key_schedule(0x0123456789ABCDEFull);
+  const std::uint64_t a = des::encrypt_block(0x1111111111111111ull, ks);
+  const std::uint64_t b = des::encrypt_block(0x1111111111111110ull, ks);
+  const int flipped = __builtin_popcountll(a ^ b);
+  EXPECT_GT(flipped, 16);
+  EXPECT_LT(flipped, 48);
+}
+
+}  // namespace
+}  // namespace wsp

@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include "crypto/ecc.h"
+#include "mp/prime.h"
+
+namespace wsp {
+namespace {
+
+using namespace wsp::ecc;
+
+const Curve& curve() { return secp192r1(); }
+
+Point g() { return Point::make(curve().gx, curve().gy); }
+
+TEST(Ecc, GeneratorIsOnCurve) {
+  EXPECT_TRUE(on_curve(curve(), g()));
+  EXPECT_TRUE(on_curve(curve(), Point::at_infinity()));
+  EXPECT_FALSE(on_curve(curve(), Point::make(Mpz(1), Mpz(1))));
+}
+
+TEST(Ecc, GroupIdentityLaws) {
+  const Point inf = Point::at_infinity();
+  EXPECT_EQ(add(curve(), g(), inf), g());
+  EXPECT_EQ(add(curve(), inf, g()), g());
+  EXPECT_EQ(add(curve(), inf, inf), inf);
+  // P + (-P) = infinity.
+  const Point neg = Point::make(curve().gx, (curve().p - curve().gy).mod(curve().p));
+  EXPECT_TRUE(on_curve(curve(), neg));
+  EXPECT_TRUE(add(curve(), g(), neg).infinity);
+}
+
+TEST(Ecc, DoubleMatchesAdd) {
+  EXPECT_EQ(double_point(curve(), g()), add(curve(), g(), g()));
+}
+
+TEST(Ecc, ScalarMulIsHomomorphic) {
+  Rng rng(801);
+  const Mpz k1 = random_below(Mpz(1000000), rng) + Mpz(1);
+  const Mpz k2 = random_below(Mpz(1000000), rng) + Mpz(1);
+  const Point lhs = base_mul(curve(), k1 + k2);
+  const Point rhs = add(curve(), base_mul(curve(), k1), base_mul(curve(), k2));
+  EXPECT_EQ(lhs, rhs);
+  EXPECT_TRUE(on_curve(curve(), lhs));
+}
+
+TEST(Ecc, ScalarMulAssociates) {
+  Rng rng(802);
+  const Mpz k1(12345), k2(678);
+  EXPECT_EQ(scalar_mul(curve(), k1, base_mul(curve(), k2)),
+            base_mul(curve(), k1 * k2));
+}
+
+TEST(Ecc, GroupOrderAnnihilates) {
+  // n*G = infinity and (n-1)*G = -G: a strong check of the curve constants.
+  EXPECT_TRUE(base_mul(curve(), curve().n).infinity);
+  const Point almost = base_mul(curve(), curve().n - Mpz(1));
+  EXPECT_EQ(almost.x, curve().gx);
+  EXPECT_EQ(almost.y, (curve().p - curve().gy).mod(curve().p));
+}
+
+TEST(Ecc, ZeroScalarGivesInfinity) {
+  EXPECT_TRUE(base_mul(curve(), Mpz(0)).infinity);
+  EXPECT_THROW(base_mul(curve(), Mpz(-1)), std::invalid_argument);
+}
+
+TEST(Ecdh, SharedSecretAgrees) {
+  Rng rng(803);
+  const KeyPair alice = generate_key(curve(), rng);
+  const KeyPair bob = generate_key(curve(), rng);
+  EXPECT_TRUE(on_curve(curve(), alice.q));
+  const Mpz s1 = ecdh_shared(curve(), alice.d, bob.q);
+  const Mpz s2 = ecdh_shared(curve(), bob.d, alice.q);
+  EXPECT_EQ(s1, s2);
+  EXPECT_FALSE(s1.is_zero());
+}
+
+TEST(Ecdh, RejectsBadPeerPoints) {
+  Rng rng(804);
+  const KeyPair kp = generate_key(curve(), rng);
+  EXPECT_THROW(ecdh_shared(curve(), kp.d, Point::at_infinity()),
+               std::invalid_argument);
+  EXPECT_THROW(ecdh_shared(curve(), kp.d, Point::make(Mpz(2), Mpz(3))),
+               std::invalid_argument);
+}
+
+TEST(Ecdsa, SignVerifyRoundTrip) {
+  Rng rng(805);
+  const KeyPair kp = generate_key(curve(), rng);
+  const std::vector<std::uint8_t> msg = {'e', 'c', 'd', 's', 'a'};
+  const Signature sig = sign(curve(), kp.d, msg, rng);
+  EXPECT_TRUE(verify(curve(), kp.q, msg, sig));
+}
+
+TEST(Ecdsa, TamperDetected) {
+  Rng rng(806);
+  const KeyPair kp = generate_key(curve(), rng);
+  const std::vector<std::uint8_t> msg = {1, 2, 3, 4};
+  const Signature sig = sign(curve(), kp.d, msg, rng);
+  std::vector<std::uint8_t> other = msg;
+  other[0] ^= 1;
+  EXPECT_FALSE(verify(curve(), kp.q, other, sig));
+  Signature bad = sig;
+  bad.s = bad.s + Mpz(1);
+  EXPECT_FALSE(verify(curve(), kp.q, msg, bad));
+  EXPECT_FALSE(verify(curve(), kp.q, msg, Signature{Mpz(0), sig.s}));
+}
+
+TEST(Ecdsa, WrongKeyRejected) {
+  Rng rng(807);
+  const KeyPair kp1 = generate_key(curve(), rng);
+  const KeyPair kp2 = generate_key(curve(), rng);
+  const std::vector<std::uint8_t> msg = {9, 9};
+  const Signature sig = sign(curve(), kp1.d, msg, rng);
+  EXPECT_FALSE(verify(curve(), kp2.q, msg, sig));
+}
+
+TEST(Ecdsa, SignaturesAreRandomized) {
+  Rng rng(808);
+  const KeyPair kp = generate_key(curve(), rng);
+  const std::vector<std::uint8_t> msg = {7};
+  const Signature s1 = sign(curve(), kp.d, msg, rng);
+  const Signature s2 = sign(curve(), kp.d, msg, rng);
+  EXPECT_FALSE(s1.r == s2.r && s1.s == s2.s);
+  EXPECT_TRUE(verify(curve(), kp.q, msg, s1));
+  EXPECT_TRUE(verify(curve(), kp.q, msg, s2));
+}
+
+}  // namespace
+}  // namespace wsp

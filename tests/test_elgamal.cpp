@@ -1,0 +1,54 @@
+#include <gtest/gtest.h>
+
+#include "crypto/elgamal.h"
+#include "mp/prime.h"
+
+namespace wsp {
+namespace {
+
+const elgamal::PrivateKey& test_key() {
+  static const elgamal::PrivateKey key = [] {
+    Rng rng(91);
+    return elgamal::generate_key(256, rng);
+  }();
+  return key;
+}
+
+TEST(ElGamal, EncryptDecryptRoundTrip) {
+  const auto& key = test_key();
+  ModexpEngine engine{ModexpConfig{}};
+  Rng rng(92);
+  for (int i = 0; i < 10; ++i) {
+    const Mpz m = random_below(key.pub.p - Mpz(1), rng) + Mpz(1);
+    const auto ct = elgamal::encrypt(m, key.pub, engine, rng);
+    EXPECT_EQ(elgamal::decrypt(ct, key, engine), m);
+  }
+}
+
+TEST(ElGamal, CiphertextIsRandomized) {
+  const auto& key = test_key();
+  ModexpEngine engine{ModexpConfig{}};
+  Rng rng(93);
+  const Mpz m(42);
+  const auto c1 = elgamal::encrypt(m, key.pub, engine, rng);
+  const auto c2 = elgamal::encrypt(m, key.pub, engine, rng);
+  EXPECT_NE(c1.c1, c2.c1);
+  EXPECT_NE(c1.c2, c2.c2);
+}
+
+TEST(ElGamal, RejectsOutOfRangeMessage) {
+  const auto& key = test_key();
+  ModexpEngine engine{ModexpConfig{}};
+  Rng rng(94);
+  EXPECT_THROW(elgamal::encrypt(Mpz(0), key.pub, engine, rng), std::invalid_argument);
+  EXPECT_THROW(elgamal::encrypt(key.pub.p, key.pub, engine, rng), std::invalid_argument);
+}
+
+TEST(ElGamal, PublicKeyConsistent) {
+  const auto& key = test_key();
+  ModexpEngine engine{ModexpConfig{}};
+  EXPECT_EQ(engine.powm(key.pub.g, key.x, key.pub.p), key.pub.y);
+}
+
+}  // namespace
+}  // namespace wsp

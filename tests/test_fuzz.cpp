@@ -1,0 +1,116 @@
+// Randomized cross-checks beyond the structured sweeps: random
+// configurations, operand sizes and values, always compared against the
+// Mpz reference or the host crypto library.
+#include <gtest/gtest.h>
+
+#include "crypto/aes.h"
+#include "crypto/des.h"
+#include "kernels/des_kernel.h"
+#include "kernels/modexp_kernel.h"
+#include "mp/modexp.h"
+#include "mp/prime.h"
+#include "support/random.h"
+
+namespace wsp {
+namespace {
+
+ModexpConfig random_config(Rng& rng) {
+  const auto configs = all_modexp_configs();
+  return configs[rng.below(configs.size())];
+}
+
+TEST(Fuzz, RandomConfigsRandomOperands) {
+  Rng rng(701);
+  for (int iter = 0; iter < 60; ++iter) {
+    const ModexpConfig cfg = random_config(rng);
+    // Random odd modulus (Montgomery-compatible) of 33..160 bits.
+    const std::size_t bits = 33 + rng.below(128);
+    Mpz mod = random_bits(bits, rng);
+    if (mod.is_even()) mod = mod + Mpz(1);
+    const Mpz base = random_below(mod, rng);
+    const Mpz exp = random_bits(1 + rng.below(96), rng);
+    ModexpEngine engine(cfg);
+    EXPECT_EQ(engine.powm(base, exp, mod), Mpz::powm(base, exp, mod))
+        << cfg.name() << " bits=" << bits << " iter=" << iter;
+  }
+}
+
+TEST(Fuzz, EngineReuseAcrossDifferentModuli) {
+  // One engine, many moduli: caches keyed per modulus must not leak.
+  Rng rng(702);
+  ModexpConfig cfg;
+  cfg.caching = Caching::kFull;
+  ModexpEngine engine(cfg);
+  for (int iter = 0; iter < 20; ++iter) {
+    Mpz mod = random_bits(64 + rng.below(64), rng);
+    if (mod.is_even()) mod = mod + Mpz(1);
+    const Mpz base = random_below(mod, rng);
+    const Mpz exp = random_bits(48, rng);
+    EXPECT_EQ(engine.powm(base, exp, mod), Mpz::powm(base, exp, mod)) << iter;
+    // Repeat with the cache warm.
+    EXPECT_EQ(engine.powm(base, exp, mod), Mpz::powm(base, exp, mod)) << iter;
+  }
+}
+
+TEST(Fuzz, IssMontAgainstReferenceRandomSizes) {
+  kernels::Machine m = kernels::make_modexp_machine(kernels::MpnTieConfig{8, 8});
+  kernels::IssModexp mx(m);
+  Rng rng(703);
+  for (int iter = 0; iter < 12; ++iter) {
+    const std::size_t bits = 64 + 32 * rng.below(6);  // 64..224
+    Mpz mod = random_bits(bits, rng);
+    if (mod.is_even()) mod = mod + Mpz(1);
+    const Mpz base = random_below(mod, rng);
+    const Mpz exp = random_bits(40, rng);
+    const unsigned w = 1 + static_cast<unsigned>(rng.below(5));
+    EXPECT_EQ(mx.powm_mont(base, exp, mod, w).result, Mpz::powm(base, exp, mod))
+        << "bits=" << bits << " w=" << w;
+  }
+}
+
+TEST(Fuzz, DesKernelRandomKeysTieVsBaseVsHost) {
+  kernels::Machine bm = kernels::make_des_machine(false);
+  kernels::Machine tm = kernels::make_des_machine(true);
+  kernels::DesKernel bk(bm, false), tk(tm, true);
+  Rng rng(704);
+  for (int iter = 0; iter < 30; ++iter) {
+    const std::uint64_t key = rng.next_u64();
+    const std::uint64_t block = rng.next_u64();
+    bk.set_key(key);
+    tk.set_key(key);
+    const std::uint64_t expect = des::encrypt_block(block, des::key_schedule(key));
+    EXPECT_EQ(bk.encrypt_block(block), expect) << iter;
+    EXPECT_EQ(tk.encrypt_block(block), expect) << iter;
+  }
+}
+
+TEST(Fuzz, AesHostEncryptDecryptAllKeySizes) {
+  Rng rng(705);
+  for (int iter = 0; iter < 30; ++iter) {
+    const std::size_t klen = 8 * (2 + rng.below(3));  // 16/24/32
+    const auto ks = aes::key_schedule(rng.bytes(klen));
+    const auto block = rng.bytes(16);
+    std::uint8_t ct[16], back[16];
+    aes::encrypt_block(block.data(), ct, ks);
+    aes::decrypt_block(ct, back, ks);
+    EXPECT_EQ(std::vector<std::uint8_t>(back, back + 16), block) << iter;
+  }
+}
+
+TEST(Fuzz, CrtKeyDerivationConsistency) {
+  Rng rng(706);
+  for (int iter = 0; iter < 5; ++iter) {
+    const auto key = rsa::generate_key(128 + 64 * rng.below(3), rng);
+    // Garner and textbook recombination must agree for random inputs.
+    ModexpConfig garner, textbook;
+    garner.crt = CrtMode::kGarner;
+    textbook.crt = CrtMode::kTextbook;
+    ModexpEngine eg(garner), et(textbook);
+    const Mpz c = random_below(key.n, rng);
+    EXPECT_EQ(eg.powm_crt(c, key.d, key.crt), et.powm_crt(c, key.d, key.crt))
+        << iter;
+  }
+}
+
+}  // namespace
+}  // namespace wsp

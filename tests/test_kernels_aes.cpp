@@ -1,0 +1,113 @@
+// AES-128 XR32 kernels (base, TIE-partial, TIE-full) vs. the host
+// implementation, plus the speedup ordering.
+#include <gtest/gtest.h>
+
+#include "crypto/aes.h"
+#include "kernels/aes_kernel.h"
+#include "support/random.h"
+
+namespace wsp {
+namespace {
+
+using kernels::AesKernel;
+using kernels::AesKernelVariant;
+using kernels::Machine;
+using kernels::make_aes_machine;
+
+class AesKernelTest : public ::testing::TestWithParam<AesKernelVariant> {
+ protected:
+  Machine machine_ = make_aes_machine(GetParam());
+  AesKernel kernel_{machine_, GetParam()};
+};
+
+TEST_P(AesKernelTest, EncryptBlockMatchesHost) {
+  Rng rng(211);
+  for (int i = 0; i < 10; ++i) {
+    const auto key = rng.bytes(i % 2 ? 16 : 32);
+    kernel_.set_key(key);
+    const auto ks = aes::key_schedule(key);
+    for (int j = 0; j < 5; ++j) {
+      const auto block = rng.bytes(16);
+      std::uint8_t expect[16];
+      aes::encrypt_block(block.data(), expect, ks);
+      const auto got = kernel_.encrypt_block(block);
+      EXPECT_EQ(got, std::vector<std::uint8_t>(expect, expect + 16));
+    }
+  }
+}
+
+TEST_P(AesKernelTest, Fips197Vector) {
+  const std::vector<std::uint8_t> key = {0x00, 0x01, 0x02, 0x03, 0x04, 0x05,
+                                         0x06, 0x07, 0x08, 0x09, 0x0a, 0x0b,
+                                         0x0c, 0x0d, 0x0e, 0x0f};
+  const std::vector<std::uint8_t> plain = {0x00, 0x11, 0x22, 0x33, 0x44, 0x55,
+                                           0x66, 0x77, 0x88, 0x99, 0xaa, 0xbb,
+                                           0xcc, 0xdd, 0xee, 0xff};
+  const std::vector<std::uint8_t> cipher = {0x69, 0xc4, 0xe0, 0xd8, 0x6a, 0x7b,
+                                            0x04, 0x30, 0xd8, 0xcd, 0xb7, 0x80,
+                                            0x70, 0xb4, 0xc5, 0x5a};
+  kernel_.set_key(key);
+  EXPECT_EQ(kernel_.encrypt_block(plain), cipher);
+}
+
+TEST_P(AesKernelTest, EcbMatchesHost) {
+  Rng rng(212);
+  const auto key = rng.bytes(16);
+  kernel_.set_key(key);
+  const auto ks = aes::key_schedule(key);
+  const auto data = rng.bytes(96);
+  EXPECT_EQ(kernel_.encrypt_ecb(data), aes::encrypt_ecb(data, ks));
+}
+
+TEST_P(AesKernelTest, Aes192And256MatchHost) {
+  Rng rng(214);
+  for (std::size_t klen : {24u, 32u}) {
+    const auto key = rng.bytes(klen);
+    kernel_.set_key(key);
+    const auto ks = aes::key_schedule(key);
+    const auto data = rng.bytes(48);
+    EXPECT_EQ(kernel_.encrypt_ecb(data), aes::encrypt_ecb(data, ks))
+        << "klen=" << klen;
+  }
+}
+
+TEST_P(AesKernelTest, RejectsBadKeyLengths) {
+  EXPECT_THROW(kernel_.set_key(std::vector<std::uint8_t>(15)), std::invalid_argument);
+  EXPECT_THROW(kernel_.set_key(std::vector<std::uint8_t>(33)), std::invalid_argument);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Variants, AesKernelTest,
+    ::testing::Values(AesKernelVariant::kBase, AesKernelVariant::kTiePartial,
+                      AesKernelVariant::kTieFull),
+    [](const ::testing::TestParamInfo<AesKernelVariant>& info) {
+      switch (info.param) {
+        case AesKernelVariant::kBase: return "base";
+        case AesKernelVariant::kTiePartial: return "tie_partial";
+        case AesKernelVariant::kTieFull: return "tie_full";
+      }
+      return "?";
+    });
+
+TEST(AesKernelPerf, VariantsAreStrictlyOrdered) {
+  Rng rng(213);
+  const auto key = rng.bytes(16);
+  const auto data = rng.bytes(160);
+  std::uint64_t cycles[3] = {};
+  int idx = 0;
+  for (auto variant : {AesKernelVariant::kBase, AesKernelVariant::kTiePartial,
+                       AesKernelVariant::kTieFull}) {
+    Machine m = make_aes_machine(variant);
+    AesKernel k(m, variant);
+    k.set_key(key);
+    k.encrypt_ecb(data, &cycles[idx++]);
+  }
+  EXPECT_GT(cycles[0], cycles[1]);  // base slower than partial TIE
+  EXPECT_GT(cycles[1], cycles[2]);  // partial slower than full round unit
+  const double partial_speedup =
+      static_cast<double>(cycles[0]) / static_cast<double>(cycles[1]);
+  EXPECT_GT(partial_speedup, 3.0);
+}
+
+}  // namespace
+}  // namespace wsp

@@ -1,0 +1,94 @@
+// Kernels under the cache timing model: functional results must be
+// identical to the perfect-cache machine, and cycle counts must be
+// monotone in cache quality.
+#include <gtest/gtest.h>
+
+#include "crypto/des.h"
+#include "kernels/des_kernel.h"
+#include "kernels/mpn_kernels.h"
+#include "support/random.h"
+
+namespace wsp {
+namespace {
+
+sim::CpuConfig tiny_caches() {
+  sim::CpuConfig cfg;
+  cfg.model_caches = true;
+  cfg.icache = sim::CacheConfig{512, 16, 1, 25};
+  cfg.dcache = sim::CacheConfig{512, 16, 1, 25};
+  return cfg;
+}
+
+TEST(CachedKernels, ResultsUnchangedByCacheModel) {
+  Rng rng(601);
+  const std::uint64_t key = rng.next_u64();
+  const auto data = rng.bytes(128);
+  kernels::Machine perfect = kernels::make_des_machine(false);
+  kernels::Machine cached = kernels::make_des_machine(false, tiny_caches());
+  kernels::DesKernel kp(perfect, false), kc(cached, false);
+  kp.set_key(key);
+  kc.set_key(key);
+  EXPECT_EQ(kp.encrypt_ecb(data), kc.encrypt_ecb(data));
+}
+
+TEST(CachedKernels, MissesCostCycles) {
+  Rng rng(602);
+  const std::uint64_t key = rng.next_u64();
+  const auto data = rng.bytes(256);
+  std::uint64_t cycles_perfect = 0, cycles_tiny = 0;
+  {
+    kernels::Machine m = kernels::make_des_machine(false);
+    kernels::DesKernel k(m, false);
+    k.set_key(key);
+    k.encrypt_ecb(data, &cycles_perfect);
+  }
+  {
+    kernels::Machine m = kernels::make_des_machine(false, tiny_caches());
+    kernels::DesKernel k(m, false);
+    k.set_key(key);
+    k.encrypt_ecb(data, &cycles_tiny);
+    EXPECT_GT(m.cpu().dcache()->misses(), 0u);
+  }
+  EXPECT_GT(cycles_tiny, cycles_perfect);
+}
+
+TEST(CachedKernels, BiggerCachesNeverSlower) {
+  Rng rng(603);
+  const std::size_t n = 48;
+  std::vector<std::uint32_t> a(n), b(n);
+  for (auto& x : a) x = rng.next_u32();
+  for (auto& x : b) x = rng.next_u32();
+  std::uint64_t prev = ~0ull;
+  for (std::size_t kib : {1u, 4u, 16u}) {
+    sim::CpuConfig cfg;
+    cfg.model_caches = true;
+    cfg.icache = sim::CacheConfig{kib * 1024, 16, 2, 20};
+    cfg.dcache = sim::CacheConfig{kib * 1024, 16, 2, 20};
+    kernels::Machine m = kernels::make_mpn_machine({}, cfg);
+    std::vector<std::uint32_t> r;
+    const auto res = kernels::run_add_n(m, r, a, b);
+    EXPECT_LE(res.cycles, prev) << kib << " KiB";
+    prev = res.cycles;
+  }
+}
+
+TEST(CachedKernels, StatsExposedThroughCpu) {
+  kernels::Machine m = kernels::make_mpn_machine({}, tiny_caches());
+  Rng rng(604);
+  std::vector<std::uint32_t> a(16), b(16), r;
+  for (auto& x : a) x = rng.next_u32();
+  for (auto& x : b) x = rng.next_u32();
+  kernels::run_add_n(m, r, a, b);
+  ASSERT_NE(m.cpu().icache(), nullptr);
+  ASSERT_NE(m.cpu().dcache(), nullptr);
+  EXPECT_GT(m.cpu().icache()->hits() + m.cpu().icache()->misses(), 0u);
+}
+
+TEST(CachedKernels, PerfectMachineHasNoCacheObjects) {
+  kernels::Machine m = kernels::make_mpn_machine();
+  EXPECT_EQ(m.cpu().icache(), nullptr);
+  EXPECT_EQ(m.cpu().dcache(), nullptr);
+}
+
+}  // namespace
+}  // namespace wsp

@@ -1,0 +1,165 @@
+// The centerpiece correctness sweep: every one of the 450 algorithm
+// configurations in the paper's design space must produce identical results
+// to the Mpz reference on an RSA-style workload.
+#include <gtest/gtest.h>
+
+#include "mp/modexp.h"
+#include "mp/prime.h"
+#include "support/random.h"
+
+namespace wsp {
+namespace {
+
+struct RsaFixture {
+  Mpz p, q, n, e, d;
+  CrtKey crt;
+
+  static const RsaFixture& get() {
+    static const RsaFixture fx = [] {
+      RsaFixture f;
+      Rng rng(77);
+      f.p = gen_prime(96, rng);
+      f.q = gen_prime(96, rng);
+      f.n = f.p * f.q;
+      f.e = Mpz(65537);
+      const Mpz phi = (f.p - Mpz(1)) * (f.q - Mpz(1));
+      f.d = Mpz::invmod(f.e, phi);
+      f.crt = CrtKey::derive(f.p, f.q, f.d);
+      return f;
+    }();
+    return fx;
+  }
+};
+
+TEST(ModexpConfig, SpaceHas450Points) {
+  EXPECT_EQ(all_modexp_configs().size(), 450u);
+}
+
+TEST(ModexpConfig, NamesAreUnique) {
+  std::set<std::string> names;
+  for (const auto& cfg : all_modexp_configs()) names.insert(cfg.name());
+  EXPECT_EQ(names.size(), 450u);
+}
+
+class ModexpAllConfigs : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ModexpAllConfigs, RsaRoundTripMatchesReference) {
+  const ModexpConfig cfg = all_modexp_configs()[GetParam()];
+  const RsaFixture& fx = RsaFixture::get();
+  Rng rng(1000 + GetParam());
+  ModexpEngine engine(cfg);
+
+  const Mpz m = random_below(fx.n, rng);
+  // Public op (no CRT applies).
+  const Mpz c = engine.powm(m, fx.e, fx.n);
+  EXPECT_EQ(c, Mpz::powm(m, fx.e, fx.n)) << cfg.name();
+  // Private op through the configured CRT mode.
+  const Mpz back = engine.powm_crt(c, fx.d, fx.crt);
+  EXPECT_EQ(back, m) << cfg.name();
+}
+
+INSTANTIATE_TEST_SUITE_P(All450, ModexpAllConfigs,
+                         ::testing::Range<std::size_t>(0, 450),
+                         [](const ::testing::TestParamInfo<std::size_t>& info) {
+                           std::string name =
+                               all_modexp_configs()[info.param].name();
+                           for (char& ch : name) {
+                             if (!isalnum(static_cast<unsigned char>(ch))) ch = '_';
+                           }
+                           return name;
+                         });
+
+TEST(Modexp, CachingDoesNotChangeResults) {
+  const RsaFixture& fx = RsaFixture::get();
+  ModexpConfig cfg;
+  cfg.caching = Caching::kFull;
+  ModexpEngine engine(cfg);
+  Rng rng(91);
+  const Mpz m = random_below(fx.n, rng);
+  const Mpz first = engine.powm(m, fx.d, fx.n);
+  const Mpz second = engine.powm(m, fx.d, fx.n);  // cache-hit path
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(first, Mpz::powm(m, fx.d, fx.n));
+}
+
+TEST(Modexp, HookObservesFewerEventsWhenCached) {
+  struct Counter : CostHook {
+    std::size_t events = 0;
+    void on_prim(Prim, std::size_t, std::size_t, unsigned) override { ++events; }
+  };
+  const RsaFixture& fx = RsaFixture::get();
+  ModexpConfig cfg;
+  cfg.caching = Caching::kFull;
+  Counter c1;
+  ModexpEngine engine(cfg, &c1);
+  Rng rng(92);
+  const Mpz m = random_below(fx.n, rng);
+  engine.powm(m, fx.d, fx.n);
+  const std::size_t cold = c1.events;
+  c1.events = 0;
+  engine.powm(m, fx.d, fx.n);
+  const std::size_t warm = c1.events;
+  EXPECT_LT(warm, cold) << "cached run must skip context+table setup events";
+}
+
+TEST(Modexp, WindowSizeTradesTableForScanMults) {
+  struct Counter : CostHook {
+    std::size_t addmuls = 0;
+    void on_prim(Prim p, std::size_t, std::size_t, unsigned) override {
+      if (p == Prim::kAddMul1) ++addmuls;
+    }
+  };
+  const RsaFixture& fx = RsaFixture::get();
+  Rng rng(93);
+  const Mpz m = random_below(fx.n, rng);
+  std::size_t events_w1 = 0, events_w5 = 0;
+  for (unsigned w : {1u, 5u}) {
+    ModexpConfig cfg;
+    cfg.window_bits = w;
+    cfg.caching = Caching::kContext;  // exclude context setup from the count
+    Counter c;
+    ModexpEngine engine(cfg, &c);
+    engine.powm(m, fx.d, fx.n);
+    (w == 1 ? events_w1 : events_w5) = c.addmuls;
+  }
+  // A 5-bit window needs fewer multiplications overall on a ~192-bit
+  // exponent than binary scanning.
+  EXPECT_LT(events_w5, events_w1);
+}
+
+TEST(Modexp, EdgeCases) {
+  ModexpEngine engine{ModexpConfig{}};
+  EXPECT_EQ(engine.powm(Mpz(5), Mpz(0), Mpz(7)), Mpz(1));
+  EXPECT_EQ(engine.powm(Mpz(0), Mpz(5), Mpz(7)), Mpz(0));
+  EXPECT_EQ(engine.powm(Mpz(5), Mpz(3), Mpz(1)), Mpz(0));
+  EXPECT_THROW(engine.powm(Mpz(5), Mpz(3), Mpz(0)), std::domain_error);
+}
+
+TEST(Modexp, MontgomeryRejectsEvenModulus) {
+  ModexpConfig cfg;
+  cfg.mul = MulAlgo::kMontCIOS;
+  ModexpEngine engine(cfg);
+  EXPECT_THROW(engine.powm(Mpz(3), Mpz(5), Mpz(100)), std::invalid_argument);
+}
+
+TEST(Modexp, DivisionConfigsHandleEvenModulus) {
+  for (MulAlgo alg : {MulAlgo::kBasecaseDiv, MulAlgo::kKaratsubaDiv, MulAlgo::kBarrett}) {
+    ModexpConfig cfg;
+    cfg.mul = alg;
+    ModexpEngine engine(cfg);
+    const Mpz m = Mpz::from_hex("10000000000000000000000000000000");  // even
+    const Mpz r = engine.powm(Mpz(12345), Mpz(67), m);
+    EXPECT_EQ(r, Mpz::powm(Mpz(12345), Mpz(67), m)) << to_string(alg);
+  }
+}
+
+TEST(Modexp, InvalidWindowRejected) {
+  ModexpConfig cfg;
+  cfg.window_bits = 6;
+  EXPECT_THROW(ModexpEngine{cfg}, std::invalid_argument);
+  cfg.window_bits = 0;
+  EXPECT_THROW(ModexpEngine{cfg}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace wsp

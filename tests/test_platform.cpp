@@ -1,0 +1,122 @@
+// The SecurityPlatform facade: functional equivalence between baseline and
+// optimized configurations, agreement with the host library, and the
+// headline performance ordering.
+#include <gtest/gtest.h>
+
+#include "crypto/aes.h"
+#include "crypto/sha1.h"
+#include "crypto/des.h"
+#include "platform/platform.h"
+#include "support/random.h"
+
+namespace wsp {
+namespace {
+
+using platform::Config;
+using platform::SecurityPlatform;
+
+TEST(Platform, DesMatchesHostOnBothConfigs) {
+  Rng rng(441);
+  const std::uint64_t key = rng.next_u64();
+  const auto data = rng.bytes(64);
+  const auto expect = des::encrypt_ecb(data, des::key_schedule(key));
+  for (Config config : {Config::kBaseline, Config::kOptimized}) {
+    SecurityPlatform p(config);
+    EXPECT_EQ(p.des_encrypt(data, key), expect) << to_string(config);
+    EXPECT_GT(p.cycles_consumed(), 0u);
+  }
+}
+
+TEST(Platform, TripleDesMatchesHost) {
+  Rng rng(442);
+  const std::uint64_t k1 = rng.next_u64(), k2 = rng.next_u64(), k3 = rng.next_u64();
+  const auto data = rng.bytes(32);
+  const auto ks = des::triple_key_schedule(k1, k2, k3);
+  std::vector<std::uint8_t> expect(data.size());
+  for (std::size_t i = 0; i < data.size(); i += 8) {
+    des::store_be64(des::encrypt_block_3des(des::load_be64(data.data() + i), ks),
+                    expect.data() + i);
+  }
+  for (Config config : {Config::kBaseline, Config::kOptimized}) {
+    SecurityPlatform p(config);
+    EXPECT_EQ(p.des3_encrypt(data, k1, k2, k3), expect) << to_string(config);
+  }
+}
+
+TEST(Platform, AesMatchesHost) {
+  Rng rng(443);
+  const auto key = rng.bytes(16);
+  const auto data = rng.bytes(48);
+  const auto expect = aes::encrypt_ecb(data, aes::key_schedule(key));
+  for (Config config : {Config::kBaseline, Config::kOptimized}) {
+    SecurityPlatform p(config);
+    EXPECT_EQ(p.aes128_encrypt(data, key), expect) << to_string(config);
+  }
+}
+
+TEST(Platform, RsaRoundTripOnBothConfigs) {
+  Rng rng(444);
+  const auto key = rsa::generate_key(256, rng);
+  const Mpz m = Mpz::from_bytes_be(rng.bytes(24));
+  for (Config config : {Config::kBaseline, Config::kOptimized}) {
+    SecurityPlatform p(config);
+    const Mpz c = p.rsa_public(m, key.public_key());
+    EXPECT_EQ(p.rsa_private(c, key), m) << to_string(config);
+  }
+}
+
+TEST(Platform, OptimizedIsFasterAcrossAllPrimitives) {
+  Rng rng(445);
+  const auto data = rng.bytes(128);
+  const std::uint64_t key = rng.next_u64();
+  const auto aes_key = rng.bytes(16);
+  const auto rsa_key = rsa::generate_key(256, rng);
+  const Mpz c = Mpz::from_bytes_be(rng.bytes(24));
+
+  std::uint64_t base_cycles[3], opt_cycles[3];
+  for (Config config : {Config::kBaseline, Config::kOptimized}) {
+    SecurityPlatform p(config);
+    auto* out = config == Config::kBaseline ? base_cycles : opt_cycles;
+    p.des_encrypt(data, key);
+    out[0] = p.cycles_consumed();
+    p.reset_cycles();
+    p.aes128_encrypt(data, aes_key);
+    out[1] = p.cycles_consumed();
+    p.reset_cycles();
+    p.rsa_private(c, rsa_key);
+    out[2] = p.cycles_consumed();
+  }
+  EXPECT_GT(base_cycles[0], 5 * opt_cycles[0]) << "DES";
+  EXPECT_GT(base_cycles[1], 2 * opt_cycles[1]) << "AES";
+  EXPECT_GT(base_cycles[2], 2 * opt_cycles[2]) << "RSA";
+}
+
+TEST(Platform, Sha1MatchesHostAndCostsSameOnBothConfigs) {
+  Rng rng(447);
+  const auto data = rng.bytes(300);
+  const auto expect = Sha1::hash(data);
+  std::uint64_t cycles[2];
+  int idx = 0;
+  for (Config config : {Config::kBaseline, Config::kOptimized}) {
+    SecurityPlatform p(config);
+    p.reset_cycles();
+    const auto got = p.sha1(data);
+    EXPECT_TRUE(std::equal(expect.begin(), expect.end(), got.begin()))
+        << to_string(config);
+    cycles[idx++] = p.cycles_consumed();
+  }
+  // Hashing is not accelerated: identical cost on both configurations.
+  EXPECT_EQ(cycles[0], cycles[1]);
+}
+
+TEST(Platform, ClockConversion) {
+  SecurityPlatform p(Config::kBaseline);
+  Rng rng(446);
+  p.des_encrypt(rng.bytes(8), 42);
+  const double secs = p.seconds_at_clock(188.0);
+  EXPECT_GT(secs, 0.0);
+  EXPECT_NEAR(secs, static_cast<double>(p.cycles_consumed()) / 188e6, 1e-12);
+}
+
+}  // namespace
+}  // namespace wsp

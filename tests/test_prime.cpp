@@ -1,0 +1,60 @@
+#include <gtest/gtest.h>
+
+#include "mp/prime.h"
+
+namespace wsp {
+namespace {
+
+TEST(Prime, KnownSmallPrimes) {
+  Rng rng(51);
+  for (int p : {2, 3, 5, 7, 11, 13, 97, 101, 257, 65537}) {
+    EXPECT_TRUE(is_probable_prime(Mpz(p), 16, rng)) << p;
+  }
+}
+
+TEST(Prime, KnownComposites) {
+  Rng rng(52);
+  for (int c : {1, 4, 6, 9, 15, 91, 561 /* Carmichael */, 65535, 1000001}) {
+    EXPECT_FALSE(is_probable_prime(Mpz(c), 16, rng)) << c;
+  }
+}
+
+TEST(Prime, LargeKnownPrime) {
+  Rng rng(53);
+  // 2^127 - 1 (Mersenne prime).
+  const Mpz m127 = Mpz(1).lshift(127) - Mpz(1);
+  EXPECT_TRUE(is_probable_prime(m127, 12, rng));
+  // 2^128 - 1 is composite.
+  EXPECT_FALSE(is_probable_prime(Mpz(1).lshift(128) - Mpz(1), 12, rng));
+}
+
+TEST(Prime, GeneratedPrimeHasRequestedSize) {
+  Rng rng(54);
+  for (std::size_t bits : {32u, 64u, 128u}) {
+    const Mpz p = gen_prime(bits, rng);
+    EXPECT_EQ(p.bit_length(), bits);
+    EXPECT_TRUE(p.is_odd());
+    EXPECT_TRUE(p.bit(bits - 2)) << "second-highest bit forced for RSA sizing";
+    EXPECT_TRUE(is_probable_prime(p, 16, rng));
+  }
+}
+
+TEST(Prime, RandomBelowInRange) {
+  Rng rng(55);
+  const Mpz bound = Mpz::from_hex("10000000000000");
+  for (int i = 0; i < 100; ++i) {
+    const Mpz v = random_below(bound, rng);
+    EXPECT_TRUE(v < bound);
+    EXPECT_FALSE(v.is_negative());
+  }
+}
+
+TEST(Prime, RandomBitsExactWidth) {
+  Rng rng(56);
+  for (std::size_t bits : {9u, 33u, 65u, 100u}) {
+    EXPECT_EQ(random_bits(bits, rng).bit_length(), bits);
+  }
+}
+
+}  // namespace
+}  // namespace wsp

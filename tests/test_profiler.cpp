@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include "kernels/regs.h"
+#include "sim/cpu.h"
+#include "xasm/program.h"
+
+namespace wsp {
+namespace {
+
+using kernels::A0;
+using kernels::T0;
+using kernels::Z;
+
+TEST(Profiler, CallCountsAndEdges) {
+  xasm::Assembler a;
+  a.func("leaf");
+  a.addi(A0, A0, 1);
+  a.ret();
+  a.func("mid");
+  a.prologue();
+  a.call("leaf");
+  a.call("leaf");
+  a.epilogue();
+  a.func("top");
+  a.prologue();
+  a.call("mid");
+  a.call("leaf");
+  a.epilogue();
+  const auto prog = a.finish();
+  sim::Cpu cpu(prog);
+  cpu.call("top");
+
+  const auto& funcs = cpu.profiler().functions();
+  EXPECT_EQ(funcs.at("top").calls, 1u);
+  EXPECT_EQ(funcs.at("mid").calls, 1u);
+  EXPECT_EQ(funcs.at("leaf").calls, 3u);
+
+  const auto& edges = cpu.profiler().edges();
+  EXPECT_EQ(edges.at({"<host>", "top"}), 1u);
+  EXPECT_EQ(edges.at({"top", "mid"}), 1u);
+  EXPECT_EQ(edges.at({"mid", "leaf"}), 2u);
+  EXPECT_EQ(edges.at({"top", "leaf"}), 1u);
+}
+
+TEST(Profiler, SelfPlusChildrenEqualsTotal) {
+  xasm::Assembler a;
+  a.func("leaf");
+  a.addi(T0, Z, 1);
+  a.addi(T0, Z, 2);
+  a.ret();
+  a.func("root");
+  a.prologue();
+  a.call("leaf");
+  a.epilogue();
+  const auto prog = a.finish();
+  sim::Cpu cpu(prog);
+  cpu.call("root");
+
+  const auto& funcs = cpu.profiler().functions();
+  const auto& root = funcs.at("root");
+  const auto& leaf = funcs.at("leaf");
+  EXPECT_EQ(root.total_cycles, root.self_cycles + leaf.total_cycles);
+  EXPECT_GT(leaf.self_cycles, 0u);
+  EXPECT_EQ(leaf.self_cycles, leaf.total_cycles);
+}
+
+TEST(Profiler, FormatContainsWeightedEdges) {
+  xasm::Assembler a;
+  a.func("child");
+  a.ret();
+  a.func("parent");
+  a.prologue();
+  a.call("child");
+  a.call("child");
+  a.call("child");
+  a.epilogue();
+  const auto prog = a.finish();
+  sim::Cpu cpu(prog);
+  cpu.call("parent");
+  const std::string graph = cpu.profiler().format_call_graph();
+  EXPECT_NE(graph.find("parent -> child x3"), std::string::npos) << graph;
+}
+
+TEST(Profiler, ResetStatsClears) {
+  xasm::Assembler a;
+  a.func("f");
+  a.ret();
+  const auto prog = a.finish();
+  sim::Cpu cpu(prog);
+  cpu.call("f");
+  EXPECT_FALSE(cpu.profiler().functions().empty());
+  cpu.reset_stats();
+  EXPECT_TRUE(cpu.profiler().functions().empty());
+  EXPECT_EQ(cpu.cycles(), 0u);
+}
+
+}  // namespace
+}  // namespace wsp

@@ -1,0 +1,134 @@
+// CRC-32 and the WEP / IPsec-ESP protocol layers — the paper's
+// "different layers of the protocol stack" claim: the same platform
+// primitives serving link-, network- and transport-layer protocols.
+#include <gtest/gtest.h>
+
+#include "crypto/crc32.h"
+#include "ssl/esp.h"
+#include "ssl/wep.h"
+
+namespace wsp {
+namespace {
+
+TEST(Crc32, KnownVectors) {
+  const std::vector<std::uint8_t> check = {'1', '2', '3', '4', '5',
+                                           '6', '7', '8', '9'};
+  EXPECT_EQ(crc32(check), 0xCBF43926u);
+  EXPECT_EQ(crc32(std::vector<std::uint8_t>{}), 0x00000000u);
+  const std::vector<std::uint8_t> a = {'a'};
+  EXPECT_EQ(crc32(a), 0xE8B7BE43u);
+}
+
+TEST(Crc32, DetectsBitFlips) {
+  Rng rng(511);
+  auto data = rng.bytes(256);
+  const std::uint32_t before = crc32(data);
+  data[100] ^= 0x01;
+  EXPECT_NE(crc32(data), before);
+}
+
+TEST(Wep, SealOpenRoundTrip) {
+  Rng rng(512);
+  const auto key = rng.bytes(13);  // WEP-104
+  for (std::size_t len : {1u, 64u, 1500u}) {
+    const auto payload = rng.bytes(len);
+    const auto frame = wep::seal(payload, key, rng);
+    EXPECT_LE(frame.iv, 0xFFFFFFu);
+    EXPECT_EQ(frame.ciphertext.size(), len + 4);
+    EXPECT_NE(frame.ciphertext, payload);
+    EXPECT_EQ(wep::open(frame, key), payload);
+  }
+}
+
+TEST(Wep, Wep40KeysSupported) {
+  Rng rng(513);
+  const auto key = rng.bytes(5);
+  const auto payload = rng.bytes(100);
+  const auto frame = wep::seal(payload, key, rng);
+  EXPECT_EQ(wep::open(frame, key), payload);
+}
+
+TEST(Wep, CorruptionDetected) {
+  Rng rng(514);
+  const auto key = rng.bytes(13);
+  auto frame = wep::seal(rng.bytes(64), key, rng);
+  frame.ciphertext[10] ^= 0x40;
+  EXPECT_THROW(wep::open(frame, key), std::runtime_error);
+}
+
+TEST(Wep, WrongKeyRejectedByIcv) {
+  Rng rng(515);
+  const auto key = rng.bytes(13);
+  auto other = key;
+  other[0] ^= 1;
+  const auto frame = wep::seal(rng.bytes(64), key, rng);
+  EXPECT_THROW(wep::open(frame, other), std::runtime_error);
+}
+
+TEST(Wep, BadKeyLengthRejected) {
+  Rng rng(516);
+  EXPECT_THROW(wep::seal({1, 2, 3}, rng.bytes(7), rng), std::invalid_argument);
+}
+
+class EspTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Rng rng(517);
+    sa_.spi = 0x1001;
+    sa_.enc_key = rng.bytes(24);
+    sa_.auth_key = rng.bytes(20);
+  }
+  esp::Sa sa_;
+  Rng rng_{518};
+};
+
+TEST_F(EspTest, SealOpenRoundTripVariousSizes) {
+  for (std::size_t len : {0u, 1u, 7u, 8u, 100u, 1400u}) {
+    esp::Sa receiver = sa_;
+    const auto payload = rng_.bytes(len);
+    const auto packet = esp::seal(sa_, payload, rng_);
+    std::uint32_t seq = 0;
+    EXPECT_EQ(esp::open(receiver, packet, &seq), payload) << "len=" << len;
+    EXPECT_EQ(seq, sa_.seq);
+  }
+}
+
+TEST_F(EspTest, SequenceNumbersIncrease) {
+  std::uint32_t s1 = 0, s2 = 0;
+  const auto p1 = esp::seal(sa_, {1}, rng_);
+  const auto p2 = esp::seal(sa_, {2}, rng_);
+  esp::open(sa_, p1, &s1);
+  esp::open(sa_, p2, &s2);
+  EXPECT_EQ(s2, s1 + 1);
+}
+
+TEST_F(EspTest, TamperingRejected) {
+  auto packet = esp::seal(sa_, rng_.bytes(64), rng_);
+  packet[20] ^= 0x80;
+  EXPECT_THROW(esp::open(sa_, packet, nullptr), std::runtime_error);
+}
+
+TEST_F(EspTest, WrongSpiRejected) {
+  const auto packet = esp::seal(sa_, rng_.bytes(16), rng_);
+  esp::Sa other = sa_;
+  other.spi = 0x2002;
+  EXPECT_THROW(esp::open(other, packet, nullptr), std::runtime_error);
+}
+
+TEST_F(EspTest, TruncatedPacketRejected) {
+  auto packet = esp::seal(sa_, rng_.bytes(16), rng_);
+  packet.resize(20);
+  EXPECT_THROW(esp::open(sa_, packet, nullptr), std::runtime_error);
+}
+
+TEST_F(EspTest, IvRandomizesCiphertext) {
+  const auto payload = rng_.bytes(32);
+  const auto p1 = esp::seal(sa_, payload, rng_);
+  const auto p2 = esp::seal(sa_, payload, rng_);
+  // Different IVs => different ciphertext even for identical payloads.
+  EXPECT_NE(std::vector<std::uint8_t>(p1.begin() + 16, p1.end() - 12),
+            std::vector<std::uint8_t>(p2.begin() + 16, p2.end() - 12));
+}
+
+}  // namespace
+}  // namespace wsp

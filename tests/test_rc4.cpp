@@ -1,0 +1,54 @@
+#include <gtest/gtest.h>
+
+#include "crypto/rc4.h"
+#include "support/hex.h"
+
+namespace wsp {
+namespace {
+
+std::vector<std::uint8_t> bytes_of(const char* s) {
+  return std::vector<std::uint8_t>(s, s + std::string(s).size());
+}
+
+TEST(Rc4, ClassicVectors) {
+  {
+    Rc4 rc4(bytes_of("Key"));
+    EXPECT_EQ(to_hex(rc4.process(bytes_of("Plaintext"))), "bbf316e8d940af0ad3");
+  }
+  {
+    Rc4 rc4(bytes_of("Wiki"));
+    EXPECT_EQ(to_hex(rc4.process(bytes_of("pedia"))), "1021bf0420");
+  }
+  {
+    Rc4 rc4(bytes_of("Secret"));
+    EXPECT_EQ(to_hex(rc4.process(bytes_of("Attack at dawn"))),
+              "45a01f645fc35b383552544b9bf5");
+  }
+}
+
+TEST(Rc4, EncryptDecryptSymmetry) {
+  const auto key = bytes_of("sessionkey");
+  const auto data = bytes_of("some longer message with structure 1234567890");
+  Rc4 enc(key), dec(key);
+  EXPECT_EQ(dec.process(enc.process(data)), data);
+}
+
+TEST(Rc4, EmptyKeyRejected) {
+  EXPECT_THROW(Rc4{std::vector<std::uint8_t>{}}, std::invalid_argument);
+}
+
+TEST(Rc4, StreamContinuity) {
+  // Processing in two pieces must equal processing at once.
+  const auto key = bytes_of("k");
+  const auto data = bytes_of("abcdefghij");
+  Rc4 whole(key);
+  const auto all = whole.process(data);
+  Rc4 split(key);
+  auto first = split.process(std::vector<std::uint8_t>(data.begin(), data.begin() + 4));
+  auto second = split.process(std::vector<std::uint8_t>(data.begin() + 4, data.end()));
+  first.insert(first.end(), second.begin(), second.end());
+  EXPECT_EQ(first, all);
+}
+
+}  // namespace
+}  // namespace wsp

@@ -1,0 +1,136 @@
+// Call-graph construction from profiler data and global custom-instruction
+// selection over measured A-D curves.
+#include <gtest/gtest.h>
+
+#include "kernels/modexp_kernel.h"
+#include "mp/prime.h"
+#include "select/select.h"
+
+namespace wsp {
+namespace {
+
+using select::CallGraph;
+using select::CgNode;
+using tie::ADCurve;
+using tie::ADPoint;
+
+CallGraph synthetic_graph() {
+  // root calls mpn_add_n twice and mpn_addmul_1 once per invocation
+  // (the paper's Fig. 5 example shape).
+  CallGraph g;
+  g.add(CgNode{"root", 10.0, {{"mpn_add_n", 2.0}, {"mpn_addmul_1", 1.0}}});
+  g.add(CgNode{"mpn_add_n", 202.0, {}});
+  g.add(CgNode{"mpn_addmul_1", 650.0, {}});
+  return g;
+}
+
+std::map<std::string, ADCurve> synthetic_curves() {
+  std::map<std::string, ADCurve> curves;
+  ADCurve add;
+  add.add({0, 202, {}});
+  add.add({0, 110, {"ur_load", "ur_store", "add_2"}});
+  add.add({0, 66, {"ur_load", "ur_store", "add_4"}});
+  add.add({0, 44, {"ur_load", "ur_store", "add_8"}});
+  add.add({0, 36, {"ur_load", "ur_store", "add_16"}});
+  curves["mpn_add_n"] = add;
+  // As in the paper's Fig. 6, the addmul curve's points also use adder
+  // resources, so combining the two curves shares/dominates adders.
+  ADCurve mul;
+  mul.add({0, 650, {}});
+  mul.add({0, 420, {"ur_load", "ur_store", "mac_1", "add_2"}});
+  mul.add({0, 260, {"ur_load", "ur_store", "mac_2", "add_4"}});
+  mul.add({0, 180, {"ur_load", "ur_store", "mac_4", "add_8"}});
+  curves["mpn_addmul_1"] = mul;
+  return curves;
+}
+
+TEST(Select, UnlimitedBudgetPicksFastestPoint) {
+  const auto catalog = tie::default_catalog();
+  const auto result = select::select_instructions(
+      synthetic_graph(), "root", synthetic_curves(), catalog, 1e12);
+  // Fastest: add_16 + mac_4 => 10 + 2*36 + 180 = 262.
+  EXPECT_DOUBLE_EQ(result.chosen.cycles, 262.0);
+  EXPECT_TRUE(result.chosen.instrs.count("add_16"));
+  EXPECT_TRUE(result.chosen.instrs.count("mac_4"));
+}
+
+TEST(Select, ZeroBudgetPicksBasePoint) {
+  const auto catalog = tie::default_catalog();
+  const auto result = select::select_instructions(
+      synthetic_graph(), "root", synthetic_curves(), catalog, 0.0);
+  EXPECT_TRUE(result.chosen.instrs.empty());
+  EXPECT_DOUBLE_EQ(result.chosen.cycles, 10.0 + 2 * 202.0 + 650.0);
+}
+
+TEST(Select, TightBudgetPrefersHighestValueUnit) {
+  const auto catalog = tie::default_catalog();
+  // Budget for the shared UR transfers plus one mid-size unit.
+  const double budget =
+      catalog.set_area({"ur_load", "ur_store", "mac_2"});
+  const auto result = select::select_instructions(
+      synthetic_graph(), "root", synthetic_curves(), catalog, budget);
+  EXPECT_LE(result.chosen.area, budget);
+  EXPECT_LT(result.chosen.cycles, 10.0 + 2 * 202.0 + 650.0);
+}
+
+TEST(Select, RootCurveIsParetoClean) {
+  const auto catalog = tie::default_catalog();
+  const auto result = select::select_instructions(
+      synthetic_graph(), "root", synthetic_curves(), catalog, 1e12);
+  const auto& pts = result.root_curve.points();
+  for (const auto& p : pts) {
+    for (const auto& q : pts) {
+      if (&p == &q) continue;
+      const bool dominated = q.area <= p.area && q.cycles <= p.cycles &&
+                             (q.area < p.area || q.cycles < p.cycles);
+      EXPECT_FALSE(dominated);
+    }
+  }
+}
+
+TEST(Select, CombineStatsShowReduction) {
+  const auto catalog = tie::default_catalog();
+  const auto result = select::select_instructions(
+      synthetic_graph(), "root", synthetic_curves(), catalog, 1e12);
+  const auto& stats = result.combine_stats.at("root");
+  EXPECT_EQ(stats.cartesian_points, 20u);  // 5 x 4
+  EXPECT_LT(stats.reduced_points, stats.cartesian_points);
+}
+
+TEST(CallGraph, FromProfilerBuildsWeightedEdges) {
+  // Profile a real Montgomery multiplication and inspect the graph
+  // (the paper's Fig. 4 flow).
+  kernels::Machine machine = kernels::make_modexp_machine();
+  kernels::IssModexp mx(machine);
+  Rng rng(421);
+  Mpz mod = random_bits(128, rng);
+  if (mod.is_even()) mod = mod + Mpz(1);
+  machine.cpu().reset_stats();
+  mx.mont_mul_once(Mpz(999), Mpz(888), mod);
+  const auto graph =
+      CallGraph::from_profiler(machine.cpu().profiler(), "mont_mul");
+  ASSERT_TRUE(graph.has("mont_mul"));
+  const auto& node = graph.node("mont_mul");
+  double addmul_calls = 0;
+  for (const auto& [child, calls] : node.children) {
+    if (child == "mpn_addmul_1") addmul_calls = calls;
+  }
+  EXPECT_DOUBLE_EQ(addmul_calls, 8.0);  // 2 per limb, 4 limbs
+  EXPECT_GT(node.local_cycles, 0.0);
+  const std::string rendered = graph.format("mont_mul");
+  EXPECT_NE(rendered.find("mpn_addmul_1"), std::string::npos);
+}
+
+TEST(CallGraph, LeavesReachableFromRoot) {
+  const auto g = synthetic_graph();
+  const auto leaves = g.leaves("root");
+  EXPECT_EQ(leaves.size(), 2u);
+}
+
+TEST(CallGraph, UnknownRootThrows) {
+  const auto g = synthetic_graph();
+  EXPECT_THROW(g.node("ghost"), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace wsp

@@ -1,0 +1,100 @@
+// Coverage for the smaller simulator pieces: memory block ops and bounds,
+// ISA metadata predicates, disassembly, and the Machine runtime harness.
+#include <gtest/gtest.h>
+
+#include "kernels/mpn_kernels.h"
+#include "sim/memory.h"
+
+namespace wsp {
+namespace {
+
+TEST(Memory, LittleEndianLayout) {
+  sim::Memory mem(4096);
+  mem.store32(100, 0x11223344u);
+  EXPECT_EQ(mem.load8(100), 0x44);
+  EXPECT_EQ(mem.load8(103), 0x11);
+  EXPECT_EQ(mem.load16(100), 0x3344);
+  EXPECT_EQ(mem.load16(102), 0x1122);
+}
+
+TEST(Memory, BlockTransferRoundTrip) {
+  sim::Memory mem(4096);
+  std::vector<std::uint8_t> data = {9, 8, 7, 6, 5};
+  mem.write_block(200, data.data(), data.size());
+  std::vector<std::uint8_t> back(5);
+  mem.read_block(200, back.data(), back.size());
+  EXPECT_EQ(back, data);
+}
+
+TEST(Memory, BoundsChecked) {
+  sim::Memory mem(128);
+  EXPECT_THROW(mem.load32(126), std::out_of_range);
+  EXPECT_THROW(mem.store8(128, 1), std::out_of_range);
+  EXPECT_NO_THROW(mem.load32(124));
+  std::uint8_t b = 0;
+  EXPECT_THROW(mem.read_block(120, &b, 20), std::out_of_range);
+}
+
+TEST(Isa, OperandPredicates) {
+  using isa::Op;
+  EXPECT_TRUE(isa::reads_rs1(Op::kAdd));
+  EXPECT_TRUE(isa::reads_rs2(Op::kAdd));
+  EXPECT_TRUE(isa::writes_rd(Op::kAdd));
+  EXPECT_TRUE(isa::reads_rs1(Op::kLw));
+  EXPECT_FALSE(isa::reads_rs2(Op::kLw));
+  EXPECT_TRUE(isa::writes_rd(Op::kLw));
+  EXPECT_TRUE(isa::reads_rs2(Op::kSw));
+  EXPECT_FALSE(isa::writes_rd(Op::kSw));
+  EXPECT_FALSE(isa::reads_rs1(Op::kLui));
+  EXPECT_FALSE(isa::writes_rd(Op::kBeq));
+  EXPECT_FALSE(isa::reads_rs1(Op::kCall));
+}
+
+TEST(Isa, Disassembly) {
+  isa::Instr instr{isa::Op::kAddi, 5, 6, 0, -4, 0};
+  const std::string s = isa::to_string(instr);
+  EXPECT_NE(s.find("addi"), std::string::npos);
+  EXPECT_NE(s.find("rd=r5"), std::string::npos);
+  EXPECT_NE(s.find("imm=-4"), std::string::npos);
+  isa::Instr cust{isa::Op::kCustom, 0, 0, 0, 0, 42};
+  EXPECT_NE(isa::to_string(cust).find("custom#42"), std::string::npos);
+}
+
+TEST(Machine, AllocAligns) {
+  kernels::Machine m = kernels::make_mpn_machine();
+  const std::uint32_t a = m.alloc(3);
+  const std::uint32_t b = m.alloc(8, 16);
+  EXPECT_EQ(b % 16, 0u);
+  EXPECT_GT(b, a);
+}
+
+TEST(Machine, HeapResetReusesSpace) {
+  kernels::Machine m = kernels::make_mpn_machine();
+  const std::uint32_t a = m.alloc(64);
+  m.reset_heap();
+  const std::uint32_t b = m.alloc(64);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Machine, HeapExhaustionThrows) {
+  kernels::Machine m = kernels::make_mpn_machine();
+  EXPECT_THROW(m.alloc(64u << 20), std::runtime_error);
+}
+
+TEST(Machine, TooManyArgsRejected) {
+  kernels::Machine m = kernels::make_mpn_machine();
+  EXPECT_THROW(m.call("mpn_cmp", {1, 2, 3, 4, 5, 6, 7, 8, 9}),
+               std::invalid_argument);
+}
+
+TEST(Machine, WordMarshalling) {
+  kernels::Machine m = kernels::make_mpn_machine();
+  const std::vector<std::uint32_t> words = {1, 0xffffffffu, 42};
+  const std::uint32_t addr = m.alloc_words(words);
+  EXPECT_EQ(m.read_words(addr, 3), words);
+  m.write_u32(addr + 4, 7);
+  EXPECT_EQ(m.read_u32(addr + 4), 7u);
+}
+
+}  // namespace
+}  // namespace wsp

@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include "support/hex.h"
+#include "support/random.h"
+#include "support/stats.h"
+
+namespace wsp {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42), b(42), c(43);
+  EXPECT_EQ(a.next_u64(), b.next_u64());
+  EXPECT_NE(a.next_u64(), c.next_u64());
+}
+
+TEST(Rng, BelowRespectsBound) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.below(17), 17u);
+  }
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(2);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t v = rng.range(3, 5);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 5u);
+    saw_lo |= v == 3;
+    saw_hi |= v == 5;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Hex, RoundTrip) {
+  const std::vector<std::uint8_t> data = {0x00, 0x01, 0xab, 0xff, 0x7e};
+  EXPECT_EQ(to_hex(data), "0001abff7e");
+  EXPECT_EQ(from_hex("0001abff7e"), data);
+  EXPECT_EQ(from_hex("00 01 ab ff 7e"), data);
+}
+
+TEST(Hex, RejectsMalformed) {
+  EXPECT_THROW(from_hex("abc"), std::invalid_argument);
+  EXPECT_THROW(from_hex("zz"), std::invalid_argument);
+}
+
+TEST(Stats, Summary) {
+  const Summary s = summarize({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_NEAR(s.stddev, 1.1180, 1e-3);
+}
+
+TEST(Stats, SolveLinearSystem) {
+  // 2x + y = 5; x - y = 1 -> x = 2, y = 1.
+  const auto x = solve_linear({{2, 1}, {1, -1}}, {5, 1});
+  EXPECT_NEAR(x[0], 2.0, 1e-9);
+  EXPECT_NEAR(x[1], 1.0, 1e-9);
+}
+
+TEST(Stats, SolveSingularThrows) {
+  EXPECT_THROW(solve_linear({{1, 2}, {2, 4}}, {1, 2}), std::runtime_error);
+}
+
+TEST(Stats, LeastSquaresRecoversLine) {
+  // y = 3 + 2n sampled exactly.
+  std::vector<std::vector<double>> X;
+  std::vector<double> y;
+  for (int n = 1; n <= 20; ++n) {
+    X.push_back({1.0, static_cast<double>(n)});
+    y.push_back(3.0 + 2.0 * n);
+  }
+  const auto c = least_squares(X, y);
+  EXPECT_NEAR(c[0], 3.0, 1e-6);
+  EXPECT_NEAR(c[1], 2.0, 1e-6);
+}
+
+TEST(Stats, RSquaredPerfectFit) {
+  EXPECT_DOUBLE_EQ(r_squared({1, 2, 3}, {1, 2, 3}), 1.0);
+}
+
+TEST(Stats, MeanAbsPctError) {
+  EXPECT_NEAR(mean_abs_pct_error({110, 90}, {100, 100}), 10.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace wsp
