@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_callgraph.dir/bench_fig4_callgraph.cpp.o"
+  "CMakeFiles/bench_fig4_callgraph.dir/bench_fig4_callgraph.cpp.o.d"
+  "bench_fig4_callgraph"
+  "bench_fig4_callgraph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_callgraph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

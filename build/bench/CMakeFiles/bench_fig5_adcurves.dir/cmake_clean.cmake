@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_adcurves.dir/bench_fig5_adcurves.cpp.o"
+  "CMakeFiles/bench_fig5_adcurves.dir/bench_fig5_adcurves.cpp.o.d"
+  "bench_fig5_adcurves"
+  "bench_fig5_adcurves.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_adcurves.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

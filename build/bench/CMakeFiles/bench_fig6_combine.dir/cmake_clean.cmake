@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_combine.dir/bench_fig6_combine.cpp.o"
+  "CMakeFiles/bench_fig6_combine.dir/bench_fig6_combine.cpp.o.d"
+  "bench_fig6_combine"
+  "bench_fig6_combine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_combine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_ssl.dir/bench_fig8_ssl.cpp.o"
+  "CMakeFiles/bench_fig8_ssl.dir/bench_fig8_ssl.cpp.o.d"
+  "bench_fig8_ssl"
+  "bench_fig8_ssl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_ssl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec43_explore.dir/bench_sec43_explore.cpp.o"
+  "CMakeFiles/bench_sec43_explore.dir/bench_sec43_explore.cpp.o.d"
+  "bench_sec43_explore"
+  "bench_sec43_explore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec43_explore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/explore_modexp.dir/explore_modexp.cpp.o"
+  "CMakeFiles/explore_modexp.dir/explore_modexp.cpp.o.d"
+  "explore_modexp"
+  "explore_modexp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/explore_modexp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

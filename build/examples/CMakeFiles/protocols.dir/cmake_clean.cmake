@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protocols.dir/protocols.cpp.o"
+  "CMakeFiles/protocols.dir/protocols.cpp.o.d"
+  "protocols"
+  "protocols.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protocols.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

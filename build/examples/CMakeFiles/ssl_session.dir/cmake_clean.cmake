@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssl_session.dir/ssl_session.cpp.o"
+  "CMakeFiles/ssl_session.dir/ssl_session.cpp.o.d"
+  "ssl_session"
+  "ssl_session.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssl_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/video_decrypt.dir/video_decrypt.cpp.o"
+  "CMakeFiles/video_decrypt.dir/video_decrypt.cpp.o.d"
+  "video_decrypt"
+  "video_decrypt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/video_decrypt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

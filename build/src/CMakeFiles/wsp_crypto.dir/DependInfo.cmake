@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/aes.cpp" "src/CMakeFiles/wsp_crypto.dir/crypto/aes.cpp.o" "gcc" "src/CMakeFiles/wsp_crypto.dir/crypto/aes.cpp.o.d"
+  "/root/repo/src/crypto/crc32.cpp" "src/CMakeFiles/wsp_crypto.dir/crypto/crc32.cpp.o" "gcc" "src/CMakeFiles/wsp_crypto.dir/crypto/crc32.cpp.o.d"
+  "/root/repo/src/crypto/des.cpp" "src/CMakeFiles/wsp_crypto.dir/crypto/des.cpp.o" "gcc" "src/CMakeFiles/wsp_crypto.dir/crypto/des.cpp.o.d"
+  "/root/repo/src/crypto/ecc.cpp" "src/CMakeFiles/wsp_crypto.dir/crypto/ecc.cpp.o" "gcc" "src/CMakeFiles/wsp_crypto.dir/crypto/ecc.cpp.o.d"
+  "/root/repo/src/crypto/elgamal.cpp" "src/CMakeFiles/wsp_crypto.dir/crypto/elgamal.cpp.o" "gcc" "src/CMakeFiles/wsp_crypto.dir/crypto/elgamal.cpp.o.d"
+  "/root/repo/src/crypto/hmac.cpp" "src/CMakeFiles/wsp_crypto.dir/crypto/hmac.cpp.o" "gcc" "src/CMakeFiles/wsp_crypto.dir/crypto/hmac.cpp.o.d"
+  "/root/repo/src/crypto/md5.cpp" "src/CMakeFiles/wsp_crypto.dir/crypto/md5.cpp.o" "gcc" "src/CMakeFiles/wsp_crypto.dir/crypto/md5.cpp.o.d"
+  "/root/repo/src/crypto/rc4.cpp" "src/CMakeFiles/wsp_crypto.dir/crypto/rc4.cpp.o" "gcc" "src/CMakeFiles/wsp_crypto.dir/crypto/rc4.cpp.o.d"
+  "/root/repo/src/crypto/rsa.cpp" "src/CMakeFiles/wsp_crypto.dir/crypto/rsa.cpp.o" "gcc" "src/CMakeFiles/wsp_crypto.dir/crypto/rsa.cpp.o.d"
+  "/root/repo/src/crypto/sha1.cpp" "src/CMakeFiles/wsp_crypto.dir/crypto/sha1.cpp.o" "gcc" "src/CMakeFiles/wsp_crypto.dir/crypto/sha1.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/wsp_mp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wsp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsp_crypto.dir/crypto/aes.cpp.o"
+  "CMakeFiles/wsp_crypto.dir/crypto/aes.cpp.o.d"
+  "CMakeFiles/wsp_crypto.dir/crypto/crc32.cpp.o"
+  "CMakeFiles/wsp_crypto.dir/crypto/crc32.cpp.o.d"
+  "CMakeFiles/wsp_crypto.dir/crypto/des.cpp.o"
+  "CMakeFiles/wsp_crypto.dir/crypto/des.cpp.o.d"
+  "CMakeFiles/wsp_crypto.dir/crypto/ecc.cpp.o"
+  "CMakeFiles/wsp_crypto.dir/crypto/ecc.cpp.o.d"
+  "CMakeFiles/wsp_crypto.dir/crypto/elgamal.cpp.o"
+  "CMakeFiles/wsp_crypto.dir/crypto/elgamal.cpp.o.d"
+  "CMakeFiles/wsp_crypto.dir/crypto/hmac.cpp.o"
+  "CMakeFiles/wsp_crypto.dir/crypto/hmac.cpp.o.d"
+  "CMakeFiles/wsp_crypto.dir/crypto/md5.cpp.o"
+  "CMakeFiles/wsp_crypto.dir/crypto/md5.cpp.o.d"
+  "CMakeFiles/wsp_crypto.dir/crypto/rc4.cpp.o"
+  "CMakeFiles/wsp_crypto.dir/crypto/rc4.cpp.o.d"
+  "CMakeFiles/wsp_crypto.dir/crypto/rsa.cpp.o"
+  "CMakeFiles/wsp_crypto.dir/crypto/rsa.cpp.o.d"
+  "CMakeFiles/wsp_crypto.dir/crypto/sha1.cpp.o"
+  "CMakeFiles/wsp_crypto.dir/crypto/sha1.cpp.o.d"
+  "libwsp_crypto.a"
+  "libwsp_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsp_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernels/aes_kernel.cpp" "src/CMakeFiles/wsp_kernels.dir/kernels/aes_kernel.cpp.o" "gcc" "src/CMakeFiles/wsp_kernels.dir/kernels/aes_kernel.cpp.o.d"
+  "/root/repo/src/kernels/des_kernel.cpp" "src/CMakeFiles/wsp_kernels.dir/kernels/des_kernel.cpp.o" "gcc" "src/CMakeFiles/wsp_kernels.dir/kernels/des_kernel.cpp.o.d"
+  "/root/repo/src/kernels/modexp_kernel.cpp" "src/CMakeFiles/wsp_kernels.dir/kernels/modexp_kernel.cpp.o" "gcc" "src/CMakeFiles/wsp_kernels.dir/kernels/modexp_kernel.cpp.o.d"
+  "/root/repo/src/kernels/mpn16_kernels.cpp" "src/CMakeFiles/wsp_kernels.dir/kernels/mpn16_kernels.cpp.o" "gcc" "src/CMakeFiles/wsp_kernels.dir/kernels/mpn16_kernels.cpp.o.d"
+  "/root/repo/src/kernels/mpn_kernels.cpp" "src/CMakeFiles/wsp_kernels.dir/kernels/mpn_kernels.cpp.o" "gcc" "src/CMakeFiles/wsp_kernels.dir/kernels/mpn_kernels.cpp.o.d"
+  "/root/repo/src/kernels/runtime.cpp" "src/CMakeFiles/wsp_kernels.dir/kernels/runtime.cpp.o" "gcc" "src/CMakeFiles/wsp_kernels.dir/kernels/runtime.cpp.o.d"
+  "/root/repo/src/kernels/sha1_kernel.cpp" "src/CMakeFiles/wsp_kernels.dir/kernels/sha1_kernel.cpp.o" "gcc" "src/CMakeFiles/wsp_kernels.dir/kernels/sha1_kernel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/wsp_tie.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wsp_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wsp_mp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wsp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wsp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

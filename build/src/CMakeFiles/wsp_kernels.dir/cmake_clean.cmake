@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsp_kernels.dir/kernels/aes_kernel.cpp.o"
+  "CMakeFiles/wsp_kernels.dir/kernels/aes_kernel.cpp.o.d"
+  "CMakeFiles/wsp_kernels.dir/kernels/des_kernel.cpp.o"
+  "CMakeFiles/wsp_kernels.dir/kernels/des_kernel.cpp.o.d"
+  "CMakeFiles/wsp_kernels.dir/kernels/modexp_kernel.cpp.o"
+  "CMakeFiles/wsp_kernels.dir/kernels/modexp_kernel.cpp.o.d"
+  "CMakeFiles/wsp_kernels.dir/kernels/mpn16_kernels.cpp.o"
+  "CMakeFiles/wsp_kernels.dir/kernels/mpn16_kernels.cpp.o.d"
+  "CMakeFiles/wsp_kernels.dir/kernels/mpn_kernels.cpp.o"
+  "CMakeFiles/wsp_kernels.dir/kernels/mpn_kernels.cpp.o.d"
+  "CMakeFiles/wsp_kernels.dir/kernels/runtime.cpp.o"
+  "CMakeFiles/wsp_kernels.dir/kernels/runtime.cpp.o.d"
+  "CMakeFiles/wsp_kernels.dir/kernels/sha1_kernel.cpp.o"
+  "CMakeFiles/wsp_kernels.dir/kernels/sha1_kernel.cpp.o.d"
+  "libwsp_kernels.a"
+  "libwsp_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsp_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

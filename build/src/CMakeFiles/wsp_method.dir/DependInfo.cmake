@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/explore/estimator.cpp" "src/CMakeFiles/wsp_method.dir/explore/estimator.cpp.o" "gcc" "src/CMakeFiles/wsp_method.dir/explore/estimator.cpp.o.d"
+  "/root/repo/src/explore/space.cpp" "src/CMakeFiles/wsp_method.dir/explore/space.cpp.o" "gcc" "src/CMakeFiles/wsp_method.dir/explore/space.cpp.o.d"
+  "/root/repo/src/macromodel/characterize.cpp" "src/CMakeFiles/wsp_method.dir/macromodel/characterize.cpp.o" "gcc" "src/CMakeFiles/wsp_method.dir/macromodel/characterize.cpp.o.d"
+  "/root/repo/src/macromodel/models.cpp" "src/CMakeFiles/wsp_method.dir/macromodel/models.cpp.o" "gcc" "src/CMakeFiles/wsp_method.dir/macromodel/models.cpp.o.d"
+  "/root/repo/src/macromodel/regression.cpp" "src/CMakeFiles/wsp_method.dir/macromodel/regression.cpp.o" "gcc" "src/CMakeFiles/wsp_method.dir/macromodel/regression.cpp.o.d"
+  "/root/repo/src/select/callgraph.cpp" "src/CMakeFiles/wsp_method.dir/select/callgraph.cpp.o" "gcc" "src/CMakeFiles/wsp_method.dir/select/callgraph.cpp.o.d"
+  "/root/repo/src/select/select.cpp" "src/CMakeFiles/wsp_method.dir/select/select.cpp.o" "gcc" "src/CMakeFiles/wsp_method.dir/select/select.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/wsp_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wsp_tie.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wsp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wsp_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wsp_mp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wsp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

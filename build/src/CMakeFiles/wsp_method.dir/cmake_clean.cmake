@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsp_method.dir/explore/estimator.cpp.o"
+  "CMakeFiles/wsp_method.dir/explore/estimator.cpp.o.d"
+  "CMakeFiles/wsp_method.dir/explore/space.cpp.o"
+  "CMakeFiles/wsp_method.dir/explore/space.cpp.o.d"
+  "CMakeFiles/wsp_method.dir/macromodel/characterize.cpp.o"
+  "CMakeFiles/wsp_method.dir/macromodel/characterize.cpp.o.d"
+  "CMakeFiles/wsp_method.dir/macromodel/models.cpp.o"
+  "CMakeFiles/wsp_method.dir/macromodel/models.cpp.o.d"
+  "CMakeFiles/wsp_method.dir/macromodel/regression.cpp.o"
+  "CMakeFiles/wsp_method.dir/macromodel/regression.cpp.o.d"
+  "CMakeFiles/wsp_method.dir/select/callgraph.cpp.o"
+  "CMakeFiles/wsp_method.dir/select/callgraph.cpp.o.d"
+  "CMakeFiles/wsp_method.dir/select/select.cpp.o"
+  "CMakeFiles/wsp_method.dir/select/select.cpp.o.d"
+  "libwsp_method.a"
+  "libwsp_method.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsp_method.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

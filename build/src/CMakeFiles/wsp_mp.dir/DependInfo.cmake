@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mp/barrett.cpp" "src/CMakeFiles/wsp_mp.dir/mp/barrett.cpp.o" "gcc" "src/CMakeFiles/wsp_mp.dir/mp/barrett.cpp.o.d"
+  "/root/repo/src/mp/crt.cpp" "src/CMakeFiles/wsp_mp.dir/mp/crt.cpp.o" "gcc" "src/CMakeFiles/wsp_mp.dir/mp/crt.cpp.o.d"
+  "/root/repo/src/mp/modexp.cpp" "src/CMakeFiles/wsp_mp.dir/mp/modexp.cpp.o" "gcc" "src/CMakeFiles/wsp_mp.dir/mp/modexp.cpp.o.d"
+  "/root/repo/src/mp/montgomery.cpp" "src/CMakeFiles/wsp_mp.dir/mp/montgomery.cpp.o" "gcc" "src/CMakeFiles/wsp_mp.dir/mp/montgomery.cpp.o.d"
+  "/root/repo/src/mp/mpn.cpp" "src/CMakeFiles/wsp_mp.dir/mp/mpn.cpp.o" "gcc" "src/CMakeFiles/wsp_mp.dir/mp/mpn.cpp.o.d"
+  "/root/repo/src/mp/mpz.cpp" "src/CMakeFiles/wsp_mp.dir/mp/mpz.cpp.o" "gcc" "src/CMakeFiles/wsp_mp.dir/mp/mpz.cpp.o.d"
+  "/root/repo/src/mp/prime.cpp" "src/CMakeFiles/wsp_mp.dir/mp/prime.cpp.o" "gcc" "src/CMakeFiles/wsp_mp.dir/mp/prime.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/wsp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

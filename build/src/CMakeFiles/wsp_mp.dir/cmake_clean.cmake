@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsp_mp.dir/mp/barrett.cpp.o"
+  "CMakeFiles/wsp_mp.dir/mp/barrett.cpp.o.d"
+  "CMakeFiles/wsp_mp.dir/mp/crt.cpp.o"
+  "CMakeFiles/wsp_mp.dir/mp/crt.cpp.o.d"
+  "CMakeFiles/wsp_mp.dir/mp/modexp.cpp.o"
+  "CMakeFiles/wsp_mp.dir/mp/modexp.cpp.o.d"
+  "CMakeFiles/wsp_mp.dir/mp/montgomery.cpp.o"
+  "CMakeFiles/wsp_mp.dir/mp/montgomery.cpp.o.d"
+  "CMakeFiles/wsp_mp.dir/mp/mpn.cpp.o"
+  "CMakeFiles/wsp_mp.dir/mp/mpn.cpp.o.d"
+  "CMakeFiles/wsp_mp.dir/mp/mpz.cpp.o"
+  "CMakeFiles/wsp_mp.dir/mp/mpz.cpp.o.d"
+  "CMakeFiles/wsp_mp.dir/mp/prime.cpp.o"
+  "CMakeFiles/wsp_mp.dir/mp/prime.cpp.o.d"
+  "libwsp_mp.a"
+  "libwsp_mp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsp_mp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsp_platform.dir/platform/platform.cpp.o"
+  "CMakeFiles/wsp_platform.dir/platform/platform.cpp.o.d"
+  "libwsp_platform.a"
+  "libwsp_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsp_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/isa/disasm.cpp" "src/CMakeFiles/wsp_sim.dir/isa/disasm.cpp.o" "gcc" "src/CMakeFiles/wsp_sim.dir/isa/disasm.cpp.o.d"
+  "/root/repo/src/sim/cache.cpp" "src/CMakeFiles/wsp_sim.dir/sim/cache.cpp.o" "gcc" "src/CMakeFiles/wsp_sim.dir/sim/cache.cpp.o.d"
+  "/root/repo/src/sim/cpu.cpp" "src/CMakeFiles/wsp_sim.dir/sim/cpu.cpp.o" "gcc" "src/CMakeFiles/wsp_sim.dir/sim/cpu.cpp.o.d"
+  "/root/repo/src/sim/memory.cpp" "src/CMakeFiles/wsp_sim.dir/sim/memory.cpp.o" "gcc" "src/CMakeFiles/wsp_sim.dir/sim/memory.cpp.o.d"
+  "/root/repo/src/sim/profiler.cpp" "src/CMakeFiles/wsp_sim.dir/sim/profiler.cpp.o" "gcc" "src/CMakeFiles/wsp_sim.dir/sim/profiler.cpp.o.d"
+  "/root/repo/src/xasm/program.cpp" "src/CMakeFiles/wsp_sim.dir/xasm/program.cpp.o" "gcc" "src/CMakeFiles/wsp_sim.dir/xasm/program.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/wsp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsp_sim.dir/isa/disasm.cpp.o"
+  "CMakeFiles/wsp_sim.dir/isa/disasm.cpp.o.d"
+  "CMakeFiles/wsp_sim.dir/sim/cache.cpp.o"
+  "CMakeFiles/wsp_sim.dir/sim/cache.cpp.o.d"
+  "CMakeFiles/wsp_sim.dir/sim/cpu.cpp.o"
+  "CMakeFiles/wsp_sim.dir/sim/cpu.cpp.o.d"
+  "CMakeFiles/wsp_sim.dir/sim/memory.cpp.o"
+  "CMakeFiles/wsp_sim.dir/sim/memory.cpp.o.d"
+  "CMakeFiles/wsp_sim.dir/sim/profiler.cpp.o"
+  "CMakeFiles/wsp_sim.dir/sim/profiler.cpp.o.d"
+  "CMakeFiles/wsp_sim.dir/xasm/program.cpp.o"
+  "CMakeFiles/wsp_sim.dir/xasm/program.cpp.o.d"
+  "libwsp_sim.a"
+  "libwsp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

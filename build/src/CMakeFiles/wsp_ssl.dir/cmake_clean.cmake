@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsp_ssl.dir/ssl/esp.cpp.o"
+  "CMakeFiles/wsp_ssl.dir/ssl/esp.cpp.o.d"
+  "CMakeFiles/wsp_ssl.dir/ssl/ssl.cpp.o"
+  "CMakeFiles/wsp_ssl.dir/ssl/ssl.cpp.o.d"
+  "CMakeFiles/wsp_ssl.dir/ssl/wep.cpp.o"
+  "CMakeFiles/wsp_ssl.dir/ssl/wep.cpp.o.d"
+  "CMakeFiles/wsp_ssl.dir/ssl/workload.cpp.o"
+  "CMakeFiles/wsp_ssl.dir/ssl/workload.cpp.o.d"
+  "libwsp_ssl.a"
+  "libwsp_ssl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsp_ssl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

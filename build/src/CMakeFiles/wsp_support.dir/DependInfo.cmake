@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/support/hex.cpp" "src/CMakeFiles/wsp_support.dir/support/hex.cpp.o" "gcc" "src/CMakeFiles/wsp_support.dir/support/hex.cpp.o.d"
+  "/root/repo/src/support/random.cpp" "src/CMakeFiles/wsp_support.dir/support/random.cpp.o" "gcc" "src/CMakeFiles/wsp_support.dir/support/random.cpp.o.d"
+  "/root/repo/src/support/stats.cpp" "src/CMakeFiles/wsp_support.dir/support/stats.cpp.o" "gcc" "src/CMakeFiles/wsp_support.dir/support/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

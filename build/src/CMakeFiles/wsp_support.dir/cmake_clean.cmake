@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsp_support.dir/support/hex.cpp.o"
+  "CMakeFiles/wsp_support.dir/support/hex.cpp.o.d"
+  "CMakeFiles/wsp_support.dir/support/random.cpp.o"
+  "CMakeFiles/wsp_support.dir/support/random.cpp.o.d"
+  "CMakeFiles/wsp_support.dir/support/stats.cpp.o"
+  "CMakeFiles/wsp_support.dir/support/stats.cpp.o.d"
+  "libwsp_support.a"
+  "libwsp_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsp_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsp_tie.dir/tie/adcurve.cpp.o"
+  "CMakeFiles/wsp_tie.dir/tie/adcurve.cpp.o.d"
+  "CMakeFiles/wsp_tie.dir/tie/area.cpp.o"
+  "CMakeFiles/wsp_tie.dir/tie/area.cpp.o.d"
+  "CMakeFiles/wsp_tie.dir/tie/candidates.cpp.o"
+  "CMakeFiles/wsp_tie.dir/tie/candidates.cpp.o.d"
+  "CMakeFiles/wsp_tie.dir/tie/custom.cpp.o"
+  "CMakeFiles/wsp_tie.dir/tie/custom.cpp.o.d"
+  "libwsp_tie.a"
+  "libwsp_tie.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsp_tie.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

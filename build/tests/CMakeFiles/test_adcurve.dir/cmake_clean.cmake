@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_adcurve.dir/test_adcurve.cpp.o"
+  "CMakeFiles/test_adcurve.dir/test_adcurve.cpp.o.d"
+  "test_adcurve"
+  "test_adcurve.pdb"
+  "test_adcurve[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_adcurve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_barrett.dir/test_barrett.cpp.o"
+  "CMakeFiles/test_barrett.dir/test_barrett.cpp.o.d"
+  "test_barrett"
+  "test_barrett.pdb"
+  "test_barrett[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_barrett.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

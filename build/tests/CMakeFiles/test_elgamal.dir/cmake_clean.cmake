@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_elgamal.dir/test_elgamal.cpp.o"
+  "CMakeFiles/test_elgamal.dir/test_elgamal.cpp.o.d"
+  "test_elgamal"
+  "test_elgamal.pdb"
+  "test_elgamal[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_elgamal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kernels_aes.dir/test_kernels_aes.cpp.o"
+  "CMakeFiles/test_kernels_aes.dir/test_kernels_aes.cpp.o.d"
+  "test_kernels_aes"
+  "test_kernels_aes.pdb"
+  "test_kernels_aes[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kernels_aes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kernels_cached.dir/test_kernels_cached.cpp.o"
+  "CMakeFiles/test_kernels_cached.dir/test_kernels_cached.cpp.o.d"
+  "test_kernels_cached"
+  "test_kernels_cached.pdb"
+  "test_kernels_cached[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kernels_cached.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

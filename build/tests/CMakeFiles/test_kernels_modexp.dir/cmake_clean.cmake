@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kernels_modexp.dir/test_kernels_modexp.cpp.o"
+  "CMakeFiles/test_kernels_modexp.dir/test_kernels_modexp.cpp.o.d"
+  "test_kernels_modexp"
+  "test_kernels_modexp.pdb"
+  "test_kernels_modexp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kernels_modexp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

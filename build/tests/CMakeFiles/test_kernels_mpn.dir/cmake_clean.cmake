@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kernels_mpn.dir/test_kernels_mpn.cpp.o"
+  "CMakeFiles/test_kernels_mpn.dir/test_kernels_mpn.cpp.o.d"
+  "test_kernels_mpn"
+  "test_kernels_mpn.pdb"
+  "test_kernels_mpn[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kernels_mpn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_macromodel.dir/test_macromodel.cpp.o"
+  "CMakeFiles/test_macromodel.dir/test_macromodel.cpp.o.d"
+  "test_macromodel"
+  "test_macromodel.pdb"
+  "test_macromodel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_macromodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

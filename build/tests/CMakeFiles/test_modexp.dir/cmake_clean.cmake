@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_modexp.dir/test_modexp.cpp.o"
+  "CMakeFiles/test_modexp.dir/test_modexp.cpp.o.d"
+  "test_modexp"
+  "test_modexp.pdb"
+  "test_modexp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_modexp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

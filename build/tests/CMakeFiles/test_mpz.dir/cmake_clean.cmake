@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mpz.dir/test_mpz.cpp.o"
+  "CMakeFiles/test_mpz.dir/test_mpz.cpp.o.d"
+  "test_mpz"
+  "test_mpz.pdb"
+  "test_mpz[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mpz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rc4.dir/test_rc4.cpp.o"
+  "CMakeFiles/test_rc4.dir/test_rc4.cpp.o.d"
+  "test_rc4"
+  "test_rc4.pdb"
+  "test_rc4[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rc4.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ssl.dir/test_ssl.cpp.o"
+  "CMakeFiles/test_ssl.dir/test_ssl.cpp.o.d"
+  "test_ssl"
+  "test_ssl.pdb"
+  "test_ssl[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ssl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
