@@ -13,11 +13,14 @@
 #include "bench_util.h"
 #include "explore/space.h"
 #include "macromodel/characterize.h"
+#include "support/threadpool.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wsp;
   bench::header("Algorithm design-space exploration via performance macro-models",
                 "paper Sec. 4.3");
+  const unsigned threads =
+      bench::parse_threads(argc, argv, ThreadPool::hardware_threads());
 
   // Phase 1: one-time characterization on the cycle-accurate ISS, with
   // measured radix-16 models (mpn16 kernels) for the radix axis.
@@ -27,14 +30,32 @@ int main() {
   std::printf("\nCharacterized macro-models (ISS + least-squares):\n%s",
               models.describe().c_str());
 
-  // Phase 2: native estimation of the full 450-configuration space.
+  // Phase 2: native estimation of the full 450-configuration space —
+  // serially, then across the thread pool, checking the determinism
+  // contract (identical ranking for any thread count).
   Rng rng(51);
   auto workload = explore::make_rsa_workload(1024, rng);
   workload.repetitions = 2;
-  const auto report = explore::explore_modexp_space(workload, models);
-  std::printf("\nExplored %zu configurations in %.2f s (native, macro-model "
-              "based).\n",
-              report.configs, report.wall_seconds);
+  const auto serial_report =
+      explore::explore_modexp_space(workload, models, all_modexp_configs(), 1);
+  const auto report = explore::explore_modexp_space(
+      workload, models, all_modexp_configs(), threads);
+  std::printf("\nExplored %zu configurations (native, macro-model based):\n",
+              report.configs);
+  std::printf("  serial:               %.3f s\n", serial_report.wall_seconds);
+  std::printf("  parallel (%2u threads): %.3f s  (%.2fx speedup)\n",
+              report.threads, report.wall_seconds,
+              report.wall_seconds > 0
+                  ? serial_report.wall_seconds / report.wall_seconds
+                  : 0.0);
+  bool identical = serial_report.ranked.size() == report.ranked.size();
+  for (std::size_t i = 0; identical && i < report.ranked.size(); ++i) {
+    identical = serial_report.ranked[i].config.name() ==
+                    report.ranked[i].config.name() &&
+                serial_report.ranked[i].estimate.avg_cycles ==
+                    report.ranked[i].estimate.avg_cycles;
+  }
+  std::printf("  ranking identical to serial: %s\n", identical ? "yes" : "NO");
   std::printf("\nTop 5 configurations (1024-bit RSA private op):\n");
   for (std::size_t i = 0; i < 5 && i < report.ranked.size(); ++i) {
     const auto& ce = report.ranked[i];

@@ -2,6 +2,7 @@
 // area-budget ablation: measure leaf A-D curves on the ISS, build the
 // Montgomery-multiply call graph from profiler data, propagate curves
 // bottom-up, and pick configurations under several area constraints.
+#include <chrono>
 #include <cstdio>
 
 #include "bench_util.h"
@@ -9,76 +10,52 @@
 #include "mp/prime.h"
 #include "select/select.h"
 #include "support/random.h"
+#include "support/threadpool.h"
+#include "tie/characterize.h"
 
-namespace {
-
-using namespace wsp;
-
-tie::ADCurve measure_curve(const char* routine,
-                           const std::vector<kernels::MpnTieConfig>& configs,
-                           const std::vector<std::set<std::string>>& instr_sets) {
-  Rng rng(71);
-  const std::size_t n = 16;  // 512-bit (CRT half of RSA-1024)
-  std::vector<std::uint32_t> a(n), b(n);
-  for (auto& x : a) x = rng.next_u32();
-  for (auto& x : b) x = rng.next_u32();
-  const auto catalog = tie::default_catalog();
-  tie::ADCurve curve;
-  for (std::size_t i = 0; i < configs.size(); ++i) {
-    kernels::Machine m = kernels::make_mpn_machine(configs[i]);
-    std::uint64_t cycles = 0;
-    if (std::string(routine) == "mpn_add_n") {
-      std::vector<std::uint32_t> r;
-      cycles = kernels::run_add_n(m, r, a, b).cycles;
-    } else if (std::string(routine) == "mpn_sub_n") {
-      std::vector<std::uint32_t> r;
-      cycles = kernels::run_sub_n(m, r, a, b).cycles;
-    } else {
-      std::vector<std::uint32_t> r(n, 7);
-      cycles = kernels::run_addmul_1(m, r, a, 0x12345671u).cycles;
-    }
-    curve.add({catalog.set_area(instr_sets[i]), static_cast<double>(cycles),
-               instr_sets[i]});
-  }
-  return curve;
-}
-
-}  // namespace
-
-int main() {
+int main(int argc, char** argv) {
   using namespace wsp;
   bench::header("Global custom-instruction selection under area constraints",
                 "paper Sec. 3.4 methodology (design-choice ablation)");
+  const unsigned threads =
+      bench::parse_threads(argc, argv, ThreadPool::hardware_threads());
 
-  // --- leaf A-D curves (real ISS measurements) ------------------------------
-  std::map<std::string, tie::ADCurve> leaf_curves;
-  {
-    std::vector<kernels::MpnTieConfig> cfgs = {{0, 0}, {2, 0}, {4, 0}, {8, 0}, {16, 0}};
-    std::vector<std::set<std::string>> sets = {
-        {},
-        {"ur_load", "ur_store", "add_2"},
-        {"ur_load", "ur_store", "add_4"},
-        {"ur_load", "ur_store", "add_8"},
-        {"ur_load", "ur_store", "add_16"}};
-    leaf_curves["mpn_add_n"] = measure_curve("mpn_add_n", cfgs, sets);
-    std::vector<std::set<std::string>> ssets = {
-        {},
-        {"ur_load", "ur_store", "sub_2"},
-        {"ur_load", "ur_store", "sub_4"},
-        {"ur_load", "ur_store", "sub_8"},
-        {"ur_load", "ur_store", "sub_16"}};
-    leaf_curves["mpn_sub_n"] = measure_curve("mpn_sub_n", cfgs, ssets);
+  // --- leaf A-D curves (real ISS measurements, one machine per candidate) ---
+  // Measured serially and then across the pool: the ISS is deterministic and
+  // every candidate owns its machine, so both sweeps yield identical curves.
+  tie::AdMeasureOptions ad_options;
+  ad_options.limbs = 16;  // 512-bit (CRT half of RSA-1024)
+  const auto candidates = tie::mpn_routine_candidates();
+
+  const auto t_serial = std::chrono::steady_clock::now();
+  auto leaf_curves = tie::measure_mpn_adcurves(candidates, ad_options);
+  const double serial_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t_serial)
+          .count();
+
+  ad_options.threads = threads;
+  const auto t_par = std::chrono::steady_clock::now();
+  const auto leaf_curves_par = tie::measure_mpn_adcurves(candidates, ad_options);
+  const double parallel_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t_par)
+          .count();
+
+  bool identical = leaf_curves.size() == leaf_curves_par.size();
+  for (const auto& [name, curve] : leaf_curves) {
+    const auto it = leaf_curves_par.find(name);
+    identical = identical && it != leaf_curves_par.end() &&
+                it->second.points().size() == curve.points().size();
+    for (std::size_t i = 0; identical && i < curve.points().size(); ++i) {
+      identical = curve.points()[i].area == it->second.points()[i].area &&
+                  curve.points()[i].cycles == it->second.points()[i].cycles;
+    }
   }
-  {
-    std::vector<kernels::MpnTieConfig> cfgs = {{0, 0}, {0, 1}, {0, 2}, {0, 4}, {0, 8}};
-    std::vector<std::set<std::string>> sets = {
-        {},
-        {"ur_load", "ur_store", "mac_1"},
-        {"ur_load", "ur_store", "mac_2"},
-        {"ur_load", "ur_store", "mac_4"},
-        {"ur_load", "ur_store", "mac_8"}};
-    leaf_curves["mpn_addmul_1"] = measure_curve("mpn_addmul_1", cfgs, sets);
-  }
+  std::printf("\nA-D characterization of %zu leaf routines:\n",
+              leaf_curves.size());
+  std::printf("  serial:               %.3f s\n", serial_s);
+  std::printf("  parallel (%2u threads): %.3f s  (%.2fx speedup)\n", threads,
+              parallel_s, parallel_s > 0 ? serial_s / parallel_s : 0.0);
+  std::printf("  curves identical to serial: %s\n", identical ? "yes" : "NO");
 
   // --- call graph from a real profile ---------------------------------------
   Rng rng(72);

@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 
 namespace wsp::bench {
@@ -11,6 +12,21 @@ inline void header(const std::string& title, const std::string& paper_ref) {
   std::printf("%s\n", title.c_str());
   std::printf("(reproduces %s)\n", paper_ref.c_str());
   std::printf("==========================================================\n");
+}
+
+/// Parses `--threads N` / `--threads=N` (clamped to >= 1); `fallback` when
+/// the flag is absent.
+inline unsigned parse_threads(int argc, char** argv, unsigned fallback = 1) {
+  long value = static_cast<long>(fallback);
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--threads" && i + 1 < argc) {
+      value = std::strtol(argv[i + 1], nullptr, 10);
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      value = std::strtol(arg.c_str() + 10, nullptr, 10);
+    }
+  }
+  return value < 1 ? 1u : static_cast<unsigned>(value);
 }
 
 }  // namespace wsp::bench

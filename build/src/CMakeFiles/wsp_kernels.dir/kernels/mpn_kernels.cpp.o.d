@@ -127,9 +127,9 @@ src/CMakeFiles/wsp_kernels.dir/kernels/mpn_kernels.cpp.o: \
  /usr/include/c++/12/bits/cxxabi_init_exception.h \
  /usr/include/c++/12/typeinfo /usr/include/c++/12/bits/nested_exception.h \
  /usr/include/c++/12/bits/enable_special_members.h \
- /root/repo/src/sim/cache.h /root/repo/src/sim/custom.h \
- /usr/include/c++/12/functional /usr/include/c++/12/tuple \
- /usr/include/c++/12/bits/uses_allocator.h \
+ /usr/include/c++/12/stdexcept /root/repo/src/sim/cache.h \
+ /root/repo/src/sim/custom.h /usr/include/c++/12/functional \
+ /usr/include/c++/12/tuple /usr/include/c++/12/bits/uses_allocator.h \
  /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map \
  /usr/include/c++/12/ext/aligned_buffer.h \
@@ -145,8 +145,8 @@ src/CMakeFiles/wsp_kernels.dir/kernels/mpn_kernels.cpp.o: \
  /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/isa/isa.h \
  /root/repo/src/sim/memory.h /root/repo/src/sim/profiler.h \
- /root/repo/src/xasm/program.h /usr/include/c++/12/stdexcept \
- /root/repo/src/kernels/regs.h /root/repo/src/tie/candidates.h \
- /usr/include/c++/12/set /usr/include/c++/12/bits/stl_set.h \
+ /root/repo/src/xasm/program.h /root/repo/src/kernels/regs.h \
+ /root/repo/src/tie/candidates.h /usr/include/c++/12/set \
+ /usr/include/c++/12/bits/stl_set.h \
  /usr/include/c++/12/bits/stl_multiset.h /root/repo/src/tie/adcurve.h \
  /root/repo/src/tie/ids.h

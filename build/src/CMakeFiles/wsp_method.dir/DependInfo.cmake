@@ -15,6 +15,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/macromodel/regression.cpp" "src/CMakeFiles/wsp_method.dir/macromodel/regression.cpp.o" "gcc" "src/CMakeFiles/wsp_method.dir/macromodel/regression.cpp.o.d"
   "/root/repo/src/select/callgraph.cpp" "src/CMakeFiles/wsp_method.dir/select/callgraph.cpp.o" "gcc" "src/CMakeFiles/wsp_method.dir/select/callgraph.cpp.o.d"
   "/root/repo/src/select/select.cpp" "src/CMakeFiles/wsp_method.dir/select/select.cpp.o" "gcc" "src/CMakeFiles/wsp_method.dir/select/select.cpp.o.d"
+  "/root/repo/src/tie/characterize.cpp" "src/CMakeFiles/wsp_method.dir/tie/characterize.cpp.o" "gcc" "src/CMakeFiles/wsp_method.dir/tie/characterize.cpp.o.d"
   )
 
 # Targets to which this target links.

@@ -13,6 +13,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/wsp_method.dir/select/callgraph.cpp.o.d"
   "CMakeFiles/wsp_method.dir/select/select.cpp.o"
   "CMakeFiles/wsp_method.dir/select/select.cpp.o.d"
+  "CMakeFiles/wsp_method.dir/tie/characterize.cpp.o"
+  "CMakeFiles/wsp_method.dir/tie/characterize.cpp.o.d"
   "libwsp_method.a"
   "libwsp_method.pdb"
 )

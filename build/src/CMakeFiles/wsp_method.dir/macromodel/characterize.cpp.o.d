@@ -129,9 +129,9 @@ src/CMakeFiles/wsp_method.dir/macromodel/characterize.cpp.o: \
  /usr/include/c++/12/bits/cxxabi_init_exception.h \
  /usr/include/c++/12/typeinfo /usr/include/c++/12/bits/nested_exception.h \
  /usr/include/c++/12/bits/enable_special_members.h \
- /root/repo/src/sim/cache.h /root/repo/src/sim/custom.h \
- /usr/include/c++/12/functional /usr/include/c++/12/tuple \
- /usr/include/c++/12/bits/uses_allocator.h \
+ /usr/include/c++/12/stdexcept /root/repo/src/sim/cache.h \
+ /root/repo/src/sim/custom.h /usr/include/c++/12/functional \
+ /usr/include/c++/12/tuple /usr/include/c++/12/bits/uses_allocator.h \
  /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map \
  /usr/include/c++/12/ext/aligned_buffer.h \
@@ -149,5 +149,4 @@ src/CMakeFiles/wsp_method.dir/macromodel/characterize.cpp.o: \
  /root/repo/src/sim/memory.h /root/repo/src/sim/profiler.h \
  /root/repo/src/xasm/program.h /root/repo/src/macromodel/models.h \
  /root/repo/src/macromodel/regression.h /usr/include/c++/12/cstddef \
- /root/repo/src/mp/cost.h /root/repo/src/support/random.h \
- /usr/include/c++/12/stdexcept
+ /root/repo/src/mp/cost.h /root/repo/src/support/random.h

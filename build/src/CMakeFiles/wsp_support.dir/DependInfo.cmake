@@ -11,6 +11,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/support/hex.cpp" "src/CMakeFiles/wsp_support.dir/support/hex.cpp.o" "gcc" "src/CMakeFiles/wsp_support.dir/support/hex.cpp.o.d"
   "/root/repo/src/support/random.cpp" "src/CMakeFiles/wsp_support.dir/support/random.cpp.o" "gcc" "src/CMakeFiles/wsp_support.dir/support/random.cpp.o.d"
   "/root/repo/src/support/stats.cpp" "src/CMakeFiles/wsp_support.dir/support/stats.cpp.o" "gcc" "src/CMakeFiles/wsp_support.dir/support/stats.cpp.o.d"
+  "/root/repo/src/support/threadpool.cpp" "src/CMakeFiles/wsp_support.dir/support/threadpool.cpp.o" "gcc" "src/CMakeFiles/wsp_support.dir/support/threadpool.cpp.o.d"
   )
 
 # Targets to which this target links.

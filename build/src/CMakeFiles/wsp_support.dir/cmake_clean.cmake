@@ -5,6 +5,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/wsp_support.dir/support/random.cpp.o.d"
   "CMakeFiles/wsp_support.dir/support/stats.cpp.o"
   "CMakeFiles/wsp_support.dir/support/stats.cpp.o.d"
+  "CMakeFiles/wsp_support.dir/support/threadpool.cpp.o"
+  "CMakeFiles/wsp_support.dir/support/threadpool.cpp.o.d"
   "libwsp_support.a"
   "libwsp_support.pdb"
 )

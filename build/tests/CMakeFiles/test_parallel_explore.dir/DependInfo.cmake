@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_parallel_explore.cpp" "tests/CMakeFiles/test_parallel_explore.dir/test_parallel_explore.cpp.o" "gcc" "tests/CMakeFiles/test_parallel_explore.dir/test_parallel_explore.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/wsp_method.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wsp_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wsp_tie.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wsp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wsp_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wsp_mp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wsp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

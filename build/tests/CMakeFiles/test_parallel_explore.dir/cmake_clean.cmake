@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_parallel_explore.dir/test_parallel_explore.cpp.o"
+  "CMakeFiles/test_parallel_explore.dir/test_parallel_explore.cpp.o.d"
+  "test_parallel_explore"
+  "test_parallel_explore.pdb"
+  "test_parallel_explore[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_parallel_explore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

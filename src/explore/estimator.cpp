@@ -1,5 +1,8 @@
 #include "explore/estimator.h"
 
+#include <stdexcept>
+#include <string>
+
 #include "mp/prime.h"
 
 namespace wsp::explore {
@@ -16,6 +19,11 @@ RsaWorkload make_rsa_workload(std::size_t bits, Rng& rng) {
 
 Estimate estimate_config(const ModexpConfig& config, const RsaWorkload& workload,
                          const macromodel::MacroModelSet& models) {
+  if (workload.repetitions <= 0) {
+    throw std::invalid_argument(
+        "estimate_config: workload.repetitions must be positive, got " +
+        std::to_string(workload.repetitions));
+  }
   MacroModelHook hook(models);
   ModexpEngine engine(config, &hook);
   for (int rep = 0; rep < workload.repetitions; ++rep) {

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <numeric>
+
+#include "support/threadpool.h"
 
 namespace wsp::explore {
 
@@ -17,19 +20,36 @@ double seconds_since(std::chrono::steady_clock::time_point t0) {
 
 ExplorationReport explore_modexp_space(const RsaWorkload& workload,
                                        const macromodel::MacroModelSet& models,
-                                       std::vector<ModexpConfig> configs) {
+                                       std::vector<ModexpConfig> configs,
+                                       unsigned threads) {
   ExplorationReport report;
   report.configs = configs.size();
+  report.threads = std::max(1u, threads);
   const auto t0 = std::chrono::steady_clock::now();
-  report.ranked.reserve(configs.size());
-  for (const ModexpConfig& cfg : configs) {
-    report.ranked.push_back({cfg, estimate_config(cfg, workload, models)});
-  }
+
+  // Every configuration is estimated independently with its own engine and
+  // hook; the estimate vector is indexed by configuration, so the values
+  // (and the FP summation order inside each one) are scheduling-invariant.
+  const std::vector<Estimate> estimates =
+      parallel_map(report.threads, configs, [&](const ModexpConfig& cfg) {
+        return estimate_config(cfg, workload, models);
+      });
   report.wall_seconds = seconds_since(t0);
-  std::sort(report.ranked.begin(), report.ranked.end(),
-            [](const ConfigEstimate& a, const ConfigEstimate& b) {
-              return a.estimate.avg_cycles < b.estimate.avg_cycles;
-            });
+
+  // Deterministic merge: sort configuration indices, breaking cycle ties on
+  // the index, so the ranking is identical for any thread count.
+  std::vector<std::size_t> order(configs.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (estimates[a].avg_cycles != estimates[b].avg_cycles) {
+      return estimates[a].avg_cycles < estimates[b].avg_cycles;
+    }
+    return a < b;
+  });
+  report.ranked.reserve(configs.size());
+  for (std::size_t i : order) {
+    report.ranked.push_back({configs[i], estimates[i]});
+  }
   return report;
 }
 

@@ -20,13 +20,23 @@ struct ExplorationReport {
   std::vector<ConfigEstimate> ranked;  ///< ascending estimated cycles
   double wall_seconds = 0.0;           ///< native estimation time
   std::size_t configs = 0;
+  unsigned threads = 1;                ///< worker threads used
 };
 
 /// Estimates every configuration (default: the full 450-point space) and
 /// returns them ranked fastest-first.
+///
+/// With `threads > 1` the configurations are estimated concurrently, one
+/// worker-private MacroModelHook + ModexpEngine per configuration (the
+/// shared MacroModelSet and workload are read-only).  The determinism
+/// contract: each estimate is computed by an identical sequence of
+/// operations regardless of scheduling, results are merged by configuration
+/// index, and ties in estimated cycles break on that index — so the ranking
+/// is bit-identical for any thread count.
 ExplorationReport explore_modexp_space(
     const RsaWorkload& workload, const macromodel::MacroModelSet& models,
-    std::vector<ModexpConfig> configs = all_modexp_configs());
+    std::vector<ModexpConfig> configs = all_modexp_configs(),
+    unsigned threads = 1);
 
 /// One estimate-vs-ISS comparison point.
 struct ValidationPoint {

@@ -26,13 +26,19 @@ Machine::CallResult Machine::call(const std::string& function,
 }
 
 std::uint32_t Machine::alloc(std::size_t bytes, std::size_t align) {
-  while (heap_ % align != 0) ++heap_;
-  const std::uint32_t addr = heap_;
-  heap_ += static_cast<std::uint32_t>(bytes);
-  if (heap_ >= cpu_.mem().size() - (1u << 20)) {  // keep 1 MiB for the stack
+  if (align == 0 || (align & (align - 1)) != 0) {
+    throw std::invalid_argument(
+        "Machine::alloc: align must be a nonzero power of two");
+  }
+  // 64-bit arithmetic so huge `bytes` can't wrap past the exhaustion check.
+  const std::uint64_t addr =
+      (static_cast<std::uint64_t>(heap_) + align - 1) & ~(std::uint64_t{align} - 1);
+  const std::uint64_t end = addr + bytes;
+  if (end >= cpu_.mem().size() - (1u << 20)) {  // keep 1 MiB for the stack
     throw std::runtime_error("Machine: heap exhausted");
   }
-  return addr;
+  heap_ = static_cast<std::uint32_t>(end);
+  return static_cast<std::uint32_t>(addr);
 }
 
 void Machine::reset_heap() { heap_ = xasm::kHeapBase; }

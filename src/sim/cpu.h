@@ -17,6 +17,8 @@
 #include <array>
 #include <cstdint>
 #include <optional>
+#include <stdexcept>
+#include <string>
 
 #include "sim/cache.h"
 #include "sim/custom.h"
@@ -55,9 +57,17 @@ class Cpu {
   Memory& mem() { return mem_; }
   const Memory& mem() const { return mem_; }
 
-  /// User-register (TIE-state) file for custom instructions.
-  std::uint32_t ur(unsigned r, unsigned w) const { return ur_[r][w]; }
-  void set_ur(unsigned r, unsigned w, std::uint32_t v) { ur_[r][w] = v; }
+  /// User-register (TIE-state) file for custom instructions.  Accesses are
+  /// range-checked: a malformed custom-instruction descriptor (e.g. a
+  /// register field used as a UR index) must fault, not corrupt the Cpu.
+  std::uint32_t ur(unsigned r, unsigned w) const {
+    check_ur(r, w);
+    return ur_[r][w];
+  }
+  void set_ur(unsigned r, unsigned w, std::uint32_t v) {
+    check_ur(r, w);
+    ur_[r][w] = v;
+  }
 
   /// Memory access helpers for custom instructions; participate in the
   /// D-cache model like ordinary loads/stores.
@@ -88,6 +98,14 @@ class Cpu {
   const CpuConfig& config() const { return config_; }
 
  private:
+  static void check_ur(unsigned r, unsigned w) {
+    if (r >= kUrCount || w >= kUrWords) {
+      throw std::out_of_range("Cpu: user-register access (" +
+                              std::to_string(r) + ", " + std::to_string(w) +
+                              ") out of range");
+    }
+  }
+
   void run();
   void exec(const isa::Instr& instr);
   std::uint32_t dcache_access(std::uint32_t addr);

@@ -1,0 +1,112 @@
+#include "support/threadpool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+
+namespace wsp {
+
+ThreadPool::ThreadPool(unsigned threads) {
+  const unsigned n = std::max(1u, threads);
+  workers_.reserve(n);
+  for (unsigned i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  task_ready_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  task_ready_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  all_idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+unsigned ThreadPool::hardware_threads() {
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+void ThreadPool::worker_loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    task_ready_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+    if (queue_.empty()) return;  // stop_ set and nothing left to drain
+    std::function<void()> task = std::move(queue_.front());
+    queue_.pop_front();
+    ++active_;
+    lock.unlock();
+    task();
+    lock.lock();
+    --active_;
+    if (queue_.empty() && active_ == 0) all_idle_.notify_all();
+  }
+}
+
+void serial_for(std::size_t begin, std::size_t end,
+                const std::function<void(std::size_t)>& body) {
+  for (std::size_t i = begin; i < end; ++i) body(i);
+}
+
+void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body) {
+  if (begin >= end) return;
+  const std::size_t n = end - begin;
+  const std::size_t workers = std::min<std::size_t>(pool.size(), n);
+  if (workers <= 1) {
+    serial_for(begin, end, body);
+    return;
+  }
+
+  // Shared iteration cursor plus a private completion latch, so nested /
+  // concurrent parallel_for calls on one pool don't wait on each other.
+  struct State {
+    std::atomic<std::size_t> next;
+    std::size_t end;
+    std::mutex mutex;
+    std::condition_variable done;
+    std::size_t remaining;
+    std::exception_ptr error;
+  } state;
+  state.next = begin;
+  state.end = end;
+  state.remaining = workers;
+
+  for (std::size_t w = 0; w < workers; ++w) {
+    pool.submit([&state, &body] {
+      for (;;) {
+        const std::size_t i = state.next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= state.end) break;
+        try {
+          body(i);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(state.mutex);
+          if (!state.error) state.error = std::current_exception();
+          // Park the cursor past the end so peers stop claiming work.
+          state.next.store(state.end, std::memory_order_relaxed);
+        }
+      }
+      std::lock_guard<std::mutex> lock(state.mutex);
+      if (--state.remaining == 0) state.done.notify_all();
+    });
+  }
+
+  std::unique_lock<std::mutex> lock(state.mutex);
+  state.done.wait(lock, [&state] { return state.remaining == 0; });
+  if (state.error) std::rethrow_exception(state.error);
+}
+
+}  // namespace wsp

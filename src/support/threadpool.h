@@ -1,0 +1,96 @@
+// Fixed-size thread pool powering the parallel design-space exploration
+// engine: the paper's phase (ii) evaluates 450+ modular-exponentiation
+// configurations and phases (iii)-(iv) sweep per-routine A-D curves —
+// embarrassingly parallel work where each item owns its state (its own
+// ModexpEngine / ISS Machine) and results are merged deterministically by
+// item index, so rankings are identical for any thread count.
+//
+// Deliberately work-stealing-free: a single locked queue is more than
+// enough when each work item is thousands of host instructions (a macro-
+// model estimate) to millions (an ISS run), and it keeps the determinism
+// argument trivial.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace wsp {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (clamped to >= 1).
+  explicit ThreadPool(unsigned threads = hardware_threads());
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+  /// Enqueues a task.  Tasks must not throw out of the pool — wrap them
+  /// (parallel_for does) if the body can throw.
+  void submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and every worker is idle.
+  void wait_idle();
+
+  /// std::thread::hardware_concurrency(), clamped to >= 1.
+  static unsigned hardware_threads();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable task_ready_;
+  std::condition_variable all_idle_;
+  std::size_t active_ = 0;
+  bool stop_ = false;
+};
+
+/// Runs body(i) for every i in [begin, end) across the pool and blocks until
+/// all iterations finish.  Iterations are claimed dynamically (one shared
+/// cursor), so callers must not rely on any execution order; determinism
+/// comes from writing results by index.  The first exception thrown by any
+/// iteration is rethrown here (remaining iterations are abandoned).
+/// Must be called from a thread outside the pool (it blocks the caller).
+void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body);
+
+/// Serial fallback used by the `threads` convenience overloads.
+void serial_for(std::size_t begin, std::size_t end,
+                const std::function<void(std::size_t)>& body);
+
+/// Maps fn over items, returning results in item order regardless of which
+/// worker computed which element.  R must be default-constructible.
+template <typename T, typename Fn>
+auto parallel_map(ThreadPool& pool, const std::vector<T>& items, Fn&& fn)
+    -> std::vector<std::invoke_result_t<Fn&, const T&>> {
+  std::vector<std::invoke_result_t<Fn&, const T&>> out(items.size());
+  parallel_for(pool, 0, items.size(),
+               [&](std::size_t i) { out[i] = fn(items[i]); });
+  return out;
+}
+
+/// Convenience overload: `threads <= 1` runs inline (no pool, no worker
+/// threads); otherwise a pool of `threads` workers is created for the call.
+template <typename T, typename Fn>
+auto parallel_map(unsigned threads, const std::vector<T>& items, Fn&& fn)
+    -> std::vector<std::invoke_result_t<Fn&, const T&>> {
+  if (threads <= 1) {
+    std::vector<std::invoke_result_t<Fn&, const T&>> out(items.size());
+    for (std::size_t i = 0; i < items.size(); ++i) out[i] = fn(items[i]);
+    return out;
+  }
+  ThreadPool pool(threads);
+  return parallel_map(pool, items, std::forward<Fn>(fn));
+}
+
+}  // namespace wsp

@@ -1,0 +1,94 @@
+#include "tie/characterize.h"
+
+#include <stdexcept>
+
+#include "kernels/mpn_kernels.h"
+#include "support/random.h"
+#include "support/threadpool.h"
+
+namespace wsp::tie {
+
+namespace {
+
+// Derives the kernel-emission config from a candidate instruction set:
+// add_k / sub_k members select the wide-adder width, mac_m members the MAC
+// width (the emitters use whichever their routine needs).
+kernels::MpnTieConfig tie_config_for(const std::set<std::string>& instrs) {
+  kernels::MpnTieConfig cfg;
+  for (const std::string& name : instrs) {
+    const auto split = name.rfind('_');
+    if (split == std::string::npos || split + 1 >= name.size()) continue;
+    const std::string family = name.substr(0, split);
+    if (family != "add" && family != "sub" && family != "mac") continue;
+    const int width = std::stoi(name.substr(split + 1));
+    if (family == "mac") {
+      cfg.mac_width = width;
+    } else {
+      cfg.add_width = width;
+    }
+  }
+  return cfg;
+}
+
+struct WorkItem {
+  std::size_t routine = 0;      ///< index into `routines`
+  std::size_t alternative = 0;  ///< index into alternatives
+};
+
+}  // namespace
+
+std::map<std::string, ADCurve> measure_mpn_adcurves(
+    const std::vector<RoutineCandidates>& routines,
+    const AdMeasureOptions& options) {
+  const auto catalog = default_catalog();
+
+  std::vector<WorkItem> items;
+  for (std::size_t r = 0; r < routines.size(); ++r) {
+    for (std::size_t a = 0; a < routines[r].alternatives.size(); ++a) {
+      items.push_back({r, a});
+    }
+  }
+
+  // One ISS machine per work item, nothing shared but read-only inputs; the
+  // stimulus RNG is seeded per routine so all alternatives of a routine see
+  // identical operands (their cycle counts must be comparable).
+  const std::vector<ADPoint> points =
+      parallel_map(options.threads, items, [&](const WorkItem& item) {
+        const RoutineCandidates& rc = routines[item.routine];
+        const std::set<std::string>& instrs = rc.alternatives[item.alternative];
+        Rng rng(options.seed + item.routine);
+        const std::size_t n = options.limbs;
+        std::vector<std::uint32_t> a(n), b(n);
+        for (auto& x : a) x = rng.next_u32();
+        for (auto& x : b) x = rng.next_u32();
+
+        kernels::Machine m = kernels::make_mpn_machine(tie_config_for(instrs));
+        std::uint64_t cycles = 0;
+        if (rc.routine == "mpn_add_n") {
+          std::vector<std::uint32_t> r;
+          cycles = kernels::run_add_n(m, r, a, b).cycles;
+        } else if (rc.routine == "mpn_sub_n") {
+          std::vector<std::uint32_t> r;
+          cycles = kernels::run_sub_n(m, r, a, b).cycles;
+        } else if (rc.routine == "mpn_mul_1") {
+          std::vector<std::uint32_t> r;
+          cycles = kernels::run_mul_1(m, r, a, b[0] | 1u).cycles;
+        } else if (rc.routine == "mpn_addmul_1") {
+          std::vector<std::uint32_t> r(n, 7);
+          cycles = kernels::run_addmul_1(m, r, a, b[0] | 1u).cycles;
+        } else {
+          throw std::invalid_argument(
+              "measure_mpn_adcurves: no ISS driver for routine " + rc.routine);
+        }
+        return ADPoint{catalog.set_area(instrs), static_cast<double>(cycles),
+                       instrs};
+      });
+
+  std::map<std::string, ADCurve> curves;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    curves[routines[items[i].routine].routine].add(points[i]);
+  }
+  return curves;
+}
+
+}  // namespace wsp::tie

@@ -1,0 +1,39 @@
+// A-D curve characterization (paper Sec. 3.3, Fig. 5): measure every
+// candidate custom-instruction alternative of each mpn leaf routine on the
+// cycle-accurate ISS and assemble the per-routine area-delay curves.
+//
+// Each (routine, alternative) work item builds and owns its Machine, so the
+// sweep parallelizes across a thread pool with no shared mutable state; the
+// ISS is deterministic and stimuli are derived per routine, so curves are
+// identical for any thread count.
+//
+// (Lives in tie/ but is compiled into wsp_method: it needs the kernels
+// layer, which itself links wsp_tie.)
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "tie/adcurve.h"
+#include "tie/candidates.h"
+
+namespace wsp::tie {
+
+struct AdMeasureOptions {
+  std::size_t limbs = 32;   ///< operand size (32 = 1024-bit, 16 = CRT half)
+  unsigned threads = 1;     ///< ISS machines run concurrently when > 1
+  std::uint64_t seed = 91;  ///< stimulus seed (same operands per routine)
+};
+
+/// Measures one A-D curve per routine in `routines` (mpn leaf routines:
+/// mpn_add_n, mpn_sub_n, mpn_mul_1, mpn_addmul_1).  Every alternative runs
+/// on a fresh ISS machine configured with that alternative's instruction
+/// set; curve points appear in the alternative order of the input.
+/// Throws std::invalid_argument for a routine without an ISS driver.
+std::map<std::string, ADCurve> measure_mpn_adcurves(
+    const std::vector<RoutineCandidates>& routines,
+    const AdMeasureOptions& options = {});
+
+}  // namespace wsp::tie

@@ -187,6 +187,39 @@ TEST(Cpu, CustomInstructionDispatchAndLatency) {
   EXPECT_EQ(cpu.cycles(), 5u + 3u);
 }
 
+TEST(Cpu, UserRegisterAccessBoundsChecked) {
+  Assembler a;
+  a.func("f");
+  a.ret();
+  auto cpu = run_function(a, "f", {});
+  cpu.set_ur(sim::kUrCount - 1, sim::kUrWords - 1, 5);
+  EXPECT_EQ(cpu.ur(sim::kUrCount - 1, sim::kUrWords - 1), 5u);
+  EXPECT_THROW(cpu.ur(sim::kUrCount, 0), std::out_of_range);
+  EXPECT_THROW(cpu.ur(0, sim::kUrWords), std::out_of_range);
+  EXPECT_THROW(cpu.set_ur(sim::kUrCount, 0, 1), std::out_of_range);
+  EXPECT_THROW(cpu.set_ur(0, sim::kUrWords, 1), std::out_of_range);
+}
+
+TEST(Cpu, MalformedCustomDescriptorFaultsInsteadOfCorrupting) {
+  // A descriptor that (incorrectly) uses its rd register field as a UR
+  // index: encodings with rd >= kUrCount used to write out of bounds on the
+  // UR file; they must now raise std::out_of_range.
+  sim::CustomSet customs;
+  sim::CustomInstr bad_ur;
+  bad_ur.id = 900;
+  bad_ur.name = "bad_ur";
+  bad_ur.execute = [](sim::Cpu& cpu, const isa::Instr& in) {
+    cpu.set_ur(in.rd, 0, cpu.reg(in.rs1));
+  };
+  customs.add(bad_ur);
+
+  Assembler a;
+  a.func("f");
+  a.custom(900, T1, A0, A0);  // T1 = r12 >= kUrCount (8)
+  a.ret();
+  EXPECT_THROW(run_function(a, "f", {3}, &customs), std::out_of_range);
+}
+
 TEST(Cpu, UnknownCustomInstructionThrows) {
   sim::CustomSet customs;
   Assembler a;

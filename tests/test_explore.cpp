@@ -2,6 +2,8 @@
 // configurations, ranking sanity, and cross-validation against the ISS.
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "explore/space.h"
 #include "macromodel/characterize.h"
 
@@ -30,6 +32,20 @@ const RsaWorkload& workload() {
     return wl;
   }();
   return w;
+}
+
+TEST(Explore, RejectsNonPositiveRepetitions) {
+  // repetitions <= 0 used to divide by zero (or negate the average) and
+  // return garbage estimates; it must be rejected loudly.
+  RsaWorkload bad = workload();
+  bad.repetitions = 0;
+  EXPECT_THROW(estimate_config(ModexpConfig{}, bad, models()),
+               std::invalid_argument);
+  bad.repetitions = -3;
+  EXPECT_THROW(estimate_config(ModexpConfig{}, bad, models()),
+               std::invalid_argument);
+  EXPECT_THROW(explore::explore_modexp_space(bad, models()),
+               std::invalid_argument);
 }
 
 TEST(Explore, EstimatesArePositiveAndFinite) {

@@ -1,0 +1,124 @@
+// Parallel design-space exploration engine: the determinism contract —
+// identical ranking / identical A-D curves for any thread count — plus
+// exception propagation out of the worker pool.  Labeled tier2 so CI can
+// rerun these under sanitizers (-DWSP_SANITIZE=address,undefined or
+// thread).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "explore/space.h"
+#include "macromodel/characterize.h"
+#include "tie/characterize.h"
+
+namespace wsp {
+namespace {
+
+using explore::RsaWorkload;
+
+const macromodel::MacroModelSet& models() {
+  static const macromodel::MacroModelSet set = [] {
+    kernels::Machine machine = kernels::make_mpn_machine();
+    macromodel::CharacterizeOptions options;
+    options.sizes = {2, 4, 8, 16};
+    return macromodel::characterize_mpn(machine, options);
+  }();
+  return set;
+}
+
+const RsaWorkload& workload() {
+  static const RsaWorkload w = [] {
+    Rng rng(733);
+    auto wl = explore::make_rsa_workload(256, rng);
+    wl.repetitions = 2;
+    return wl;
+  }();
+  return w;
+}
+
+TEST(ParallelExplore, RankingIdenticalForAnyThreadCount) {
+  const auto configs = all_modexp_configs();
+  const auto serial =
+      explore::explore_modexp_space(workload(), models(), configs, 1);
+  ASSERT_EQ(serial.ranked.size(), configs.size());
+  for (unsigned threads : {2u, 4u}) {
+    const auto parallel =
+        explore::explore_modexp_space(workload(), models(), configs, threads);
+    EXPECT_EQ(parallel.threads, threads);
+    ASSERT_EQ(parallel.ranked.size(), serial.ranked.size());
+    for (std::size_t i = 0; i < serial.ranked.size(); ++i) {
+      EXPECT_EQ(parallel.ranked[i].config.name(),
+                serial.ranked[i].config.name())
+          << "rank " << i << " with " << threads << " threads";
+      EXPECT_EQ(parallel.ranked[i].estimate.avg_cycles,
+                serial.ranked[i].estimate.avg_cycles)
+          << "rank " << i;
+      EXPECT_EQ(parallel.ranked[i].estimate.events,
+                serial.ranked[i].estimate.events)
+          << "rank " << i;
+    }
+  }
+}
+
+TEST(ParallelExplore, WorkerExceptionPropagates) {
+  auto bad = workload();
+  bad.repetitions = 0;
+  EXPECT_THROW(explore::explore_modexp_space(bad, models(),
+                                             all_modexp_configs(), 4),
+               std::invalid_argument);
+}
+
+TEST(ParallelExplore, AdCurvesIdenticalForAnyThreadCount) {
+  const auto candidates = tie::mpn_routine_candidates();
+  tie::AdMeasureOptions options;
+  options.limbs = 8;
+  const auto serial = tie::measure_mpn_adcurves(candidates, options);
+  ASSERT_EQ(serial.size(), candidates.size());
+  options.threads = 4;
+  const auto parallel = tie::measure_mpn_adcurves(candidates, options);
+  ASSERT_EQ(parallel.size(), serial.size());
+  for (const auto& [name, curve] : serial) {
+    const auto it = parallel.find(name);
+    ASSERT_NE(it, parallel.end()) << name;
+    ASSERT_EQ(it->second.points().size(), curve.points().size()) << name;
+    for (std::size_t i = 0; i < curve.points().size(); ++i) {
+      EXPECT_EQ(it->second.points()[i].area, curve.points()[i].area);
+      EXPECT_EQ(it->second.points()[i].cycles, curve.points()[i].cycles);
+      EXPECT_EQ(it->second.points()[i].instrs, curve.points()[i].instrs);
+    }
+  }
+}
+
+TEST(ParallelExplore, AdCurvesHaveBasePointAndAcceleratedPoints) {
+  tie::AdMeasureOptions options;
+  options.limbs = 32;  // 1024-bit operands, the Fig. 5 size
+  options.threads = 2;
+  const auto curves =
+      tie::measure_mpn_adcurves(tie::mpn_routine_candidates(), options);
+  for (const auto& [name, curve] : curves) {
+    ASSERT_FALSE(curve.empty()) << name;
+    EXPECT_EQ(curve.points().front().area, 0.0) << name;
+    double best = curve.points().front().cycles;
+    for (const auto& p : curve.points()) best = std::min(best, p.cycles);
+    if (name == "mpn_mul_1") {
+      // mpn_mul_1 has no TIE form (only addmul_1 uses the MAC units), so
+      // its curve is flat — the measurement exposes those candidates as
+      // dominated and never slower than the baseline.
+      EXPECT_EQ(best, curve.points().front().cycles) << name;
+    } else {
+      // At this operand size some datapath must beat the baseline.
+      EXPECT_LT(best, curve.points().front().cycles) << name;
+    }
+  }
+}
+
+TEST(ParallelExplore, RejectsRoutineWithoutIssDriver) {
+  tie::RoutineCandidates rc;
+  rc.routine = "mpn_frobnicate";
+  rc.alternatives.push_back({});
+  EXPECT_THROW(tie::measure_mpn_adcurves({rc}, {}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace wsp

@@ -68,6 +68,32 @@ TEST(Machine, AllocAligns) {
   EXPECT_GT(b, a);
 }
 
+TEST(Machine, AllocRejectsBadAlignment) {
+  kernels::Machine m = kernels::make_mpn_machine();
+  // align == 0 used to hang forever in the byte-stepping alignment loop.
+  EXPECT_THROW(m.alloc(4, 0), std::invalid_argument);
+  EXPECT_THROW(m.alloc(4, 3), std::invalid_argument);
+  EXPECT_THROW(m.alloc(4, 24), std::invalid_argument);
+}
+
+TEST(Machine, AllocLargeAlignmentRoundsUpArithmetically) {
+  kernels::Machine m = kernels::make_mpn_machine();
+  (void)m.alloc(1);
+  const std::uint32_t a = m.alloc(16, 1u << 16);
+  EXPECT_EQ(a % (1u << 16), 0u);
+  const std::uint32_t b = m.alloc(4, 4096);
+  EXPECT_EQ(b % 4096, 0u);
+  EXPECT_GT(b, a);
+}
+
+TEST(Machine, FailedAllocLeavesHeapConsistent) {
+  kernels::Machine m = kernels::make_mpn_machine();
+  const std::uint32_t before = m.alloc(4);
+  EXPECT_THROW(m.alloc(64u << 20), std::runtime_error);
+  const std::uint32_t after = m.alloc(4);
+  EXPECT_EQ(after, before + 4);
+}
+
 TEST(Machine, HeapResetReusesSpace) {
   kernels::Machine m = kernels::make_mpn_machine();
   const std::uint32_t a = m.alloc(64);

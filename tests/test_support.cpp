@@ -95,5 +95,28 @@ TEST(Stats, MeanAbsPctError) {
   EXPECT_NEAR(mean_abs_pct_error({110, 90}, {100, 100}), 10.0, 1e-9);
 }
 
+TEST(Stats, MeanAbsPctErrorSkipsZeroObservations) {
+  // A zero observation has no defined percentage error; it is skipped and
+  // the mean is taken over the remaining points only.
+  EXPECT_NEAR(mean_abs_pct_error({110, 5, 90}, {100, 0, 100}), 10.0, 1e-9);
+  // All observations zero: nothing to average — defined as 0, not NaN.
+  EXPECT_EQ(mean_abs_pct_error({1, 2}, {0, 0}), 0.0);
+  EXPECT_EQ(mean_abs_pct_error({}, {}), 0.0);
+}
+
+TEST(Stats, MeanAbsPctErrorSizeMismatchUsesCommonPrefix) {
+  // Mismatched lengths are tolerated: only the overlapping prefix counts.
+  EXPECT_NEAR(mean_abs_pct_error({110, 90, 50}, {100, 100}), 10.0, 1e-9);
+  EXPECT_NEAR(mean_abs_pct_error({110}, {100, 100}), 10.0, 1e-9);
+  EXPECT_EQ(mean_abs_pct_error({1, 2, 3}, {}), 0.0);
+}
+
+TEST(Stats, SolveSingular3x3Throws) {
+  // Row 2 = row 0 + row 1: rank-deficient even though no row is zero.
+  EXPECT_THROW(solve_linear({{1, 2, 3}, {4, 5, 6}, {5, 7, 9}}, {1, 2, 3}),
+               std::runtime_error);
+  EXPECT_THROW(solve_linear({{0}}, {1}), std::runtime_error);
+}
+
 }  // namespace
 }  // namespace wsp
