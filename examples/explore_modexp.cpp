@@ -3,14 +3,26 @@
 // exponentiation configurations for an RSA workload at native speed and
 // print the leaders (the paper's Sec. 3.2/4.3 flow, as a user would run it).
 //
-//   $ ./examples/explore_modexp
+//   $ ./examples/explore_modexp [--trace out.json]
+//
+// With --trace, the whole flow is recorded as a Chrome-trace file
+// (docs/observability.md): ISS function spans on the simulated-cycle
+// timeline, one estimation span per configuration on the host timeline.
 #include <cstdio>
+#include <cstring>
 
 #include "explore/space.h"
 #include "macromodel/characterize.h"
+#include "support/trace.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wsp;
+  const char* trace_path = nullptr;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace") == 0) trace_path = argv[i + 1];
+  }
+  if (trace_path) trace::start();
+
   std::printf("wsp modular-exponentiation design-space exploration\n\n");
 
   std::printf("[1/3] characterizing mpn library routines on the ISS...\n");
@@ -42,5 +54,16 @@ int main() {
   std::printf("\nThe winning configuration is the one the optimized platform "
               "ships with:\nMontgomery multiplication, a wide exponent "
               "window, CRT and full software caching.\n");
+
+  if (trace_path) {
+    const auto events = trace::stop();
+    if (trace::write_chrome_json(events, trace_path)) {
+      std::printf("\ntrace: %zu events -> %s (open in https://ui.perfetto.dev)\n",
+                  events.size(), trace_path);
+    } else {
+      std::fprintf(stderr, "trace: failed to write %s\n", trace_path);
+      return 1;
+    }
+  }
   return 0;
 }

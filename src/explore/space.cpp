@@ -6,6 +6,7 @@
 #include <numeric>
 
 #include "support/threadpool.h"
+#include "support/trace.h"
 
 namespace wsp::explore {
 
@@ -25,6 +26,8 @@ ExplorationReport explore_modexp_space(const RsaWorkload& workload,
   ExplorationReport report;
   report.configs = configs.size();
   report.threads = std::max(1u, threads);
+  WSP_TRACE_SPAN("explore", "explore_modexp_space");
+  WSP_TRACE_COUNTER("explore", "configs", static_cast<double>(configs.size()));
   const auto t0 = std::chrono::steady_clock::now();
 
   // Every configuration is estimated independently with its own engine and
@@ -32,7 +35,12 @@ ExplorationReport explore_modexp_space(const RsaWorkload& workload,
   // (and the FP summation order inside each one) are scheduling-invariant.
   const std::vector<Estimate> estimates =
       parallel_map(report.threads, configs, [&](const ModexpConfig& cfg) {
-        return estimate_config(cfg, workload, models);
+        trace::Span span("explore",
+                         trace::enabled() ? "estimate/" + cfg.name() : std::string());
+        Estimate est = estimate_config(cfg, workload, models);
+        WSP_TRACE_COUNTER("explore", "estimate_events",
+                          static_cast<double>(est.events));
+        return est;
       });
   report.wall_seconds = seconds_since(t0);
 
@@ -89,6 +97,7 @@ ValidationReport validate_estimates(kernels::Machine& modexp_machine,
        200 + 4});
 
   // --- native macro-model estimates (timed) ---------------------------------
+  WSP_TRACE_SPAN("explore", "validate_estimates");
   const auto t_est = std::chrono::steady_clock::now();
   std::vector<double> estimated;
   for (const Candidate& cand : candidates) {
@@ -108,6 +117,8 @@ ValidationReport validate_estimates(kernels::Machine& modexp_machine,
   double err_sum = 0.0;
   for (std::size_t i = 0; i < candidates.size(); ++i) {
     const Candidate& cand = candidates[i];
+    trace::Span span("explore",
+                     trace::enabled() ? "iss/" + cand.name : std::string());
     kernels::IssModexpResult measured;
     if (cand.window == 0) {
       measured = iss.powm_base(workload.c, workload.d, workload.n);

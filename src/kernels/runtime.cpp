@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "support/trace.h"
+
 namespace wsp::kernels {
 
 Machine::Machine(xasm::Program program, sim::CpuConfig config,
@@ -17,11 +19,28 @@ Machine::CallResult Machine::call(const std::string& function,
   for (std::uint32_t a : args) cpu_.set_reg(isa::kA0 + i++, a);
   const std::uint64_t c0 = cpu_.cycles();
   const std::uint64_t i0 = cpu_.instret();
-  cpu_.call(function);
+  {
+    WSP_TRACE_SPAN("iss.call", function);
+    cpu_.call(function);
+  }
   CallResult r;
   r.ret = cpu_.reg(isa::kA0);
   r.cycles = cpu_.cycles() - c0;
   r.instrs = cpu_.instret() - i0;
+  if (trace::enabled()) {
+    // Cumulative machine counters on the simulated timeline, sampled at
+    // call boundaries (cheap and still dense enough for Perfetto).
+    trace::emit_sim(trace::Phase::kCounter, "iss", "cycles/" + function,
+                    cpu_.cycles(), 0, static_cast<double>(r.cycles));
+    if (const sim::Cache* ic = cpu_.icache()) {
+      trace::emit_sim(trace::Phase::kCounter, "iss", "icache_hits",
+                      cpu_.cycles(), 0, static_cast<double>(ic->hits()));
+    }
+    if (const sim::Cache* dc = cpu_.dcache()) {
+      trace::emit_sim(trace::Phase::kCounter, "iss", "dcache_hits",
+                      cpu_.cycles(), 0, static_cast<double>(dc->hits()));
+    }
+  }
   return r;
 }
 

@@ -4,6 +4,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "support/trace.h"
+
 namespace wsp::select {
 
 SelectionResult select_instructions(
@@ -33,15 +35,31 @@ SelectionResult select_instructions(
       for (const auto& [child, calls] : node.children) {
         children.push_back({calls, &curve_of(child)});
       }
+      trace::Span span("select",
+                       trace::enabled() ? "combine/" + name : std::string());
       tie::ADCurve::CombineStats stats;
       curve = tie::ADCurve::combine(node.local_cycles, children, catalog, &stats);
       result.combine_stats[name] = stats;
+      if (trace::enabled()) {
+        trace::counter("select", "cartesian_points/" + name,
+                       static_cast<double>(stats.cartesian_points));
+        trace::counter("select", "reduced_points/" + name,
+                       static_cast<double>(stats.reduced_points));
+      }
     }
     return memo.emplace(name, std::move(curve)).first->second;
   };
 
   tie::ADCurve root_curve = curve_of(root);
-  root_curve.pareto_prune();
+  const std::size_t before_prune = root_curve.points().size();
+  {
+    WSP_TRACE_SPAN("select", "pareto_prune");
+    root_curve.pareto_prune();
+  }
+  WSP_TRACE_COUNTER("select", "root_points_before_prune",
+                    static_cast<double>(before_prune));
+  WSP_TRACE_COUNTER("select", "root_points_after_prune",
+                    static_cast<double>(root_curve.points().size()));
 
   const tie::ADPoint* best = nullptr;
   for (const tie::ADPoint& p : root_curve.points()) {

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "support/trace.h"
+
 namespace wsp::sim {
 
 using isa::Instr;
@@ -81,6 +83,21 @@ void Cpu::run() {
     }
     exec(instr);
     ++instret_;
+    // Periodic retire/cache counter samples on the simulated timeline.
+    // The power-of-two modulus check keeps the idle cost of this hook to
+    // one AND+branch per instruction when no trace session is active.
+    if ((instret_ & (kTraceSampleInterval - 1)) == 0 && trace::enabled()) {
+      trace::emit_sim(trace::Phase::kCounter, "iss", "instret", cycles_, 0,
+                      static_cast<double>(instret_));
+      if (icache_) {
+        trace::emit_sim(trace::Phase::kCounter, "iss", "icache_misses", cycles_,
+                        0, static_cast<double>(icache_->misses()));
+      }
+      if (dcache_) {
+        trace::emit_sim(trace::Phase::kCounter, "iss", "dcache_misses", cycles_,
+                        0, static_cast<double>(dcache_->misses()));
+      }
+    }
     if (cycles_ > config_.max_cycles) {
       throw std::runtime_error("Cpu: cycle limit exceeded");
     }

@@ -39,6 +39,10 @@ struct CpuConfig {
   std::uint64_t max_cycles = 50ull * 1000 * 1000 * 1000;
 };
 
+/// Instruction-retire interval (power of two) between trace counter samples
+/// while a trace session is active (see support/trace.h).
+inline constexpr std::uint64_t kTraceSampleInterval = 8192;
+
 /// Number of 32-bit words in each user (TIE-state) register.
 inline constexpr std::size_t kUrWords = 16;
 /// Number of user registers.

@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "support/trace.h"
+
 namespace wsp::sim {
 
 void Profiler::set_function_table(std::map<std::uint32_t, std::string> entry_names) {
@@ -25,6 +27,9 @@ void Profiler::on_call(std::uint32_t entry, std::uint64_t now_cycles) {
   const std::string caller = stack_.empty() ? "<host>" : stack_.back().name;
   ++edges_[{caller, name}];
   ++funcs_[name].calls;
+  if (trace::enabled()) {
+    trace::emit_sim(trace::Phase::kBegin, "iss.func", name, now_cycles);
+  }
   stack_.push_back(Frame{std::move(name), now_cycles, 0});
 }
 
@@ -32,6 +37,9 @@ void Profiler::on_ret(std::uint64_t now_cycles) {
   if (stack_.empty()) return;  // host-level return sentinel
   const Frame frame = stack_.back();
   stack_.pop_back();
+  if (trace::enabled()) {
+    trace::emit_sim(trace::Phase::kEnd, "iss.func", frame.name, now_cycles);
+  }
   const std::uint64_t total = now_cycles - frame.entry_cycles;
   FuncStats& fs = funcs_[frame.name];
   fs.total_cycles += total;

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "support/trace.h"
+
 #include "crypto/aes.h"
 #include "crypto/des.h"
 #include "crypto/hmac.h"
@@ -151,16 +153,28 @@ SecureChannel::SecureChannel(Cipher cipher, std::vector<std::uint8_t> cipher_key
 }
 
 std::vector<std::uint8_t> SecureChannel::seal(const std::vector<std::uint8_t>& payload) {
-  const auto mac = hmac_sha1(impl_->mac_key, impl_->mac_input(impl_->seq_out, payload));
-  ++impl_->seq_out;
+  WSP_TRACE_SPAN("ssl.record", "seal");
   std::vector<std::uint8_t> plain = payload;
-  plain.insert(plain.end(), mac.begin(), mac.end());
+  {
+    WSP_TRACE_SPAN("ssl.record", "seal/mac");
+    const auto mac =
+        hmac_sha1(impl_->mac_key, impl_->mac_input(impl_->seq_out, payload));
+    ++impl_->seq_out;
+    plain.insert(plain.end(), mac.begin(), mac.end());
+  }
+  WSP_TRACE_SPAN("ssl.record", "seal/encrypt");
   return impl_->encrypt(plain);
 }
 
 std::vector<std::uint8_t> SecureChannel::open(const std::vector<std::uint8_t>& record) {
-  auto plain = impl_->decrypt(record);
+  WSP_TRACE_SPAN("ssl.record", "open");
+  std::vector<std::uint8_t> plain;
+  {
+    WSP_TRACE_SPAN("ssl.record", "open/decrypt");
+    plain = impl_->decrypt(record);
+  }
   if (plain.size() < Sha1::kDigestSize) throw std::runtime_error("ssl: short record");
+  WSP_TRACE_SPAN("ssl.record", "open/mac");
   const std::vector<std::uint8_t> payload(plain.begin(),
                                           plain.end() - Sha1::kDigestSize);
   const std::vector<std::uint8_t> mac(plain.end() - Sha1::kDigestSize, plain.end());
@@ -217,20 +231,30 @@ CipherSpec spec_for(Cipher cipher) {
 Handshake perform_handshake(const rsa::PrivateKey& server_key, Cipher cipher,
                             ModexpEngine& client_engine,
                             ModexpEngine& server_engine, Rng& rng) {
+  WSP_TRACE_SPAN("ssl.handshake", "perform_handshake");
   // ClientHello / ServerHello randoms.
   const auto client_random = rng.bytes(32);
   const auto server_random = rng.bytes(32);
 
   // Client: premaster under the server's public key.
   const auto premaster = rng.bytes(48);
-  const auto encrypted_premaster =
-      rsa::encrypt(premaster, server_key.public_key(), client_engine, rng);
+  std::vector<std::uint8_t> encrypted_premaster;
+  {
+    WSP_TRACE_SPAN("ssl.handshake", "premaster/encrypt");
+    encrypted_premaster =
+        rsa::encrypt(premaster, server_key.public_key(), client_engine, rng);
+  }
 
   // Server: recover the premaster (the expensive private-key operation).
-  const auto recovered = rsa::decrypt(encrypted_premaster, server_key, server_engine);
+  std::vector<std::uint8_t> recovered;
+  {
+    WSP_TRACE_SPAN("ssl.handshake", "premaster/decrypt");
+    recovered = rsa::decrypt(encrypted_premaster, server_key, server_engine);
+  }
   if (recovered != premaster) throw std::runtime_error("ssl: handshake failure");
 
   // Both sides derive the master secret and the key block.
+  WSP_TRACE_SPAN("ssl.handshake", "kdf");
   const auto master = kdf_ssl3(premaster, client_random, server_random, 48);
   const CipherSpec spec = spec_for(cipher);
   const std::size_t block_len = 2 * (Sha1::kDigestSize + spec.key_len + spec.iv_len);

@@ -4,6 +4,8 @@
 #include <atomic>
 #include <exception>
 
+#include "support/trace.h"
+
 namespace wsp {
 
 ThreadPool::ThreadPool(unsigned threads) {
@@ -27,6 +29,8 @@ void ThreadPool::submit(std::function<void()> task) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     queue_.push_back(std::move(task));
+    WSP_TRACE_COUNTER("threadpool", "queue_depth",
+                      static_cast<double>(queue_.size()));
   }
   task_ready_.notify_one();
 }
@@ -48,10 +52,16 @@ void ThreadPool::worker_loop() {
     std::function<void()> task = std::move(queue_.front());
     queue_.pop_front();
     ++active_;
+    WSP_TRACE_COUNTER("threadpool", "queue_depth",
+                      static_cast<double>(queue_.size()));
+    WSP_TRACE_COUNTER("threadpool", "active_workers",
+                      static_cast<double>(active_));
     lock.unlock();
     task();
     lock.lock();
     --active_;
+    WSP_TRACE_COUNTER("threadpool", "active_workers",
+                      static_cast<double>(active_));
     if (queue_.empty() && active_ == 0) all_idle_.notify_all();
   }
 }

@@ -1,0 +1,199 @@
+#include "support/trace.h"
+
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+
+#include "support/json.h"
+
+namespace wsp::trace {
+
+#if WSP_TRACE_ENABLED
+
+namespace detail {
+std::atomic<bool> g_active{false};
+}
+
+namespace {
+
+struct Session {
+  std::mutex mutex;
+  std::vector<Event> events;
+  Clock clock = Clock::kWall;
+  std::chrono::steady_clock::time_point t0;
+  std::uint64_t logical_ticks = 0;
+  std::uint32_t next_tid = 0;
+};
+
+Session& session() {
+  static Session s;
+  return s;
+}
+
+/// Stable small id per host thread, in registration order.  Under
+/// Clock::kLogical single-threaded tests this is deterministic; concurrent
+/// registration order is scheduling-dependent, which is why tid is part of
+/// the structural digest only for the sim domain-independent single-thread
+/// uses — multi-thread determinism is checked over (category, name, value)
+/// multisets instead (see test_trace.cpp).
+std::uint32_t host_tid(Session& s) {
+  thread_local std::uint32_t tid = 0xffffffffu;
+  if (tid == 0xffffffffu) tid = s.next_tid++;
+  return tid;
+}
+
+void record(Phase phase, const char* category, std::string name, double value,
+            bool sim_domain, std::uint64_t sim_ts, std::uint32_t sim_tid) {
+  if (!detail::g_active.load(std::memory_order_relaxed)) return;
+  Session& s = session();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  // Re-check under the lock: stop() clears the flag before draining.
+  if (!detail::g_active.load(std::memory_order_relaxed)) return;
+  Event e;
+  e.phase = phase;
+  e.category = category;
+  e.name = std::move(name);
+  e.value = value;
+  e.sim_domain = sim_domain;
+  if (sim_domain) {
+    e.ts = sim_ts;
+    e.tid = sim_tid;
+  } else {
+    e.tid = host_tid(s);
+    if (s.clock == Clock::kLogical) {
+      e.ts = s.logical_ticks++;
+    } else {
+      e.ts = static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - s.t0)
+              .count());
+    }
+  }
+  s.events.push_back(std::move(e));
+}
+
+}  // namespace
+
+void start(Clock clock) {
+  Session& s = session();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  s.events.clear();
+  s.clock = clock;
+  s.t0 = std::chrono::steady_clock::now();
+  s.logical_ticks = 0;
+  detail::g_active.store(true, std::memory_order_release);
+}
+
+std::vector<Event> stop() {
+  Session& s = session();
+  detail::g_active.store(false, std::memory_order_release);
+  std::lock_guard<std::mutex> lock(s.mutex);
+  std::vector<Event> out;
+  out.swap(s.events);
+  return out;
+}
+
+void begin(const char* category, std::string name) {
+  record(Phase::kBegin, category, std::move(name), 0.0, false, 0, 0);
+}
+
+void end(const char* category, std::string name) {
+  record(Phase::kEnd, category, std::move(name), 0.0, false, 0, 0);
+}
+
+void counter(const char* category, std::string name, double value) {
+  record(Phase::kCounter, category, std::move(name), value, false, 0, 0);
+}
+
+void instant(const char* category, std::string name) {
+  record(Phase::kInstant, category, std::move(name), 0.0, false, 0, 0);
+}
+
+void emit_sim(Phase phase, const char* category, std::string name,
+              std::uint64_t cycles, std::uint32_t sim_tid, double value) {
+  record(phase, category, std::move(name), value, true, cycles, sim_tid);
+}
+
+#endif  // WSP_TRACE_ENABLED
+
+// The export/digest helpers are compiled unconditionally: a no-trace build
+// still links trace2txt and the tests that validate pre-recorded files.
+
+std::string to_chrome_json(const std::vector<Event>& events) {
+  json::Value doc = json::Value::object();
+  doc["displayTimeUnit"] = json::Value("ns");
+  json::Value arr = json::Value::array();
+
+  // Process-name metadata so Perfetto labels the two clock domains.
+  for (const auto& [pid, label] :
+       {std::pair<int, const char*>{1, "host"}, {2, "xr32-sim-cycles"}}) {
+    json::Value meta = json::Value::object();
+    meta["name"] = json::Value("process_name");
+    meta["ph"] = json::Value("M");
+    meta["pid"] = json::Value(pid);
+    meta["tid"] = json::Value(0);
+    json::Value args = json::Value::object();
+    args["name"] = json::Value(label);
+    meta["args"] = std::move(args);
+    arr.push_back(std::move(meta));
+  }
+
+  for (const Event& e : events) {
+    json::Value o = json::Value::object();
+    o["name"] = json::Value(e.name);
+    o["cat"] = json::Value(std::string(e.category));
+    o["ph"] = json::Value(std::string(1, static_cast<char>(e.phase)));
+    o["pid"] = json::Value(e.sim_domain ? 2 : 1);
+    o["tid"] = json::Value(static_cast<std::uint64_t>(e.tid));
+    // Chrome's "ts" unit is microseconds.  Host events carry ns (or logical
+    // ticks); sim events carry cycles.  Both are exported as 1 unit = 1 us
+    // to keep integer timestamps; displayTimeUnit only affects labels.
+    o["ts"] = json::Value(e.ts);
+    if (e.phase == Phase::kCounter) {
+      json::Value args = json::Value::object();
+      args["value"] = json::Value(e.value);
+      o["args"] = std::move(args);
+    }
+    if (e.phase == Phase::kInstant) o["s"] = json::Value("t");
+    arr.push_back(std::move(o));
+  }
+  doc["traceEvents"] = std::move(arr);
+  return doc.dump(1);
+}
+
+bool write_chrome_json(const std::vector<Event>& events, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (!f) return false;
+  const std::string text = to_chrome_json(events);
+  const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+std::uint64_t structural_digest(const std::vector<Event>& events) {
+  std::uint64_t h = 1469598103934665603ull;  // FNV-1a offset basis
+  auto mix_byte = [&h](unsigned char b) {
+    h ^= b;
+    h *= 1099511628211ull;
+  };
+  auto mix_str = [&](const char* s) {
+    while (*s) mix_byte(static_cast<unsigned char>(*s++));
+    mix_byte(0);
+  };
+  for (const Event& e : events) {
+    mix_byte(static_cast<unsigned char>(e.phase));
+    mix_byte(e.sim_domain ? 1 : 0);
+    mix_str(e.category);
+    mix_str(e.name.c_str());
+    if (e.phase == Phase::kCounter) {
+      // Counter values are deterministic (cycle counts, queue depths at
+      // deterministic points); hash the exact bit pattern.
+      std::uint64_t bits;
+      static_assert(sizeof bits == sizeof e.value);
+      __builtin_memcpy(&bits, &e.value, sizeof bits);
+      for (int i = 0; i < 8; ++i) mix_byte(static_cast<unsigned char>(bits >> (8 * i)));
+    }
+  }
+  return h;
+}
+
+}  // namespace wsp::trace

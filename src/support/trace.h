@@ -1,0 +1,186 @@
+// Cross-layer structured event tracing (spans + counters) with Chrome-trace
+// JSON export (chrome://tracing / Perfetto).
+//
+// Design constraints, in order:
+//   1. Zero overhead when compiled out: configure with -DWSP_TRACE=OFF and
+//      every WSP_TRACE_* macro expands to nothing.
+//   2. Negligible overhead when compiled in but idle (the default): every
+//      entry point is gated on one relaxed atomic load; no session is ever
+//      started unless someone calls trace::start().
+//   3. Deterministic structure: the *sequence* of event names, categories
+//      and counter values for a fixed seed is identical run-to-run; only
+//      timestamps vary.  trace::structural_digest() hashes exactly the
+//      deterministic part, which is what the tier-2 trace tests compare.
+//
+// Two clock domains map to two Chrome-trace "processes":
+//   * pid 1 "host"  — wall-clock ns since session start (collapsed to a
+//     deterministic logical tick count in Clock::kLogical mode);
+//   * pid 2 "xr32"  — simulated cycles, supplied by the caller (the ISS
+//     Profiler emits function spans on the simulated timeline, so Perfetto
+//     shows the paper's Fig. 4 call tree as a flame graph over cycles).
+#pragma once
+
+#ifndef WSP_TRACE_ENABLED
+#define WSP_TRACE_ENABLED 1
+#endif
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace wsp::trace {
+
+enum class Phase : char {
+  kBegin = 'B',
+  kEnd = 'E',
+  kCounter = 'C',
+  kInstant = 'i',
+};
+
+/// Host-domain timestamp source for a session.
+enum class Clock {
+  kWall,     ///< steady_clock ns since start() — real profiles
+  kLogical,  ///< per-event sequence number — bit-deterministic tests
+};
+
+struct Event {
+  Phase phase;
+  const char* category;  ///< static-storage string supplied by the call site
+  std::string name;
+  std::uint64_t ts = 0;   ///< host: ns (or logical tick); sim: cycles
+  std::uint32_t tid = 0;  ///< host: registration order; sim: caller-chosen
+  bool sim_domain = false;
+  double value = 0.0;  ///< counters only
+};
+
+#if WSP_TRACE_ENABLED
+
+namespace detail {
+extern std::atomic<bool> g_active;
+}
+
+/// True while a session is collecting.  The hot-path gate: all emit helpers
+/// check it themselves, but call sites that must build an event name can
+/// use it to skip the formatting work too.
+inline bool enabled() {
+  return detail::g_active.load(std::memory_order_relaxed);
+}
+
+/// Starts collecting (idempotent: restarting discards prior events).
+void start(Clock clock = Clock::kWall);
+/// Stops collecting and returns every event in emission order.
+std::vector<Event> stop();
+/// True between start() and stop() (same as enabled(); named for intent).
+inline bool active() { return enabled(); }
+
+/// Host-domain emission.  No-ops when no session is active.
+void begin(const char* category, std::string name);
+void end(const char* category, std::string name);
+void counter(const char* category, std::string name, double value);
+void instant(const char* category, std::string name);
+
+/// Sim-domain emission with an explicit timestamp in simulated cycles.
+/// `sim_tid` distinguishes simulated machines (0 is fine for one machine).
+void emit_sim(Phase phase, const char* category, std::string name,
+              std::uint64_t cycles, std::uint32_t sim_tid = 0,
+              double value = 0.0);
+
+/// RAII host-domain span.
+class Span {
+ public:
+  Span(const char* category, std::string name)
+      : category_(category), name_(std::move(name)), armed_(enabled()) {
+    if (armed_) begin(category_, name_);
+  }
+  ~Span() {
+    if (armed_) end(category_, name_);
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  const char* category_;
+  std::string name_;
+  bool armed_;  ///< emit the end only if the begin was emitted
+};
+
+/// Serializes events as a Chrome-trace JSON document (the "traceEvents"
+/// array-of-objects form with displayTimeUnit).  Host timestamps are
+/// converted from ns to the microsecond "ts" unit Perfetto expects; sim
+/// cycles are exported 1 cycle = 1 us under the separate "xr32" pid.
+std::string to_chrome_json(const std::vector<Event>& events);
+
+/// Writes to_chrome_json() to `path`; returns false on I/O failure.
+bool write_chrome_json(const std::vector<Event>& events, const std::string& path);
+
+/// FNV-1a hash over the deterministic event fields (phase, category, name,
+/// tid, domain, counter value) in emission order — timestamps excluded.
+/// Two runs with the same seed must produce equal digests.
+std::uint64_t structural_digest(const std::vector<Event>& events);
+
+#else  // !WSP_TRACE_ENABLED — the whole API compiles to nothing
+
+inline bool enabled() { return false; }
+inline bool active() { return false; }
+inline void start(Clock = Clock::kWall) {}
+inline std::vector<Event> stop() { return {}; }
+inline void begin(const char*, std::string) {}
+inline void end(const char*, std::string) {}
+inline void counter(const char*, std::string, double) {}
+inline void instant(const char*, std::string) {}
+inline void emit_sim(Phase, const char*, std::string, std::uint64_t,
+                     std::uint32_t = 0, double = 0.0) {}
+
+class Span {
+ public:
+  Span(const char*, std::string) {}
+};
+
+std::string to_chrome_json(const std::vector<Event>& events);
+bool write_chrome_json(const std::vector<Event>& events, const std::string& path);
+std::uint64_t structural_digest(const std::vector<Event>& events);
+
+#endif  // WSP_TRACE_ENABLED
+
+}  // namespace wsp::trace
+
+// Call-site macros: compile out entirely under -DWSP_TRACE=OFF.
+#if WSP_TRACE_ENABLED
+#define WSP_TRACE_CONCAT2(a, b) a##b
+#define WSP_TRACE_CONCAT(a, b) WSP_TRACE_CONCAT2(a, b)
+/// Scoped span; `name` may be any expression convertible to std::string.
+/// The expression is evaluated unconditionally — keep it cheap, or guard
+/// formatted names with trace::enabled() at the call site.
+#define WSP_TRACE_SPAN(category, name) \
+  ::wsp::trace::Span WSP_TRACE_CONCAT(wsp_trace_span_, __LINE__)(category, name)
+#define WSP_TRACE_COUNTER(category, name, value)               \
+  do {                                                         \
+    if (::wsp::trace::enabled())                               \
+      ::wsp::trace::counter((category), (name), (value));      \
+  } while (0)
+#define WSP_TRACE_INSTANT(category, name)                      \
+  do {                                                         \
+    if (::wsp::trace::enabled())                               \
+      ::wsp::trace::instant((category), (name));               \
+  } while (0)
+#else
+// The sizeof operands are unevaluated: arguments cost nothing at runtime
+// but still count as "used" for -Wunused warnings.
+#define WSP_TRACE_SPAN(category, name) \
+  do {                                 \
+    (void)sizeof(category);            \
+    (void)sizeof(name);                \
+  } while (0)
+#define WSP_TRACE_COUNTER(category, name, value) \
+  do {                                           \
+    (void)sizeof(category);                      \
+    (void)sizeof(name);                          \
+    (void)sizeof(value);                         \
+  } while (0)
+#define WSP_TRACE_INSTANT(category, name) \
+  do {                                    \
+    (void)sizeof(category);               \
+    (void)sizeof(name);                   \
+  } while (0)
+#endif

@@ -1,0 +1,106 @@
+// Tests for the machine-readable bench artifact layer (bench/bench_util.h):
+// flag parsing, the wsp-bench-v1 JSON schema, and file round-tripping.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "support/json.h"
+
+namespace wsp {
+namespace {
+
+char** fake_argv(std::vector<std::string>& storage) {
+  static std::vector<char*> ptrs;
+  ptrs.clear();
+  for (auto& s : storage) ptrs.push_back(s.data());
+  return ptrs.data();
+}
+
+TEST(BenchFlags, ParseThreadsBothForms) {
+  std::vector<std::string> a1 = {"prog", "--threads", "4"};
+  EXPECT_EQ(bench::parse_threads(3, fake_argv(a1)), 4u);
+  std::vector<std::string> a2 = {"prog", "--threads=8"};
+  EXPECT_EQ(bench::parse_threads(2, fake_argv(a2)), 8u);
+  std::vector<std::string> a3 = {"prog"};
+  EXPECT_EQ(bench::parse_threads(1, fake_argv(a3), 2), 2u);
+  std::vector<std::string> a4 = {"prog", "--threads", "0"};
+  EXPECT_EQ(bench::parse_threads(3, fake_argv(a4)), 1u);  // clamped
+}
+
+TEST(BenchFlags, ParseStringFlagBothForms) {
+  std::vector<std::string> a1 = {"prog", "--outdir", "/tmp/x"};
+  EXPECT_EQ(bench::parse_string_flag(3, fake_argv(a1), "--outdir"), "/tmp/x");
+  std::vector<std::string> a2 = {"prog", "--outdir=/tmp/y"};
+  EXPECT_EQ(bench::parse_string_flag(2, fake_argv(a2), "--outdir"), "/tmp/y");
+  std::vector<std::string> a3 = {"prog"};
+  EXPECT_EQ(bench::parse_string_flag(1, fake_argv(a3), "--outdir", "dflt"),
+            "dflt");
+}
+
+TEST(BenchFlags, ParseBoolFlag) {
+  std::vector<std::string> a1 = {"prog", "--with-explore"};
+  EXPECT_TRUE(bench::parse_bool_flag(2, fake_argv(a1), "--with-explore"));
+  EXPECT_FALSE(bench::parse_bool_flag(2, fake_argv(a1), "--trace"));
+}
+
+bench::BenchResult sample_result() {
+  bench::BenchResult r;
+  r.name = "unit";
+  r.config["seed"] = "61";
+  r.config["variant"] = "base";
+  r.cycles["total"] = 123456789.0;
+  r.cycles["per_block"] = 421.5;
+  r.wall_ns = 987654321;
+  r.threads = 2;
+  return r;
+}
+
+TEST(BenchJson, SchemaFieldsPresentAndTyped) {
+  const json::Value doc = bench::to_json(sample_result());
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.at("schema").as_string(), "wsp-bench-v1");
+  EXPECT_EQ(doc.at("name").as_string(), "unit");
+  ASSERT_TRUE(doc.at("config").is_object());
+  EXPECT_EQ(doc.at("config").at("seed").as_string(), "61");
+  ASSERT_TRUE(doc.at("cycles").is_object());
+  EXPECT_EQ(doc.at("cycles").at("total").as_number(), 123456789.0);
+  EXPECT_EQ(doc.at("cycles").at("per_block").as_number(), 421.5);
+  EXPECT_EQ(doc.at("wall_ns").as_number(), 987654321.0);
+  EXPECT_EQ(doc.at("threads").as_number(), 2.0);
+  ASSERT_TRUE(doc.at("git_rev").is_string());
+  EXPECT_FALSE(doc.at("git_rev").as_string().empty());
+}
+
+TEST(BenchJson, WriteRoundTripsThroughParser) {
+  const std::string dir = ::testing::TempDir();
+  const std::string path = bench::write_bench_json(sample_result(), dir);
+  ASSERT_FALSE(path.empty());
+  EXPECT_NE(path.find("BENCH_unit.json"), std::string::npos);
+
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::string text;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) text.append(buf, n);
+  std::fclose(f);
+  std::remove(path.c_str());
+
+  const json::Value doc = json::Value::parse(text);
+  EXPECT_EQ(doc.at("schema").as_string(), "wsp-bench-v1");
+  // Large integers must serialize exactly (no exponent notation).
+  EXPECT_NE(text.find("123456789"), std::string::npos);
+  EXPECT_NE(text.find("987654321"), std::string::npos);
+  EXPECT_EQ(doc.at("cycles").at("total").as_number(), 123456789.0);
+}
+
+TEST(BenchJson, WriteFailsIntoMissingDirectory) {
+  EXPECT_EQ(bench::write_bench_json(sample_result(), "/nonexistent-dir-xyz"),
+            "");
+}
+
+}  // namespace
+}  // namespace wsp

@@ -3,12 +3,18 @@
 // Mpz reference or the host crypto library.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <array>
+
 #include "crypto/aes.h"
 #include "crypto/des.h"
+#include "crypto/rc4.h"
+#include "crypto/rsa.h"
 #include "kernels/des_kernel.h"
 #include "kernels/modexp_kernel.h"
 #include "mp/modexp.h"
 #include "mp/prime.h"
+#include "ssl/wep.h"
 #include "support/random.h"
 
 namespace wsp {
@@ -94,6 +100,142 @@ TEST(Fuzz, AesHostEncryptDecryptAllKeySizes) {
     aes::encrypt_block(block.data(), ct, ks);
     aes::decrypt_block(ct, back, ks);
     EXPECT_EQ(std::vector<std::uint8_t>(back, back + 16), block) << iter;
+  }
+}
+
+// --- round-trip laws: decrypt(encrypt(x)) == x -----------------------------
+
+TEST(Fuzz, AesEcbCbcRoundTrip) {
+  Rng rng(707);
+  for (int iter = 0; iter < 15; ++iter) {
+    const std::size_t klen = 8 * (2 + rng.below(3));  // 16/24/32
+    const auto ks = aes::key_schedule(rng.bytes(klen));
+    const auto data = rng.bytes(16 * (1 + rng.below(8)));
+    EXPECT_EQ(aes::decrypt_ecb(aes::encrypt_ecb(data, ks), ks), data) << iter;
+    std::array<std::uint8_t, 16> iv{};
+    const auto ivb = rng.bytes(16);
+    std::copy(ivb.begin(), ivb.end(), iv.begin());
+    EXPECT_EQ(aes::decrypt_cbc(aes::encrypt_cbc(data, ks, iv), ks, iv), data)
+        << iter;
+  }
+}
+
+TEST(Fuzz, DesEcbCbcAndTripleDesRoundTrip) {
+  Rng rng(708);
+  for (int iter = 0; iter < 15; ++iter) {
+    const auto ks = des::key_schedule(rng.next_u64());
+    const auto data = rng.bytes(8 * (1 + rng.below(10)));
+    EXPECT_EQ(des::decrypt_ecb(des::encrypt_ecb(data, ks), ks), data) << iter;
+    const std::uint64_t iv = rng.next_u64();
+    EXPECT_EQ(des::decrypt_cbc(des::encrypt_cbc(data, ks, iv), ks, iv), data)
+        << iter;
+    const auto ks3 = des::triple_key_schedule(rng.next_u64(), rng.next_u64(),
+                                              rng.next_u64());
+    const std::uint64_t block = rng.next_u64();
+    EXPECT_EQ(des::decrypt_block_3des(des::encrypt_block_3des(block, ks3), ks3),
+              block)
+        << iter;
+  }
+}
+
+TEST(Fuzz, Rc4KeystreamIsSelfInverse) {
+  Rng rng(709);
+  for (int iter = 0; iter < 15; ++iter) {
+    const auto key = rng.bytes(1 + rng.below(32));
+    const auto data = rng.bytes(1 + rng.below(512));
+    Rc4 enc(key), dec(key);
+    EXPECT_EQ(dec.process(enc.process(data)), data) << iter;
+  }
+}
+
+TEST(Fuzz, WepSealOpenRoundTripAndCorruptionDetection) {
+  Rng rng(710);
+  for (int iter = 0; iter < 10; ++iter) {
+    const auto key = rng.bytes(iter % 2 == 0 ? 5 : 13);  // 40- / 104-bit WEP
+    const auto payload = rng.bytes(1 + rng.below(256));
+    wep::Frame frame = wep::seal(payload, key, rng);
+    EXPECT_EQ(wep::open(frame, key), payload) << iter;
+    // Any single flipped ciphertext bit must break the ICV.
+    wep::Frame bad = frame;
+    bad.ciphertext[rng.below(bad.ciphertext.size())] ^=
+        static_cast<std::uint8_t>(1u << rng.below(8));
+    EXPECT_THROW(wep::open(bad, key), std::runtime_error) << iter;
+  }
+}
+
+// --- modular-exponentiation edge cases across the algorithm axes -----------
+
+TEST(Fuzz, ModexpTrivialExponentsAllMulAlgos) {
+  // exp = 0 and exp = 1 short-circuit differently in the windowed ladder;
+  // every (algorithm, window) pair must still agree with the reference.
+  Rng rng(711);
+  const MulAlgo algos[] = {MulAlgo::kBasecaseDiv, MulAlgo::kKaratsubaDiv,
+                           MulAlgo::kBarrett, MulAlgo::kMontSOS,
+                           MulAlgo::kMontCIOS};
+  for (const MulAlgo algo : algos) {
+    for (unsigned w = 1; w <= 5; ++w) {
+      ModexpConfig cfg;
+      cfg.mul = algo;
+      cfg.window_bits = w;
+      ModexpEngine engine(cfg);
+      Mpz mod = random_bits(96, rng);
+      if (mod.is_even()) mod = mod + Mpz(1);  // odd: valid for all algos
+      const Mpz base = random_below(mod, rng);
+      EXPECT_EQ(engine.powm(base, Mpz(0), mod), Mpz::powm(base, Mpz(0), mod))
+          << cfg.name();
+      EXPECT_EQ(engine.powm(base, Mpz(1), mod), Mpz::powm(base, Mpz(1), mod))
+          << cfg.name();
+      EXPECT_EQ(engine.powm(Mpz(0), Mpz(5), mod), Mpz::powm(Mpz(0), Mpz(5), mod))
+          << cfg.name();
+      EXPECT_EQ(engine.powm(Mpz(1), base, mod), Mpz::powm(Mpz(1), base, mod))
+          << cfg.name();
+    }
+  }
+}
+
+TEST(Fuzz, ModexpEvenExponentsAgreeAcrossAlgos) {
+  // Even exponents exercise the square-only path of the ladder (no final
+  // multiply for trailing zero bits); all algorithms must agree with the
+  // reference and with each other.
+  Rng rng(712);
+  const MulAlgo algos[] = {MulAlgo::kBasecaseDiv, MulAlgo::kKaratsubaDiv,
+                           MulAlgo::kBarrett, MulAlgo::kMontSOS,
+                           MulAlgo::kMontCIOS};
+  for (int iter = 0; iter < 8; ++iter) {
+    Mpz mod = random_bits(80 + 16 * rng.below(4), rng);
+    if (mod.is_even()) mod = mod + Mpz(1);
+    const Mpz base = random_below(mod, rng);
+    Mpz exp = random_bits(40, rng);
+    if (exp.is_odd()) exp = exp + Mpz(1);  // force even
+    const Mpz want = Mpz::powm(base, exp, mod);
+    for (const MulAlgo algo : algos) {
+      ModexpConfig cfg;
+      cfg.mul = algo;
+      cfg.window_bits = 1 + static_cast<unsigned>(rng.below(5));
+      ModexpEngine engine(cfg);
+      EXPECT_EQ(engine.powm(base, exp, mod), want)
+          << cfg.name() << " iter=" << iter;
+    }
+  }
+}
+
+TEST(Fuzz, ModexpCrtTrivialAndEvenExponents) {
+  // The CRT paths read dp/dq from the CrtKey, so each exponent needs its own
+  // derived key; exp = 0 / 1 / even must match the direct computation mod n.
+  Rng rng(713);
+  const auto key = rsa::generate_key(128, rng);
+  const Mpz c = random_below(key.n, rng);
+  for (const std::int64_t d : {0, 1, 6, 20}) {
+    const CrtKey dk = CrtKey::derive(key.crt.p, key.crt.q, Mpz(d));
+    const Mpz want = Mpz::powm(c, Mpz(d), key.n);
+    for (const CrtMode crt :
+         {CrtMode::kNone, CrtMode::kTextbook, CrtMode::kGarner}) {
+      ModexpConfig cfg;
+      cfg.crt = crt;
+      ModexpEngine engine(cfg);
+      EXPECT_EQ(engine.powm_crt(c, Mpz(d), dk), want)
+          << cfg.name() << " d=" << d;
+    }
   }
 }
 

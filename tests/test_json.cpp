@@ -1,0 +1,103 @@
+// Tests for the minimal JSON layer (src/support/json.*) backing the trace
+// export and the BENCH_*.json artifacts.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "support/json.h"
+
+namespace wsp {
+namespace {
+
+TEST(Json, ScalarConstructionAndAccess) {
+  EXPECT_TRUE(json::Value().is_null());
+  EXPECT_EQ(json::Value(true).as_bool(), true);
+  EXPECT_EQ(json::Value(2.5).as_number(), 2.5);
+  EXPECT_EQ(json::Value(7).as_number(), 7.0);
+  EXPECT_EQ(json::Value("hi").as_string(), "hi");
+  EXPECT_THROW(json::Value(1.0).as_string(), std::runtime_error);
+  EXPECT_THROW(json::Value("x").as_number(), std::runtime_error);
+}
+
+TEST(Json, ObjectAndArrayBuilders) {
+  json::Value doc = json::Value::object();
+  doc["a"] = json::Value(1);
+  doc["b"] = json::Value::array();
+  doc["b"].push_back(json::Value("x"));
+  doc["b"].push_back(json::Value());
+  EXPECT_TRUE(doc.has("a"));
+  EXPECT_FALSE(doc.has("z"));
+  EXPECT_THROW(doc.at("z"), std::runtime_error);
+  EXPECT_EQ(doc.at("b").size(), 2u);
+  EXPECT_EQ(doc.at("b").items()[0].as_string(), "x");
+  EXPECT_TRUE(doc.at("b").items()[1].is_null());
+}
+
+TEST(Json, DumpCompactAndIndented) {
+  json::Value doc = json::Value::object();
+  doc["n"] = json::Value(42);
+  doc["s"] = json::Value("v");
+  EXPECT_EQ(doc.dump(), "{\"n\":42,\"s\":\"v\"}");
+  const std::string pretty = doc.dump(2);
+  EXPECT_NE(pretty.find("\n  \"n\": 42"), std::string::npos);
+}
+
+TEST(Json, IntegersPrintExactly) {
+  // Cycle counts are large integers; they must not pick up exponents.
+  json::Value v(9007199254740991.0);  // 2^53 - 1
+  EXPECT_EQ(v.dump(), "9007199254740991");
+  EXPECT_EQ(json::Value(0).dump(), "0");
+  EXPECT_EQ(json::Value(-17).dump(), "-17");
+  EXPECT_EQ(json::Value(2.5).dump(), "2.5");
+}
+
+TEST(Json, StringEscaping) {
+  EXPECT_EQ(json::Value("a\"b\\c\n\t").dump(), "\"a\\\"b\\\\c\\n\\t\"");
+  EXPECT_EQ(json::escape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(Json, ParseRoundTrip) {
+  const std::string text =
+      "{\"arr\":[1,2.5,-3,true,false,null,\"s\\u0041\"],"
+      "\"nested\":{\"k\":\"v\"}}";
+  const json::Value doc = json::Value::parse(text);
+  const auto& arr = doc.at("arr").items();
+  ASSERT_EQ(arr.size(), 7u);
+  EXPECT_EQ(arr[0].as_number(), 1.0);
+  EXPECT_EQ(arr[1].as_number(), 2.5);
+  EXPECT_EQ(arr[2].as_number(), -3.0);
+  EXPECT_TRUE(arr[3].as_bool());
+  EXPECT_FALSE(arr[4].as_bool());
+  EXPECT_TRUE(arr[5].is_null());
+  EXPECT_EQ(arr[6].as_string(), "sA");  // \u0041 == 'A'
+  EXPECT_EQ(doc.at("nested").at("k").as_string(), "v");
+  // dump -> parse -> dump is a fixed point.
+  EXPECT_EQ(json::Value::parse(doc.dump()).dump(), doc.dump());
+}
+
+TEST(Json, ParseUnicodeEscapesToUtf8) {
+  const json::Value doc =
+      json::Value::parse("[\"\\u00e9\", \"\\u20ac\"]");
+  EXPECT_EQ(doc.items()[0].as_string(), "\xc3\xa9");      // e-acute, 2-byte UTF-8
+  EXPECT_EQ(doc.items()[1].as_string(), "\xe2\x82\xac");  // euro sign, 3-byte UTF-8
+}
+
+TEST(Json, ParseErrors) {
+  EXPECT_THROW(json::Value::parse(""), std::runtime_error);
+  EXPECT_THROW(json::Value::parse("{"), std::runtime_error);
+  EXPECT_THROW(json::Value::parse("[1,]"), std::runtime_error);
+  EXPECT_THROW(json::Value::parse("{\"a\":1} trailing"), std::runtime_error);
+  EXPECT_THROW(json::Value::parse("'single'"), std::runtime_error);
+  EXPECT_THROW(json::Value::parse("{\"a\" 1}"), std::runtime_error);
+  EXPECT_THROW(json::Value::parse("\"unterminated"), std::runtime_error);
+  EXPECT_THROW(json::Value::parse("nul"), std::runtime_error);
+}
+
+TEST(Json, ParseWhitespaceTolerant) {
+  const json::Value doc = json::Value::parse(" { \"a\" : [ 1 , 2 ] } \n");
+  EXPECT_EQ(doc.at("a").size(), 2u);
+}
+
+}  // namespace
+}  // namespace wsp

@@ -1,0 +1,264 @@
+// Tier-2 tests for the observability layer (src/support/trace.*): span
+// balance, counter monotonicity, Chrome-trace schema validity, empty-trace
+// emission, and structural determinism of traced workloads.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <bit>
+#include <map>
+#include <string>
+#include <string_view>
+#include <tuple>
+#include <vector>
+
+#include "kernels/aes_kernel.h"
+#include "ssl/ssl.h"
+#include "support/json.h"
+#include "support/random.h"
+#include "support/threadpool.h"
+#include "support/trace.h"
+
+namespace wsp {
+namespace {
+
+#if WSP_TRACE_ENABLED
+
+const rsa::PrivateKey& server_key() {
+  static const rsa::PrivateKey key = [] {
+    Rng rng(900);
+    return rsa::generate_key(512, rng);
+  }();
+  return key;
+}
+
+std::vector<trace::Event> traced_ssl_session(std::uint64_t seed) {
+  trace::start(trace::Clock::kLogical);
+  Rng rng(seed);
+  ModexpEngine ce{ModexpConfig{}}, se{ModexpConfig{}};
+  auto hs = ssl::perform_handshake(server_key(), ssl::Cipher::kRc4, ce, se, rng);
+  const auto payload = rng.bytes(512);
+  const auto record = hs.client_write.seal(payload);
+  const auto back = hs.client_write.open(record);
+  EXPECT_EQ(back, payload);
+  return trace::stop();
+}
+
+TEST(Trace, SessionCollectsAndStops) {
+  trace::start();
+  EXPECT_TRUE(trace::enabled());
+  trace::begin("t", "outer");
+  trace::counter("t", "n", 1.0);
+  trace::end("t", "outer");
+  const auto events = trace::stop();
+  EXPECT_FALSE(trace::enabled());
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].phase, trace::Phase::kBegin);
+  EXPECT_EQ(events[1].phase, trace::Phase::kCounter);
+  EXPECT_EQ(events[1].value, 1.0);
+  EXPECT_EQ(events[2].phase, trace::Phase::kEnd);
+}
+
+TEST(Trace, NoCollectionWithoutSession) {
+  trace::begin("t", "ignored");
+  trace::end("t", "ignored");
+  trace::start();
+  const auto events = trace::stop();
+  EXPECT_TRUE(events.empty());
+}
+
+TEST(Trace, SpanSkipsEndWhenSessionStopsMidway) {
+  // A Span armed while no session is active must not emit a dangling E.
+  trace::Span idle("t", "idle");
+  trace::start();
+  const auto events = trace::stop();
+  EXPECT_TRUE(events.empty());
+}
+
+TEST(Trace, NestedSpansBalancePerThread) {
+  const auto events = traced_ssl_session(901);
+  ASSERT_FALSE(events.empty());
+  // Every (domain, tid) stream must open/close spans LIFO and end balanced.
+  std::map<std::pair<bool, std::uint32_t>, std::vector<std::string>> stacks;
+  for (const auto& e : events) {
+    auto& stack = stacks[{e.sim_domain, e.tid}];
+    if (e.phase == trace::Phase::kBegin) {
+      stack.push_back(e.name);
+    } else if (e.phase == trace::Phase::kEnd) {
+      ASSERT_FALSE(stack.empty()) << "unmatched E for " << e.name;
+      EXPECT_EQ(stack.back(), e.name);
+      stack.pop_back();
+    }
+  }
+  for (const auto& [key, stack] : stacks) {
+    EXPECT_TRUE(stack.empty())
+        << stack.size() << " unclosed span(s), e.g. " << stack.back();
+  }
+}
+
+TEST(Trace, LogicalClockTimestampsMonotonic) {
+  const auto events = traced_ssl_session(902);
+  std::uint64_t last = 0;
+  for (const auto& e : events) {
+    if (e.sim_domain) continue;  // sim timestamps live on their own clock
+    EXPECT_GE(e.ts, last);
+    last = e.ts;
+  }
+}
+
+TEST(Trace, SimCounterMonotonicity) {
+  // Cycle/retire counters from one simulated machine never decrease.
+  trace::start(trace::Clock::kLogical);
+  kernels::Machine m = kernels::make_aes_machine(kernels::AesKernelVariant::kBase);
+  kernels::AesKernel k(m, kernels::AesKernelVariant::kBase);
+  Rng rng(903);
+  k.set_key(rng.bytes(16));
+  k.encrypt_ecb(rng.bytes(64));
+  const auto events = trace::stop();
+  std::map<std::string, double> last;
+  bool saw_sim_counter = false;
+  for (const auto& e : events) {
+    if (!e.sim_domain || e.phase != trace::Phase::kCounter) continue;
+    if (e.name != "instret" && e.name.rfind("cache", 1) == std::string::npos)
+      continue;
+    saw_sim_counter = true;
+    auto it = last.find(e.name);
+    if (it != last.end()) {
+      EXPECT_GE(e.value, it->second) << e.name;
+    }
+    last[e.name] = e.value;
+  }
+  EXPECT_TRUE(saw_sim_counter);
+}
+
+// Structural key of one event with thread id and timestamp erased — what a
+// trace must preserve when only the worker count changes.
+using StructKey = std::tuple<int, bool, std::string, std::string, std::uint64_t>;
+
+std::vector<StructKey> thread_invariant_keys(
+    const std::vector<trace::Event>& events) {
+  std::vector<StructKey> keys;
+  for (const auto& e : events) {
+    // Pool-occupancy counters legitimately depend on the worker count.
+    if (std::string_view(e.category) == "threadpool") continue;
+    keys.emplace_back(static_cast<int>(e.phase), e.sim_domain, e.category,
+                      e.name, std::bit_cast<std::uint64_t>(e.value));
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+TEST(Trace, EventMultisetIndependentOfThreadCount) {
+  // The same work items traced under --threads 1 (inline) and a real pool
+  // must produce the same event multiset: only tids and timestamps may move.
+  const std::vector<std::uint64_t> seeds = {910, 911, 912, 913};
+  auto run = [&](unsigned threads) {
+    trace::start(trace::Clock::kLogical);
+    parallel_map(threads, seeds, [](std::uint64_t seed) {
+      kernels::Machine m =
+          kernels::make_aes_machine(kernels::AesKernelVariant::kBase);
+      kernels::AesKernel k(m, kernels::AesKernelVariant::kBase);
+      Rng rng(seed);
+      k.set_key(rng.bytes(16));
+      return k.encrypt_ecb(rng.bytes(32));
+    });
+    return trace::stop();
+  };
+  const auto serial = thread_invariant_keys(run(1));
+  const auto pooled = thread_invariant_keys(run(3));
+  ASSERT_FALSE(serial.empty());
+  EXPECT_EQ(serial, pooled);
+}
+
+TEST(Trace, StructuralDigestDeterministicAcrossRuns) {
+  const auto a = traced_ssl_session(904);
+  const auto b = traced_ssl_session(904);
+  ASSERT_FALSE(a.empty());
+  EXPECT_EQ(a.size(), b.size());
+  EXPECT_EQ(trace::structural_digest(a), trace::structural_digest(b));
+  // A structurally different workload (an extra record = extra span pair)
+  // must hash differently.  Note a *different seed alone* hashes equal:
+  // the digest deliberately covers structure, not data or timing.
+  trace::start(trace::Clock::kLogical);
+  Rng rng(904);
+  ModexpEngine ce{ModexpConfig{}}, se{ModexpConfig{}};
+  auto hs = ssl::perform_handshake(server_key(), ssl::Cipher::kRc4, ce, se, rng);
+  const auto payload = rng.bytes(512);
+  hs.client_write.open(hs.client_write.seal(payload));
+  hs.client_write.open(hs.client_write.seal(payload));  // the extra record
+  const auto c = trace::stop();
+  EXPECT_NE(trace::structural_digest(a), trace::structural_digest(c));
+}
+
+#endif  // WSP_TRACE_ENABLED
+
+// --- Chrome-trace export (available in all build flavours) -----------------
+
+TEST(TraceJson, EmptyTraceIsSchemaValid) {
+  const std::string text = trace::to_chrome_json({});
+  const auto doc = json::Value::parse(text);
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_TRUE(doc.has("displayTimeUnit"));
+  ASSERT_TRUE(doc.at("traceEvents").is_array());
+  // Only the two process_name metadata records.
+  ASSERT_EQ(doc.at("traceEvents").size(), 2u);
+  for (const auto& e : doc.at("traceEvents").items()) {
+    EXPECT_EQ(e.at("ph").as_string(), "M");
+    EXPECT_EQ(e.at("name").as_string(), "process_name");
+  }
+}
+
+TEST(TraceJson, EventSchemaFields) {
+  std::vector<trace::Event> events;
+  trace::Event b;
+  b.phase = trace::Phase::kBegin;
+  b.category = "cat";
+  b.name = "span \"quoted\"";
+  b.ts = 10;
+  events.push_back(b);
+  trace::Event c = b;
+  c.phase = trace::Phase::kCounter;
+  c.name = "depth";
+  c.value = 3.0;
+  c.sim_domain = true;
+  c.ts = 1234;
+  events.push_back(c);
+  trace::Event e = b;
+  e.phase = trace::Phase::kEnd;
+  e.ts = 20;
+  events.push_back(e);
+
+  const auto doc = json::Value::parse(trace::to_chrome_json(events));
+  const auto& arr = doc.at("traceEvents").items();
+  ASSERT_EQ(arr.size(), 5u);  // 2 metadata + 3 events
+  const auto& jb = arr[2];
+  EXPECT_EQ(jb.at("ph").as_string(), "B");
+  EXPECT_EQ(jb.at("name").as_string(), "span \"quoted\"");
+  EXPECT_EQ(jb.at("cat").as_string(), "cat");
+  EXPECT_EQ(jb.at("pid").as_number(), 1);  // host domain
+  EXPECT_EQ(jb.at("ts").as_number(), 10);
+  const auto& jc = arr[3];
+  EXPECT_EQ(jc.at("ph").as_string(), "C");
+  EXPECT_EQ(jc.at("pid").as_number(), 2);  // sim domain
+  EXPECT_EQ(jc.at("ts").as_number(), 1234);
+  EXPECT_EQ(jc.at("args").at("value").as_number(), 3.0);
+  const auto& je = arr[4];
+  EXPECT_EQ(je.at("ph").as_string(), "E");
+}
+
+TEST(TraceJson, DigestIgnoresTimestamps) {
+  std::vector<trace::Event> a, b;
+  trace::Event e;
+  e.phase = trace::Phase::kInstant;
+  e.category = "c";
+  e.name = "x";
+  e.ts = 1;
+  a.push_back(e);
+  e.ts = 99999;
+  b.push_back(e);
+  EXPECT_EQ(trace::structural_digest(a), trace::structural_digest(b));
+  b[0].name = "y";
+  EXPECT_NE(trace::structural_digest(a), trace::structural_digest(b));
+}
+
+}  // namespace
+}  // namespace wsp

@@ -1,0 +1,22 @@
+#!/usr/bin/env sh
+# ASan/UBSan gate: builds the repo with -fsanitize=address,undefined and runs
+# the tier-1 correctness core plus the observability tests.
+#
+# Usage: tools/ci/sanitize.sh [build-dir]   (default: build-asan)
+set -eu
+
+BUILD_DIR="${1:-build-asan}"
+SRC_DIR="$(cd "$(dirname "$0")/../.." && pwd)"
+JOBS="$(nproc 2>/dev/null || echo 2)"
+
+cmake -B "$BUILD_DIR" -S "$SRC_DIR" -DWSP_SANITIZE=address,undefined
+cmake --build "$BUILD_DIR" -j "$JOBS"
+
+export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=0}"
+export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}"
+
+cd "$BUILD_DIR"
+ctest -L tier1 --output-on-failure
+ctest -R 'Trace|TraceJson|Json\.|BenchFlags|BenchJson' --output-on-failure
+
+echo "sanitize.sh: tier1 + observability tests clean under ASan/UBSan"

@@ -1,0 +1,201 @@
+// trace2txt — summarize a Chrome-trace JSON file produced by the wsp trace
+// layer (`--trace FILE` on any bench binary, or trace::write_chrome_json).
+//
+// Usage:
+//   trace2txt FILE.json [--top N]
+//
+// Prints, per clock domain (pid 1 "host", pid 2 "xr32-sim-cycles"):
+//   * total event count and per-phase breakdown,
+//   * the top N span names by inclusive duration (B/E pairs, per tid),
+//   * the final and peak value of every counter series.
+// Exit status: 0 on success, 1 on I/O or parse errors, 2 on malformed
+// traces (unbalanced spans, missing required fields).
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "support/json.h"
+
+namespace {
+
+struct SpanStats {
+  double total = 0.0;  // inclusive duration, summed over invocations
+  std::uint64_t count = 0;
+};
+
+struct CounterStats {
+  double last = 0.0;
+  double peak = 0.0;
+  std::uint64_t samples = 0;
+};
+
+struct DomainSummary {
+  std::map<std::string, std::uint64_t> phase_counts;
+  std::map<std::string, SpanStats> spans;        // "cat/name"
+  std::map<std::string, CounterStats> counters;  // "cat/name"
+  std::uint64_t events = 0;
+};
+
+std::string read_file(const char* path, bool& ok) {
+  std::FILE* f = std::fopen(path, "rb");
+  if (!f) {
+    ok = false;
+    return {};
+  }
+  std::string out;
+  char buf[1 << 16];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) out.append(buf, n);
+  ok = std::ferror(f) == 0;
+  std::fclose(f);
+  return out;
+}
+
+const char* domain_label(int pid) {
+  return pid == 2 ? "xr32-sim-cycles" : "host";
+}
+
+const char* unit_label(int pid) { return pid == 2 ? "cycles" : "ns"; }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* path = nullptr;
+  std::size_t top = 10;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--top") == 0 && i + 1 < argc) {
+      top = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (!path) {
+      path = argv[i];
+    } else {
+      std::fprintf(stderr, "usage: trace2txt FILE.json [--top N]\n");
+      return 1;
+    }
+  }
+  if (!path) {
+    std::fprintf(stderr, "usage: trace2txt FILE.json [--top N]\n");
+    return 1;
+  }
+
+  bool ok = true;
+  const std::string text = read_file(path, ok);
+  if (!ok) {
+    std::fprintf(stderr, "trace2txt: cannot read %s\n", path);
+    return 1;
+  }
+
+  wsp::json::Value doc;
+  try {
+    doc = wsp::json::Value::parse(text);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "trace2txt: %s: %s\n", path, e.what());
+    return 1;
+  }
+  if (!doc.is_object() || !doc.has("traceEvents") ||
+      !doc.at("traceEvents").is_array()) {
+    std::fprintf(stderr, "trace2txt: %s: no traceEvents array\n", path);
+    return 2;
+  }
+
+  // (pid, tid) -> stack of (key, begin-ts) for B/E pairing.
+  std::map<std::pair<int, int>, std::vector<std::pair<std::string, double>>>
+      open_spans;
+  std::map<int, DomainSummary> domains;
+  bool malformed = false;
+
+  for (const auto& e : doc.at("traceEvents").items()) {
+    try {
+      const std::string& ph = e.at("ph").as_string();
+      if (ph == "M") continue;  // metadata
+      const int pid = static_cast<int>(e.at("pid").as_number());
+      const int tid = static_cast<int>(e.at("tid").as_number());
+      const std::string& name = e.at("name").as_string();
+      const std::string& cat =
+          e.has("cat") ? e.at("cat").as_string() : std::string("?");
+      const double ts = e.at("ts").as_number();
+      const std::string key = cat + "/" + name;
+
+      DomainSummary& d = domains[pid];
+      ++d.events;
+      ++d.phase_counts[ph];
+
+      if (ph == "B") {
+        open_spans[{pid, tid}].emplace_back(key, ts);
+      } else if (ph == "E") {
+        auto& stack = open_spans[{pid, tid}];
+        if (stack.empty() || stack.back().first != key) {
+          std::fprintf(stderr, "trace2txt: unbalanced E event '%s' (pid %d tid %d)\n",
+                       key.c_str(), pid, tid);
+          malformed = true;
+          continue;
+        }
+        SpanStats& s = d.spans[key];
+        s.total += ts - stack.back().second;
+        ++s.count;
+        stack.pop_back();
+      } else if (ph == "C") {
+        const double v = e.at("args").at("value").as_number();
+        CounterStats& c = d.counters[key];
+        c.last = v;
+        c.peak = c.samples == 0 ? v : std::max(c.peak, v);
+        ++c.samples;
+      }
+    } catch (const std::exception& ex) {
+      std::fprintf(stderr, "trace2txt: malformed event: %s\n", ex.what());
+      malformed = true;
+    }
+  }
+  for (const auto& [key, stack] : open_spans) {
+    if (!stack.empty()) {
+      std::fprintf(stderr,
+                   "trace2txt: %zu span(s) never closed (pid %d tid %d), "
+                   "e.g. '%s'\n",
+                   stack.size(), key.first, key.second,
+                   stack.back().first.c_str());
+      malformed = true;
+    }
+  }
+
+  std::printf("%s: %zu event(s), %zu clock domain(s)\n\n", path,
+              static_cast<std::size_t>([&] {
+                std::uint64_t n = 0;
+                for (const auto& [pid, d] : domains) n += d.events;
+                return n;
+              }()),
+              domains.size());
+
+  for (const auto& [pid, d] : domains) {
+    std::printf("== %s (pid %d) — %llu events\n", domain_label(pid), pid,
+                static_cast<unsigned long long>(d.events));
+    std::printf("   phases:");
+    for (const auto& [ph, n] : d.phase_counts)
+      std::printf(" %s=%llu", ph.c_str(), static_cast<unsigned long long>(n));
+    std::printf("\n");
+
+    if (!d.spans.empty()) {
+      std::vector<std::pair<std::string, SpanStats>> ranked(d.spans.begin(),
+                                                            d.spans.end());
+      std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+        return a.second.total > b.second.total;
+      });
+      std::printf("   top spans by inclusive %s:\n", unit_label(pid));
+      for (std::size_t i = 0; i < ranked.size() && i < top; ++i) {
+        std::printf("     %12.0f  x%-6llu %s\n", ranked[i].second.total,
+                    static_cast<unsigned long long>(ranked[i].second.count),
+                    ranked[i].first.c_str());
+      }
+    }
+    if (!d.counters.empty()) {
+      std::printf("   counters (last / peak / samples):\n");
+      for (const auto& [key, c] : d.counters) {
+        std::printf("     %14.0f %14.0f  x%-6llu %s\n", c.last, c.peak,
+                    static_cast<unsigned long long>(c.samples), key.c_str());
+      }
+    }
+    std::printf("\n");
+  }
+  return malformed ? 2 : 0;
+}
