@@ -11,7 +11,7 @@
 //
 // Flags:
 //   --outdir DIR     where to write BENCH_*.json (default ".")
-//   --only NAME      run a single section (fig1|table1|fig4|fig5|fig6|fig8)
+//   --only NAME      run a single section (fig1|table1|fig4|fig5|fig6|fig8|server)
 //   --with-explore   also run the Sec. 4.3 sweep (adds ~30 s)
 //   --threads N      worker threads for the explore sweep
 //   --trace FILE     write a Chrome-trace of this run
@@ -22,6 +22,7 @@
 
 #include "bench_util.h"
 #include "explore/space.h"
+#include "server_section.h"
 #include "kernels/aes_kernel.h"
 #include "kernels/des_kernel.h"
 #include "kernels/modexp_kernel.h"
@@ -289,6 +290,34 @@ bench::BenchResult run_fig8() {
   return r;
 }
 
+// --- Secure-session server: Fig. 8 transactions under load ----------------
+bench::BenchResult run_server() {
+  WSP_TRACE_SPAN("bench", "server");
+  bench::BenchResult r;
+  r.name = "server";
+  r.config = {{"seed", "71"}, {"sessions", "64"}, {"shards", "4"},
+              {"rsa_bits", "512"}};
+  const auto t0 = Clock::now();
+  server::EngineConfig cfg;
+  cfg.threads = 2;  // metrics are thread-count invariant (docs/server.md)
+  cfg.shards = 4;
+  {
+    server::Engine engine(cfg);
+    bench::append_server_metrics(r, "steady/",
+                                 engine.run(bench::steady_scenario(71, 64)));
+  }
+  {
+    server::EngineConfig over = cfg;
+    over.queue_capacity = 8;  // tight waiting room: overload must shed load
+    server::Engine engine(over);
+    bench::append_server_metrics(r, "overload/",
+                                 engine.run(bench::overload_scenario(72, 96)));
+  }
+  r.wall_ns = ns_since(t0);
+  r.threads = cfg.threads;
+  return r;
+}
+
 // --- Sec. 4.3 sweep (optional: the slow one) -------------------------------
 bench::BenchResult run_explore(unsigned threads) {
   WSP_TRACE_SPAN("bench", "sec43_explore");
@@ -334,6 +363,7 @@ int main(int argc, char** argv) {
   const Section sections[] = {
       {"fig1", run_fig1},   {"table1", run_table1}, {"fig4", run_fig4},
       {"fig5", run_fig5},   {"fig6", run_fig6},     {"fig8", run_fig8},
+      {"server", run_server},
   };
 
   std::vector<bench::BenchResult> results;

@@ -1,0 +1,137 @@
+// Secure-session server engine under deterministic traffic: the Fig. 8
+// transaction model served concurrently instead of one transaction at a
+// time.  Reports throughput, latency percentiles and drop accounting on the
+// platform-cycle (virtual) timeline, plus the total crypto work priced
+// through the base and optimized platform cost models.
+//
+// Determinism contract (docs/server.md): for a fixed --seed, every metric
+// printed under "deterministic" — completed sessions, per-session byte
+// totals (pinned by the digest), latency percentiles, platform-equivalent
+// cycles — is identical for ANY --threads value.
+//
+// Flags:
+//   --threads N     worker threads (default: hardware)
+//   --seed S        scenario seed (default 71)
+//   --sessions N    arrivals per scenario (default 96)
+//   --shards N      table/scheduler/service shards (default 4)
+//   --queue-cap N   per-shard waiting room for the steady/closed runs
+//   --scenario S    steady|overload|closed|all (default all)
+//   --outdir DIR    write BENCH_server.json here (default ".")
+//   --trace FILE    write a Chrome-trace of this run
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "bench_util.h"
+#include "server_section.h"
+
+namespace {
+
+using namespace wsp;
+
+void print_report(const char* name, const server::RunReport& rep) {
+  std::printf("\n--- %s ---\n", name);
+  std::printf("  offered %llu | admitted %llu | completed %llu | dropped %llu\n",
+              static_cast<unsigned long long>(rep.offered),
+              static_cast<unsigned long long>(rep.admitted),
+              static_cast<unsigned long long>(rep.completed),
+              static_cast<unsigned long long>(rep.dropped));
+  std::printf("  records %llu, wire bytes %llu, digest %08x\n",
+              static_cast<unsigned long long>(rep.records),
+              static_cast<unsigned long long>(rep.wire_bytes),
+              rep.bytes_digest);
+  std::printf("  latency (Mcycles): p50 %.2f  p90 %.2f  p99 %.2f  max %.2f\n",
+              rep.latency.p50 / 1e6, rep.latency.p90 / 1e6,
+              rep.latency.p99 / 1e6, rep.latency.max / 1e6);
+  std::printf("  throughput %.2f sessions/Gcycle over %.1f Mcycles makespan\n",
+              rep.throughput_per_gcycle, rep.makespan_cycles / 1e6);
+  std::printf("  queue depth peak %zu (virtual), %zu (real); live sessions peak %zu\n",
+              rep.peak_virtual_depth, rep.peak_real_depth, rep.peak_sessions);
+  std::printf("  platform-equivalent: base %.1f Mcycles vs opt %.1f Mcycles -> %.2fX\n",
+              rep.platform_cycles_base / 1e6,
+              rep.platform_cycles_optimized / 1e6, rep.equivalent_speedup);
+  std::printf("  host: %.1f ms wall on %u threads, %llu backpressure waits\n",
+              static_cast<double>(rep.wall_ns) / 1e6, rep.threads,
+              static_cast<unsigned long long>(rep.backpressure_waits));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace wsp;
+  bench::header("Secure-session server engine: concurrent SSL transactions",
+                "paper Fig. 8 workload under load; docs/server.md");
+
+  const unsigned threads =
+      bench::parse_threads(argc, argv, ThreadPool::hardware_threads());
+  const auto seed = static_cast<std::uint64_t>(std::strtoull(
+      bench::parse_string_flag(argc, argv, "--seed", "71").c_str(), nullptr, 10));
+  const auto sessions = static_cast<std::size_t>(std::strtoull(
+      bench::parse_string_flag(argc, argv, "--sessions", "96").c_str(), nullptr,
+      10));
+  const auto shards = static_cast<unsigned>(std::strtoul(
+      bench::parse_string_flag(argc, argv, "--shards", "4").c_str(), nullptr,
+      10));
+  const auto queue_cap = static_cast<std::size_t>(std::strtoull(
+      bench::parse_string_flag(argc, argv, "--queue-cap", "64").c_str(),
+      nullptr, 10));
+  const std::string which =
+      bench::parse_string_flag(argc, argv, "--scenario", "all");
+  const std::string outdir =
+      bench::parse_string_flag(argc, argv, "--outdir", ".");
+  const std::string trace_path = bench::maybe_start_trace(argc, argv);
+
+  server::EngineConfig cfg;
+  cfg.threads = threads;
+  cfg.shards = shards;
+  cfg.queue_capacity = queue_cap;
+
+  bench::BenchResult result;
+  result.name = "server";
+  result.threads = threads;
+  result.config = {{"seed", std::to_string(seed)},
+                   {"sessions", std::to_string(sessions)},
+                   {"shards", std::to_string(shards)},
+                   {"queue_cap", std::to_string(queue_cap)},
+                   {"rsa_bits", std::to_string(cfg.rsa_bits)}};
+
+  std::printf("\n%u threads, %u shards, queue capacity %zu, %zu sessions/run\n",
+              threads, shards, queue_cap, sessions);
+
+  if (which == "all" || which == "steady") {
+    server::Engine engine(cfg);
+    const auto rep = engine.run(bench::steady_scenario(seed, sessions));
+    print_report("steady (open loop, 0.6x capacity)", rep);
+    bench::append_server_metrics(result, "steady/", rep);
+  }
+  if (which == "all" || which == "overload") {
+    server::EngineConfig over = cfg;
+    over.queue_capacity = std::min<std::size_t>(queue_cap, 16);
+    server::Engine engine(over);
+    const auto rep = engine.run(bench::overload_scenario(seed + 1, sessions));
+    print_report("overload (open loop, 2.5x capacity)", rep);
+    bench::append_server_metrics(result, "overload/", rep);
+    if (rep.dropped == 0) {
+      std::fprintf(stderr, "overload scenario produced no drops — "
+                           "admission control broken\n");
+      return 1;
+    }
+  }
+  if (which == "all" || which == "closed") {
+    server::Engine engine(cfg);
+    const auto rep = engine.run(
+        bench::closed_scenario(seed + 2, sessions / 2, 2 * shards));
+    print_report("closed loop (fixed user population)", rep);
+    bench::append_server_metrics(result, "closed/", rep);
+  }
+
+  const std::string path = bench::write_bench_json(result, outdir);
+  if (path.empty()) {
+    std::fprintf(stderr, "FAILED to write BENCH_server.json\n");
+    return 1;
+  }
+  std::printf("\nwrote %s\n", path.c_str());
+  bench::maybe_finish_trace(trace_path);
+  return 0;
+}

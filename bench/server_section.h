@@ -1,0 +1,83 @@
+// Shared glue between the secure-session server engine and the wsp-bench-v1
+// artifact layer: canonical scenarios (the Fig. 8 grid under steady load,
+// over-admission, and a closed-loop population) and the RunReport ->
+// BenchResult metric mapping used by bench_server, bench_report and the
+// schema tests.
+#pragma once
+
+#include <string>
+
+#include "bench_util.h"
+#include "server/engine.h"
+
+namespace wsp::bench {
+
+/// Steady open-loop load: ~60% of modeled capacity, full Fig. 8 mix.
+inline server::TrafficScenario steady_scenario(std::uint64_t seed,
+                                               std::size_t sessions) {
+  server::TrafficScenario s;
+  s.seed = seed;
+  s.sessions = sessions;
+  s.model = server::ArrivalModel::kOpenLoop;
+  s.offered_load = 0.6;
+  return s;
+}
+
+/// Sustained over-admission: 2.5x capacity — must produce drops while the
+/// bounded waiting room keeps latency and queue depth finite.
+inline server::TrafficScenario overload_scenario(std::uint64_t seed,
+                                                 std::size_t sessions) {
+  server::TrafficScenario s;
+  s.seed = seed;
+  s.sessions = sessions;
+  s.model = server::ArrivalModel::kOpenLoop;
+  s.offered_load = 2.5;
+  return s;
+}
+
+/// Closed loop: a fixed population of users, think time ~ half a mean
+/// service interval.
+inline server::TrafficScenario closed_scenario(std::uint64_t seed,
+                                               std::size_t sessions,
+                                               unsigned users) {
+  server::TrafficScenario s;
+  s.seed = seed;
+  s.sessions = sessions;
+  s.model = server::ArrivalModel::kClosedLoop;
+  s.users = users;
+  s.think_cycles = 6e6;
+  return s;
+}
+
+/// Flattens the deterministic part of a RunReport into `r.cycles` under
+/// `prefix` ("steady/", "overload/", ...).  Host-dependent fields (wall
+/// time, backpressure waits, real queue peaks) are deliberately excluded:
+/// every metric written here must be byte-identical run-to-run and
+/// thread-count-to-thread-count.
+inline void append_server_metrics(BenchResult& r, const std::string& prefix,
+                                  const server::RunReport& rep) {
+  auto put = [&](const char* key, double value) {
+    r.cycles[prefix + key] = value;
+  };
+  put("offered", static_cast<double>(rep.offered));
+  put("admitted", static_cast<double>(rep.admitted));
+  put("completed", static_cast<double>(rep.completed));
+  put("dropped", static_cast<double>(rep.dropped));
+  put("records", static_cast<double>(rep.records));
+  put("wire_bytes", static_cast<double>(rep.wire_bytes));
+  put("bytes_digest", static_cast<double>(rep.bytes_digest));
+  put("latency_p50_cycles", rep.latency.p50);
+  put("latency_p90_cycles", rep.latency.p90);
+  put("latency_p99_cycles", rep.latency.p99);
+  put("latency_max_cycles", rep.latency.max);
+  put("makespan_cycles", rep.makespan_cycles);
+  put("throughput_per_gcycle", rep.throughput_per_gcycle);
+  put("queue_depth_peak", static_cast<double>(rep.peak_virtual_depth));
+  put("sessions_peak", static_cast<double>(rep.peak_sessions));
+  put("mean_service_cycles", rep.mean_service_cycles);
+  put("platform_cycles_base", rep.platform_cycles_base);
+  put("platform_cycles_opt", rep.platform_cycles_optimized);
+  put("platform_equiv_speedup", rep.equivalent_speedup);
+}
+
+}  // namespace wsp::bench

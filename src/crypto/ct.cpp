@@ -1,0 +1,19 @@
+#include "crypto/ct.h"
+
+namespace wsp::ct {
+
+bool equal(const std::uint8_t* a, const std::uint8_t* b, std::size_t n) {
+  volatile std::uint8_t diff = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    diff = static_cast<std::uint8_t>(diff | (a[i] ^ b[i]));
+  }
+  return diff == 0;
+}
+
+bool equal(const std::vector<std::uint8_t>& a,
+           const std::vector<std::uint8_t>& b) {
+  if (a.size() != b.size()) return false;
+  return equal(a.data(), b.data(), a.size());
+}
+
+}  // namespace wsp::ct

@@ -1,0 +1,27 @@
+// Constant-time comparison for authenticator verification.
+//
+// Early-exit comparisons (operator==, std::equal) leak the index of the
+// first mismatching byte through timing, which lets an attacker forge a MAC
+// one byte at a time.  Every MAC/ICV check in the protocol layers (SSL
+// record MACs, ESP ICVs, WEP ICVs) must go through these helpers instead.
+//
+// The running time of equal() depends only on `n`, never on the contents:
+// the byte loop accumulates the XOR difference into a volatile so the
+// compiler cannot short-circuit or vectorize a data-dependent exit.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace wsp::ct {
+
+/// Compares `n` bytes of `a` and `b` in time independent of the contents.
+bool equal(const std::uint8_t* a, const std::uint8_t* b, std::size_t n);
+
+/// Vector convenience overload.  Length is considered public (record
+/// framing reveals it), so a size mismatch returns false immediately.
+bool equal(const std::vector<std::uint8_t>& a,
+           const std::vector<std::uint8_t>& b);
+
+}  // namespace wsp::ct

@@ -1,0 +1,245 @@
+#include "server/engine.h"
+
+#include <algorithm>
+#include <chrono>
+#include <deque>
+#include <string>
+
+#include "server/session_table.h"
+#include "support/trace.h"
+
+namespace wsp::server {
+
+ssl::PlatformCosts calibrated_costs(Pricing pricing) {
+  // Component costs from the Fig. 8 ISS measurement (bench_fig8_ssl /
+  // bench_report --only fig8, seed 21: RSA-1024 ops, 3DES record cipher on
+  // the base and TIE-optimized cores).  Baked in as constants so pricing a
+  // session is arithmetic, not an ISS run; the unaccelerated misc/hash
+  // shares come from ssl::misc_cost_defaults() either way.
+  ssl::PlatformCosts c = ssl::misc_cost_defaults();
+  if (pricing == Pricing::kBase) {
+    c.rsa_private_cycles = 89884113.0;
+    c.rsa_public_cycles = 997801.0;
+    c.symmetric_cycles_per_byte = 1660.8;
+  } else {
+    c.rsa_private_cycles = 3869594.0;
+    c.rsa_public_cycles = 175720.0;
+    c.symmetric_cycles_per_byte = 44.3;
+  }
+  return c;
+}
+
+namespace {
+
+double quantile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+// FNV-1a over the per-session (id, wire_bytes, records) triples, folded to
+// 32 bits so the digest survives a double-typed JSON field exactly.
+struct Digest {
+  std::uint64_t h = 1469598103934665603ULL;
+  void mix(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xFF;
+      h *= 1099511628211ULL;
+    }
+  }
+  std::uint32_t fold() const {
+    return static_cast<std::uint32_t>(h ^ (h >> 32));
+  }
+};
+
+}  // namespace
+
+Engine::Engine(const EngineConfig& config) : config_(config) {
+  config_.threads = std::max(1u, config_.threads);
+  config_.shards = std::max(1u, config_.shards);
+  config_.queue_capacity = std::max<std::size_t>(1, config_.queue_capacity);
+  config_.record_batch = std::max<std::size_t>(1, config_.record_batch);
+}
+
+RunReport Engine::run(const TrafficScenario& scenario) {
+  WSP_TRACE_SPAN("server", "run");
+  using Clock = std::chrono::steady_clock;
+  const auto t0 = Clock::now();
+
+  RunReport rep;
+  rep.threads = config_.threads;
+  const unsigned shards = config_.shards;
+  rep.shards.resize(shards);
+
+  const ssl::PlatformCosts price = calibrated_costs(config_.pricing);
+  const ssl::PlatformCosts base = calibrated_costs(Pricing::kBase);
+  const ssl::PlatformCosts opt = calibrated_costs(Pricing::kOptimized);
+
+  double mean_service = 0.0;
+  for (const std::size_t bytes : scenario.transaction_sizes) {
+    mean_service += ssl::transaction_cost(price, bytes).total();
+  }
+  mean_service /= static_cast<double>(scenario.transaction_sizes.size());
+  rep.mean_service_cycles = mean_service;
+
+  TrafficGenerator gen(scenario, mean_service, shards);
+
+  // Real execution: one server key per run (the server's identity), worker
+  // pool, bounded scheduler, sharded connection table.
+  Rng key_rng(scenario.seed ^ 0xC3A5C85C97CB3127ULL);
+  const rsa::PrivateKey server_key =
+      rsa::generate_key(config_.rsa_bits, key_rng);
+  ThreadPool pool(config_.threads);
+  SessionTable table(shards);
+  RecordScheduler sched(pool, shards, config_.queue_capacity,
+                        config_.record_batch);
+
+  // Virtual-time queueing state: per shard, one FIFO service unit with a
+  // waiting room of queue_capacity sessions.
+  struct VirtualShard {
+    std::deque<double> completions;  ///< scheduled completion times, FIFO
+    double busy_until = 0.0;
+  };
+  std::vector<VirtualShard> vq(shards);
+
+  // Each admitted session writes exactly one slot; slots are only read
+  // after drain().  deque: stable addresses under push_back.
+  struct Slot {
+    std::uint64_t id = 0;
+    unsigned shard = 0;
+    std::uint64_t wire_bytes = 0;
+    std::uint64_t records = 0;
+    bool completed = false;
+  };
+  std::deque<Slot> slots;
+
+  std::vector<double> latencies;
+
+  while (auto arrival = gen.next()) {
+    ++rep.offered;
+    const unsigned shard = static_cast<unsigned>(arrival->id % shards);
+    VirtualShard& v = vq[shard];
+    while (!v.completions.empty() &&
+           v.completions.front() <= arrival->at_cycles) {
+      v.completions.pop_front();
+    }
+
+    if (v.completions.size() >= config_.queue_capacity) {
+      ++rep.dropped;
+      ++rep.shards[shard].dropped;
+      WSP_TRACE_INSTANT("server", "drop/shard" + std::to_string(shard));
+      gen.on_outcome(*arrival, arrival->at_cycles, /*dropped=*/true);
+      continue;
+    }
+
+    const double service =
+        ssl::transaction_cost(price, arrival->transaction_bytes).total();
+    const double start = std::max(v.busy_until, arrival->at_cycles);
+    const double completion = start + service;
+    v.busy_until = completion;
+    v.completions.push_back(completion);
+    rep.shards[shard].peak_virtual_depth =
+        std::max(rep.shards[shard].peak_virtual_depth, v.completions.size());
+    // Peak concurrent live sessions, on the virtual timeline: evict every
+    // shard up to this arrival so the in-system count is exact, not the
+    // lazily-evicted per-shard view.
+    std::size_t in_system = 0;
+    for (VirtualShard& other : vq) {
+      while (!other.completions.empty() &&
+             other.completions.front() <= arrival->at_cycles) {
+        other.completions.pop_front();
+      }
+      in_system += other.completions.size();
+    }
+    rep.peak_sessions = std::max(rep.peak_sessions, in_system);
+    latencies.push_back(completion - arrival->at_cycles);
+    rep.makespan_cycles = std::max(rep.makespan_cycles, completion);
+    rep.platform_cycles_base +=
+        ssl::transaction_cost(base, arrival->transaction_bytes).total();
+    rep.platform_cycles_optimized +=
+        ssl::transaction_cost(opt, arrival->transaction_bytes).total();
+    ++rep.admitted;
+    ++rep.shards[shard].admitted;
+    gen.on_outcome(*arrival, completion, /*dropped=*/false);
+
+    slots.push_back(Slot{arrival->id, shard, 0, 0, false});
+    Slot* slot = &slots.back();
+    SessionConfig cfg;
+    cfg.id = arrival->id;
+    cfg.cipher = arrival->cipher;
+    cfg.transaction_bytes = arrival->transaction_bytes;
+    cfg.record_bytes = scenario.record_bytes;
+    cfg.seed = arrival->session_seed;
+    Session* session = table.insert(std::make_unique<Session>(cfg));
+    WSP_TRACE_COUNTER("server", "live_sessions",
+                      static_cast<double>(table.size()));
+
+    const std::size_t batch = config_.record_batch;
+    sched.push(shard, [slot, session, &table, &server_key, batch] {
+      try {
+        ModexpEngine client_engine{ModexpConfig{}};
+        ModexpConfig server_cfg;  // the explored-optimal configuration
+        server_cfg.mul = MulAlgo::kMontCIOS;
+        server_cfg.window_bits = 5;
+        server_cfg.crt = CrtMode::kGarner;
+        server_cfg.caching = Caching::kFull;
+        ModexpEngine server_engine(server_cfg);
+        session->handshake(server_key, client_engine, server_engine);
+        while (!session->finished()) session->pump(batch);
+        session->teardown();
+        slot->wire_bytes = session->wire_bytes();
+        slot->records = session->records();
+        slot->completed = true;
+      } catch (...) {
+        // Never throw out of the pool; an incomplete slot is the record.
+      }
+      table.erase(slot->id);
+    });
+  }
+
+  sched.drain();
+
+  Digest digest;
+  for (const Slot& slot : slots) {
+    if (!slot.completed) continue;
+    ++rep.completed;
+    rep.wire_bytes += slot.wire_bytes;
+    rep.records += slot.records;
+    rep.shards[slot.shard].wire_bytes += slot.wire_bytes;
+    rep.shards[slot.shard].records += slot.records;
+    digest.mix(slot.id);
+    digest.mix(slot.wire_bytes);
+    digest.mix(slot.records);
+  }
+  rep.bytes_digest = digest.fold();
+
+  std::sort(latencies.begin(), latencies.end());
+  rep.latency.p50 = quantile(latencies, 0.50);
+  rep.latency.p90 = quantile(latencies, 0.90);
+  rep.latency.p99 = quantile(latencies, 0.99);
+  rep.latency.max = latencies.empty() ? 0.0 : latencies.back();
+  if (rep.makespan_cycles > 0.0) {
+    rep.throughput_per_gcycle =
+        static_cast<double>(rep.completed) * 1e9 / rep.makespan_cycles;
+  }
+  for (unsigned s = 0; s < shards; ++s) {
+    rep.peak_virtual_depth =
+        std::max(rep.peak_virtual_depth, rep.shards[s].peak_virtual_depth);
+    const ShardCounters counters = sched.counters(s);
+    rep.backpressure_waits += counters.backpressure_waits;
+    rep.peak_real_depth = std::max(rep.peak_real_depth, counters.peak_depth);
+  }
+  if (rep.platform_cycles_optimized > 0.0) {
+    rep.equivalent_speedup =
+        rep.platform_cycles_base / rep.platform_cycles_optimized;
+  }
+  rep.wall_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - t0)
+          .count());
+  return rep;
+}
+
+}  // namespace wsp::server

@@ -1,0 +1,112 @@
+// wsp::server::Engine — the secure-session server: concurrent session
+// execution over the sharded table and batched scheduler, with a
+// deterministic virtual-time queueing model for admission control and
+// latency accounting.
+//
+// Two timelines run side by side:
+//
+//   * VIRTUAL (platform cycles): each session's crypto work is priced
+//     through the ssl::workload cost model (transaction_cost), and each
+//     shard is modeled as a FIFO service unit with a bounded waiting room
+//     of `queue_capacity` sessions.  Arrivals, admissions, DROPS, queue
+//     depths, latencies and throughput all live on this timeline and are
+//     computed in arrival order on the calling thread — bit-identical for
+//     any worker-thread count.
+//
+//   * REAL (host): every admitted session actually performs its handshake
+//     (real RSA), record stream (real MAC-then-encrypt seal/open) and
+//     teardown on the thread pool via the RecordScheduler, which bounds
+//     real queue memory through blocking backpressure.  Completed-session
+//     counts and per-session byte totals come from this execution; they
+//     are deterministic because every session's randomness is derived from
+//     its own seed.
+//
+// The determinism contract (what `--threads N` may never change) is spelled
+// out in docs/server.md.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "server/scheduler.h"
+#include "server/session.h"
+#include "server/traffic.h"
+#include "ssl/workload.h"
+
+namespace wsp::server {
+
+/// Which platform configuration prices the virtual service times.
+enum class Pricing { kBase, kOptimized };
+
+/// Fig. 8 component costs measured on the ISS (seed 21, RSA-1024, 3DES
+/// record cipher) — the bench_fig8/bench_report measurement, baked in so
+/// the server's virtual timeline never depends on re-running the ISS.
+ssl::PlatformCosts calibrated_costs(Pricing pricing);
+
+struct EngineConfig {
+  unsigned threads = 1;          ///< worker threads (clamped >= 1)
+  unsigned shards = 4;           ///< session-table / scheduler / service shards
+  std::size_t queue_capacity = 64;  ///< per-shard waiting room AND real bound
+  std::size_t record_batch = 16;    ///< records per execution quantum
+  std::size_t rsa_bits = 512;    ///< server key size for the real handshakes
+  Pricing pricing = Pricing::kOptimized;  ///< service-time platform
+};
+
+struct LatencyStats {
+  double p50 = 0.0, p90 = 0.0, p99 = 0.0, max = 0.0;  ///< virtual cycles
+};
+
+struct ShardReport {
+  std::uint64_t admitted = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t wire_bytes = 0;
+  std::uint64_t records = 0;
+  std::size_t peak_virtual_depth = 0;
+};
+
+struct RunReport {
+  // --- deterministic (identical for any --threads) ---
+  std::uint64_t offered = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t completed = 0;  ///< sessions fully executed and torn down
+  std::uint64_t dropped = 0;
+  std::uint64_t records = 0;
+  std::uint64_t wire_bytes = 0;
+  /// FNV-1a over (id, wire_bytes, records) in id order, folded to 32 bits:
+  /// one number that pins every per-session byte total.
+  std::uint32_t bytes_digest = 0;
+  LatencyStats latency;
+  double makespan_cycles = 0.0;  ///< last virtual completion
+  double throughput_per_gcycle = 0.0;  ///< completed sessions per 1e9 cycles
+  std::size_t peak_virtual_depth = 0;  ///< max modeled queue depth, any shard
+  std::size_t peak_sessions = 0;  ///< max concurrent live sessions (virtual)
+  double mean_service_cycles = 0.0;
+  /// Total crypto work of the completed sessions priced through the cost
+  /// model for both platform configurations ("platform-equivalent" cost).
+  double platform_cycles_base = 0.0;
+  double platform_cycles_optimized = 0.0;
+  double equivalent_speedup = 0.0;
+  std::vector<ShardReport> shards;
+
+  // --- intentionally non-deterministic (host-dependent) ---
+  std::uint64_t wall_ns = 0;
+  std::uint64_t backpressure_waits = 0;
+  std::size_t peak_real_depth = 0;
+  unsigned threads = 1;
+};
+
+class Engine {
+ public:
+  explicit Engine(const EngineConfig& config);
+
+  /// Offers the scenario's traffic, executes every admitted session to
+  /// completion, and reports.  Synchronous; callable repeatedly.
+  RunReport run(const TrafficScenario& scenario);
+
+  const EngineConfig& config() const { return config_; }
+
+ private:
+  EngineConfig config_;
+};
+
+}  // namespace wsp::server

@@ -1,0 +1,85 @@
+#include "server/scheduler.h"
+
+#include <algorithm>
+#include <string>
+
+#include "support/trace.h"
+
+namespace wsp::server {
+
+RecordScheduler::RecordScheduler(ThreadPool& pool, unsigned shards,
+                                 std::size_t capacity, std::size_t batch)
+    : pool_(pool),
+      shards_(std::max(1u, shards)),
+      capacity_(std::max<std::size_t>(1, capacity)),
+      batch_(std::max<std::size_t>(1, batch)) {}
+
+void RecordScheduler::push(unsigned shard, std::function<void()> work) {
+  Shard& s = shards_[shard];
+  bool start_pump = false;
+  {
+    std::unique_lock<std::mutex> lock(s.mutex);
+    if (s.queue.size() >= capacity_) {
+      ++s.counters.backpressure_waits;
+      WSP_TRACE_INSTANT("server.sched",
+                        "backpressure/shard" + std::to_string(shard));
+      s.space.wait(lock, [&] { return s.queue.size() < capacity_; });
+    }
+    s.queue.push_back(std::move(work));
+    ++s.counters.enqueued;
+    s.counters.peak_depth = std::max(s.counters.peak_depth, s.queue.size());
+    WSP_TRACE_COUNTER("server.sched", "shard" + std::to_string(shard) + "/depth",
+                      static_cast<double>(s.queue.size()));
+    if (!s.pump_active) {
+      s.pump_active = true;
+      start_pump = true;
+    }
+  }
+  if (start_pump) pool_.submit([this, shard] { pump(shard); });
+}
+
+void RecordScheduler::pump(unsigned index) {
+  Shard& s = shards_[index];
+  WSP_TRACE_SPAN("server.sched", "pump/shard" + std::to_string(index));
+  for (;;) {
+    std::vector<std::function<void()>> items;
+    {
+      std::lock_guard<std::mutex> lock(s.mutex);
+      if (s.queue.empty()) {
+        s.pump_active = false;  // flips under the mutex: no lost pushes
+        return;
+      }
+      const std::size_t take = std::min(batch_, s.queue.size());
+      items.reserve(take);
+      for (std::size_t i = 0; i < take; ++i) {
+        items.push_back(std::move(s.queue.front()));
+        s.queue.pop_front();
+      }
+      ++s.counters.batches;
+      WSP_TRACE_COUNTER("server.sched",
+                        "shard" + std::to_string(index) + "/depth",
+                        static_cast<double>(s.queue.size()));
+    }
+    s.space.notify_all();
+    for (auto& item : items) {
+      item();
+      std::lock_guard<std::mutex> lock(s.mutex);
+      ++s.counters.executed;
+    }
+  }
+}
+
+void RecordScheduler::drain() {
+  // All pushes happened-before this call, every nonempty shard has an
+  // active pump, and pumps only exit on an empty queue — so pool idleness
+  // implies every shard queue is drained.
+  pool_.wait_idle();
+}
+
+ShardCounters RecordScheduler::counters(unsigned shard) const {
+  auto& s = const_cast<Shard&>(shards_[shard]);
+  std::lock_guard<std::mutex> lock(s.mutex);
+  return s.counters;
+}
+
+}  // namespace wsp::server

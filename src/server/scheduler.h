@@ -1,0 +1,81 @@
+// Batched record scheduler: bounded per-shard work queues drained by
+// single-shard "pump" tasks on the shared support::ThreadPool.
+//
+// Per shard there is at most ONE pump task in flight at a time, so all work
+// for a shard executes in FIFO order on one worker — this is what lets the
+// SessionTable hand out unsynchronized Session pointers, and it keeps a
+// session's record sequence numbers consistent without per-record locks.
+// Different shards pump concurrently on different workers.
+//
+// Flow control is explicit and two-sided:
+//   * admission control (deciding whether a session is accepted at all, and
+//     drop accounting) lives in the Engine's deterministic virtual-time
+//     model — the scheduler never silently discards work;
+//   * push() applies *backpressure*: when a shard's queue is at capacity
+//     the producing thread blocks until the pump drains a batch, which
+//     bounds queue memory no matter how fast arrivals are generated.
+//
+// Counters are updated under each shard's queue mutex and must only be
+// read after drain().
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "support/threadpool.h"
+
+namespace wsp::server {
+
+struct ShardCounters {
+  std::uint64_t enqueued = 0;
+  std::uint64_t executed = 0;
+  std::uint64_t batches = 0;           ///< pump invocations that ran >= 1 item
+  std::uint64_t backpressure_waits = 0;  ///< pushes that had to block
+  std::size_t peak_depth = 0;          ///< real queue high-water mark
+};
+
+class RecordScheduler {
+ public:
+  /// `capacity` bounds each shard's queue; `batch` caps the items one pump
+  /// invocation drains before re-checking the queue under the lock.
+  RecordScheduler(ThreadPool& pool, unsigned shards, std::size_t capacity,
+                  std::size_t batch = 8);
+
+  unsigned shard_count() const { return static_cast<unsigned>(shards_.size()); }
+  std::size_t capacity() const { return capacity_; }
+
+  /// Enqueues work on `shard`, blocking while the shard queue is full
+  /// (backpressure).  Spawns the shard's pump task if none is running.
+  /// Must not be called from a pump task (a worker blocking on its own
+  /// queue would deadlock the shard).
+  void push(unsigned shard, std::function<void()> work);
+
+  /// Blocks until every shard queue is empty and all pumps have exited.
+  /// Only the pushing thread may call this, after its last push().
+  void drain();
+
+  /// Post-drain counter snapshot.
+  ShardCounters counters(unsigned shard) const;
+
+ private:
+  struct Shard {
+    std::mutex mutex;
+    std::condition_variable space;
+    std::deque<std::function<void()>> queue;
+    bool pump_active = false;
+    ShardCounters counters;
+  };
+
+  void pump(unsigned index);
+
+  ThreadPool& pool_;
+  std::vector<Shard> shards_;
+  std::size_t capacity_;
+  std::size_t batch_;
+};
+
+}  // namespace wsp::server

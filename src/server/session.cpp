@@ -1,0 +1,102 @@
+#include "server/session.h"
+
+#include <algorithm>
+#include <string>
+
+#include "crypto/sha1.h"
+#include "support/trace.h"
+
+namespace wsp::server {
+
+const char* to_string(SessionState s) {
+  switch (s) {
+    case SessionState::kPending: return "pending";
+    case SessionState::kEstablished: return "established";
+    case SessionState::kClosed: return "closed";
+  }
+  return "?";
+}
+
+Session::Session(const SessionConfig& cfg) : cfg_(cfg), rng_(cfg.seed) {}
+
+void Session::require(SessionState expected, const char* op) const {
+  if (state_ != expected) {
+    throw std::logic_error(std::string("server: ") + op + " on a " +
+                           to_string(state_) + " session");
+  }
+}
+
+void Session::handshake(const rsa::PrivateKey& server_key,
+                        ModexpEngine& client_engine,
+                        ModexpEngine& server_engine) {
+  require(SessionState::kPending, "handshake");
+  WSP_TRACE_SPAN("server.session", "handshake");
+  keys_.emplace(ssl::perform_handshake(server_key, cfg_.cipher, client_engine,
+                                       server_engine, rng_));
+  handshake_bytes_ = keys_->handshake_bytes;
+  wire_bytes_ += handshake_bytes_;
+  state_ = SessionState::kEstablished;
+}
+
+std::size_t Session::pump(std::size_t max_records) {
+  require(SessionState::kEstablished, "pump");
+  WSP_TRACE_SPAN("server.session", "pump");
+  std::size_t moved = 0;
+  for (std::size_t r = 0; r < max_records && !finished(); ++r) {
+    const std::size_t payload_len =
+        std::min(cfg_.record_bytes, cfg_.transaction_bytes - bytes_sent_);
+    const auto payload = rng_.bytes(payload_len);
+    const auto wire = keys_->client_write.seal(payload);
+    const auto opened = keys_->client_write.open(wire);
+    if (opened != payload) {
+      throw std::runtime_error("server: record corrupted in transit");
+    }
+    bytes_sent_ += payload_len;
+    wire_bytes_ += wire.size();
+    moved += wire.size();
+    ++records_;
+  }
+  return moved;
+}
+
+void Session::rekey() {
+  require(SessionState::kEstablished, "rekey");
+  WSP_TRACE_SPAN("server.session", "rekey");
+  // SSLv3-style renegotiation-lite: fresh nonces, same master secret.
+  const auto client_random = rng_.bytes(32);
+  const auto server_random = rng_.bytes(32);
+  const ssl::CipherProfile spec = ssl::cipher_profile(cfg_.cipher);
+  const std::size_t block_len =
+      2 * (Sha1::kDigestSize + spec.key_len + spec.iv_len);
+  const auto key_block = ssl::kdf_ssl3(keys_->master_secret, server_random,
+                                       client_random, block_len);
+  std::size_t off = 0;
+  auto take = [&](std::size_t n) {
+    std::vector<std::uint8_t> v(
+        key_block.begin() + static_cast<std::ptrdiff_t>(off),
+        key_block.begin() + static_cast<std::ptrdiff_t>(off + n));
+    off += n;
+    return v;
+  };
+  const auto client_mac = take(Sha1::kDigestSize);
+  const auto server_mac = take(Sha1::kDigestSize);
+  const auto client_key = take(spec.key_len);
+  const auto server_key = take(spec.key_len);
+  const auto client_iv = take(spec.iv_len);
+  const auto server_iv = take(spec.iv_len);
+  keys_->client_write =
+      ssl::SecureChannel(cfg_.cipher, client_key, client_mac, client_iv);
+  keys_->server_write =
+      ssl::SecureChannel(cfg_.cipher, server_key, server_mac, server_iv);
+  wire_bytes_ += 64;  // the two hello nonces on the wire
+  ++rekeys_;
+}
+
+void Session::teardown() {
+  if (state_ == SessionState::kClosed) return;
+  WSP_TRACE_SPAN("server.session", "teardown");
+  keys_.reset();  // drop key material with the connection
+  state_ = SessionState::kClosed;
+}
+
+}  // namespace wsp::server

@@ -1,0 +1,91 @@
+// One secure session's connection lifecycle, driven by the real
+// ssl::SecureChannel / handshake code:
+//
+//   kPending ──handshake()──► kEstablished ──teardown()──► kClosed
+//                                  │  ▲
+//                           pump() │  │ rekey()
+//                                  ▼  │
+//                             (record stream)
+//
+// Every operation validates the state machine and throws on misuse
+// (handshake twice, records before keys, rekey after teardown, ...), which
+// is what the tier-1 lifecycle tests pin down.  All randomness — record
+// payloads, handshake nonces, rekey nonces — comes from a per-session Rng
+// seeded at construction, so a session's byte totals are a pure function of
+// its SessionConfig regardless of which worker thread runs it.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+
+#include "ssl/ssl.h"
+
+namespace wsp::server {
+
+enum class SessionState { kPending, kEstablished, kClosed };
+
+const char* to_string(SessionState s);
+
+struct SessionConfig {
+  std::uint64_t id = 0;
+  ssl::Cipher cipher = ssl::Cipher::kRc4;
+  std::size_t transaction_bytes = 0;  ///< application payload to transfer
+  std::size_t record_bytes = 1024;    ///< payload bytes per record
+  std::uint64_t seed = 0;             ///< per-session Rng seed
+};
+
+class Session {
+ public:
+  explicit Session(const SessionConfig& cfg);
+
+  std::uint64_t id() const { return cfg_.id; }
+  ssl::Cipher cipher() const { return cfg_.cipher; }
+  SessionState state() const { return state_; }
+
+  /// Runs the real RSA key-exchange handshake against `server_key` and
+  /// enters kEstablished.  Throws std::logic_error unless kPending.
+  void handshake(const rsa::PrivateKey& server_key, ModexpEngine& client_engine,
+                 ModexpEngine& server_engine);
+
+  /// Seals and opens up to `max_records` records of the transaction stream
+  /// (client seals, server opens — tampering throws out of ssl::open).
+  /// Returns the wire bytes moved.  Throws std::logic_error unless
+  /// kEstablished.
+  std::size_t pump(std::size_t max_records);
+
+  /// True once the whole transaction payload has been transferred.
+  bool finished() const { return bytes_sent_ >= cfg_.transaction_bytes; }
+
+  /// Rederives fresh record keys from the handshake's master secret
+  /// (kdf_ssl3 over new nonces) and swaps in new channels; the record
+  /// stream continues under the new keys.  Throws std::logic_error unless
+  /// kEstablished — in particular, rekeying a torn-down session is
+  /// rejected, never silently re-opened.
+  void rekey();
+
+  /// kPending/kEstablished -> kClosed; idempotent on kClosed.
+  void teardown();
+
+  // Deterministic per-session accounting.
+  std::uint64_t wire_bytes() const { return wire_bytes_; }
+  std::uint64_t records() const { return records_; }
+  std::uint64_t handshake_bytes() const { return handshake_bytes_; }
+  std::uint32_t rekeys() const { return rekeys_; }
+
+ private:
+  void require(SessionState expected, const char* op) const;
+
+  SessionConfig cfg_;
+  SessionState state_ = SessionState::kPending;
+  Rng rng_;
+  std::optional<ssl::Handshake> keys_;  ///< channels + master secret
+  std::size_t bytes_sent_ = 0;
+  std::uint64_t wire_bytes_ = 0;
+  std::uint64_t handshake_bytes_ = 0;
+  std::uint64_t records_ = 0;
+  std::uint32_t rekeys_ = 0;
+};
+
+}  // namespace wsp::server

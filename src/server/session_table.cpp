@@ -1,0 +1,39 @@
+#include "server/session_table.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace wsp::server {
+
+SessionTable::SessionTable(unsigned shards)
+    : shards_(std::max(1u, shards)) {}
+
+Session* SessionTable::insert(std::unique_ptr<Session> session) {
+  Shard& shard = shards_[shard_of(session->id())];
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto [it, inserted] = shard.map.emplace(session->id(), std::move(session));
+  if (!inserted) throw std::logic_error("server: duplicate session id");
+  const std::size_t now = size_.fetch_add(1, std::memory_order_relaxed) + 1;
+  std::size_t peak = peak_.load(std::memory_order_relaxed);
+  while (now > peak &&
+         !peak_.compare_exchange_weak(peak, now, std::memory_order_relaxed)) {
+  }
+  return it->second.get();
+}
+
+Session* SessionTable::find(std::uint64_t id) {
+  Shard& shard = shards_[shard_of(id)];
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.map.find(id);
+  return it == shard.map.end() ? nullptr : it->second.get();
+}
+
+bool SessionTable::erase(std::uint64_t id) {
+  Shard& shard = shards_[shard_of(id)];
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  if (shard.map.erase(id) == 0) return false;
+  size_.fetch_sub(1, std::memory_order_relaxed);
+  return true;
+}
+
+}  // namespace wsp::server

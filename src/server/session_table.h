@@ -1,0 +1,60 @@
+// Sharded table of live sessions.  Each shard is an independently locked
+// id -> Session map, so the admission path (inserting on the caller thread)
+// and the execution path (shard pumps on pool workers) contend only within
+// one shard.
+//
+// Concurrency contract: the table's own operations are thread-safe; the
+// Session object a lookup returns is NOT internally synchronized.  The
+// scheduler guarantees at most one pump task per shard, and every work item
+// for a session lands on shard_of(id), so exactly one thread ever touches a
+// given Session after insertion.  Pointers stay valid across concurrent
+// inserts/erases of other ids (node-based map).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "server/session.h"
+
+namespace wsp::server {
+
+class SessionTable {
+ public:
+  explicit SessionTable(unsigned shards);
+
+  unsigned shard_count() const { return static_cast<unsigned>(shards_.size()); }
+  unsigned shard_of(std::uint64_t id) const {
+    return static_cast<unsigned>(id % shards_.size());
+  }
+
+  /// Registers a session; throws std::logic_error on duplicate id.
+  Session* insert(std::unique_ptr<Session> session);
+
+  /// nullptr when the id is unknown (already torn down / never admitted).
+  Session* find(std::uint64_t id);
+
+  /// Removes and destroys the session; false when the id is unknown.
+  bool erase(std::uint64_t id);
+
+  /// Live sessions right now (atomic counter — safe to sample anytime).
+  std::size_t size() const { return size_.load(std::memory_order_relaxed); }
+
+  /// High-water mark of live sessions over the table's lifetime.
+  std::size_t peak_size() const { return peak_.load(std::memory_order_relaxed); }
+
+ private:
+  struct Shard {
+    std::mutex mutex;
+    std::unordered_map<std::uint64_t, std::unique_ptr<Session>> map;
+  };
+
+  std::vector<Shard> shards_;
+  std::atomic<std::size_t> size_{0};
+  std::atomic<std::size_t> peak_{0};
+};
+
+}  // namespace wsp::server

@@ -1,0 +1,72 @@
+#include "server/traffic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace wsp::server {
+
+TrafficGenerator::TrafficGenerator(const TrafficScenario& scenario,
+                                   double mean_service_cycles,
+                                   unsigned service_units)
+    : scenario_(scenario), rng_(scenario.seed) {
+  if (scenario_.ciphers.empty() || scenario_.transaction_sizes.empty()) {
+    throw std::invalid_argument("traffic: empty cipher/size grid");
+  }
+  if (scenario_.model == ArrivalModel::kOpenLoop) {
+    if (scenario_.offered_load <= 0.0) {
+      throw std::invalid_argument("traffic: offered_load must be > 0");
+    }
+    interarrival_mean_ = mean_service_cycles /
+                         (static_cast<double>(std::max(1u, service_units)) *
+                          scenario_.offered_load);
+  } else {
+    if (scenario_.users == 0) {
+      throw std::invalid_argument("traffic: closed loop needs users > 0");
+    }
+    // Stagger the population's first arrivals across one mean think (or
+    // service) interval so they don't all collide at t = 0.
+    const double spread =
+        scenario_.think_cycles > 0.0 ? scenario_.think_cycles
+                                     : mean_service_cycles;
+    for (unsigned u = 0; u < scenario_.users; ++u) {
+      ready_.emplace(exp_draw(spread), u);
+    }
+  }
+}
+
+double TrafficGenerator::exp_draw(double mean) {
+  if (mean <= 0.0) return 0.0;
+  // Inverse-CDF with u in [0, 1); 1-u is in (0, 1] so log() is finite.
+  return -mean * std::log(1.0 - rng_.next_double());
+}
+
+std::optional<SessionArrival> TrafficGenerator::next() {
+  if (next_id_ >= scenario_.sessions) return std::nullopt;
+  SessionArrival a;
+  if (scenario_.model == ArrivalModel::kOpenLoop) {
+    open_clock_ += exp_draw(interarrival_mean_);
+    a.at_cycles = open_clock_;
+  } else {
+    if (ready_.empty()) return std::nullopt;  // all users awaiting outcomes
+    const auto [at, user] = ready_.top();
+    ready_.pop();
+    a.at_cycles = at;
+    a.user = user;
+  }
+  a.id = next_id_++;
+  a.cipher = scenario_.ciphers[rng_.below(scenario_.ciphers.size())];
+  a.transaction_bytes =
+      scenario_.transaction_sizes[rng_.below(scenario_.transaction_sizes.size())];
+  a.session_seed = rng_.next_u64();
+  return a;
+}
+
+void TrafficGenerator::on_outcome(const SessionArrival& arrival,
+                                  double completion_cycles, bool dropped) {
+  if (scenario_.model != ArrivalModel::kClosedLoop) return;
+  const double base = dropped ? arrival.at_cycles : completion_cycles;
+  ready_.emplace(base + exp_draw(scenario_.think_cycles), arrival.user);
+}
+
+}  // namespace wsp::server

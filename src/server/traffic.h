@@ -1,0 +1,101 @@
+// Deterministic, seeded traffic generation for the secure-session engine.
+//
+// Two arrival models, both driven entirely by one seeded Rng and the
+// engine's *virtual* clock (platform cycles), so the offered stream — ids,
+// arrival times, cipher/size mix, per-session seeds — is bit-identical for
+// a fixed scenario regardless of worker-thread count or host speed:
+//
+//   * open loop:   sessions arrive with exponential inter-arrival times at
+//     `offered_load` times the modeled aggregate service capacity;
+//     arrivals never wait for completions (the overload knob: load > 1
+//     must produce drops);
+//   * closed loop: a fixed population of `users`, each issuing its next
+//     session when the previous one completes (plus exponential think
+//     time) — the classic benchmark-client shape.
+//
+// Each arrival draws its cipher and transaction size uniformly from the
+// scenario's grid — by default the Fig. 8 measurement grid (1KB..32KB)
+// crossed with the three record ciphers.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <queue>
+#include <vector>
+
+#include "ssl/ssl.h"
+#include "support/random.h"
+
+namespace wsp::server {
+
+enum class ArrivalModel { kOpenLoop, kClosedLoop };
+
+struct TrafficScenario {
+  std::uint64_t seed = 1;
+  std::size_t sessions = 64;  ///< total arrivals to offer
+  ArrivalModel model = ArrivalModel::kOpenLoop;
+
+  // Open loop: offered load as a fraction of modeled service capacity
+  // (shards x 1 session-cycle per cycle).  > 1.0 over-admits.
+  double offered_load = 0.6;
+
+  // Closed loop: concurrent user population and mean think time.
+  unsigned users = 8;
+  double think_cycles = 0.0;
+
+  // Session mix (uniform draw per arrival).
+  std::vector<ssl::Cipher> ciphers = {ssl::Cipher::kTripleDesCbc,
+                                      ssl::Cipher::kAes128Cbc,
+                                      ssl::Cipher::kRc4};
+  std::vector<std::size_t> transaction_sizes = {1024, 2048, 4096,
+                                                8192, 16384, 32768};
+  std::size_t record_bytes = 1024;
+};
+
+struct SessionArrival {
+  std::uint64_t id = 0;
+  double at_cycles = 0.0;  ///< virtual arrival time
+  unsigned user = 0;       ///< closed loop: issuing user
+  ssl::Cipher cipher = ssl::Cipher::kRc4;
+  std::size_t transaction_bytes = 0;
+  std::uint64_t session_seed = 0;
+};
+
+class TrafficGenerator {
+ public:
+  /// `mean_service_cycles` is the scenario-mix average session cost under
+  /// the engine's pricing model; `service_units` the number of shards.
+  /// Together they convert `offered_load` into an arrival rate.
+  TrafficGenerator(const TrafficScenario& scenario, double mean_service_cycles,
+                   unsigned service_units);
+
+  /// Next arrival in virtual-time order; nullopt once `sessions` arrivals
+  /// have been offered (or, closed loop, no user has a pending arrival —
+  /// report outcomes to keep the loop running).
+  std::optional<SessionArrival> next();
+
+  /// Closed-loop feedback: schedules the issuing user's next arrival at
+  /// the session's virtual completion (or, for drops, at the arrival time
+  /// itself) plus think time.  No-op for open loop.
+  void on_outcome(const SessionArrival& arrival, double completion_cycles,
+                  bool dropped);
+
+  double interarrival_mean_cycles() const { return interarrival_mean_; }
+
+ private:
+  double exp_draw(double mean);
+
+  TrafficScenario scenario_;
+  Rng rng_;
+  std::uint64_t next_id_ = 0;
+  double interarrival_mean_ = 0.0;
+  double open_clock_ = 0.0;
+
+  // Closed loop: min-heap of (ready time, user), deterministic tie-break
+  // on user index.
+  using Pending = std::pair<double, unsigned>;
+  std::priority_queue<Pending, std::vector<Pending>, std::greater<Pending>>
+      ready_;
+};
+
+}  // namespace wsp::server

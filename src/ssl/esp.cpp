@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "crypto/ct.h"
 #include "crypto/des.h"
 #include "crypto/hmac.h"
 
@@ -73,7 +74,7 @@ std::vector<std::uint8_t> open(const Sa& sa,
   const std::vector<std::uint8_t> icv(packet.end() - static_cast<std::ptrdiff_t>(kIcvLen),
                                       packet.end());
   const auto mac = hmac_sha1(sa.auth_key, body);
-  if (!std::equal(icv.begin(), icv.end(), mac.begin())) {
+  if (!ct::equal(icv.data(), mac.data(), kIcvLen)) {
     throw std::runtime_error("esp: authentication failed");
   }
   if (get_u32(packet.data()) != sa.spi) throw std::runtime_error("esp: wrong SPI");

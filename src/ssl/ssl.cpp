@@ -5,6 +5,7 @@
 #include "support/trace.h"
 
 #include "crypto/aes.h"
+#include "crypto/ct.h"
 #include "crypto/des.h"
 #include "crypto/hmac.h"
 #include "crypto/md5.h"
@@ -180,7 +181,7 @@ std::vector<std::uint8_t> SecureChannel::open(const std::vector<std::uint8_t>& r
   const std::vector<std::uint8_t> mac(plain.end() - Sha1::kDigestSize, plain.end());
   const auto expect = hmac_sha1(impl_->mac_key, impl_->mac_input(impl_->seq_in, payload));
   ++impl_->seq_in;
-  if (mac != expect) throw std::runtime_error("ssl: MAC verification failed");
+  if (!ct::equal(mac, expect)) throw std::runtime_error("ssl: MAC verification failed");
   return payload;
 }
 
@@ -210,14 +211,7 @@ std::vector<std::uint8_t> kdf_ssl3(const std::vector<std::uint8_t>& secret,
   return out;
 }
 
-namespace {
-
-struct CipherSpec {
-  std::size_t key_len;
-  std::size_t iv_len;
-};
-
-CipherSpec spec_for(Cipher cipher) {
+CipherProfile cipher_profile(Cipher cipher) {
   switch (cipher) {
     case Cipher::kTripleDesCbc: return {24, 8};
     case Cipher::kAes128Cbc: return {16, 16};
@@ -225,8 +219,6 @@ CipherSpec spec_for(Cipher cipher) {
   }
   throw std::logic_error("ssl: bad cipher");
 }
-
-}  // namespace
 
 Handshake perform_handshake(const rsa::PrivateKey& server_key, Cipher cipher,
                             ModexpEngine& client_engine,
@@ -256,7 +248,7 @@ Handshake perform_handshake(const rsa::PrivateKey& server_key, Cipher cipher,
   // Both sides derive the master secret and the key block.
   WSP_TRACE_SPAN("ssl.handshake", "kdf");
   const auto master = kdf_ssl3(premaster, client_random, server_random, 48);
-  const CipherSpec spec = spec_for(cipher);
+  const CipherProfile spec = cipher_profile(cipher);
   const std::size_t block_len = 2 * (Sha1::kDigestSize + spec.key_len + spec.iv_len);
   const auto key_block = kdf_ssl3(master, server_random, client_random, block_len);
 

@@ -21,6 +21,15 @@ enum class Cipher { kTripleDesCbc, kAes128Cbc, kRc4 };
 
 const char* to_string(Cipher cipher);
 
+/// Record-layer key material sizes for a cipher suite (MAC keys are always
+/// Sha1::kDigestSize).  Public so that session layers (server rekeying) can
+/// size key-block derivations without re-encoding the suite table.
+struct CipherProfile {
+  std::size_t key_len = 0;
+  std::size_t iv_len = 0;
+};
+CipherProfile cipher_profile(Cipher cipher);
+
 /// Keys and state for one direction of a record-layer connection.
 class SecureChannel {
  public:

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "crypto/crc32.h"
+#include "crypto/ct.h"
 #include "crypto/rc4.h"
 
 namespace wsp::wep {
@@ -44,13 +45,12 @@ std::vector<std::uint8_t> open(const Frame& frame,
   if (frame.ciphertext.size() < 4) throw std::runtime_error("wep: short frame");
   Rc4 rc4(per_frame_key(frame.iv, key));
   std::vector<std::uint8_t> plain = rc4.process(frame.ciphertext);
-  std::uint32_t icv = 0;
-  for (int i = 0; i < 4; ++i) {
-    icv |= static_cast<std::uint32_t>(plain[plain.size() - 4 + static_cast<std::size_t>(i)])
-           << (8 * i);
-  }
+  std::uint8_t icv[4], expect[4];
+  for (int i = 0; i < 4; ++i) icv[i] = plain[plain.size() - 4 + static_cast<std::size_t>(i)];
   plain.resize(plain.size() - 4);
-  if (crc32(plain) != icv) throw std::runtime_error("wep: ICV mismatch");
+  const std::uint32_t crc = crc32(plain);
+  for (int i = 0; i < 4; ++i) expect[i] = static_cast<std::uint8_t>(crc >> (8 * i));
+  if (!ct::equal(icv, expect, 4)) throw std::runtime_error("wep: ICV mismatch");
   return plain;
 }
 

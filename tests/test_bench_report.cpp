@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "server_section.h"
 #include "support/json.h"
 
 namespace wsp {
@@ -100,6 +101,98 @@ TEST(BenchJson, WriteRoundTripsThroughParser) {
 TEST(BenchJson, WriteFailsIntoMissingDirectory) {
   EXPECT_EQ(bench::write_bench_json(sample_result(), "/nonexistent-dir-xyz"),
             "");
+}
+
+server::RunReport sample_server_report() {
+  server::RunReport rep;
+  rep.offered = 96;
+  rep.admitted = 90;
+  rep.completed = 90;
+  rep.dropped = 6;
+  rep.records = 720;
+  rep.wire_bytes = 1234567;
+  rep.bytes_digest = 0xDEADBEEF;
+  rep.latency = {1.5e6, 3.0e6, 4.5e6, 6.0e6};
+  rep.makespan_cycles = 2.5e8;
+  rep.throughput_per_gcycle = 360.0;
+  rep.peak_virtual_depth = 11;
+  rep.peak_sessions = 14;
+  rep.mean_service_cycles = 2.1e6;
+  rep.platform_cycles_base = 9.9e9;
+  rep.platform_cycles_optimized = 3.3e8;
+  rep.equivalent_speedup = 30.0;
+  // Host-dependent fields: must NOT leak into the cycles map.
+  rep.wall_ns = 42;
+  rep.backpressure_waits = 7;
+  rep.peak_real_depth = 9;
+  rep.threads = 8;
+  return rep;
+}
+
+TEST(BenchServerSchema, MetricsLandUnderPrefixWithExpectedKeys) {
+  bench::BenchResult r;
+  r.name = "server";
+  bench::append_server_metrics(r, "steady/", sample_server_report());
+
+  const json::Value doc = bench::to_json(r);
+  const json::Value& cycles = doc.at("cycles");
+  ASSERT_TRUE(cycles.is_object());
+  // The fields ISSUE.md names explicitly: throughput, latency, drops.
+  EXPECT_EQ(cycles.at("steady/throughput_per_gcycle").as_number(), 360.0);
+  EXPECT_EQ(cycles.at("steady/latency_p50_cycles").as_number(), 1.5e6);
+  EXPECT_EQ(cycles.at("steady/latency_p99_cycles").as_number(), 4.5e6);
+  EXPECT_EQ(cycles.at("steady/dropped").as_number(), 6.0);
+  // Session accounting and platform-equivalent pricing.
+  EXPECT_EQ(cycles.at("steady/offered").as_number(), 96.0);
+  EXPECT_EQ(cycles.at("steady/admitted").as_number(), 90.0);
+  EXPECT_EQ(cycles.at("steady/completed").as_number(), 90.0);
+  EXPECT_EQ(cycles.at("steady/wire_bytes").as_number(), 1234567.0);
+  EXPECT_EQ(cycles.at("steady/bytes_digest").as_number(),
+            static_cast<double>(0xDEADBEEFu));
+  EXPECT_EQ(cycles.at("steady/platform_cycles_base").as_number(), 9.9e9);
+  EXPECT_EQ(cycles.at("steady/platform_cycles_opt").as_number(), 3.3e8);
+  EXPECT_EQ(cycles.at("steady/platform_equiv_speedup").as_number(), 30.0);
+  EXPECT_EQ(cycles.at("steady/queue_depth_peak").as_number(), 11.0);
+}
+
+TEST(BenchServerSchema, HostDependentFieldsStayOutOfCycles) {
+  bench::BenchResult r;
+  r.name = "server";
+  bench::append_server_metrics(r, "overload/", sample_server_report());
+  // The cycles map is the determinism contract: wall time, backpressure
+  // waits, real queue depth and thread count must never appear in it.
+  for (const auto& [key, value] : r.cycles) {
+    (void)value;
+    EXPECT_EQ(key.find("wall"), std::string::npos) << key;
+    EXPECT_EQ(key.find("backpressure"), std::string::npos) << key;
+    EXPECT_EQ(key.find("real"), std::string::npos) << key;
+    EXPECT_EQ(key.find("threads"), std::string::npos) << key;
+  }
+  EXPECT_EQ(r.cycles.count("overload/dropped"), 1u);
+}
+
+TEST(BenchServerSchema, DigestSurvivesJsonRoundTrip) {
+  bench::BenchResult r;
+  r.name = "server_digest";
+  bench::append_server_metrics(r, "x/", sample_server_report());
+
+  const std::string dir = ::testing::TempDir();
+  const std::string path = bench::write_bench_json(r, dir);
+  ASSERT_FALSE(path.empty());
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::string text;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) text.append(buf, n);
+  std::fclose(f);
+  std::remove(path.c_str());
+
+  // A 32-bit digest is exactly representable as a double, so the value must
+  // round-trip bit-for-bit through serialize + parse.
+  const json::Value doc = json::Value::parse(text);
+  EXPECT_EQ(doc.at("cycles").at("x/bytes_digest").as_number(),
+            static_cast<double>(0xDEADBEEFu));
 }
 
 }  // namespace

@@ -4,11 +4,31 @@
 #include <gtest/gtest.h>
 
 #include "crypto/crc32.h"
+#include "crypto/ct.h"
 #include "ssl/esp.h"
 #include "ssl/wep.h"
 
 namespace wsp {
 namespace {
+
+TEST(CtEqual, AgreesWithOperatorEq) {
+  Rng rng(520);
+  const auto a = rng.bytes(64);
+  auto b = a;
+  EXPECT_TRUE(ct::equal(a, b));
+  b[63] ^= 0x01;  // last-byte difference: the case early exit leaks fastest
+  EXPECT_FALSE(ct::equal(a, b));
+  b = a;
+  b[0] ^= 0x80;
+  EXPECT_FALSE(ct::equal(a, b));
+}
+
+TEST(CtEqual, SizeMismatchAndEmpty) {
+  const std::vector<std::uint8_t> a = {1, 2, 3}, b = {1, 2};
+  EXPECT_FALSE(ct::equal(a, b));
+  EXPECT_TRUE(ct::equal(std::vector<std::uint8_t>{}, std::vector<std::uint8_t>{}));
+  EXPECT_TRUE(ct::equal(a.data(), a.data(), 0));
+}
 
 TEST(Crc32, KnownVectors) {
   const std::vector<std::uint8_t> check = {'1', '2', '3', '4', '5',
@@ -53,6 +73,15 @@ TEST(Wep, CorruptionDetected) {
   const auto key = rng.bytes(13);
   auto frame = wep::seal(rng.bytes(64), key, rng);
   frame.ciphertext[10] ^= 0x40;
+  EXPECT_THROW(wep::open(frame, key), std::runtime_error);
+}
+
+TEST(Wep, IcvOnlyForgeryRejected) {
+  // The trailing 4 ciphertext bytes carry the ICV; flip only its last byte.
+  Rng rng(521);
+  const auto key = rng.bytes(13);
+  auto frame = wep::seal(rng.bytes(64), key, rng);
+  frame.ciphertext.back() ^= 0x01;
   EXPECT_THROW(wep::open(frame, key), std::runtime_error);
 }
 
@@ -105,6 +134,13 @@ TEST_F(EspTest, SequenceNumbersIncrease) {
 TEST_F(EspTest, TamperingRejected) {
   auto packet = esp::seal(sa_, rng_.bytes(64), rng_);
   packet[20] ^= 0x80;
+  EXPECT_THROW(esp::open(sa_, packet, nullptr), std::runtime_error);
+}
+
+TEST_F(EspTest, IcvOnlyForgeryRejected) {
+  // Body intact, last ICV byte flipped: exercises the constant-time tail.
+  auto packet = esp::seal(sa_, rng_.bytes(64), rng_);
+  packet.back() ^= 0x01;
   EXPECT_THROW(esp::open(sa_, packet, nullptr), std::runtime_error);
 }
 

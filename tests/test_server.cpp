@@ -1,0 +1,219 @@
+// Tier-1 tests for the secure-session server: the per-connection lifecycle
+// state machine (driven by the real handshake/record code), the sharded
+// session table, the bounded scheduler, and an engine smoke run.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "server/engine.h"
+#include "server/session_table.h"
+
+namespace wsp {
+namespace {
+
+using server::Session;
+using server::SessionConfig;
+using server::SessionState;
+
+// One shared small server key: generation dominates the test's cost.
+const rsa::PrivateKey& server_key() {
+  static const rsa::PrivateKey key = [] {
+    Rng rng(601);
+    return rsa::generate_key(512, rng);
+  }();
+  return key;
+}
+
+SessionConfig small_session(std::uint64_t id, ssl::Cipher cipher,
+                            std::size_t bytes) {
+  SessionConfig cfg;
+  cfg.id = id;
+  cfg.cipher = cipher;
+  cfg.transaction_bytes = bytes;
+  cfg.record_bytes = 256;
+  cfg.seed = 0xABCD0000 + id;
+  return cfg;
+}
+
+void establish(Session& s) {
+  ModexpEngine client{ModexpConfig{}}, server{ModexpConfig{}};
+  s.handshake(server_key(), client, server);
+}
+
+TEST(ServerSession, LifecycleHappyPath) {
+  Session s(small_session(1, ssl::Cipher::kAes128Cbc, 600));
+  EXPECT_EQ(s.state(), SessionState::kPending);
+  EXPECT_EQ(s.wire_bytes(), 0u);
+
+  establish(s);
+  EXPECT_EQ(s.state(), SessionState::kEstablished);
+  EXPECT_GT(s.handshake_bytes(), 100u);
+  EXPECT_FALSE(s.finished());
+
+  // 600 bytes in 256-byte records: 3 records, the last short.
+  std::size_t moved = s.pump(100);
+  EXPECT_TRUE(s.finished());
+  EXPECT_EQ(s.records(), 3u);
+  EXPECT_GT(moved, 600u);  // MAC + padding overhead on the wire
+  EXPECT_EQ(s.wire_bytes(), s.handshake_bytes() + moved);
+
+  s.teardown();
+  EXPECT_EQ(s.state(), SessionState::kClosed);
+  s.teardown();  // idempotent
+  EXPECT_EQ(s.state(), SessionState::kClosed);
+}
+
+TEST(ServerSession, PumpIsBatchedAndResumable) {
+  Session s(small_session(2, ssl::Cipher::kRc4, 1000));
+  establish(s);
+  EXPECT_GT(s.pump(2), 0u);  // 2 of 4 records
+  EXPECT_FALSE(s.finished());
+  EXPECT_EQ(s.records(), 2u);
+  s.pump(2);
+  EXPECT_TRUE(s.finished());
+  EXPECT_EQ(s.records(), 4u);
+  EXPECT_EQ(s.pump(4), 0u);  // nothing left: allowed, moves no bytes
+}
+
+TEST(ServerSession, ZeroByteTransactionFinishesAtHandshake) {
+  Session s(small_session(3, ssl::Cipher::kRc4, 0));
+  establish(s);
+  EXPECT_TRUE(s.finished());
+  EXPECT_EQ(s.pump(8), 0u);
+  EXPECT_EQ(s.records(), 0u);
+}
+
+TEST(ServerSession, StateMachineRejectsMisuse) {
+  Session s(small_session(4, ssl::Cipher::kTripleDesCbc, 512));
+  // Records and rekeys need keys.
+  EXPECT_THROW(s.pump(1), std::logic_error);
+  EXPECT_THROW(s.rekey(), std::logic_error);
+
+  establish(s);
+  // Double handshake is a protocol violation.
+  ModexpEngine ce{ModexpConfig{}}, se{ModexpConfig{}};
+  EXPECT_THROW(s.handshake(server_key(), ce, se), std::logic_error);
+}
+
+TEST(ServerSession, RekeyContinuesStreamAndIsRejectedAfterTeardown) {
+  Session s(small_session(5, ssl::Cipher::kAes128Cbc, 1024));
+  establish(s);
+  s.pump(1);
+  const auto before = s.wire_bytes();
+  s.rekey();
+  EXPECT_EQ(s.rekeys(), 1u);
+  EXPECT_GT(s.wire_bytes(), before);  // rekey nonces hit the wire
+  s.pump(100);                        // stream continues under new keys
+  EXPECT_TRUE(s.finished());
+
+  s.teardown();
+  // A torn-down connection must never be re-keyed back to life.
+  EXPECT_THROW(s.rekey(), std::logic_error);
+  EXPECT_THROW(s.pump(1), std::logic_error);
+  ModexpEngine ce{ModexpConfig{}}, se{ModexpConfig{}};
+  EXPECT_THROW(s.handshake(server_key(), ce, se), std::logic_error);
+}
+
+TEST(ServerSession, ByteTotalsAreSeedDeterministic) {
+  auto run = [] {
+    Session s(small_session(6, ssl::Cipher::kTripleDesCbc, 900));
+    establish(s);
+    s.pump(100);
+    s.teardown();
+    return s.wire_bytes();
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(ServerTable, InsertFindEraseAcrossShards) {
+  server::SessionTable table(4);
+  EXPECT_EQ(table.shard_count(), 4u);
+  for (std::uint64_t id = 0; id < 12; ++id) {
+    table.insert(std::make_unique<Session>(
+        small_session(id, ssl::Cipher::kRc4, 64)));
+    EXPECT_EQ(table.shard_of(id), id % 4);
+  }
+  EXPECT_EQ(table.size(), 12u);
+  EXPECT_EQ(table.peak_size(), 12u);
+
+  ASSERT_NE(table.find(7), nullptr);
+  EXPECT_EQ(table.find(7)->id(), 7u);
+  EXPECT_EQ(table.find(99), nullptr);
+
+  EXPECT_TRUE(table.erase(7));
+  EXPECT_FALSE(table.erase(7));
+  EXPECT_EQ(table.find(7), nullptr);
+  EXPECT_EQ(table.size(), 11u);
+  EXPECT_EQ(table.peak_size(), 12u);  // high-water mark sticks
+
+  EXPECT_THROW(table.insert(std::make_unique<Session>(
+                   small_session(3, ssl::Cipher::kRc4, 64))),
+               std::logic_error);
+}
+
+TEST(ServerScheduler, ExecutesFifoPerShardWithBoundedQueue) {
+  ThreadPool pool(2);
+  server::RecordScheduler sched(pool, 2, /*capacity=*/4, /*batch=*/3);
+  std::vector<int> order;  // only shard 0 writes: FIFO check needs no lock
+  for (int i = 0; i < 20; ++i) {
+    sched.push(0, [i, &order] { order.push_back(i); });
+  }
+  sched.drain();
+  ASSERT_EQ(order.size(), 20u);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+  const auto counters = sched.counters(0);
+  EXPECT_EQ(counters.enqueued, 20u);
+  EXPECT_EQ(counters.executed, 20u);
+  EXPECT_LE(counters.peak_depth, 4u);  // bounded despite 20 pushes
+  EXPECT_GE(counters.batches, 20u / 3u);
+}
+
+TEST(ServerEngine, SmokeRunAccountsEverySession) {
+  server::EngineConfig cfg;
+  cfg.threads = 1;
+  cfg.shards = 2;
+  server::TrafficScenario scenario;
+  scenario.seed = 9;
+  scenario.sessions = 10;
+  scenario.offered_load = 0.8;
+  scenario.ciphers = {ssl::Cipher::kRc4, ssl::Cipher::kAes128Cbc};
+  scenario.transaction_sizes = {512, 1024};
+  scenario.record_bytes = 512;
+
+  server::Engine engine(cfg);
+  const auto rep = engine.run(scenario);
+  EXPECT_EQ(rep.offered, 10u);
+  EXPECT_EQ(rep.admitted + rep.dropped, rep.offered);
+  EXPECT_EQ(rep.completed, rep.admitted);  // every admitted session executes
+  EXPECT_GT(rep.completed, 0u);
+  EXPECT_GT(rep.wire_bytes, rep.completed * 512);
+  EXPECT_GT(rep.records, 0u);
+  EXPECT_GT(rep.latency.p50, 0.0);
+  EXPECT_GE(rep.latency.p99, rep.latency.p50);
+  EXPECT_GE(rep.latency.max, rep.latency.p99);
+  EXPECT_GT(rep.makespan_cycles, 0.0);
+  EXPECT_GT(rep.throughput_per_gcycle, 0.0);
+  EXPECT_GT(rep.equivalent_speedup, 1.0);  // optimized platform is faster
+  EXPECT_GT(rep.peak_sessions, 0u);
+  ASSERT_EQ(rep.shards.size(), 2u);
+  std::uint64_t shard_admitted = 0, shard_bytes = 0;
+  for (const auto& s : rep.shards) {
+    shard_admitted += s.admitted;
+    shard_bytes += s.wire_bytes;
+  }
+  EXPECT_EQ(shard_admitted, rep.admitted);
+  EXPECT_EQ(shard_bytes, rep.wire_bytes);
+}
+
+TEST(ServerEngine, CalibratedCostsOrdering) {
+  const auto base = server::calibrated_costs(server::Pricing::kBase);
+  const auto opt = server::calibrated_costs(server::Pricing::kOptimized);
+  EXPECT_GT(base.rsa_private_cycles, opt.rsa_private_cycles);
+  EXPECT_GT(base.symmetric_cycles_per_byte, opt.symmetric_cycles_per_byte);
+  // The unaccelerated misc share is identical by construction.
+  EXPECT_EQ(base.hash_cycles_per_byte, opt.hash_cycles_per_byte);
+  EXPECT_EQ(base.handshake_misc_cycles, opt.handshake_misc_cycles);
+}
+
+}  // namespace
+}  // namespace wsp

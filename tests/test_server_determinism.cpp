@@ -1,0 +1,150 @@
+// Tier-2 tests for the secure-session server engine's determinism contract
+// (docs/server.md) and its behaviour under sustained over-admission.
+//
+// The contract: for a fixed scenario seed, every metric on the virtual
+// (platform-cycle) timeline — completed sessions, per-session byte totals,
+// latency percentiles, drops, platform-equivalent cycles — is identical for
+// ANY worker thread count.  Only wall time and backpressure accounting may
+// differ.  These tests are also the designated TSan workload for the
+// scheduler (tools/ci/sanitize.sh).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "server/engine.h"
+#include "server_section.h"
+
+namespace wsp {
+namespace {
+
+server::TrafficScenario small_mix(std::uint64_t seed, std::size_t sessions,
+                                  double load) {
+  server::TrafficScenario s;
+  s.seed = seed;
+  s.sessions = sessions;
+  s.model = server::ArrivalModel::kOpenLoop;
+  s.offered_load = load;
+  // Keep the grid small so sanitizer builds stay fast; still mixes stream
+  // and block ciphers with short and long transactions.
+  s.ciphers = {ssl::Cipher::kRc4, ssl::Cipher::kAes128Cbc};
+  s.transaction_sizes = {512, 2048};
+  s.record_bytes = 512;
+  return s;
+}
+
+server::RunReport run_with_threads(unsigned threads,
+                                   const server::TrafficScenario& scenario,
+                                   std::size_t queue_capacity = 32) {
+  server::EngineConfig cfg;
+  cfg.threads = threads;
+  cfg.shards = 4;
+  cfg.queue_capacity = queue_capacity;
+  cfg.record_batch = 4;
+  server::Engine engine(cfg);
+  return engine.run(scenario);
+}
+
+void expect_same_deterministic_metrics(const server::RunReport& a,
+                                       const server::RunReport& b,
+                                       const char* what) {
+  SCOPED_TRACE(what);
+  EXPECT_EQ(a.offered, b.offered);
+  EXPECT_EQ(a.admitted, b.admitted);
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.dropped, b.dropped);
+  EXPECT_EQ(a.records, b.records);
+  EXPECT_EQ(a.wire_bytes, b.wire_bytes);
+  // The digest folds every (id, bytes, records) triple: equality here means
+  // per-session byte totals match, not just the sum.
+  EXPECT_EQ(a.bytes_digest, b.bytes_digest);
+  EXPECT_EQ(a.latency.p50, b.latency.p50);
+  EXPECT_EQ(a.latency.p90, b.latency.p90);
+  EXPECT_EQ(a.latency.p99, b.latency.p99);
+  EXPECT_EQ(a.latency.max, b.latency.max);
+  EXPECT_EQ(a.makespan_cycles, b.makespan_cycles);
+  EXPECT_EQ(a.throughput_per_gcycle, b.throughput_per_gcycle);
+  EXPECT_EQ(a.peak_virtual_depth, b.peak_virtual_depth);
+  EXPECT_EQ(a.platform_cycles_base, b.platform_cycles_base);
+  EXPECT_EQ(a.platform_cycles_optimized, b.platform_cycles_optimized);
+  EXPECT_EQ(a.equivalent_speedup, b.equivalent_speedup);
+  ASSERT_EQ(a.shards.size(), b.shards.size());
+  for (std::size_t i = 0; i < a.shards.size(); ++i) {
+    EXPECT_EQ(a.shards[i].admitted, b.shards[i].admitted) << "shard " << i;
+    EXPECT_EQ(a.shards[i].dropped, b.shards[i].dropped) << "shard " << i;
+    EXPECT_EQ(a.shards[i].wire_bytes, b.shards[i].wire_bytes) << "shard " << i;
+  }
+}
+
+TEST(ServerDeterminism, ThreadCountInvariantOpenLoop) {
+  const auto scenario = small_mix(4242, 24, 0.7);
+  const auto base = run_with_threads(1, scenario);
+  EXPECT_EQ(base.completed, base.admitted);
+  EXPECT_GT(base.completed, 0u);
+  for (unsigned threads : {2u, 4u}) {
+    const auto rep = run_with_threads(threads, scenario);
+    expect_same_deterministic_metrics(base, rep, "open loop");
+  }
+}
+
+TEST(ServerDeterminism, ThreadCountInvariantClosedLoop) {
+  auto scenario = small_mix(77, 16, 0.7);
+  scenario.model = server::ArrivalModel::kClosedLoop;
+  scenario.users = 4;
+  scenario.think_cycles = 1e6;
+  const auto base = run_with_threads(1, scenario);
+  EXPECT_GT(base.completed, 0u);
+  const auto rep = run_with_threads(4, scenario);
+  expect_same_deterministic_metrics(base, rep, "closed loop");
+}
+
+TEST(ServerDeterminism, RerunWithSameSeedIsBitIdentical) {
+  const auto scenario = small_mix(99, 20, 0.8);
+  expect_same_deterministic_metrics(run_with_threads(2, scenario),
+                                    run_with_threads(2, scenario), "rerun");
+}
+
+TEST(ServerDeterminism, DifferentSeedsDiverge) {
+  const auto a = run_with_threads(1, small_mix(1, 20, 0.8));
+  const auto b = run_with_threads(1, small_mix(2, 20, 0.8));
+  // Different arrival processes and session seeds: byte totals must differ.
+  EXPECT_NE(a.bytes_digest, b.bytes_digest);
+}
+
+// Sustained over-admission: the engine must shed load (nonzero drops) while
+// the bounded waiting room keeps queue depth and p99 latency finite.  Memory
+// boundedness is expressed through the queue-depth bound: at most
+// `queue_capacity` sessions wait per shard, on both timelines.
+TEST(ServerSoak, OverAdmissionShedsLoadWithBoundedQueues) {
+  const std::size_t kCap = 8;
+  auto scenario = small_mix(4040, 96, 3.0);
+  const auto rep = run_with_threads(2, scenario, kCap);
+
+  EXPECT_EQ(rep.offered, 96u);
+  EXPECT_GT(rep.dropped, 0u) << "3x over-admission must shed load";
+  EXPECT_EQ(rep.admitted + rep.dropped, rep.offered);
+  EXPECT_EQ(rep.completed, rep.admitted);
+
+  // Bounded waiting room on both timelines.
+  EXPECT_LE(rep.peak_virtual_depth, kCap);
+  EXPECT_LE(rep.peak_real_depth, kCap);
+
+  // With at most kCap sessions queued behind the one in service, waiting
+  // time is bounded by (kCap + 1) maximal service demands.
+  const auto costs = server::calibrated_costs(server::Pricing::kOptimized);
+  double max_service = 0.0;
+  for (std::size_t bytes : scenario.transaction_sizes) {
+    max_service = std::max(
+        max_service, ssl::transaction_cost(costs, bytes).total());
+  }
+  EXPECT_LE(rep.latency.max, (kCap + 1) * max_service);
+  EXPECT_LE(rep.latency.p99, rep.latency.max);
+  EXPECT_GT(rep.latency.p99, 0.0);
+
+  // Drops are deterministic too: an independent rerun agrees exactly.
+  const auto again = run_with_threads(4, scenario, kCap);
+  expect_same_deterministic_metrics(rep, again, "overload rerun");
+}
+
+}  // namespace
+}  // namespace wsp

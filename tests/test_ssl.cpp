@@ -63,6 +63,29 @@ TEST_P(SslCipherTest, TamperedRecordRejected) {
   EXPECT_THROW(hs.client_write.open(wire), std::runtime_error);
 }
 
+// Regression for the MAC timing side-channel fix: a forged record whose
+// length is valid but whose MAC bytes differ (here: the last wire byte,
+// which under RC4 maps 1:1 onto the last MAC byte) must be rejected by the
+// constant-time comparison — including when only the final byte differs,
+// the case an early-exit compare leaks fastest.
+TEST(SslCtCompare, MacOnlyForgeryRejected) {
+  Rng rng(436);
+  ModexpEngine ce{ModexpConfig{}}, se{ModexpConfig{}};
+  auto hs = perform_handshake(server_key(), Cipher::kRc4, ce, se, rng);
+  auto wire = hs.client_write.seal({9, 9, 9, 9});
+  wire.back() ^= 0x01;  // payload intact, MAC tail flipped
+  EXPECT_THROW(hs.client_write.open(wire), std::runtime_error);
+}
+
+TEST(SslCipherProfile, MatchesSuiteKeySizes) {
+  EXPECT_EQ(ssl::cipher_profile(Cipher::kTripleDesCbc).key_len, 24u);
+  EXPECT_EQ(ssl::cipher_profile(Cipher::kTripleDesCbc).iv_len, 8u);
+  EXPECT_EQ(ssl::cipher_profile(Cipher::kAes128Cbc).key_len, 16u);
+  EXPECT_EQ(ssl::cipher_profile(Cipher::kAes128Cbc).iv_len, 16u);
+  EXPECT_EQ(ssl::cipher_profile(Cipher::kRc4).key_len, 16u);
+  EXPECT_EQ(ssl::cipher_profile(Cipher::kRc4).iv_len, 0u);
+}
+
 INSTANTIATE_TEST_SUITE_P(Ciphers, SslCipherTest,
                          ::testing::Values(Cipher::kTripleDesCbc,
                                            Cipher::kAes128Cbc, Cipher::kRc4),

@@ -1,8 +1,14 @@
 #!/usr/bin/env sh
-# ASan/UBSan gate: builds the repo with -fsanitize=address,undefined and runs
-# the tier-1 correctness core plus the observability tests.
+# Sanitizer gate.
+#   1. ASan/UBSan over the tier-1 correctness core (now including the server
+#      lifecycle tests), the observability tests, and the server determinism
+#      + overload-soak suite (bounded queue memory under over-admission).
+#   2. A short TSan pass over the record scheduler: the determinism tests
+#      drive the sharded session table and batched scheduler from multiple
+#      worker threads, which is exactly the surface a data race would hit.
 #
-# Usage: tools/ci/sanitize.sh [build-dir]   (default: build-asan)
+# Usage: tools/ci/sanitize.sh [build-dir]   (default: build-asan; the TSan
+# build lands next to it with a -tsan suffix)
 set -eu
 
 BUILD_DIR="${1:-build-asan}"
@@ -15,8 +21,27 @@ cmake --build "$BUILD_DIR" -j "$JOBS"
 export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=0}"
 export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}"
 
-cd "$BUILD_DIR"
-ctest -L tier1 --output-on-failure
-ctest -R 'Trace|TraceJson|Json\.|BenchFlags|BenchJson' --output-on-failure
+(
+  cd "$BUILD_DIR"
+  ctest -L tier1 --output-on-failure
+  ctest -R 'Trace|TraceJson|Json\.|BenchFlags|BenchJson|BenchServerSchema' \
+        --output-on-failure
+  ctest -R 'ServerDeterminism|ServerSoak' --output-on-failure
+)
 
-echo "sanitize.sh: tier1 + observability tests clean under ASan/UBSan"
+echo "sanitize.sh: tier1 + observability + server tests clean under ASan/UBSan"
+
+TSAN_DIR="${BUILD_DIR}-tsan"
+cmake -B "$TSAN_DIR" -S "$SRC_DIR" -DWSP_SANITIZE=thread
+cmake --build "$TSAN_DIR" -j "$JOBS" \
+      --target test_server test_server_determinism test_threadpool
+
+export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
+
+(
+  cd "$TSAN_DIR"
+  ctest -R 'ServerScheduler|ServerEngine|ServerDeterminism|ServerSoak|ThreadPool' \
+        --output-on-failure
+)
+
+echo "sanitize.sh: scheduler/threadpool tests clean under TSan"
