@@ -313,6 +313,15 @@ bench::BenchResult run_server() {
     bench::append_server_metrics(r, "overload/",
                                  engine.run(bench::overload_scenario(72, 96)));
   }
+  {
+    // Chaos run: deterministic fault injection + recovery (docs/faults.md).
+    server::EngineConfig chaos = cfg;
+    chaos.faults = bench::chaos_fault_config();
+    chaos.degrade_depth = 12;
+    server::Engine engine(chaos);
+    bench::append_server_metrics(r, "chaos/",
+                                 engine.run(bench::chaos_scenario(74, 64)));
+  }
   r.wall_ns = ns_since(t0);
   r.threads = cfg.threads;
   return r;

@@ -15,7 +15,7 @@
 //   --sessions N    arrivals per scenario (default 96)
 //   --shards N      table/scheduler/service shards (default 4)
 //   --queue-cap N   per-shard waiting room for the steady/closed runs
-//   --scenario S    steady|overload|closed|all (default all)
+//   --scenario S    steady|overload|closed|chaos|all (default all)
 //   --outdir DIR    write BENCH_server.json here (default ".")
 //   --trace FILE    write a Chrome-trace of this run
 #include <algorithm>
@@ -51,9 +51,26 @@ void print_report(const char* name, const server::RunReport& rep) {
   std::printf("  platform-equivalent: base %.1f Mcycles vs opt %.1f Mcycles -> %.2fX\n",
               rep.platform_cycles_base / 1e6,
               rep.platform_cycles_optimized / 1e6, rep.equivalent_speedup);
+  if (rep.faults_injected > 0 || rep.aborted > 0 || rep.degrade_enters > 0) {
+    std::printf("  faults %llu -> retried %llu, repaired %llu, aborted %llu; "
+                "shed %llu, degrade enters %llu\n",
+                static_cast<unsigned long long>(rep.faults_injected),
+                static_cast<unsigned long long>(rep.retried),
+                static_cast<unsigned long long>(rep.repaired),
+                static_cast<unsigned long long>(rep.aborted),
+                static_cast<unsigned long long>(rep.shed),
+                static_cast<unsigned long long>(rep.degrade_enters));
+  }
   std::printf("  host: %.1f ms wall on %u threads, %llu backpressure waits\n",
               static_cast<double>(rep.wall_ns) / 1e6, rep.threads,
               static_cast<unsigned long long>(rep.backpressure_waits));
+}
+
+/// The chaos leak gate: every admitted session must end as exactly one of
+/// completed or aborted.  A violation means a session leaked (wedged shard,
+/// swallowed exception) and fails the bench run.
+bool sessions_leaked(const server::RunReport& rep) {
+  return rep.completed + rep.aborted != rep.admitted;
 }
 
 }  // namespace
@@ -124,6 +141,29 @@ int main(int argc, char** argv) {
         bench::closed_scenario(seed + 2, sessions / 2, 2 * shards));
     print_report("closed loop (fixed user population)", rep);
     bench::append_server_metrics(result, "closed/", rep);
+  }
+  if (which == "all" || which == "chaos") {
+    server::EngineConfig chaos = cfg;
+    chaos.faults = bench::chaos_fault_config();
+    chaos.degrade_depth = 3 * shards;  // degrade under fault-induced pileups
+    server::Engine engine(chaos);
+    const auto rep = engine.run(bench::chaos_scenario(seed + 3, sessions));
+    print_report("chaos (steady load, 3-5% fault rates)", rep);
+    bench::append_server_metrics(result, "chaos/", rep);
+    if (sessions_leaked(rep)) {
+      std::fprintf(stderr,
+                   "chaos scenario leaked sessions: admitted %llu != "
+                   "completed %llu + aborted %llu\n",
+                   static_cast<unsigned long long>(rep.admitted),
+                   static_cast<unsigned long long>(rep.completed),
+                   static_cast<unsigned long long>(rep.aborted));
+      return 1;
+    }
+    if (rep.faults_injected == 0) {
+      std::fprintf(stderr, "chaos scenario injected no faults — "
+                           "fault plan broken\n");
+      return 1;
+    }
   }
 
   const std::string path = bench::write_bench_json(result, outdir);

@@ -49,6 +49,30 @@ inline server::TrafficScenario closed_scenario(std::uint64_t seed,
   return s;
 }
 
+/// Chaos run traffic: steady load so every recovery outcome is attributable
+/// to injected faults, not over-admission.
+inline server::TrafficScenario chaos_scenario(std::uint64_t seed,
+                                              std::size_t sessions) {
+  server::TrafficScenario s;
+  s.seed = seed;
+  s.sessions = sessions;
+  s.model = server::ArrivalModel::kOpenLoop;
+  s.offered_load = 0.8;
+  return s;
+}
+
+/// Canonical chaos fault mix (docs/faults.md): 1-10% rates across the four
+/// fault classes.  Non-aborted sessions must still complete, and the
+/// RunReport must stay bit-identical for any --threads.
+inline server::FaultConfig chaos_fault_config() {
+  server::FaultConfig f;
+  f.wire_flip_rate = 0.05;
+  f.handshake_failure_rate = 0.05;
+  f.abort_rate = 0.03;
+  f.stall_rate = 0.05;
+  return f;
+}
+
 /// Flattens the deterministic part of a RunReport into `r.cycles` under
 /// `prefix` ("steady/", "overload/", ...).  Host-dependent fields (wall
 /// time, backpressure waits, real queue peaks) are deliberately excluded:
@@ -78,6 +102,14 @@ inline void append_server_metrics(BenchResult& r, const std::string& prefix,
   put("platform_cycles_base", rep.platform_cycles_base);
   put("platform_cycles_opt", rep.platform_cycles_optimized);
   put("platform_equiv_speedup", rep.equivalent_speedup);
+  // Fault/recovery accounting (all zero on benign runs, deterministic on
+  // chaos runs — see docs/faults.md).
+  put("aborted", static_cast<double>(rep.aborted));
+  put("retried", static_cast<double>(rep.retried));
+  put("repaired", static_cast<double>(rep.repaired));
+  put("faults_injected", static_cast<double>(rep.faults_injected));
+  put("shed", static_cast<double>(rep.shed));
+  put("degrade_enters", static_cast<double>(rep.degrade_enters));
 }
 
 }  // namespace wsp::bench

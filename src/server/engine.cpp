@@ -55,13 +55,76 @@ struct Digest {
   }
 };
 
+/// Bounded exponential backoff after the i-th failed handshake attempt
+/// (virtual cycles).
+double backoff_cycles(const FaultConfig& fc, unsigned attempt) {
+  double b = fc.backoff_base_cycles;
+  for (unsigned i = 0; i < attempt && b < fc.backoff_cap_cycles; ++i) b *= 2.0;
+  return std::min(b, fc.backoff_cap_cycles);
+}
+
+/// Virtual-timeline service time for one session under its fault schedule.
+/// This is a queueing MODEL of the recovery machinery, not a cycle-accurate
+/// replay of it: what matters is that it is a pure function of the schedule
+/// (hence identical for any --threads) and moves in the right direction —
+/// failed handshakes add asymmetric work plus backoff, wire flips add a
+/// retransmission surcharge, a poisoned record truncates the stream after
+/// the doomed repair ladder, a stall adds dead time.
+double modeled_service(const ssl::PlatformCosts& price, std::size_t bytes,
+                       std::size_t record_bytes, const FaultSchedule& f,
+                       const FaultConfig& fc) {
+  double service = 0.0;
+  const unsigned failures =
+      std::min(f.handshake_failures, fc.handshake_retry_budget + 1);
+  for (unsigned i = 0; i < failures; ++i) {
+    // A failed exchange still pays both asymmetric operations before the
+    // premaster check rejects it, then waits out the backoff.
+    service += price.rsa_private_cycles + price.rsa_public_cycles;
+    service += backoff_cycles(fc, i);
+  }
+  if (f.handshake_failures > fc.handshake_retry_budget) {
+    return service;  // aborted before any record moved
+  }
+  double body = ssl::transaction_cost(price, bytes).total();
+  if (f.wire_flip_rate > 0.0) {
+    body *= 1.0 + f.wire_flip_rate;  // retransmission surcharge
+  }
+  if (f.abort_scheduled) {
+    const std::uint64_t total_records =
+        std::max<std::uint64_t>(1, (bytes + record_bytes - 1) / record_bytes);
+    const double per_record = body / static_cast<double>(total_records);
+    const double done = std::min<double>(static_cast<double>(f.abort_record),
+                                         static_cast<double>(total_records));
+    // Stream up to the poisoned record, then the full (losing) repair
+    // ladder: budgeted retransmits, one rekey, one last retransmit.
+    body = done * per_record +
+           static_cast<double>(f.record_retry_budget + 2) * per_record;
+  }
+  service += body;
+  if (f.stall_scheduled) service += f.stall_cycles;
+  return service;
+}
+
 }  // namespace
 
 Engine::Engine(const EngineConfig& config) : config_(config) {
+  if (config_.shards == 0) {
+    throw std::invalid_argument("server: EngineConfig.shards must be > 0");
+  }
+  if (config_.queue_capacity == 0) {
+    throw std::invalid_argument(
+        "server: EngineConfig.queue_capacity must be > 0");
+  }
+  if (config_.record_batch == 0) {
+    throw std::invalid_argument(
+        "server: EngineConfig.record_batch must be > 0");
+  }
+  if (config_.rsa_bits < 512) {
+    throw std::invalid_argument(
+        "server: EngineConfig.rsa_bits must be >= 512");
+  }
+  config_.faults.validate();
   config_.threads = std::max(1u, config_.threads);
-  config_.shards = std::max(1u, config_.shards);
-  config_.queue_capacity = std::max<std::size_t>(1, config_.queue_capacity);
-  config_.record_batch = std::max<std::size_t>(1, config_.record_batch);
 }
 
 RunReport Engine::run(const TrafficScenario& scenario) {
@@ -86,6 +149,7 @@ RunReport Engine::run(const TrafficScenario& scenario) {
   rep.mean_service_cycles = mean_service;
 
   TrafficGenerator gen(scenario, mean_service, shards);
+  const FaultPlan plan(config_.faults, scenario.seed);
 
   // Real execution: one server key per run (the server's identity), worker
   // pool, bounded scheduler, sharded connection table.
@@ -112,39 +176,24 @@ RunReport Engine::run(const TrafficScenario& scenario) {
     unsigned shard = 0;
     std::uint64_t wire_bytes = 0;
     std::uint64_t records = 0;
+    std::uint32_t retries = 0;
+    std::uint32_t repairs = 0;
+    std::uint32_t faults = 0;
     bool completed = false;
+    bool aborted = false;
   };
   std::deque<Slot> slots;
 
   std::vector<double> latencies;
+  bool degraded = false;
+  const unsigned hs_budget = config_.faults.handshake_retry_budget;
 
   while (auto arrival = gen.next()) {
     ++rep.offered;
     const unsigned shard = static_cast<unsigned>(arrival->id % shards);
-    VirtualShard& v = vq[shard];
-    while (!v.completions.empty() &&
-           v.completions.front() <= arrival->at_cycles) {
-      v.completions.pop_front();
-    }
 
-    if (v.completions.size() >= config_.queue_capacity) {
-      ++rep.dropped;
-      ++rep.shards[shard].dropped;
-      WSP_TRACE_INSTANT("server", "drop/shard" + std::to_string(shard));
-      gen.on_outcome(*arrival, arrival->at_cycles, /*dropped=*/true);
-      continue;
-    }
-
-    const double service =
-        ssl::transaction_cost(price, arrival->transaction_bytes).total();
-    const double start = std::max(v.busy_until, arrival->at_cycles);
-    const double completion = start + service;
-    v.busy_until = completion;
-    v.completions.push_back(completion);
-    rep.shards[shard].peak_virtual_depth =
-        std::max(rep.shards[shard].peak_virtual_depth, v.completions.size());
-    // Peak concurrent live sessions, on the virtual timeline: evict every
-    // shard up to this arrival so the in-system count is exact, not the
+    // Evict every shard up to this arrival so the in-system count — the
+    // degrade-mode signal and the peak_sessions source — is exact, not the
     // lazily-evicted per-shard view.
     std::size_t in_system = 0;
     for (VirtualShard& other : vq) {
@@ -154,7 +203,52 @@ RunReport Engine::run(const TrafficScenario& scenario) {
       }
       in_system += other.completions.size();
     }
-    rep.peak_sessions = std::max(rep.peak_sessions, in_system);
+
+    // Degrade mode with hysteresis: engage at degrade_depth, release only
+    // once the system has drained to half of it.
+    if (config_.degrade_depth > 0) {
+      if (!degraded && in_system >= config_.degrade_depth) {
+        degraded = true;
+        ++rep.degrade_enters;
+        WSP_TRACE_INSTANT_V("server", "degrade/enter",
+                            static_cast<double>(in_system));
+      } else if (degraded && in_system <= config_.degrade_depth / 2) {
+        degraded = false;
+        WSP_TRACE_INSTANT_V("server", "degrade/exit",
+                            static_cast<double>(in_system));
+      }
+    }
+
+    VirtualShard& v = vq[shard];
+    const std::size_t room =
+        degraded ? std::max<std::size_t>(1, config_.queue_capacity / 2)
+                 : config_.queue_capacity;
+    if (v.completions.size() >= room) {
+      ++rep.dropped;
+      ++rep.shards[shard].dropped;
+      if (degraded && v.completions.size() < config_.queue_capacity) {
+        ++rep.shed;  // would have been admitted at full capacity
+      }
+      WSP_TRACE_INSTANT("server", "drop/shard" + std::to_string(shard));
+      gen.on_outcome(*arrival, arrival->at_cycles, /*dropped=*/true);
+      continue;
+    }
+
+    const FaultSchedule schedule = plan.schedule_for(arrival->id);
+    if (schedule.stall_scheduled) {
+      WSP_TRACE_INSTANT_V("server.fault", "stall/shard" + std::to_string(shard),
+                          schedule.stall_cycles);
+    }
+    const double service =
+        modeled_service(price, arrival->transaction_bytes,
+                        scenario.record_bytes, schedule, config_.faults);
+    const double start = std::max(v.busy_until, arrival->at_cycles);
+    const double completion = start + service;
+    v.busy_until = completion;
+    v.completions.push_back(completion);
+    rep.shards[shard].peak_virtual_depth =
+        std::max(rep.shards[shard].peak_virtual_depth, v.completions.size());
+    rep.peak_sessions = std::max(rep.peak_sessions, in_system + 1);
     latencies.push_back(completion - arrival->at_cycles);
     rep.makespan_cycles = std::max(rep.makespan_cycles, completion);
     rep.platform_cycles_base +=
@@ -165,7 +259,7 @@ RunReport Engine::run(const TrafficScenario& scenario) {
     ++rep.shards[shard].admitted;
     gen.on_outcome(*arrival, completion, /*dropped=*/false);
 
-    slots.push_back(Slot{arrival->id, shard, 0, 0, false});
+    slots.push_back(Slot{arrival->id, shard, 0, 0, 0, 0, 0, false, false});
     Slot* slot = &slots.back();
     SessionConfig cfg;
     cfg.id = arrival->id;
@@ -173,12 +267,20 @@ RunReport Engine::run(const TrafficScenario& scenario) {
     cfg.transaction_bytes = arrival->transaction_bytes;
     cfg.record_bytes = scenario.record_bytes;
     cfg.seed = arrival->session_seed;
+    cfg.faults = schedule;
     Session* session = table.insert(std::make_unique<Session>(cfg));
     WSP_TRACE_COUNTER("server", "live_sessions",
                       static_cast<double>(table.size()));
 
-    const std::size_t batch = config_.record_batch;
-    sched.push(shard, [slot, session, &table, &server_key, batch] {
+    // Sessions admitted while degraded run at half the record batch: finer
+    // quanta interleave shard work and cap how long one session can hold
+    // the pump.  Decided here, on the virtual timeline, so it is
+    // deterministic per session.
+    const std::size_t batch =
+        degraded ? std::max<std::size_t>(1, config_.record_batch / 2)
+                 : config_.record_batch;
+    sched.push(shard, [slot, session, &table, &server_key, batch, hs_budget] {
+      bool aborted = false;
       try {
         ModexpEngine client_engine{ModexpConfig{}};
         ModexpConfig server_cfg;  // the explored-optimal configuration
@@ -187,15 +289,40 @@ RunReport Engine::run(const TrafficScenario& scenario) {
         server_cfg.crt = CrtMode::kGarner;
         server_cfg.caching = Caching::kFull;
         ModexpEngine server_engine(server_cfg);
-        session->handshake(server_key, client_engine, server_engine);
-        while (!session->finished()) session->pump(batch);
-        session->teardown();
-        slot->wire_bytes = session->wire_bytes();
-        slot->records = session->records();
-        slot->completed = true;
+        for (unsigned attempt = 0;; ++attempt) {
+          try {
+            session->handshake(server_key, client_engine, server_engine);
+            break;
+          } catch (const SessionError& e) {
+            if (e.kind() != SessionErrorKind::kHandshakeFailed ||
+                attempt >= hs_budget) {
+              session->abort();
+              aborted = true;
+              break;
+            }
+            // Retry; the matching exponential backoff is priced on the
+            // virtual timeline by modeled_service().
+          }
+        }
+        if (!aborted) {
+          while (!session->finished()) session->pump(batch);
+          session->teardown();
+          slot->completed = true;
+        }
       } catch (...) {
-        // Never throw out of the pool; an incomplete slot is the record.
+        // SessionError(kAborted) from the exhausted repair ladder, or any
+        // unexpected failure: the session is finished either way.  abort()
+        // is idempotent and safe from every state but kClosed.
+        session->abort();
+        aborted = true;
       }
+      slot->wire_bytes = session->wire_bytes();
+      slot->records = session->records();
+      const std::uint32_t attempts = session->handshake_attempts();
+      slot->retries = session->retries() + (attempts > 0 ? attempts - 1 : 0);
+      slot->repairs = session->repairs();
+      slot->faults = session->faults_seen();
+      slot->aborted = aborted;
       table.erase(slot->id);
     });
   }
@@ -204,15 +331,33 @@ RunReport Engine::run(const TrafficScenario& scenario) {
 
   Digest digest;
   for (const Slot& slot : slots) {
-    if (!slot.completed) continue;
-    ++rep.completed;
+    ShardReport& sh = rep.shards[slot.shard];
+    rep.retried += slot.retries;
+    rep.repaired += slot.repairs;
+    rep.faults_injected += slot.faults;
+    sh.retried += slot.retries;
+    sh.repaired += slot.repairs;
+    sh.faults_injected += slot.faults;
     rep.wire_bytes += slot.wire_bytes;
     rep.records += slot.records;
-    rep.shards[slot.shard].wire_bytes += slot.wire_bytes;
-    rep.shards[slot.shard].records += slot.records;
-    digest.mix(slot.id);
-    digest.mix(slot.wire_bytes);
-    digest.mix(slot.records);
+    sh.wire_bytes += slot.wire_bytes;
+    sh.records += slot.records;
+    if (slot.completed) {
+      ++rep.completed;
+      ++sh.completed;
+      digest.mix(slot.id);
+      digest.mix(slot.wire_bytes);
+      digest.mix(slot.records);
+    } else {
+      // Anything not completed is aborted — the worker guarantees one of
+      // the two — so completed + aborted == admitted (no leaked sessions).
+      ++rep.aborted;
+      ++sh.aborted;
+      digest.mix(slot.id);
+      digest.mix(slot.wire_bytes);
+      digest.mix(slot.records);
+      digest.mix(0xAB);  // distinguish an aborted triple from a completed one
+    }
   }
   rep.bytes_digest = digest.fold();
 
@@ -230,6 +375,7 @@ RunReport Engine::run(const TrafficScenario& scenario) {
         std::max(rep.peak_virtual_depth, rep.shards[s].peak_virtual_depth);
     const ShardCounters counters = sched.counters(s);
     rep.backpressure_waits += counters.backpressure_waits;
+    rep.failed_tasks += counters.failed;
     rep.peak_real_depth = std::max(rep.peak_real_depth, counters.peak_depth);
   }
   if (rep.platform_cycles_optimized > 0.0) {

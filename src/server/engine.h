@@ -21,6 +21,17 @@
 //     are deterministic because every session's randomness is derived from
 //     its own seed.
 //
+// Fault injection and recovery (docs/faults.md): when EngineConfig.faults
+// carries nonzero rates, a FaultPlan derives each session's schedule purely
+// from (scenario seed, session id).  Real execution runs the repair ladder
+// (retransmit → rekey → abort) against genuinely corrupted wire bytes; the
+// virtual timeline prices the same schedule — failed handshakes with
+// bounded exponential backoff, retransmission surcharge, stalls — so both
+// timelines stay deterministic for any `--threads`.  When the modeled
+// in-system depth crosses `degrade_depth` the engine enters degrade mode:
+// it sheds load (halved waiting rooms) and halves the record batch until
+// depth falls back under half the threshold (hysteresis).
+//
 // The determinism contract (what `--threads N` may never change) is spelled
 // out in docs/server.md.
 #pragma once
@@ -28,6 +39,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "server/faults.h"
 #include "server/scheduler.h"
 #include "server/session.h"
 #include "server/traffic.h"
@@ -43,6 +55,11 @@ enum class Pricing { kBase, kOptimized };
 /// the server's virtual timeline never depends on re-running the ISS.
 ssl::PlatformCosts calibrated_costs(Pricing pricing);
 
+/// Validated by Engine's constructor: shards, queue_capacity and
+/// record_batch must be positive, rsa_bits at least 512, and the fault
+/// rates well-formed — violations throw std::invalid_argument instead of
+/// being silently clamped.  `threads` is host-dependent anyway and is
+/// clamped to >= 1.
 struct EngineConfig {
   unsigned threads = 1;          ///< worker threads (clamped >= 1)
   unsigned shards = 4;           ///< session-table / scheduler / service shards
@@ -50,6 +67,11 @@ struct EngineConfig {
   std::size_t record_batch = 16;    ///< records per execution quantum
   std::size_t rsa_bits = 512;    ///< server key size for the real handshakes
   Pricing pricing = Pricing::kOptimized;  ///< service-time platform
+  FaultConfig faults;            ///< all-zero rates (default) = no injection
+  /// Total modeled in-system sessions that trips degrade mode; 0 disables.
+  /// Exit is at degrade_depth / 2 (hysteresis, so the mode cannot flap on
+  /// every arrival).
+  std::size_t degrade_depth = 0;
 };
 
 struct LatencyStats {
@@ -59,8 +81,13 @@ struct LatencyStats {
 struct ShardReport {
   std::uint64_t admitted = 0;
   std::uint64_t dropped = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t aborted = 0;
   std::uint64_t wire_bytes = 0;
   std::uint64_t records = 0;
+  std::uint64_t retried = 0;
+  std::uint64_t repaired = 0;
+  std::uint64_t faults_injected = 0;
   std::size_t peak_virtual_depth = 0;
 };
 
@@ -70,10 +97,19 @@ struct RunReport {
   std::uint64_t admitted = 0;
   std::uint64_t completed = 0;  ///< sessions fully executed and torn down
   std::uint64_t dropped = 0;
+  /// Recovery accounting.  Leak invariant: completed + aborted == admitted.
+  std::uint64_t aborted = 0;    ///< sessions that exhausted recovery budgets
+  std::uint64_t retried = 0;    ///< record retransmissions + handshake retries
+  std::uint64_t repaired = 0;   ///< rekey() repairs that revived a session
+  std::uint64_t faults_injected = 0;  ///< wire flips + corrupted handshakes
+  std::uint64_t shed = 0;       ///< drops caused by degrade-mode shedding
+  std::uint64_t degrade_enters = 0;  ///< times degrade mode engaged
   std::uint64_t records = 0;
   std::uint64_t wire_bytes = 0;
-  /// FNV-1a over (id, wire_bytes, records) in id order, folded to 32 bits:
-  /// one number that pins every per-session byte total.
+  /// FNV-1a over (id, wire_bytes, records) in arrival order, folded to 32
+  /// bits: one number that pins every per-session byte total.  Aborted
+  /// sessions mix their partial totals plus an 0xAB tag, so benign runs
+  /// keep their historical digests.
   std::uint32_t bytes_digest = 0;
   LatencyStats latency;
   double makespan_cycles = 0.0;  ///< last virtual completion
@@ -91,12 +127,14 @@ struct RunReport {
   // --- intentionally non-deterministic (host-dependent) ---
   std::uint64_t wall_ns = 0;
   std::uint64_t backpressure_waits = 0;
+  std::uint64_t failed_tasks = 0;  ///< scheduler-contained raw task failures
   std::size_t peak_real_depth = 0;
   unsigned threads = 1;
 };
 
 class Engine {
  public:
+  /// Throws std::invalid_argument on an invalid config (see EngineConfig).
   explicit Engine(const EngineConfig& config);
 
   /// Offers the scenario's traffic, executes every admitted session to

@@ -1,0 +1,105 @@
+#include "server/faults.h"
+
+namespace wsp::server {
+
+namespace {
+
+// SplitMix64 finalizer: the one-shot mixer behind every schedule decision.
+// Counter-based (no generator state), so any (seed, id, record, attempt)
+// coordinate can be probed independently and in any order.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+double to_unit(std::uint64_t h) {
+  // Top 53 bits -> [0, 1), the usual double-from-u64 construction.
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+void check_rate(double rate, const char* name) {
+  if (!(rate >= 0.0 && rate <= 1.0)) {
+    throw std::invalid_argument(std::string("server: FaultConfig.") + name +
+                                " must be in [0, 1]");
+  }
+}
+
+}  // namespace
+
+const char* to_string(SessionErrorKind kind) {
+  switch (kind) {
+    case SessionErrorKind::kHandshakeFailed: return "handshake-failed";
+    case SessionErrorKind::kRecordTampered: return "record-tampered";
+    case SessionErrorKind::kAborted: return "aborted";
+  }
+  return "?";
+}
+
+SessionError::SessionError(SessionErrorKind kind, std::uint64_t session_id,
+                           const std::string& detail)
+    : std::runtime_error("server: session " + std::to_string(session_id) +
+                         " " + to_string(kind) + ": " + detail),
+      kind_(kind),
+      session_id_(session_id) {}
+
+void FaultConfig::validate() const {
+  check_rate(wire_flip_rate, "wire_flip_rate");
+  check_rate(handshake_failure_rate, "handshake_failure_rate");
+  check_rate(abort_rate, "abort_rate");
+  check_rate(stall_rate, "stall_rate");
+  if (stall_cycles <= 0.0) {
+    throw std::invalid_argument("server: FaultConfig.stall_cycles must be > 0");
+  }
+  if (backoff_base_cycles <= 0.0 || backoff_cap_cycles < backoff_base_cycles) {
+    throw std::invalid_argument(
+        "server: FaultConfig backoff must satisfy 0 < base <= cap");
+  }
+}
+
+unsigned FaultSchedule::flip_attempts(std::uint64_t record) const {
+  if (key == 0 || wire_flip_rate <= 0.0) return 0;
+  const std::uint64_t h = mix64(key ^ (record * 0xD1B54A32D192ED03ull));
+  if (to_unit(h) >= wire_flip_rate) return 0;
+  return 1 + static_cast<unsigned>(mix64(h) & 1);  // 1 or 2 corrupted sends
+}
+
+unsigned FaultSchedule::flip_bit(std::uint64_t record, unsigned attempt) const {
+  return static_cast<unsigned>(
+      mix64(key ^ (record * 0xD1B54A32D192ED03ull) ^ (attempt + 1)) & 7);
+}
+
+FaultPlan::FaultPlan(const FaultConfig& config, std::uint64_t scenario_seed)
+    : config_(config), seed_(scenario_seed) {
+  config_.validate();
+}
+
+FaultSchedule FaultPlan::schedule_for(std::uint64_t session_id) const {
+  FaultSchedule s;
+  if (!config_.enabled()) return s;
+  std::uint64_t key =
+      mix64(seed_ ^ mix64(session_id * 0x9E3779B97F4A7C15ull + 0xBF58476Dull));
+  if (key == 0) key = 1;  // 0 is reserved for "benign"
+  s.key = key;
+  s.wire_flip_rate = config_.wire_flip_rate;
+  s.record_retry_budget = config_.record_retry_budget;
+  if (to_unit(mix64(key ^ 0xA0)) < config_.handshake_failure_rate) {
+    // 1..budget recovers after retries; budget+1 exhausts them and aborts.
+    s.handshake_failures =
+        1 + static_cast<unsigned>(mix64(key ^ 0xA1) %
+                                  (config_.handshake_retry_budget + 1));
+  }
+  if (to_unit(mix64(key ^ 0xB0)) < config_.abort_rate) {
+    s.abort_scheduled = true;
+    s.abort_record = mix64(key ^ 0xB1) % 24;  // within typical record counts
+  }
+  if (to_unit(mix64(key ^ 0xC0)) < config_.stall_rate) {
+    s.stall_scheduled = true;
+    s.stall_cycles =
+        config_.stall_cycles * (0.5 + to_unit(mix64(key ^ 0xC1)));
+  }
+  return s;
+}
+
+}  // namespace wsp::server

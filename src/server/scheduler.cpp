@@ -62,9 +62,22 @@ void RecordScheduler::pump(unsigned index) {
     }
     s.space.notify_all();
     for (auto& item : items) {
-      item();
+      bool ok = true;
+      try {
+        item();
+      } catch (...) {
+        // Containment: the item already left the queue (depth was
+        // decremented and producers woken at pop time), so all that
+        // remains is to record the failure and keep pumping the shard.
+        ok = false;
+      }
       std::lock_guard<std::mutex> lock(s.mutex);
       ++s.counters.executed;
+      if (!ok) {
+        ++s.counters.failed;
+        WSP_TRACE_INSTANT("server.sched",
+                          "task_failed/shard" + std::to_string(index));
+      }
     }
   }
 }

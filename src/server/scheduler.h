@@ -15,6 +15,13 @@
 //     the producing thread blocks until the pump drains a batch, which
 //     bounds queue memory no matter how fast arrivals are generated.
 //
+// Fault containment: an item that exits by exception is counted in
+// `failed` and the pump keeps draining — one poisoned session can never
+// wedge its shard, strand the remaining queue entries, or deadlock a
+// producer blocked in push().  Callers that need the error itself must
+// catch it inside the submitted closure (the Engine does exactly that and
+// converts SessionErrors into abort accounting before they reach here).
+//
 // Counters are updated under each shard's queue mutex and must only be
 // read after drain().
 #pragma once
@@ -33,6 +40,7 @@ namespace wsp::server {
 struct ShardCounters {
   std::uint64_t enqueued = 0;
   std::uint64_t executed = 0;
+  std::uint64_t failed = 0;            ///< items that exited by exception
   std::uint64_t batches = 0;           ///< pump invocations that ran >= 1 item
   std::uint64_t backpressure_waits = 0;  ///< pushes that had to block
   std::size_t peak_depth = 0;          ///< real queue high-water mark

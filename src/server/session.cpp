@@ -13,6 +13,7 @@ const char* to_string(SessionState s) {
     case SessionState::kPending: return "pending";
     case SessionState::kEstablished: return "established";
     case SessionState::kClosed: return "closed";
+    case SessionState::kAborted: return "aborted";
   }
   return "?";
 }
@@ -31,6 +32,29 @@ void Session::handshake(const rsa::PrivateKey& server_key,
                         ModexpEngine& server_engine) {
   require(SessionState::kPending, "handshake");
   WSP_TRACE_SPAN("server.session", "handshake");
+  const unsigned attempt = handshake_attempts_++;
+  if (attempt < cfg_.faults.handshake_failures) {
+    ++faults_seen_;
+    WSP_TRACE_INSTANT_V("server.fault", "handshake_fail",
+                        static_cast<double>(attempt));
+    try {
+      ssl::HandshakeFault fault;
+      fault.corrupt_premaster = true;
+      ssl::perform_handshake(server_key, cfg_.cipher, client_engine,
+                             server_engine, rng_, &fault);
+    } catch (const std::runtime_error&) {
+      // The hellos and the (corrupted) premaster made it onto the wire
+      // before the exchange collapsed.
+      wire_bytes_ += 64 + (server_key.bits() + 7) / 8;
+      throw SessionError(SessionErrorKind::kHandshakeFailed, cfg_.id,
+                         "premaster corrupted in transit (attempt " +
+                             std::to_string(attempt) + ")");
+    }
+    // A corrupted premaster can never yield a shared secret; reaching here
+    // would mean the fault was silently swallowed.
+    throw SessionError(SessionErrorKind::kHandshakeFailed, cfg_.id,
+                       "corrupted premaster unexpectedly accepted");
+  }
   keys_.emplace(ssl::perform_handshake(server_key, cfg_.cipher, client_engine,
                                        server_engine, rng_));
   handshake_bytes_ = keys_->handshake_bytes;
@@ -46,14 +70,67 @@ std::size_t Session::pump(std::size_t max_records) {
     const std::size_t payload_len =
         std::min(cfg_.record_bytes, cfg_.transaction_bytes - bytes_sent_);
     const auto payload = rng_.bytes(payload_len);
-    const auto wire = keys_->client_write.seal(payload);
-    const auto opened = keys_->client_write.open(wire);
-    if (opened != payload) {
-      throw std::runtime_error("server: record corrupted in transit");
+    const std::uint64_t record = records_;
+    const bool poisoned = cfg_.faults.poisons(record);
+    unsigned flips_left = poisoned ? 0 : cfg_.faults.flip_attempts(record);
+    unsigned failures = 0;
+    unsigned attempt = 0;
+    bool rekeyed = false;
+    for (;;) {
+      // Retransmissions re-seal the SAME payload: the application data is
+      // fixed; only the wire transfer repeats.
+      auto wire = keys_->client_write.seal(payload);
+      if (poisoned || flips_left > 0) {
+        // Flip a bit of the final wire byte.  The tail carries the MAC
+        // (stream ciphers) or the last CBC block (block ciphers), so the
+        // tamper is always detected — and for CBC it also desyncs the
+        // receiver's chaining state, which is what makes rekey() a genuine
+        // repair rather than a formality.
+        wire.back() ^= static_cast<std::uint8_t>(
+            1u << cfg_.faults.flip_bit(record, attempt));
+        if (flips_left > 0) --flips_left;
+        ++faults_seen_;
+        WSP_TRACE_INSTANT_V("server.fault", "wire_flip",
+                            static_cast<double>(record));
+      }
+      ++attempt;
+      wire_bytes_ += wire.size();
+      moved += wire.size();
+      bool delivered = false;
+      try {
+        // Equality is the transfer check; repair must never silently
+        // accept bytes that differ from what the client sent.
+        delivered = keys_->client_write.open(wire) == payload;
+      } catch (const std::runtime_error&) {
+        delivered = false;  // MAC / padding / framing rejection
+      }
+      if (delivered) break;
+      ++failures;
+      if (failures <= cfg_.faults.record_retry_budget) {
+        ++retries_;
+        WSP_TRACE_INSTANT_V("server.fault", "record_retry",
+                            static_cast<double>(failures));
+        continue;
+      }
+      if (!rekeyed) {
+        // Retransmits alone did not verify: the channel state (CBC IVs,
+        // sequence numbers) desynced.  Re-derive both directions from the
+        // master secret and retransmit under fresh keys.
+        rekey();
+        ++repairs_;
+        ++retries_;
+        rekeyed = true;
+        failures = 0;
+        WSP_TRACE_INSTANT_V("server.fault", "rekey_repair",
+                            static_cast<double>(record));
+        continue;
+      }
+      abort();
+      throw SessionError(SessionErrorKind::kAborted, cfg_.id,
+                         "record " + std::to_string(record) +
+                             " unrecoverable after retry and rekey");
     }
     bytes_sent_ += payload_len;
-    wire_bytes_ += wire.size();
-    moved += wire.size();
     ++records_;
   }
   return moved;
@@ -93,10 +170,21 @@ void Session::rekey() {
 }
 
 void Session::teardown() {
-  if (state_ == SessionState::kClosed) return;
+  if (state_ == SessionState::kClosed || state_ == SessionState::kAborted) {
+    return;
+  }
   WSP_TRACE_SPAN("server.session", "teardown");
   keys_.reset();  // drop key material with the connection
   state_ = SessionState::kClosed;
+}
+
+void Session::abort() {
+  if (state_ == SessionState::kClosed || state_ == SessionState::kAborted) {
+    return;
+  }
+  WSP_TRACE_INSTANT("server.session", "abort");
+  keys_.reset();
+  state_ = SessionState::kAborted;
 }
 
 }  // namespace wsp::server

@@ -2,10 +2,11 @@
 // ssl::SecureChannel / handshake code:
 //
 //   kPending ──handshake()──► kEstablished ──teardown()──► kClosed
-//                                  │  ▲
-//                           pump() │  │ rekey()
-//                                  ▼  │
-//                             (record stream)
+//        │                        │  ▲   │
+//        │ (budget exhausted)     │  │   │ (repair exhausted)
+//        └──────────► kAborted ◄──┘  │   │
+//                         ▲   pump() │   │ rekey()
+//                         └──────────┴───┘
 //
 // Every operation validates the state machine and throws on misuse
 // (handshake twice, records before keys, rekey after teardown, ...), which
@@ -13,6 +14,14 @@
 // payloads, handshake nonces, rekey nonces — comes from a per-session Rng
 // seeded at construction, so a session's byte totals are a pure function of
 // its SessionConfig regardless of which worker thread runs it.
+//
+// Fault recovery (docs/faults.md): when the SessionConfig carries a
+// FaultSchedule, scheduled records are corrupted on the wire and the repair
+// ladder engages — retransmit up to `record_retry_budget` times, then
+// rekey() to re-derive channels (healing CBC chaining / sequence desync the
+// tampered record left behind), then abort with a typed SessionError.
+// Stream-cipher sessions typically heal on plain retransmit; CBC sessions
+// need the rekey leg.  Every step is deterministic per session.
 #pragma once
 
 #include <cstdint>
@@ -20,11 +29,12 @@
 #include <optional>
 #include <stdexcept>
 
+#include "server/faults.h"
 #include "ssl/ssl.h"
 
 namespace wsp::server {
 
-enum class SessionState { kPending, kEstablished, kClosed };
+enum class SessionState { kPending, kEstablished, kClosed, kAborted };
 
 const char* to_string(SessionState s);
 
@@ -34,6 +44,7 @@ struct SessionConfig {
   std::size_t transaction_bytes = 0;  ///< application payload to transfer
   std::size_t record_bytes = 1024;    ///< payload bytes per record
   std::uint64_t seed = 0;             ///< per-session Rng seed
+  FaultSchedule faults;               ///< benign by default
 };
 
 class Session {
@@ -46,13 +57,19 @@ class Session {
 
   /// Runs the real RSA key-exchange handshake against `server_key` and
   /// enters kEstablished.  Throws std::logic_error unless kPending.
+  /// While the fault schedule says this attempt fails, the premaster is
+  /// corrupted on the wire and a SessionError(kHandshakeFailed) is thrown;
+  /// the session stays kPending so the caller may retry (with backoff) up
+  /// to its budget.
   void handshake(const rsa::PrivateKey& server_key, ModexpEngine& client_engine,
                  ModexpEngine& server_engine);
 
   /// Seals and opens up to `max_records` records of the transaction stream
-  /// (client seals, server opens — tampering throws out of ssl::open).
-  /// Returns the wire bytes moved.  Throws std::logic_error unless
-  /// kEstablished.
+  /// (client seals, server opens).  Scheduled wire faults corrupt records
+  /// in transit; verification failure engages the repair ladder
+  /// (retransmit -> rekey -> abort).  Returns the wire bytes moved,
+  /// retransmissions included.  Throws std::logic_error unless
+  /// kEstablished, SessionError(kAborted) when repair is exhausted.
   std::size_t pump(std::size_t max_records);
 
   /// True once the whole transaction payload has been transferred.
@@ -65,14 +82,23 @@ class Session {
   /// rejected, never silently re-opened.
   void rekey();
 
-  /// kPending/kEstablished -> kClosed; idempotent on kClosed.
+  /// kPending/kEstablished -> kClosed; idempotent on kClosed and on
+  /// kAborted (an aborted session is already torn down).
   void teardown();
+
+  /// Drops key material and enters the terminal kAborted state, from any
+  /// state but kClosed (idempotent on kAborted; no-op on kClosed).
+  void abort();
 
   // Deterministic per-session accounting.
   std::uint64_t wire_bytes() const { return wire_bytes_; }
   std::uint64_t records() const { return records_; }
   std::uint64_t handshake_bytes() const { return handshake_bytes_; }
   std::uint32_t rekeys() const { return rekeys_; }
+  std::uint32_t retries() const { return retries_; }       ///< retransmissions
+  std::uint32_t repairs() const { return repairs_; }       ///< rekey repairs
+  std::uint32_t faults_seen() const { return faults_seen_; }
+  std::uint32_t handshake_attempts() const { return handshake_attempts_; }
 
  private:
   void require(SessionState expected, const char* op) const;
@@ -86,6 +112,10 @@ class Session {
   std::uint64_t handshake_bytes_ = 0;
   std::uint64_t records_ = 0;
   std::uint32_t rekeys_ = 0;
+  std::uint32_t retries_ = 0;
+  std::uint32_t repairs_ = 0;
+  std::uint32_t faults_seen_ = 0;
+  std::uint32_t handshake_attempts_ = 0;
 };
 
 }  // namespace wsp::server

@@ -222,7 +222,8 @@ CipherProfile cipher_profile(Cipher cipher) {
 
 Handshake perform_handshake(const rsa::PrivateKey& server_key, Cipher cipher,
                             ModexpEngine& client_engine,
-                            ModexpEngine& server_engine, Rng& rng) {
+                            ModexpEngine& server_engine, Rng& rng,
+                            const HandshakeFault* fault) {
   WSP_TRACE_SPAN("ssl.handshake", "perform_handshake");
   // ClientHello / ServerHello randoms.
   const auto client_random = rng.bytes(32);
@@ -235,6 +236,12 @@ Handshake perform_handshake(const rsa::PrivateKey& server_key, Cipher cipher,
     WSP_TRACE_SPAN("ssl.handshake", "premaster/encrypt");
     encrypted_premaster =
         rsa::encrypt(premaster, server_key.public_key(), client_engine, rng);
+  }
+  if (fault && fault->corrupt_premaster && !encrypted_premaster.empty()) {
+    // Flip a mid-ciphertext byte "on the wire": the server either fails the
+    // PKCS#1 unpadding or recovers a premaster the client does not hold.
+    WSP_TRACE_INSTANT("ssl.handshake", "premaster/corrupted");
+    encrypted_premaster[encrypted_premaster.size() / 2] ^= 0x01;
   }
 
   // Server: recover the premaster (the expensive private-key operation).

@@ -56,12 +56,23 @@ struct Handshake {
   std::size_t handshake_bytes = 0;  ///< wire bytes exchanged during setup
 };
 
+/// Deterministic wire-fault injection for a handshake (the secure-session
+/// engine's chaos runs): the failure still exercises the real code path —
+/// the server decrypts the corrupted premaster and the verification that
+/// both sides agree fails, exactly as a man-in-the-middle flip would.
+struct HandshakeFault {
+  bool corrupt_premaster = false;  ///< flip one byte of the encrypted premaster
+};
+
 /// Runs the RSA key-exchange handshake between an in-process client and
 /// server.  The client encrypts a 48-byte premaster under the server's
 /// public key; both sides derive the master secret and record keys.
+/// With a HandshakeFault the exchange is sabotaged on the wire and throws
+/// std::runtime_error (the same failure path genuine corruption takes).
 Handshake perform_handshake(const rsa::PrivateKey& server_key, Cipher cipher,
                             ModexpEngine& client_engine,
-                            ModexpEngine& server_engine, Rng& rng);
+                            ModexpEngine& server_engine, Rng& rng,
+                            const HandshakeFault* fault = nullptr);
 
 /// SSLv3-style pseudo-random expansion:
 /// block = MD5(secret || SHA1('A' || secret || r1 || r2)) || MD5(... 'BB' ...) || ...

@@ -109,6 +109,10 @@ void instant(const char* category, std::string name) {
   record(Phase::kInstant, category, std::move(name), 0.0, false, 0, 0);
 }
 
+void instant(const char* category, std::string name, double value) {
+  record(Phase::kInstant, category, std::move(name), value, false, 0, 0);
+}
+
 void emit_sim(Phase phase, const char* category, std::string name,
               std::uint64_t cycles, std::uint32_t sim_tid, double value) {
   record(phase, category, std::move(name), value, true, cycles, sim_tid);
@@ -149,7 +153,8 @@ std::string to_chrome_json(const std::vector<Event>& events) {
     // ticks); sim events carry cycles.  Both are exported as 1 unit = 1 us
     // to keep integer timestamps; displayTimeUnit only affects labels.
     o["ts"] = json::Value(e.ts);
-    if (e.phase == Phase::kCounter) {
+    if (e.phase == Phase::kCounter ||
+        (e.phase == Phase::kInstant && e.value != 0.0)) {
       json::Value args = json::Value::object();
       args["value"] = json::Value(e.value);
       o["args"] = std::move(args);
@@ -184,9 +189,12 @@ std::uint64_t structural_digest(const std::vector<Event>& events) {
     mix_byte(e.sim_domain ? 1 : 0);
     mix_str(e.category);
     mix_str(e.name.c_str());
-    if (e.phase == Phase::kCounter) {
-      // Counter values are deterministic (cycle counts, queue depths at
-      // deterministic points); hash the exact bit pattern.
+    if (e.phase == Phase::kCounter ||
+        (e.phase == Phase::kInstant && e.value != 0.0)) {
+      // Counter (and valued-instant) payloads are deterministic (cycle
+      // counts, queue depths, fault coordinates); hash the exact bit
+      // pattern.  Plain instants carry 0.0 and hash nothing, so digests of
+      // pre-existing traces are unchanged.
       std::uint64_t bits;
       static_assert(sizeof bits == sizeof e.value);
       __builtin_memcpy(&bits, &e.value, sizeof bits);

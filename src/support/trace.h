@@ -79,6 +79,10 @@ void begin(const char* category, std::string name);
 void end(const char* category, std::string name);
 void counter(const char* category, std::string name, double value);
 void instant(const char* category, std::string name);
+/// Instant event carrying a value (e.g. a retry attempt number or a fault's
+/// record index) — exported under args.value like a counter sample, but
+/// rendered as a point-in-time marker.
+void instant(const char* category, std::string name, double value);
 
 /// Sim-domain emission with an explicit timestamp in simulated cycles.
 /// `sim_tid` distinguishes simulated machines (0 is fine for one machine).
@@ -129,6 +133,7 @@ inline void begin(const char*, std::string) {}
 inline void end(const char*, std::string) {}
 inline void counter(const char*, std::string, double) {}
 inline void instant(const char*, std::string) {}
+inline void instant(const char*, std::string, double) {}
 inline void emit_sim(Phase, const char*, std::string, std::uint64_t,
                      std::uint32_t = 0, double = 0.0) {}
 
@@ -164,6 +169,11 @@ std::uint64_t structural_digest(const std::vector<Event>& events);
     if (::wsp::trace::enabled())                               \
       ::wsp::trace::instant((category), (name));               \
   } while (0)
+#define WSP_TRACE_INSTANT_V(category, name, value)               \
+  do {                                                           \
+    if (::wsp::trace::enabled())                                 \
+      ::wsp::trace::instant((category), (name), (value));        \
+  } while (0)
 #else
 // The sizeof operands are unevaluated: arguments cost nothing at runtime
 // but still count as "used" for -Wunused warnings.
@@ -182,5 +192,11 @@ std::uint64_t structural_digest(const std::vector<Event>& events);
   do {                                    \
     (void)sizeof(category);               \
     (void)sizeof(name);                   \
+  } while (0)
+#define WSP_TRACE_INSTANT_V(category, name, value) \
+  do {                                             \
+    (void)sizeof(category);                        \
+    (void)sizeof(name);                            \
+    (void)sizeof(value);                           \
   } while (0)
 #endif

@@ -107,8 +107,14 @@ server::RunReport sample_server_report() {
   server::RunReport rep;
   rep.offered = 96;
   rep.admitted = 90;
-  rep.completed = 90;
+  rep.completed = 85;
   rep.dropped = 6;
+  rep.aborted = 5;
+  rep.retried = 23;
+  rep.repaired = 4;
+  rep.faults_injected = 31;
+  rep.shed = 2;
+  rep.degrade_enters = 1;
   rep.records = 720;
   rep.wire_bytes = 1234567;
   rep.bytes_digest = 0xDEADBEEF;
@@ -145,7 +151,6 @@ TEST(BenchServerSchema, MetricsLandUnderPrefixWithExpectedKeys) {
   // Session accounting and platform-equivalent pricing.
   EXPECT_EQ(cycles.at("steady/offered").as_number(), 96.0);
   EXPECT_EQ(cycles.at("steady/admitted").as_number(), 90.0);
-  EXPECT_EQ(cycles.at("steady/completed").as_number(), 90.0);
   EXPECT_EQ(cycles.at("steady/wire_bytes").as_number(), 1234567.0);
   EXPECT_EQ(cycles.at("steady/bytes_digest").as_number(),
             static_cast<double>(0xDEADBEEFu));
@@ -153,6 +158,14 @@ TEST(BenchServerSchema, MetricsLandUnderPrefixWithExpectedKeys) {
   EXPECT_EQ(cycles.at("steady/platform_cycles_opt").as_number(), 3.3e8);
   EXPECT_EQ(cycles.at("steady/platform_equiv_speedup").as_number(), 30.0);
   EXPECT_EQ(cycles.at("steady/queue_depth_peak").as_number(), 11.0);
+  // Fault/recovery accounting (the chaos section keys, docs/faults.md).
+  EXPECT_EQ(cycles.at("steady/completed").as_number(), 85.0);
+  EXPECT_EQ(cycles.at("steady/aborted").as_number(), 5.0);
+  EXPECT_EQ(cycles.at("steady/retried").as_number(), 23.0);
+  EXPECT_EQ(cycles.at("steady/repaired").as_number(), 4.0);
+  EXPECT_EQ(cycles.at("steady/faults_injected").as_number(), 31.0);
+  EXPECT_EQ(cycles.at("steady/shed").as_number(), 2.0);
+  EXPECT_EQ(cycles.at("steady/degrade_enters").as_number(), 1.0);
 }
 
 TEST(BenchServerSchema, HostDependentFieldsStayOutOfCycles) {

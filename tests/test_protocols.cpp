@@ -1,11 +1,17 @@
 // CRC-32 and the WEP / IPsec-ESP protocol layers — the paper's
 // "different layers of the protocol stack" claim: the same platform
 // primitives serving link-, network- and transport-layer protocols.
+// Includes the tamper-recovery suite (docs/faults.md): a corrupted
+// transmission is rejected, and a clean retransmission — after rekeying
+// where the channel state desynced — verifies; repair never silently
+// accepts corrupted bytes.
 #include <gtest/gtest.h>
 
 #include "crypto/crc32.h"
 #include "crypto/ct.h"
+#include "crypto/sha1.h"
 #include "ssl/esp.h"
+#include "ssl/ssl.h"
 #include "ssl/wep.h"
 
 namespace wsp {
@@ -155,6 +161,130 @@ TEST_F(EspTest, TruncatedPacketRejected) {
   auto packet = esp::seal(sa_, rng_.bytes(16), rng_);
   packet.resize(20);
   EXPECT_THROW(esp::open(sa_, packet, nullptr), std::runtime_error);
+}
+
+// --- Tamper-recovery: corruption -> rejection -> retransmit (+rekey) ----
+
+/// Key material for one direction of a record channel, as the handshake's
+/// key block would provide it.  make() mints an independent SecureChannel
+/// over the CURRENT material (SecureChannel is a shared handle, so copying
+/// one would alias its state machine); rekey() derives fresh material —
+/// the protocol-layer shape of the server's repair ladder.
+struct ChannelKeys {
+  explicit ChannelKeys(ssl::Cipher cipher) : cipher_(cipher), rng_(777) {
+    rekey();
+  }
+
+  void rekey() {
+    key_ = rng_.bytes(ssl::cipher_profile(cipher_).key_len);
+    mac_ = rng_.bytes(Sha1::kDigestSize);
+    iv_ = rng_.bytes(ssl::cipher_profile(cipher_).iv_len);
+  }
+
+  ssl::SecureChannel make() const {
+    return ssl::SecureChannel(cipher_, key_, mac_, iv_);
+  }
+
+  ssl::Cipher cipher_;
+  Rng rng_;
+  std::vector<std::uint8_t> key_, mac_, iv_;
+};
+
+// SSL record MAC, stream cipher: a tampered record is rejected, and the
+// plain retransmission of the SAME payload verifies — sequence numbers and
+// keystream stay aligned across the rejected record.
+TEST(TamperRecovery, SslRc4RecordRecoversByRetransmit) {
+  ChannelKeys ch(ssl::Cipher::kRc4);
+  ssl::SecureChannel sender = ch.make();
+  ssl::SecureChannel receiver = ch.make();
+  Rng rng(900);
+  const auto payload = rng.bytes(200);
+
+  auto tampered = sender.seal(payload);
+  tampered.back() ^= 0x01;
+  EXPECT_THROW(receiver.open(tampered), std::runtime_error);
+
+  // Retransmit: re-seal the same payload; it must verify AND match.
+  const auto retransmit = sender.seal(payload);
+  EXPECT_EQ(receiver.open(retransmit), payload);
+}
+
+// SSL record MAC, CBC ciphers: the tampered record desyncs the receiver's
+// chaining state, so retransmission alone keeps failing — but re-deriving
+// both channels (the rekey leg of the repair ladder) recovers the stream.
+TEST(TamperRecovery, SslCbcRecordRecoversAfterRekey) {
+  for (ssl::Cipher cipher :
+       {ssl::Cipher::kAes128Cbc, ssl::Cipher::kTripleDesCbc}) {
+    SCOPED_TRACE(static_cast<int>(cipher));
+    ChannelKeys ch(cipher);
+    ssl::SecureChannel sender = ch.make();
+    ssl::SecureChannel receiver = ch.make();
+    Rng rng(901);
+    const auto payload = rng.bytes(200);
+
+    auto tampered = sender.seal(payload);
+    tampered.back() ^= 0x01;  // last block: poisons the chained IV too
+    EXPECT_THROW(receiver.open(tampered), std::runtime_error);
+
+    // Rekey: fresh key block, fresh channels both ends, clean retransmit.
+    ch.rekey();
+    ssl::SecureChannel sender2 = ch.make();
+    ssl::SecureChannel receiver2 = ch.make();
+    const auto retransmit = sender2.seal(payload);
+    EXPECT_EQ(receiver2.open(retransmit), payload);
+  }
+}
+
+// Repair must never silently accept corrupted bytes: every corrupted copy
+// of the record is rejected even while clean retransmissions succeed.
+TEST(TamperRecovery, SslRepairNeverAcceptsCorruptedBytes) {
+  ChannelKeys ch(ssl::Cipher::kRc4);
+  ssl::SecureChannel sender = ch.make();
+  ssl::SecureChannel receiver = ch.make();
+  Rng rng(902);
+  const auto payload = rng.bytes(64);
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    auto wire = sender.seal(payload);
+    wire.back() ^= static_cast<std::uint8_t>(1u << attempt);
+    EXPECT_THROW(receiver.open(wire), std::runtime_error)
+        << "attempt " << attempt;
+  }
+  EXPECT_EQ(receiver.open(sender.seal(payload)), payload);
+}
+
+// WEP ICV: frames are self-contained (IV on the wire), so recovery is pure
+// retransmission — the corrupted frame is rejected, the re-sealed one
+// opens, and the corrupted one STAYS rejected afterwards.
+TEST(Wep, CorruptedFrameRecoversByRetransmit) {
+  Rng rng(903);
+  const auto key = rng.bytes(13);
+  const auto payload = rng.bytes(128);
+  auto frame = wep::seal(payload, key, rng);
+  auto corrupted = frame;
+  corrupted.ciphertext.back() ^= 0x10;  // ICV tail
+  EXPECT_THROW(wep::open(corrupted, key), std::runtime_error);
+
+  const auto retransmit = wep::seal(payload, key, rng);  // fresh IV
+  EXPECT_EQ(wep::open(retransmit, key), payload);
+  EXPECT_THROW(wep::open(corrupted, key), std::runtime_error)
+      << "recovery must not whitelist the corrupted frame";
+}
+
+// ESP ICV: a tampered packet is rejected without disturbing the SA, so the
+// retransmitted packet (next sequence number) verifies.
+TEST_F(EspTest, CorruptedPacketRecoversByRetransmit) {
+  const auto payload = rng_.bytes(96);
+  auto packet = esp::seal(sa_, payload, rng_);
+  auto corrupted = packet;
+  corrupted.back() ^= 0x01;  // ICV tail
+  EXPECT_THROW(esp::open(sa_, corrupted, nullptr), std::runtime_error);
+
+  const auto retransmit = esp::seal(sa_, payload, rng_);
+  std::uint32_t seq = 0;
+  EXPECT_EQ(esp::open(sa_, retransmit, &seq), payload);
+  EXPECT_EQ(seq, sa_.seq);
+  EXPECT_THROW(esp::open(sa_, corrupted, nullptr), std::runtime_error)
+      << "recovery must not whitelist the corrupted packet";
 }
 
 TEST_F(EspTest, IvRandomizesCiphertext) {

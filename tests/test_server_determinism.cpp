@@ -53,6 +53,12 @@ void expect_same_deterministic_metrics(const server::RunReport& a,
   EXPECT_EQ(a.admitted, b.admitted);
   EXPECT_EQ(a.completed, b.completed);
   EXPECT_EQ(a.dropped, b.dropped);
+  EXPECT_EQ(a.aborted, b.aborted);
+  EXPECT_EQ(a.retried, b.retried);
+  EXPECT_EQ(a.repaired, b.repaired);
+  EXPECT_EQ(a.faults_injected, b.faults_injected);
+  EXPECT_EQ(a.shed, b.shed);
+  EXPECT_EQ(a.degrade_enters, b.degrade_enters);
   EXPECT_EQ(a.records, b.records);
   EXPECT_EQ(a.wire_bytes, b.wire_bytes);
   // The digest folds every (id, bytes, records) triple: equality here means
@@ -73,7 +79,36 @@ void expect_same_deterministic_metrics(const server::RunReport& a,
     EXPECT_EQ(a.shards[i].admitted, b.shards[i].admitted) << "shard " << i;
     EXPECT_EQ(a.shards[i].dropped, b.shards[i].dropped) << "shard " << i;
     EXPECT_EQ(a.shards[i].wire_bytes, b.shards[i].wire_bytes) << "shard " << i;
+    EXPECT_EQ(a.shards[i].completed, b.shards[i].completed) << "shard " << i;
+    EXPECT_EQ(a.shards[i].aborted, b.shards[i].aborted) << "shard " << i;
+    EXPECT_EQ(a.shards[i].retried, b.shards[i].retried) << "shard " << i;
+    EXPECT_EQ(a.shards[i].repaired, b.shards[i].repaired) << "shard " << i;
+    EXPECT_EQ(a.shards[i].faults_injected, b.shards[i].faults_injected)
+        << "shard " << i;
   }
+}
+
+server::FaultConfig chaos_faults(double scale) {
+  server::FaultConfig f;
+  f.wire_flip_rate = 0.05 * scale;
+  f.handshake_failure_rate = 0.05 * scale;
+  f.abort_rate = 0.05 * scale;
+  f.stall_rate = 0.05 * scale;
+  return f;
+}
+
+server::RunReport run_chaos(unsigned threads,
+                            const server::TrafficScenario& scenario,
+                            const server::FaultConfig& faults,
+                            std::size_t queue_capacity = 32) {
+  server::EngineConfig cfg;
+  cfg.threads = threads;
+  cfg.shards = 4;
+  cfg.queue_capacity = queue_capacity;
+  cfg.record_batch = 4;
+  cfg.faults = faults;
+  server::Engine engine(cfg);
+  return engine.run(scenario);
 }
 
 TEST(ServerDeterminism, ThreadCountInvariantOpenLoop) {
@@ -144,6 +179,90 @@ TEST(ServerSoak, OverAdmissionShedsLoadWithBoundedQueues) {
   // Drops are deterministic too: an independent rerun agrees exactly.
   const auto again = run_with_threads(4, scenario, kCap);
   expect_same_deterministic_metrics(rep, again, "overload rerun");
+}
+
+// The acceptance bar for the fault layer (ISSUE 5): with a fixed seed and
+// ~5% fault rates, the whole RunReport — including the recovery counters
+// and the per-session bytes_digest — is bit-identical for 1, 2 and 8
+// worker threads.
+TEST(ServerChaosDeterminism, ThreadCountInvariantUnderFaults) {
+  const auto scenario = small_mix(20260805, 32, 0.8);
+  const auto faults = chaos_faults(1.0);
+  const auto base = run_chaos(1, scenario, faults);
+  EXPECT_GT(base.faults_injected, 0u) << "chaos scenario must inject faults";
+  EXPECT_EQ(base.completed + base.aborted, base.admitted)
+      << "every admitted session must complete or abort";
+  for (unsigned threads : {2u, 8u}) {
+    const auto rep = run_chaos(threads, scenario, faults);
+    expect_same_deterministic_metrics(base, rep, "chaos thread sweep");
+  }
+}
+
+// Recovery actually recovers: under a wire-flip-only fault model (no
+// scheduled aborts, no handshake budget exhaustion is guaranteed, but
+// retries/rekeys are) the retry and repair counters are exercised and
+// sessions still finish.
+TEST(ServerChaosDeterminism, RepairLadderHealsFlippedRecords) {
+  auto scenario = small_mix(5151, 24, 0.6);
+  server::FaultConfig f;
+  f.wire_flip_rate = 0.10;  // flips only: every session must survive
+  const auto rep = run_chaos(1, scenario, f);
+  EXPECT_GT(rep.faults_injected, 0u);
+  EXPECT_GT(rep.retried, 0u) << "flipped records must be retransmitted";
+  EXPECT_EQ(rep.aborted, 0u) << "a plain bit flip is always recoverable";
+  EXPECT_EQ(rep.completed, rep.admitted);
+  // CBC sessions need the rekey leg of the ladder (stream ciphers heal on
+  // retransmit), and this mix includes AES-128-CBC.
+  EXPECT_GT(rep.repaired, 0u) << "CBC desync requires rekey repairs";
+}
+
+// Chaos soak: higher load plus the full fault mix.  No session may leak
+// (completed + aborted == admitted), no shard may wedge, and the real
+// queue bound must hold throughout.  This is the designated TSan/ASan
+// chaos workload (tools/ci/sanitize.sh).
+TEST(ServerChaosSoak, NoSessionLeaksUnderFaultsAndOverload) {
+  const std::size_t kCap = 8;
+  auto scenario = small_mix(60606, 96, 2.0);
+  const auto rep = run_chaos(4, scenario, chaos_faults(2.0), kCap);
+
+  EXPECT_EQ(rep.offered, 96u);
+  EXPECT_EQ(rep.admitted + rep.dropped, rep.offered);
+  EXPECT_EQ(rep.completed + rep.aborted, rep.admitted) << "session leak";
+  EXPECT_GT(rep.completed, 0u) << "chaos must not kill every session";
+  EXPECT_GT(rep.aborted, 0u) << "10% abort rate must claim some sessions";
+  EXPECT_LE(rep.peak_virtual_depth, kCap);
+  EXPECT_LE(rep.peak_real_depth, kCap);
+  // Aborted sessions ran on the same shards as everyone else; none of the
+  // engine's closures may escape into the scheduler's containment path.
+  EXPECT_EQ(rep.failed_tasks, 0u);
+
+  const auto again = run_chaos(1, scenario, chaos_faults(2.0), kCap);
+  expect_same_deterministic_metrics(rep, again, "chaos soak rerun");
+}
+
+// Degrade mode: a burst far over the degrade threshold must engage the
+// mode (deterministically), shed load beyond the ordinary capacity drops,
+// and release once drained — and the whole thing must be thread-invariant.
+TEST(ServerChaosSoak, DegradeModeShedsAndRecovers) {
+  auto scenario = small_mix(70707, 96, 3.0);
+  server::EngineConfig cfg;
+  cfg.threads = 2;
+  cfg.shards = 4;
+  cfg.queue_capacity = 8;
+  cfg.record_batch = 4;
+  cfg.degrade_depth = 12;  // well under 4 shards * capacity 8
+  server::Engine engine(cfg);
+  const auto rep = engine.run(scenario);
+
+  EXPECT_GT(rep.degrade_enters, 0u) << "3x overload must trip degrade mode";
+  EXPECT_GT(rep.shed, 0u) << "degrade mode must shed load";
+  EXPECT_EQ(rep.admitted + rep.dropped, rep.offered);
+  EXPECT_EQ(rep.completed + rep.aborted, rep.admitted);
+
+  server::EngineConfig cfg2 = cfg;
+  cfg2.threads = 8;
+  const auto rep2 = server::Engine(cfg2).run(scenario);
+  expect_same_deterministic_metrics(rep, rep2, "degrade thread sweep");
 }
 
 }  // namespace

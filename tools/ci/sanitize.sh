@@ -1,11 +1,13 @@
 #!/usr/bin/env sh
 # Sanitizer gate.
 #   1. ASan/UBSan over the tier-1 correctness core (now including the server
-#      lifecycle tests), the observability tests, and the server determinism
-#      + overload-soak suite (bounded queue memory under over-admission).
-#   2. A short TSan pass over the record scheduler: the determinism tests
-#      drive the sharded session table and batched scheduler from multiple
-#      worker threads, which is exactly the surface a data race would hit.
+#      lifecycle + fault/recovery tests), the observability tests, and the
+#      server determinism + overload/chaos-soak suites (bounded queue memory
+#      under over-admission, no session leaks under fault injection).
+#   2. A short TSan pass over the record scheduler: the determinism and
+#      chaos tests drive the sharded session table, batched scheduler and
+#      fault-containment path from multiple worker threads, which is
+#      exactly the surface a data race would hit.
 #
 # Usage: tools/ci/sanitize.sh [build-dir]   (default: build-asan; the TSan
 # build lands next to it with a -tsan suffix)
@@ -26,22 +28,32 @@ export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}"
   ctest -L tier1 --output-on-failure
   ctest -R 'Trace|TraceJson|Json\.|BenchFlags|BenchJson|BenchServerSchema' \
         --output-on-failure
-  ctest -R 'ServerDeterminism|ServerSoak' --output-on-failure
+  ctest -R 'ServerDeterminism|ServerSoak|ServerChaos|TamperRecovery' \
+        --output-on-failure
 )
 
-echo "sanitize.sh: tier1 + observability + server tests clean under ASan/UBSan"
+# Chaos soak under ASan/UBSan: the full fault mix through the real repair
+# ladder, gated on the session-leak invariant (bench_server exits nonzero
+# if completed + aborted != admitted).
+"$BUILD_DIR"/bench/bench_server --scenario chaos --threads 4 \
+    --outdir "$BUILD_DIR" > /dev/null
+
+echo "sanitize.sh: tier1 + observability + server/chaos tests clean under ASan/UBSan"
 
 TSAN_DIR="${BUILD_DIR}-tsan"
 cmake -B "$TSAN_DIR" -S "$SRC_DIR" -DWSP_SANITIZE=thread
 cmake --build "$TSAN_DIR" -j "$JOBS" \
-      --target test_server test_server_determinism test_threadpool
-
+      --target test_server test_server_faults test_server_determinism \
+               test_threadpool
 export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
 
 (
   cd "$TSAN_DIR"
-  ctest -R 'ServerScheduler|ServerEngine|ServerDeterminism|ServerSoak|ThreadPool' \
+  # ServerScheduler includes the fault-containment tests (a poisoned task
+  # racing the pump's failure accounting is the interesting interleaving);
+  # ServerChaos runs the whole engine under fault injection.
+  ctest -R 'ServerScheduler|ServerEngine|ServerDeterminism|ServerSoak|ServerChaos|ServerSessionFaults|ThreadPool' \
         --output-on-failure
 )
 
-echo "sanitize.sh: scheduler/threadpool tests clean under TSan"
+echo "sanitize.sh: scheduler/threadpool/chaos tests clean under TSan"
