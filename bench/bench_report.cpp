@@ -9,12 +9,23 @@
 // produce JSON files whose "cycles" objects are byte-identical.  wall_ns is
 // the only intentionally non-deterministic field.
 //
+// Regression-gate mode (docs/benchmarks.md): `--check` re-measures every
+// section and diffs it against the committed baseline BENCH_*.json under the
+// per-metric tolerance table (support/benchdiff.h), exiting nonzero on any
+// regression — >N% drop in throughput-per-Gcycle, >N% latency inflation, a
+// nonzero chaos leak counter, a vanished metric, or a missing baseline.
+// `--bless` rewrites the baselines from the current run to accept an
+// intentional change.
+//
 // Flags:
-//   --outdir DIR     where to write BENCH_*.json (default ".")
-//   --only NAME      run a single section (fig1|table1|fig4|fig5|fig6|fig8|server)
-//   --with-explore   also run the Sec. 4.3 sweep (adds ~30 s)
-//   --threads N      worker threads for the explore sweep
-//   --trace FILE     write a Chrome-trace of this run
+//   --outdir DIR       where to write BENCH_*.json (default ".")
+//   --only NAME        run a single section (fig1|table1|fig4|fig5|fig6|fig8|server)
+//   --with-explore     also run the Sec. 4.3 sweep (adds ~30 s)
+//   --threads N        worker threads for the explore sweep
+//   --trace FILE       write a Chrome-trace of this run
+//   --check            gate against the committed baselines; no files written
+//   --bless            rewrite the baselines from this run (accepts changes)
+//   --baseline-dir DIR baseline location (default: the committed bench/baselines)
 #include <chrono>
 #include <cstdio>
 #include <string>
@@ -23,6 +34,8 @@
 #include "bench_util.h"
 #include "explore/space.h"
 #include "server_section.h"
+#include "server/record.h"
+#include "support/benchdiff.h"
 #include "kernels/aes_kernel.h"
 #include "kernels/des_kernel.h"
 #include "kernels/modexp_kernel.h"
@@ -40,6 +53,11 @@ namespace {
 
 using namespace wsp;
 using Clock = std::chrono::steady_clock;
+
+// Where the server section drops its chaos replay trace; empty (the --check
+// and --bless modes) suppresses emission.  File-scope because sections run
+// through plain function pointers.
+std::string g_replay_trace_dir;
 
 std::uint64_t ns_since(Clock::time_point t0) {
   return static_cast<std::uint64_t>(
@@ -315,12 +333,22 @@ bench::BenchResult run_server() {
   }
   {
     // Chaos run: deterministic fault injection + recovery (docs/faults.md).
+    // Recorded through the replay layer so every bench emission leaves a
+    // bit-exact reproduction trace next to the JSON (docs/benchmarks.md).
     server::EngineConfig chaos = cfg;
     chaos.faults = bench::chaos_fault_config();
     chaos.degrade_depth = 12;
-    server::Engine engine(chaos);
-    bench::append_server_metrics(r, "chaos/",
-                                 engine.run(bench::chaos_scenario(74, 64)));
+    const server::RunRecord record =
+        server::record_run(chaos, bench::chaos_scenario(74, 64));
+    bench::append_server_metrics(r, "chaos/", record.report);
+    if (!g_replay_trace_dir.empty()) {
+      const std::string path = g_replay_trace_dir + "/REPLAY_server_chaos.wspr";
+      if (server::write_run_record_file(record, path)) {
+        std::printf(" [replay trace %s]", path.c_str());
+      } else {
+        std::fprintf(stderr, "FAILED to write %s\n", path.c_str());
+      }
+    }
   }
   r.wall_ns = ns_since(t0);
   r.threads = cfg.threads;
@@ -352,6 +380,36 @@ bench::BenchResult run_explore(unsigned threads) {
   return r;
 }
 
+// Gates one fresh result against `<baseline_dir>/BENCH_<name>.json`.
+// Returns true when the gate passes.
+bool check_section(const bench::BenchResult& result,
+                   const std::string& baseline_dir) {
+  const std::string path = baseline_dir + "/BENCH_" + result.name + ".json";
+  json::Value baseline;
+  try {
+    baseline = bench::load_json_file(path);
+  } catch (const std::exception& e) {
+    std::printf("  %-14s FAIL: no baseline (%s)\n", result.name.c_str(),
+                e.what());
+    std::printf("    run with --bless to establish one\n");
+    return false;
+  }
+  bench::CheckReport report;
+  try {
+    report = bench::check_bench(baseline, bench::to_json(result));
+  } catch (const std::exception& e) {
+    std::printf("  %-14s FAIL: %s\n", result.name.c_str(), e.what());
+    return false;
+  }
+  std::printf("  %-14s %s\n", result.name.c_str(),
+              report.ok() ? "ok" : "REGRESSION");
+  const std::string detail = bench::format_check_report(report);
+  if (!report.ok() || !report.drifts.empty() || !report.added.empty()) {
+    std::fputs(detail.c_str(), stdout);
+  }
+  return report.ok();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -361,9 +419,19 @@ int main(int argc, char** argv) {
   const std::string outdir = bench::parse_string_flag(argc, argv, "--outdir", ".");
   const std::string only = bench::parse_string_flag(argc, argv, "--only");
   const bool with_explore = bench::parse_bool_flag(argc, argv, "--with-explore");
+  const bool check = bench::parse_bool_flag(argc, argv, "--check");
+  const bool bless = bench::parse_bool_flag(argc, argv, "--bless");
+#ifndef WSP_BASELINE_DIR
+#define WSP_BASELINE_DIR "bench/baselines"
+#endif
+  const std::string baseline_dir =
+      bench::parse_string_flag(argc, argv, "--baseline-dir", WSP_BASELINE_DIR);
   const unsigned threads =
       bench::parse_threads(argc, argv, ThreadPool::hardware_threads());
   const std::string trace_path = bench::maybe_start_trace(argc, argv);
+  // Plain emission leaves a replay trace next to the JSON; the gate modes
+  // only measure and compare.
+  g_replay_trace_dir = (check || bless) ? "" : outdir;
 
   struct Section {
     const char* name;
@@ -395,13 +463,38 @@ int main(int argc, char** argv) {
   }
 
   int failures = 0;
-  for (const auto& r : results) {
-    const std::string path = bench::write_bench_json(r, outdir);
-    if (path.empty()) {
-      std::fprintf(stderr, "FAILED to write BENCH_%s.json\n", r.name.c_str());
-      ++failures;
-    } else {
-      std::printf("  wrote %s\n", path.c_str());
+  if (bless) {
+    // Accept the current numbers as the new perf-trajectory baseline.
+    for (const auto& r : results) {
+      const std::string path = bench::write_bench_json(r, baseline_dir);
+      if (path.empty()) {
+        std::fprintf(stderr, "FAILED to bless %s/BENCH_%s.json\n",
+                     baseline_dir.c_str(), r.name.c_str());
+        ++failures;
+      } else {
+        std::printf("  blessed %s\n", path.c_str());
+      }
+    }
+  } else if (check) {
+    std::printf("\ngating against %s:\n", baseline_dir.c_str());
+    for (const auto& r : results) {
+      if (!check_section(r, baseline_dir)) ++failures;
+    }
+    if (failures > 0) {
+      std::fprintf(stderr,
+                   "\nbench_report --check: %d section(s) regressed; run "
+                   "`bench_report --bless` to accept intentional changes\n",
+                   failures);
+    }
+  } else {
+    for (const auto& r : results) {
+      const std::string path = bench::write_bench_json(r, outdir);
+      if (path.empty()) {
+        std::fprintf(stderr, "FAILED to write BENCH_%s.json\n", r.name.c_str());
+        ++failures;
+      } else {
+        std::printf("  wrote %s\n", path.c_str());
+      }
     }
   }
   bench::maybe_finish_trace(trace_path);

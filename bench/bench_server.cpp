@@ -17,6 +17,8 @@
 //   --queue-cap N   per-shard waiting room for the steady/closed runs
 //   --scenario S    steady|overload|closed|chaos|all (default all)
 //   --outdir DIR    write BENCH_server.json here (default ".")
+//   --record-dir D  also write a wsp-replay-v1 trace per scenario
+//                   (REPLAY_server_<scenario>.wspr; replay with tools/replay)
 //   --trace FILE    write a Chrome-trace of this run
 #include <algorithm>
 #include <cstdio>
@@ -24,6 +26,7 @@
 #include <string>
 
 #include "bench_util.h"
+#include "server/record.h"
 #include "server_section.h"
 
 namespace {
@@ -97,7 +100,32 @@ int main(int argc, char** argv) {
       bench::parse_string_flag(argc, argv, "--scenario", "all");
   const std::string outdir =
       bench::parse_string_flag(argc, argv, "--outdir", ".");
+  const std::string record_dir =
+      bench::parse_string_flag(argc, argv, "--record-dir");
   const std::string trace_path = bench::maybe_start_trace(argc, argv);
+
+  int record_failures = 0;
+  // Runs one scenario, optionally leaving a bit-exact replay trace behind
+  // (docs/benchmarks.md): any number printed below can be reproduced from
+  // that one file via tools/replay, at any --threads value.
+  const auto run_scenario = [&](const server::EngineConfig& cfg_in,
+                                const server::TrafficScenario& scenario,
+                                const char* name) {
+    if (record_dir.empty()) {
+      server::Engine engine(cfg_in);
+      return engine.run(scenario);
+    }
+    server::RunRecord rec = server::record_run(cfg_in, scenario);
+    const std::string path =
+        record_dir + "/REPLAY_server_" + name + ".wspr";
+    if (server::write_run_record_file(rec, path)) {
+      std::printf("  recorded %s\n", path.c_str());
+    } else {
+      std::fprintf(stderr, "FAILED to write %s\n", path.c_str());
+      ++record_failures;
+    }
+    return std::move(rec.report);
+  };
 
   server::EngineConfig cfg;
   cfg.threads = threads;
@@ -117,16 +145,16 @@ int main(int argc, char** argv) {
               threads, shards, queue_cap, sessions);
 
   if (which == "all" || which == "steady") {
-    server::Engine engine(cfg);
-    const auto rep = engine.run(bench::steady_scenario(seed, sessions));
+    const auto rep =
+        run_scenario(cfg, bench::steady_scenario(seed, sessions), "steady");
     print_report("steady (open loop, 0.6x capacity)", rep);
     bench::append_server_metrics(result, "steady/", rep);
   }
   if (which == "all" || which == "overload") {
     server::EngineConfig over = cfg;
     over.queue_capacity = std::min<std::size_t>(queue_cap, 16);
-    server::Engine engine(over);
-    const auto rep = engine.run(bench::overload_scenario(seed + 1, sessions));
+    const auto rep = run_scenario(
+        over, bench::overload_scenario(seed + 1, sessions), "overload");
     print_report("overload (open loop, 2.5x capacity)", rep);
     bench::append_server_metrics(result, "overload/", rep);
     if (rep.dropped == 0) {
@@ -136,9 +164,9 @@ int main(int argc, char** argv) {
     }
   }
   if (which == "all" || which == "closed") {
-    server::Engine engine(cfg);
-    const auto rep = engine.run(
-        bench::closed_scenario(seed + 2, sessions / 2, 2 * shards));
+    const auto rep = run_scenario(
+        cfg, bench::closed_scenario(seed + 2, sessions / 2, 2 * shards),
+        "closed");
     print_report("closed loop (fixed user population)", rep);
     bench::append_server_metrics(result, "closed/", rep);
   }
@@ -146,8 +174,8 @@ int main(int argc, char** argv) {
     server::EngineConfig chaos = cfg;
     chaos.faults = bench::chaos_fault_config();
     chaos.degrade_depth = 3 * shards;  // degrade under fault-induced pileups
-    server::Engine engine(chaos);
-    const auto rep = engine.run(bench::chaos_scenario(seed + 3, sessions));
+    const auto rep =
+        run_scenario(chaos, bench::chaos_scenario(seed + 3, sessions), "chaos");
     print_report("chaos (steady load, 3-5% fault rates)", rep);
     bench::append_server_metrics(result, "chaos/", rep);
     if (sessions_leaked(rep)) {
@@ -173,5 +201,5 @@ int main(int argc, char** argv) {
   }
   std::printf("\nwrote %s\n", path.c_str());
   bench::maybe_finish_trace(trace_path);
-  return 0;
+  return record_failures == 0 ? 0 : 1;
 }

@@ -110,6 +110,12 @@ inline void append_server_metrics(BenchResult& r, const std::string& prefix,
   put("faults_injected", static_cast<double>(rep.faults_injected));
   put("shed", static_cast<double>(rep.shed));
   put("degrade_enters", static_cast<double>(rep.degrade_enters));
+  // The leak invariant as a gated metric: admitted - completed - aborted
+  // must be exactly 0, and the regression gate (docs/benchmarks.md) treats
+  // any nonzero value — in any scenario — as a hard failure.
+  put("leaked", static_cast<double>(rep.admitted) -
+                    static_cast<double>(rep.completed) -
+                    static_cast<double>(rep.aborted));
 }
 
 }  // namespace wsp::bench

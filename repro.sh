@@ -1,8 +1,11 @@
 #!/bin/sh
-# Regenerates everything: build, full test suite, all paper benches.
-# Outputs land in test_output.txt and bench_output.txt.
+# Regenerates everything: build, full test suite, all paper benches, then
+# gates the fresh numbers against the committed perf baselines
+# (docs/benchmarks.md).  Outputs land in test_output.txt and
+# bench_output.txt.
 set -e
 cmake -B build -G Ninja
 cmake --build build
 ctest --test-dir build 2>&1 | tee test_output.txt
 for b in build/bench/bench_*; do "$b"; done 2>&1 | tee bench_output.txt
+build/bench/bench_report --check 2>&1 | tee -a bench_output.txt

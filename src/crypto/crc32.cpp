@@ -22,12 +22,20 @@ const std::array<std::uint32_t, 256>& table() {
 }  // namespace
 
 std::uint32_t crc32(const std::uint8_t* data, std::size_t n) {
-  std::uint32_t c = 0xFFFFFFFFu;
-  for (std::size_t i = 0; i < n; ++i) {
-    c = table()[(c ^ data[i]) & 0xFF] ^ (c >> 8);
-  }
-  return c ^ 0xFFFFFFFFu;
+  return crc32_final(crc32_update(crc32_init(), data, n));
 }
+
+std::uint32_t crc32_init() { return 0xFFFFFFFFu; }
+
+std::uint32_t crc32_update(std::uint32_t state, const std::uint8_t* data,
+                           std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    state = table()[(state ^ data[i]) & 0xFF] ^ (state >> 8);
+  }
+  return state;
+}
+
+std::uint32_t crc32_final(std::uint32_t state) { return state ^ 0xFFFFFFFFu; }
 
 std::uint32_t crc32(const std::vector<std::uint8_t>& data) {
   return crc32(data.data(), data.size());

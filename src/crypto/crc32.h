@@ -11,4 +11,14 @@ namespace wsp {
 std::uint32_t crc32(const std::uint8_t* data, std::size_t n);
 std::uint32_t crc32(const std::vector<std::uint8_t>& data);
 
+/// Incremental form for streaming consumers (the replay chunk framing):
+///   state = crc32_init();
+///   state = crc32_update(state, data, n);  // repeatable
+///   value = crc32_final(state);
+/// crc32_final(crc32_update(crc32_init(), d, n)) == crc32(d, n).
+std::uint32_t crc32_init();
+std::uint32_t crc32_update(std::uint32_t state, const std::uint8_t* data,
+                           std::size_t n);
+std::uint32_t crc32_final(std::uint32_t state);
+
 }  // namespace wsp

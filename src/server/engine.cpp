@@ -107,6 +107,19 @@ double modeled_service(const ssl::PlatformCosts& price, std::size_t bytes,
 
 }  // namespace
 
+std::uint64_t SessionEvent::digest() const {
+  Digest d;
+  d.mix(id);
+  d.mix(shard);
+  d.mix(wire_bytes);
+  d.mix(records);
+  d.mix(retries);
+  d.mix(repairs);
+  d.mix(faults);
+  d.mix(completed ? 1 : 0xAB);
+  return d.h;
+}
+
 Engine::Engine(const EngineConfig& config) : config_(config) {
   if (config_.shards == 0) {
     throw std::invalid_argument("server: EngineConfig.shards must be > 0");
@@ -330,8 +343,25 @@ RunReport Engine::run(const TrafficScenario& scenario) {
   sched.drain();
 
   Digest digest;
+  if (config_.record_events) rep.events.reserve(slots.size());
   for (const Slot& slot : slots) {
     ShardReport& sh = rep.shards[slot.shard];
+    {
+      // Per-shard event-stream digest (and, when recording, the stream
+      // itself): slots are in arrival order, so both are thread-invariant.
+      SessionEvent ev;
+      ev.id = slot.id;
+      ev.shard = slot.shard;
+      ev.wire_bytes = slot.wire_bytes;
+      ev.records = slot.records;
+      ev.retries = slot.retries;
+      ev.repairs = slot.repairs;
+      ev.faults = slot.faults;
+      ev.completed = slot.completed;
+      sh.events_digest =
+          (sh.events_digest ^ ev.digest()) * 1099511628211ULL + 1;
+      if (config_.record_events) rep.events.push_back(ev);
+    }
     rep.retried += slot.retries;
     rep.repaired += slot.repairs;
     rep.faults_injected += slot.faults;

@@ -72,6 +72,29 @@ struct EngineConfig {
   /// Exit is at degrade_depth / 2 (hysteresis, so the mode cannot flap on
   /// every arrival).
   std::size_t degrade_depth = 0;
+  /// Fill RunReport.events with the per-session outcome stream (arrival
+  /// order).  Off by default: the record/replay layer (server/record.h)
+  /// turns it on; large-scale benches leave it off to avoid the per-session
+  /// allocation.  Per-shard event digests are computed either way.
+  bool record_events = false;
+};
+
+/// One admitted session's deterministic outcome — the unit of the replay
+/// event stream.  Every field is identical for any --threads value.
+struct SessionEvent {
+  std::uint64_t id = 0;
+  std::uint32_t shard = 0;
+  std::uint64_t wire_bytes = 0;
+  std::uint64_t records = 0;
+  std::uint32_t retries = 0;
+  std::uint32_t repairs = 0;
+  std::uint32_t faults = 0;
+  bool completed = false;  ///< false = aborted (no third outcome exists)
+
+  /// FNV-1a over every field; the per-shard event digests chain these.
+  std::uint64_t digest() const;
+
+  bool operator==(const SessionEvent&) const = default;
 };
 
 struct LatencyStats {
@@ -89,6 +112,10 @@ struct ShardReport {
   std::uint64_t repaired = 0;
   std::uint64_t faults_injected = 0;
   std::size_t peak_virtual_depth = 0;
+  /// FNV-1a chain over this shard's SessionEvent digests in arrival order:
+  /// one number that pins the shard's whole deterministic event stream
+  /// (replay verification compares these before diving into events).
+  std::uint64_t events_digest = 0;
 };
 
 struct RunReport {
@@ -123,6 +150,9 @@ struct RunReport {
   double platform_cycles_optimized = 0.0;
   double equivalent_speedup = 0.0;
   std::vector<ShardReport> shards;
+  /// Per-session outcome stream in arrival order; empty unless
+  /// EngineConfig.record_events was set (see server/record.h).
+  std::vector<SessionEvent> events;
 
   // --- intentionally non-deterministic (host-dependent) ---
   std::uint64_t wall_ns = 0;

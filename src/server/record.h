@@ -1,0 +1,77 @@
+// Record/replay of whole engine runs (docs/benchmarks.md §replay).
+//
+// A RunRecord captures everything a run's deterministic outputs depend on —
+// scenario (seed, arrival model, cipher/size grid), EngineConfig (shards,
+// capacities, fault plan), the calibrated platform costs baked into the
+// recording binary, and the recording git_rev — plus the expected outcome:
+// every deterministic RunReport field, the per-shard event digests, and the
+// full per-session event stream.  Encoded with the support/replay codec
+// (varint + delta ids + bit-exact doubles, CRC-framed chunks), a typical
+// record is a few KB for a few hundred sessions.
+//
+// replay_run() re-runs the engine from the recorded inputs — at ANY thread
+// count, since threads are outside the determinism contract — and verifies
+// the outcome bit-exactly, reporting every mismatching field by name.  A
+// calibration mismatch (the binary's calibrated_costs differ from the
+// recording's) is reported before the engine even runs, so a replay on a
+// drifted build fails loudly instead of chasing phantom regressions.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "server/engine.h"
+#include "support/replay.h"
+
+namespace wsp::server {
+
+/// Chunk tags of the wsp-replay-v1 run-record layout.
+enum class RecordChunk : std::uint64_t {
+  kMeta = 1,      ///< git_rev, recorded thread count
+  kScenario = 2,  ///< TrafficScenario
+  kConfig = 3,    ///< EngineConfig (minus threads) + FaultConfig
+  kCosts = 4,     ///< calibrated base/opt PlatformCosts of the recorder
+  kReport = 5,    ///< deterministic RunReport scalars + per-shard reports
+  kEvents = 6,    ///< per-session event stream (delta-coded ids)
+};
+
+struct RunRecord {
+  std::string git_rev;            ///< of the recording binary
+  unsigned recorded_threads = 1;  ///< informational; replay may differ
+  TrafficScenario scenario;
+  EngineConfig config;            ///< threads carried but not authoritative
+  RunReport report;               ///< deterministic fields + events only
+};
+
+/// Runs the engine with event recording enabled and packages the result.
+RunRecord record_run(const EngineConfig& config,
+                     const TrafficScenario& scenario);
+
+std::vector<std::uint8_t> encode_run_record(const RunRecord& record);
+
+/// Throws replay::ReplayError on any malformed/truncated/version-skewed
+/// input; a structurally valid stream missing a required chunk is
+/// ErrorKind::kMalformed.
+RunRecord decode_run_record(const std::vector<std::uint8_t>& bytes);
+
+/// Returns false when the file cannot be written.
+bool write_run_record_file(const RunRecord& record, const std::string& path);
+
+/// Throws replay::ReplayError (kTruncated covers unreadable files).
+RunRecord read_run_record_file(const std::string& path);
+
+struct ReplayResult {
+  std::vector<std::string> mismatches;  ///< empty = bit-identical
+  RunReport report;                     ///< the re-run's report
+
+  bool ok() const { return mismatches.empty(); }
+};
+
+/// Re-runs the recorded scenario and verifies every deterministic field,
+/// per-shard digest and session event.  `threads_override` > 0 replaces the
+/// recorded thread count (the thread-invariance contract makes any value
+/// legal).
+ReplayResult replay_run(const RunRecord& record, unsigned threads_override = 0);
+
+}  // namespace wsp::server

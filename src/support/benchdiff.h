@@ -1,0 +1,81 @@
+// Bench regression gate: compares two wsp-bench-v1 documents (the committed
+// baseline vs. a fresh run) under a per-metric tolerance table.
+//
+// Every metric in the `cycles` object is classified by the first matching
+// rule ('*' glob patterns, evaluated in order).  Directions:
+//   * kHigherBetter / kLowerBetter — fail when the value moves the wrong
+//     way by more than `tolerance_pct` percent;
+//   * kExact — any change fails (deterministic counters: leak/fault counts);
+//   * kInfo — tracked and printed, never a failure (digests, raw counts
+//     whose intended value changes with the workload mix).
+// Unmatched metrics are kInfo.  A metric present in the baseline but absent
+// from the fresh run is always a failure (schema regression); new metrics
+// are reported but pass.  `wall_ns`, `threads` and `git_rev` are outside
+// the `cycles` object and never compared.
+//
+// The default table (docs/benchmarks.md) gates the ISSUE/ROADMAP key
+// metrics: throughput per Gcycle, latency percentiles, chaos leak and fault
+// counters, optimized-kernel cycle counts and the paper speedup figures.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "support/json.h"
+
+namespace wsp::bench {
+
+enum class Direction { kHigherBetter, kLowerBetter, kExact, kInfo };
+
+const char* to_string(Direction dir);
+
+struct ToleranceRule {
+  std::string pattern;   ///< '*' matches any run of characters
+  Direction dir = Direction::kInfo;
+  double tolerance_pct = 0.0;  ///< allowed wrong-direction drift, percent
+};
+
+/// The committed gate policy; see docs/benchmarks.md for the rationale.
+const std::vector<ToleranceRule>& default_tolerance_table();
+
+/// Glob match with '*' wildcards only (no escapes, no '?').
+bool glob_match(const std::string& pattern, const std::string& key);
+
+/// First rule whose pattern matches, or nullptr (=> kInfo).
+const ToleranceRule* match_rule(const std::vector<ToleranceRule>& rules,
+                                const std::string& key);
+
+struct MetricDelta {
+  std::string key;
+  double baseline = 0.0;
+  double current = 0.0;
+  double delta_pct = 0.0;  ///< signed; 0 when baseline == 0
+  Direction dir = Direction::kInfo;
+  bool regression = false;
+};
+
+struct CheckReport {
+  std::string name;                    ///< bench section ("server", "fig8")
+  std::vector<MetricDelta> regressions;
+  std::vector<MetricDelta> drifts;     ///< changed, but within policy
+  std::vector<std::string> missing;    ///< in baseline, absent in current
+  std::vector<std::string> added;      ///< new metrics (pass)
+  std::size_t compared = 0;            ///< metrics present in both
+
+  bool ok() const { return regressions.empty() && missing.empty(); }
+};
+
+/// Diffs `current` against `baseline` (both wsp-bench-v1 documents); throws
+/// std::runtime_error when either lacks the schema/cycles structure.
+CheckReport check_bench(const json::Value& baseline, const json::Value& current,
+                        const std::vector<ToleranceRule>& rules =
+                            default_tolerance_table());
+
+/// Human-readable gate summary, one line per regression/drift.
+std::string format_check_report(const CheckReport& report);
+
+/// Parses a JSON document from disk; throws std::runtime_error (with the
+/// path) when the file is unreadable or malformed.
+json::Value load_json_file(const std::string& path);
+
+}  // namespace wsp::bench

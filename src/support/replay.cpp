@@ -1,0 +1,256 @@
+#include "support/replay.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "crypto/crc32.h"
+
+namespace wsp::replay {
+
+const char* to_string(ErrorKind kind) {
+  switch (kind) {
+    case ErrorKind::kTruncated: return "truncated";
+    case ErrorKind::kBadMagic: return "bad magic";
+    case ErrorKind::kVersionSkew: return "version skew";
+    case ErrorKind::kCrcMismatch: return "crc mismatch";
+    case ErrorKind::kVarintOverflow: return "varint overflow";
+    case ErrorKind::kMalformed: return "malformed";
+  }
+  return "unknown";
+}
+
+ReplayError::ReplayError(ErrorKind kind, std::size_t offset,
+                         const std::string& detail)
+    : std::runtime_error("replay: " + std::string(to_string(kind)) +
+                         " at byte " + std::to_string(offset) + ": " + detail),
+      kind_(kind),
+      offset_(offset) {}
+
+// --- sinks -----------------------------------------------------------------
+
+void VectorSink::write(const std::uint8_t* data, std::size_t n) {
+  buf_.insert(buf_.end(), data, data + n);
+}
+
+FileSink::FileSink(const std::string& path) {
+  file_ = std::fopen(path.c_str(), "wb");
+  ok_ = file_ != nullptr;
+}
+
+FileSink::~FileSink() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void FileSink::write(const std::uint8_t* data, std::size_t n) {
+  if (file_ == nullptr) {
+    ok_ = false;
+    return;
+  }
+  if (std::fwrite(data, 1, n, file_) != n) ok_ = false;
+}
+
+void FileSink::finish() {
+  if (file_ == nullptr) return;
+  if (std::fclose(file_) != 0) ok_ = false;
+  file_ = nullptr;
+}
+
+Crc32Filter::Crc32Filter(ByteSink& next) : next_(next), state_(crc32_init()) {}
+
+void Crc32Filter::write(const std::uint8_t* data, std::size_t n) {
+  state_ = crc32_update(state_, data, n);
+  next_.write(data, n);
+}
+
+std::uint32_t Crc32Filter::crc() const { return crc32_final(state_); }
+
+// --- payload primitives ----------------------------------------------------
+
+void put_varint(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+void put_zigzag(std::vector<std::uint8_t>& out, std::int64_t v) {
+  const std::uint64_t u = static_cast<std::uint64_t>(v);
+  put_varint(out, (u << 1) ^ static_cast<std::uint64_t>(v >> 63));
+}
+
+void put_double(std::vector<std::uint8_t>& out, double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof bits);
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>(bits >> (8 * i)));
+  }
+}
+
+void put_string(std::vector<std::uint8_t>& out, const std::string& s) {
+  put_varint(out, s.size());
+  out.insert(out.end(), s.begin(), s.end());
+}
+
+std::uint64_t Cursor::varint() {
+  std::uint64_t v = 0;
+  for (unsigned shift = 0; shift < 64; shift += 7) {
+    if (off_ >= size_) {
+      throw ReplayError(ErrorKind::kTruncated, off_, "varint cut short");
+    }
+    const std::uint8_t byte = data_[off_++];
+    if (shift == 63 && (byte & 0x7E) != 0) {
+      throw ReplayError(ErrorKind::kVarintOverflow, off_ - 1,
+                        "varint exceeds 64 bits");
+    }
+    v |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) return v;
+  }
+  throw ReplayError(ErrorKind::kVarintOverflow, off_, "varint over 10 bytes");
+}
+
+std::int64_t Cursor::zigzag() {
+  const std::uint64_t u = varint();
+  return static_cast<std::int64_t>((u >> 1) ^ (~(u & 1) + 1));
+}
+
+double Cursor::f64() {
+  if (size_ - off_ < 8) {
+    throw ReplayError(ErrorKind::kTruncated, off_, "double cut short");
+  }
+  std::uint64_t bits = 0;
+  for (int i = 0; i < 8; ++i) {
+    bits |= static_cast<std::uint64_t>(data_[off_ + i]) << (8 * i);
+  }
+  off_ += 8;
+  double v = 0.0;
+  std::memcpy(&v, &bits, sizeof v);
+  return v;
+}
+
+std::string Cursor::str() {
+  const std::uint64_t n = varint();
+  if (n > size_ - off_) {
+    throw ReplayError(ErrorKind::kTruncated, off_, "string cut short");
+  }
+  std::string s(reinterpret_cast<const char*>(data_ + off_),
+                static_cast<std::size_t>(n));
+  off_ += static_cast<std::size_t>(n);
+  return s;
+}
+
+// --- chunk framing ---------------------------------------------------------
+
+ChunkWriter::ChunkWriter(ByteSink& sink) : sink_(sink) {
+  sink_.write(kMagic, sizeof kMagic);
+  std::vector<std::uint8_t> version;
+  put_varint(version, kFormatVersion);
+  sink_.write(version.data(), version.size());
+}
+
+void ChunkWriter::chunk(std::uint64_t tag,
+                        const std::vector<std::uint8_t>& payload) {
+  // The CRC covers the framed header too, so a corrupted tag or length is
+  // caught as a CRC mismatch rather than decoded as garbage.
+  std::vector<std::uint8_t> framed;
+  put_varint(framed, tag);
+  put_varint(framed, payload.size());
+  framed.insert(framed.end(), payload.begin(), payload.end());
+  const std::uint32_t crc = crc32(framed.data(), framed.size());
+  for (int i = 0; i < 4; ++i) {
+    framed.push_back(static_cast<std::uint8_t>(crc >> (8 * i)));
+  }
+  sink_.write(framed.data(), framed.size());
+}
+
+void ChunkWriter::end() {
+  if (ended_) return;
+  ended_ = true;
+  chunk(kEndTag, {});
+  sink_.finish();
+}
+
+ChunkReader::ChunkReader(const std::uint8_t* data, std::size_t size)
+    : data_(data), size_(size) {
+  if (size_ < sizeof kMagic) {
+    throw ReplayError(ErrorKind::kTruncated, size_, "stream shorter than magic");
+  }
+  if (std::memcmp(data_, kMagic, sizeof kMagic) != 0) {
+    throw ReplayError(ErrorKind::kBadMagic, 0, "not a wsp-replay stream");
+  }
+  off_ = sizeof kMagic;
+  Cursor header(data_ + off_, size_ - off_);
+  try {
+    version_ = header.varint();
+  } catch (const ReplayError&) {
+    throw ReplayError(ErrorKind::kTruncated, off_, "stream ends in version");
+  }
+  off_ += header.offset();
+  if (version_ != kFormatVersion) {
+    throw ReplayError(ErrorKind::kVersionSkew, sizeof kMagic,
+                      "format version " + std::to_string(version_) +
+                          ", this build reads version " +
+                          std::to_string(kFormatVersion));
+  }
+}
+
+std::optional<Chunk> ChunkReader::next() {
+  if (done_) return std::nullopt;
+  if (off_ >= size_) {
+    throw ReplayError(ErrorKind::kTruncated, off_,
+                      "stream ends before the end-of-stream chunk");
+  }
+  const std::size_t frame_start = off_;
+  Cursor header(data_ + off_, size_ - off_);
+  const std::uint64_t tag = header.varint();
+  const std::uint64_t len = header.varint();
+  const std::size_t header_size = header.offset();
+  if (len > size_ - off_ - header_size ||
+      size_ - off_ - header_size - static_cast<std::size_t>(len) < 4) {
+    throw ReplayError(ErrorKind::kTruncated, off_,
+                      "chunk payload or crc cut short");
+  }
+  const std::size_t payload_off = off_ + header_size;
+  const std::size_t crc_off = payload_off + static_cast<std::size_t>(len);
+  std::uint32_t stored = 0;
+  for (int i = 0; i < 4; ++i) {
+    stored |= static_cast<std::uint32_t>(data_[crc_off + i]) << (8 * i);
+  }
+  const std::uint32_t computed =
+      crc32(data_ + frame_start, header_size + static_cast<std::size_t>(len));
+  if (stored != computed) {
+    throw ReplayError(ErrorKind::kCrcMismatch, frame_start,
+                      "chunk tag " + std::to_string(tag));
+  }
+  off_ = crc_off + 4;
+  if (tag == kEndTag) {
+    done_ = true;
+    return std::nullopt;
+  }
+  Chunk c;
+  c.tag = tag;
+  c.payload.assign(data_ + payload_off, data_ + crc_off);
+  return c;
+}
+
+std::vector<std::uint8_t> read_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    throw ReplayError(ErrorKind::kTruncated, 0, "cannot open " + path);
+  }
+  std::vector<std::uint8_t> bytes;
+  std::uint8_t buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) {
+    bytes.insert(bytes.end(), buf, buf + n);
+  }
+  const bool bad = std::ferror(f) != 0;
+  std::fclose(f);
+  if (bad) {
+    throw ReplayError(ErrorKind::kTruncated, bytes.size(),
+                      "read error on " + path);
+  }
+  return bytes;
+}
+
+}  // namespace wsp::replay

@@ -8,6 +8,7 @@
 
 #include "bench_util.h"
 #include "server_section.h"
+#include "support/benchdiff.h"
 #include "support/json.h"
 
 namespace wsp {
@@ -206,6 +207,160 @@ TEST(BenchServerSchema, DigestSurvivesJsonRoundTrip) {
   const json::Value doc = json::Value::parse(text);
   EXPECT_EQ(doc.at("cycles").at("x/bytes_digest").as_number(),
             static_cast<double>(0xDEADBEEFu));
+}
+
+// --- the regression gate (support/benchdiff.h, docs/benchmarks.md) ---------
+
+TEST(BenchGate, GlobMatch) {
+  EXPECT_TRUE(bench::glob_match("*", "anything"));
+  EXPECT_TRUE(bench::glob_match("steady/*", "steady/throughput_per_gcycle"));
+  EXPECT_FALSE(bench::glob_match("steady/*", "chaos/leaked"));
+  EXPECT_TRUE(bench::glob_match("*/leaked", "chaos/leaked"));
+  EXPECT_TRUE(bench::glob_match("*digest*", "steady/bytes_digest"));
+  EXPECT_TRUE(bench::glob_match("*_opt", "rc4/cycles_opt"));
+  EXPECT_FALSE(bench::glob_match("*_opt", "rc4/cycles_optimized"));
+  EXPECT_TRUE(bench::glob_match("exact", "exact"));
+  EXPECT_FALSE(bench::glob_match("exact", "exactly"));
+  EXPECT_TRUE(bench::glob_match("a*b*c", "a__b__b__c"));  // backtracking
+  EXPECT_FALSE(bench::glob_match("a*b*c", "a__c__b"));
+}
+
+TEST(BenchGate, DefaultTableClassifiesKeyMetrics) {
+  const auto& rules = bench::default_tolerance_table();
+  const auto* thr =
+      bench::match_rule(rules, "steady/throughput_per_gcycle");
+  ASSERT_NE(thr, nullptr);
+  EXPECT_EQ(thr->dir, bench::Direction::kHigherBetter);
+  const auto* leak = bench::match_rule(rules, "chaos/leaked");
+  ASSERT_NE(leak, nullptr);
+  EXPECT_EQ(leak->dir, bench::Direction::kExact);
+  const auto* p99 = bench::match_rule(rules, "chaos/latency_p99_cycles");
+  ASSERT_NE(p99, nullptr);
+  EXPECT_EQ(p99->dir, bench::Direction::kLowerBetter);
+  // Digests change whenever the workload mix changes — informational only.
+  const auto* digest = bench::match_rule(rules, "steady/bytes_digest");
+  ASSERT_NE(digest, nullptr);
+  EXPECT_EQ(digest->dir, bench::Direction::kInfo);
+}
+
+json::Value bench_doc(double throughput, double p99, double leaked) {
+  bench::BenchResult r;
+  r.name = "server";
+  r.cycles["steady/throughput_per_gcycle"] = throughput;
+  r.cycles["steady/latency_p99_cycles"] = p99;
+  r.cycles["steady/leaked"] = leaked;
+  r.cycles["steady/bytes_digest"] = 12345.0;
+  return bench::to_json(r);
+}
+
+TEST(BenchGate, ThroughputDropBeyondToleranceFails) {
+  const json::Value base = bench_doc(400.0, 4.5e6, 0.0);
+  // 10% throughput drop against a 5% tolerance: must gate.
+  const auto rep = bench::check_bench(base, bench_doc(360.0, 4.5e6, 0.0));
+  EXPECT_FALSE(rep.ok());
+  ASSERT_EQ(rep.regressions.size(), 1u);
+  EXPECT_EQ(rep.regressions[0].key, "steady/throughput_per_gcycle");
+  EXPECT_NEAR(rep.regressions[0].delta_pct, -10.0, 1e-9);
+  // The report must say so in prose, too.
+  const std::string text = bench::format_check_report(rep);
+  EXPECT_NE(text.find("throughput_per_gcycle"), std::string::npos);
+}
+
+TEST(BenchGate, InToleranceWobblePasses) {
+  const json::Value base = bench_doc(400.0, 4.5e6, 0.0);
+  // -3% throughput and +8% p99: both inside the 5%/10% tolerances.
+  const auto rep = bench::check_bench(base, bench_doc(388.0, 4.86e6, 0.0));
+  EXPECT_TRUE(rep.ok());
+  EXPECT_EQ(rep.regressions.size(), 0u);
+  EXPECT_EQ(rep.drifts.size(), 2u);  // still reported as drift
+}
+
+TEST(BenchGate, ImprovementsNeverGate) {
+  const json::Value base = bench_doc(400.0, 4.5e6, 0.0);
+  // +50% throughput, -50% latency: the gate is one-sided.
+  const auto rep = bench::check_bench(base, bench_doc(600.0, 2.25e6, 0.0));
+  EXPECT_TRUE(rep.ok());
+}
+
+TEST(BenchGate, LeakCounterIsExact) {
+  const json::Value base = bench_doc(400.0, 4.5e6, 0.0);
+  // A single leaked session is a hard failure regardless of tolerance.
+  const auto rep = bench::check_bench(base, bench_doc(400.0, 4.5e6, 1.0));
+  EXPECT_FALSE(rep.ok());
+  ASSERT_EQ(rep.regressions.size(), 1u);
+  EXPECT_EQ(rep.regressions[0].key, "steady/leaked");
+}
+
+TEST(BenchGate, MissingMetricIsSchemaRegression) {
+  const json::Value base = bench_doc(400.0, 4.5e6, 0.0);
+  bench::BenchResult r;
+  r.name = "server";
+  r.cycles["steady/throughput_per_gcycle"] = 400.0;  // p99 + leaked gone
+  const auto rep = bench::check_bench(base, bench::to_json(r));
+  EXPECT_FALSE(rep.ok());
+  EXPECT_EQ(rep.missing.size(), 3u);
+  EXPECT_EQ(rep.regressions.size(), 0u);
+}
+
+TEST(BenchGate, NewMetricsPassButAreReported) {
+  bench::BenchResult r;
+  r.name = "server";
+  r.cycles["steady/throughput_per_gcycle"] = 400.0;
+  const json::Value base = bench::to_json(r);
+  r.cycles["steady/new_counter"] = 7.0;
+  const auto rep = bench::check_bench(base, bench::to_json(r));
+  EXPECT_TRUE(rep.ok());
+  ASSERT_EQ(rep.added.size(), 1u);
+  EXPECT_EQ(rep.added[0], "steady/new_counter");
+  EXPECT_EQ(rep.compared, 1u);
+}
+
+TEST(BenchGate, DigestChangesAreInfoNotFailure) {
+  const json::Value base = bench_doc(400.0, 4.5e6, 0.0);
+  bench::BenchResult r;
+  r.name = "server";
+  r.cycles["steady/throughput_per_gcycle"] = 400.0;
+  r.cycles["steady/latency_p99_cycles"] = 4.5e6;
+  r.cycles["steady/leaked"] = 0.0;
+  r.cycles["steady/bytes_digest"] = 99999.0;  // totally different digest
+  const auto rep = bench::check_bench(base, bench::to_json(r));
+  EXPECT_TRUE(rep.ok());
+}
+
+TEST(BenchGate, RejectsNonBenchDocuments) {
+  EXPECT_THROW(bench::check_bench(json::Value::parse("{\"x\": 1}"),
+                                  bench_doc(1.0, 1.0, 0.0)),
+               std::runtime_error);
+  EXPECT_THROW(bench::load_json_file("/nonexistent-dir-xyz/BENCH_x.json"),
+               std::runtime_error);
+}
+
+// Blessing a baseline must be byte-deterministic: writing the same result
+// twice produces identical files, so re-blessing an unchanged tree never
+// dirties the committed baselines.
+TEST(BenchGate, BlessOutputIsByteDeterministic) {
+  bench::BenchResult r = sample_result();
+  r.name = "bless_determinism";
+  const std::string dir = ::testing::TempDir();
+  auto slurp = [](const std::string& p) {
+    std::FILE* f = std::fopen(p.c_str(), "rb");
+    EXPECT_NE(f, nullptr);
+    std::string text;
+    char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) text.append(buf, n);
+    std::fclose(f);
+    return text;
+  };
+  const std::string p1 = bench::write_bench_json(r, dir);
+  ASSERT_FALSE(p1.empty());
+  const std::string first = slurp(p1);
+  const std::string p2 = bench::write_bench_json(r, dir);
+  const std::string second = slurp(p2);
+  std::remove(p1.c_str());
+  EXPECT_EQ(p1, p2);
+  EXPECT_FALSE(first.empty());
+  EXPECT_EQ(first, second);
 }
 
 }  // namespace

@@ -1,0 +1,339 @@
+// Tests for the wsp-replay-v1 codec (support/replay.h) and the engine
+// run-record mapping (server/record.h): primitive round trips, randomized
+// event-stream round trips, rejection of truncated/corrupted/version-skewed
+// streams with typed errors, and RunRecord encode/decode identity.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "crypto/crc32.h"
+#include "server/record.h"
+#include "support/random.h"
+#include "support/replay.h"
+
+namespace wsp {
+namespace {
+
+using replay::Chunk;
+using replay::ChunkReader;
+using replay::ChunkWriter;
+using replay::Cursor;
+using replay::ErrorKind;
+using replay::ReplayError;
+using replay::VectorSink;
+
+// --- primitives ------------------------------------------------------------
+
+TEST(ReplayCodec, VarintRoundTripBoundaries) {
+  const std::uint64_t values[] = {0,
+                                  1,
+                                  0x7F,
+                                  0x80,
+                                  0x3FFF,
+                                  0x4000,
+                                  1234567890123ULL,
+                                  std::numeric_limits<std::uint64_t>::max()};
+  std::vector<std::uint8_t> buf;
+  for (std::uint64_t v : values) replay::put_varint(buf, v);
+  Cursor c(buf);
+  for (std::uint64_t v : values) EXPECT_EQ(c.varint(), v);
+  EXPECT_TRUE(c.done());
+}
+
+TEST(ReplayCodec, ZigzagRoundTripIncludingNegatives) {
+  const std::int64_t values[] = {0, -1, 1, -2, 63, -64,
+                                 std::numeric_limits<std::int64_t>::min(),
+                                 std::numeric_limits<std::int64_t>::max()};
+  std::vector<std::uint8_t> buf;
+  for (std::int64_t v : values) replay::put_zigzag(buf, v);
+  Cursor c(buf);
+  for (std::int64_t v : values) EXPECT_EQ(c.zigzag(), v);
+  EXPECT_TRUE(c.done());
+}
+
+TEST(ReplayCodec, DoubleRoundTripIsBitExact) {
+  const double values[] = {0.0, -0.0, 1.0 / 3.0, 1e300, -2.5e-308,
+                           239.31498, std::numeric_limits<double>::infinity()};
+  std::vector<std::uint8_t> buf;
+  for (double v : values) replay::put_double(buf, v);
+  Cursor c(buf);
+  for (double v : values) {
+    const double got = c.f64();
+    EXPECT_EQ(std::memcmp(&got, &v, sizeof v), 0);
+  }
+}
+
+TEST(ReplayCodec, StringRoundTripAndTruncation) {
+  const std::string with_nul("git\0rev", 7);  // length-prefixed: NUL-safe
+  std::vector<std::uint8_t> buf;
+  replay::put_string(buf, with_nul);
+  replay::put_string(buf, "");
+  Cursor c(buf);
+  EXPECT_EQ(c.str(), with_nul);
+  EXPECT_EQ(c.str(), "");
+  EXPECT_TRUE(c.done());
+
+  // A declared length longer than the remaining bytes must throw, not read.
+  std::vector<std::uint8_t> lying;
+  replay::put_varint(lying, 100);
+  lying.push_back('x');
+  Cursor bad(lying);
+  try {
+    (void)bad.str();
+    FAIL() << "expected ReplayError";
+  } catch (const ReplayError& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::kTruncated);
+  }
+}
+
+TEST(ReplayCodec, VarintOverflowRejected) {
+  // 10 continuation bytes followed by more: value would exceed 64 bits.
+  std::vector<std::uint8_t> buf(11, 0xFF);
+  Cursor c(buf);
+  try {
+    (void)c.varint();
+    FAIL() << "expected ReplayError";
+  } catch (const ReplayError& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::kVarintOverflow);
+  }
+}
+
+// --- chunk framing ---------------------------------------------------------
+
+std::vector<std::uint8_t> two_chunk_stream() {
+  VectorSink sink;
+  ChunkWriter writer(sink);
+  writer.chunk(7, {1, 2, 3});
+  writer.chunk(9, {});
+  writer.end();
+  return sink.take();
+}
+
+TEST(ReplayChunks, RoundTripPreservesTagsAndPayloads) {
+  const auto bytes = two_chunk_stream();
+  ChunkReader reader(bytes);
+  EXPECT_EQ(reader.version(), replay::kFormatVersion);
+  auto c1 = reader.next();
+  ASSERT_TRUE(c1.has_value());
+  EXPECT_EQ(c1->tag, 7u);
+  EXPECT_EQ(c1->payload, (std::vector<std::uint8_t>{1, 2, 3}));
+  auto c2 = reader.next();
+  ASSERT_TRUE(c2.has_value());
+  EXPECT_EQ(c2->tag, 9u);
+  EXPECT_TRUE(c2->payload.empty());
+  EXPECT_FALSE(reader.next().has_value());
+  EXPECT_FALSE(reader.next().has_value());  // stays ended
+}
+
+TEST(ReplayChunks, EveryTruncationPointRejected) {
+  const auto bytes = two_chunk_stream();
+  // Cutting the stream at any length short of the full one must throw a
+  // typed error — either immediately (header) or while iterating.
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    std::vector<std::uint8_t> prefix(bytes.begin(), bytes.begin() + cut);
+    bool threw = false;
+    try {
+      ChunkReader reader(prefix);
+      while (reader.next().has_value()) {
+      }
+    } catch (const ReplayError& e) {
+      threw = true;
+      EXPECT_TRUE(e.kind() == ErrorKind::kTruncated ||
+                  e.kind() == ErrorKind::kCrcMismatch)
+          << "cut=" << cut << " kind=" << replay::to_string(e.kind());
+    }
+    EXPECT_TRUE(threw) << "truncation at " << cut << " went undetected";
+  }
+}
+
+TEST(ReplayChunks, EverySingleByteCorruptionRejected) {
+  const auto clean = two_chunk_stream();
+  // Flip one bit in every byte position past the magic; the CRC framing (or
+  // the header checks) must catch each one.  Magic-byte corruption is
+  // kBadMagic; version-byte corruption is kVersionSkew.
+  for (std::size_t pos = 0; pos < clean.size(); ++pos) {
+    std::vector<std::uint8_t> bytes = clean;
+    bytes[pos] ^= 0x01;
+    bool threw = false;
+    try {
+      ChunkReader reader(bytes);
+      while (reader.next().has_value()) {
+      }
+    } catch (const ReplayError&) {
+      threw = true;
+    }
+    EXPECT_TRUE(threw) << "corruption at byte " << pos << " went undetected";
+  }
+}
+
+TEST(ReplayChunks, VersionSkewFailsLoudlyWithTypedError) {
+  // Hand-craft a stream whose header claims format version 2: a future (or
+  // stale) trace must be rejected before any chunk is trusted.
+  std::vector<std::uint8_t> bytes(replay::kMagic, replay::kMagic + 4);
+  replay::put_varint(bytes, replay::kFormatVersion + 1);
+  try {
+    ChunkReader reader(bytes);
+    FAIL() << "expected ReplayError";
+  } catch (const ReplayError& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::kVersionSkew);
+    EXPECT_NE(std::string(e.what()).find("version 2"), std::string::npos);
+  }
+}
+
+TEST(ReplayChunks, BadMagicRejected) {
+  std::vector<std::uint8_t> bytes = {'N', 'O', 'P', 'E', 1};
+  try {
+    ChunkReader reader(bytes);
+    FAIL() << "expected ReplayError";
+  } catch (const ReplayError& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::kBadMagic);
+  }
+}
+
+// --- randomized event-stream round trips -----------------------------------
+
+server::SessionEvent random_event(Rng& rng, std::uint64_t id) {
+  server::SessionEvent ev;
+  ev.id = id;
+  ev.shard = static_cast<std::uint32_t>(rng.below(16));
+  ev.wire_bytes = rng.below(1 << 20);
+  ev.records = rng.below(256);
+  ev.retries = static_cast<std::uint32_t>(rng.below(8));
+  ev.repairs = static_cast<std::uint32_t>(rng.below(4));
+  ev.faults = static_cast<std::uint32_t>(rng.below(8));
+  ev.completed = rng.below(8) != 0;
+  return ev;
+}
+
+// Round-trips randomized event streams through the full RunRecord codec:
+// encode -> decode must be the identity on every field, for many seeds.
+TEST(ReplayRunRecord, RandomizedEventStreamsRoundTrip) {
+  for (std::uint64_t seed : {1ULL, 42ULL, 12345ULL}) {
+    Rng rng(seed);
+    server::RunRecord rec;
+    rec.git_rev = "testrev";
+    rec.recorded_threads = 3;
+    rec.scenario.seed = seed;
+    rec.scenario.sessions = 500;
+    rec.config.shards = 16;
+    rec.report.shards.resize(16);
+    std::uint64_t id = 0;
+    for (int i = 0; i < 500; ++i) {
+      id += 1 + rng.below(3);  // gaps model dropped arrivals
+      const auto ev = random_event(rng, id);
+      rec.report.events.push_back(ev);
+      auto& sh = rec.report.shards[ev.shard];
+      sh.events_digest = (sh.events_digest ^ ev.digest()) * 1099511628211ULL + 1;
+    }
+    rec.report.admitted = rec.report.events.size();
+    rec.report.latency = {1.5e6, 3.0e6, 4.5e6, 6.0e6};
+    rec.report.throughput_per_gcycle = 239.31498;
+
+    const auto bytes = server::encode_run_record(rec);
+    const server::RunRecord back = server::decode_run_record(bytes);
+    EXPECT_EQ(back.git_rev, "testrev");
+    EXPECT_EQ(back.recorded_threads, 3u);
+    EXPECT_EQ(back.scenario.seed, seed);
+    EXPECT_EQ(back.scenario.sessions, 500u);
+    EXPECT_EQ(back.config.shards, 16u);
+    ASSERT_EQ(back.report.events.size(), rec.report.events.size());
+    for (std::size_t i = 0; i < rec.report.events.size(); ++i) {
+      EXPECT_EQ(back.report.events[i], rec.report.events[i]) << "event " << i;
+    }
+    for (std::size_t s = 0; s < 16; ++s) {
+      EXPECT_EQ(back.report.shards[s].events_digest,
+                rec.report.shards[s].events_digest);
+    }
+    EXPECT_EQ(back.report.latency.p99, 4.5e6);
+    EXPECT_EQ(back.report.throughput_per_gcycle, 239.31498);
+  }
+}
+
+TEST(ReplayRunRecord, EncodingIsDeterministic) {
+  server::RunRecord rec;
+  rec.git_rev = "r";
+  rec.scenario.sessions = 8;
+  rec.config.shards = 2;
+  rec.report.shards.resize(2);
+  EXPECT_EQ(server::encode_run_record(rec), server::encode_run_record(rec));
+}
+
+TEST(ReplayRunRecord, MissingChunkIsMalformed) {
+  // A structurally valid stream (header + end chunk only) is not a run
+  // record; it must fail with kMalformed, not decode to an empty record.
+  VectorSink sink;
+  ChunkWriter writer(sink);
+  writer.end();
+  try {
+    (void)server::decode_run_record(sink.bytes());
+    FAIL() << "expected ReplayError";
+  } catch (const ReplayError& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::kMalformed);
+  }
+}
+
+TEST(ReplayRunRecord, UnknownChunkTagsAreSkipped) {
+  server::RunRecord rec;
+  rec.git_rev = "r";
+  rec.scenario.sessions = 4;
+  rec.config.shards = 1;
+  rec.report.shards.resize(1);
+  auto bytes = server::encode_run_record(rec);
+  // Splice an unknown (future) chunk after the header: the decoder must
+  // skip it and still find every required chunk.
+  VectorSink sink;
+  ChunkWriter writer(sink);
+  writer.chunk(99, {0xAA, 0xBB});
+  const auto& extra = sink.bytes();
+  const std::size_t header = 5;  // magic + version varint
+  std::vector<std::uint8_t> spliced;
+  const auto append = [&spliced](const std::vector<std::uint8_t>& src,
+                                 std::size_t from, std::size_t to) {
+    for (std::size_t i = from; i < to; ++i) spliced.push_back(src[i]);
+  };
+  append(bytes, 0, header);
+  append(extra, header, extra.size());
+  append(bytes, header, bytes.size());
+  const server::RunRecord back = server::decode_run_record(spliced);
+  EXPECT_EQ(back.scenario.sessions, 4u);
+}
+
+TEST(ReplayRunRecord, FileRoundTrip) {
+  server::RunRecord rec;
+  rec.git_rev = "filetest";
+  rec.scenario.sessions = 4;
+  rec.config.shards = 2;
+  rec.report.shards.resize(2);
+  const std::string path = ::testing::TempDir() + "/roundtrip.wspr";
+  ASSERT_TRUE(server::write_run_record_file(rec, path));
+  const server::RunRecord back = server::read_run_record_file(path);
+  EXPECT_EQ(back.git_rev, "filetest");
+  std::remove(path.c_str());
+
+  EXPECT_FALSE(server::write_run_record_file(rec, "/nonexistent-dir-xyz/x"));
+  try {
+    (void)server::read_run_record_file("/nonexistent-dir-xyz/x");
+    FAIL() << "expected ReplayError";
+  } catch (const ReplayError& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::kTruncated);
+  }
+}
+
+TEST(ReplayCrc32Filter, MatchesOneShotCrc) {
+  VectorSink sink;
+  replay::Crc32Filter filter(sink);
+  const std::uint8_t part1[] = {1, 2, 3};
+  const std::uint8_t part2[] = {4, 5};
+  filter.write(part1, sizeof part1);
+  filter.write(part2, sizeof part2);
+  const std::uint8_t whole[] = {1, 2, 3, 4, 5};
+  EXPECT_EQ(filter.crc(), crc32(whole, sizeof whole));
+  EXPECT_EQ(sink.bytes().size(), 5u);  // pass-through, unchanged
+}
+
+}  // namespace
+}  // namespace wsp

@@ -26,7 +26,7 @@ export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}"
 (
   cd "$BUILD_DIR"
   ctest -L tier1 --output-on-failure
-  ctest -R 'Trace|TraceJson|Json\.|BenchFlags|BenchJson|BenchServerSchema' \
+  ctest -R 'Trace|TraceJson|Json\.|BenchFlags|BenchJson|BenchServerSchema|BenchGate' \
         --output-on-failure
   ctest -R 'ServerDeterminism|ServerSoak|ServerChaos|TamperRecovery' \
         --output-on-failure
@@ -34,9 +34,20 @@ export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}"
 
 # Chaos soak under ASan/UBSan: the full fault mix through the real repair
 # ladder, gated on the session-leak invariant (bench_server exits nonzero
-# if completed + aborted != admitted).
+# if completed + aborted != admitted).  --record-dir leaves wsp-replay-v1
+# traces behind; replaying the chaos one at a different thread count drives
+# the whole record -> decode -> re-run -> verify path under the sanitizers.
 "$BUILD_DIR"/bench/bench_server --scenario chaos --threads 4 \
-    --outdir "$BUILD_DIR" > /dev/null
+    --record-dir "$BUILD_DIR" --outdir "$BUILD_DIR" > /dev/null
+"$BUILD_DIR"/tools/replay "$BUILD_DIR"/REPLAY_server_chaos.wspr --threads 2 \
+    > /dev/null
+echo "sanitize.sh: chaos run replayed bit-exactly at a different --threads"
+
+# Bench regression gate (docs/benchmarks.md): the server section against
+# the committed baselines.  Sanitizers change wall time, never the cycles
+# metrics, so the gate must pass here too.
+"$BUILD_DIR"/bench/bench_report --check --only server > /dev/null
+echo "sanitize.sh: bench_report --check (server) passed against baselines"
 
 echo "sanitize.sh: tier1 + observability + server/chaos tests clean under ASan/UBSan"
 

@@ -1,0 +1,133 @@
+// Replays a recorded engine run (server/record.h, format wsp-replay-v1) and
+// verifies the outcome bit-exactly: every deterministic RunReport field,
+// per-shard event digest and per-session event must match the recording.
+// Because the engine's determinism contract excludes thread count, the
+// replay may run at any --threads value — replaying a chaos failure
+// recorded at --threads 8 under a single thread (or a debugger) is the
+// point of the format.
+//
+// Usage: replay TRACE_FILE [--threads N] [--dump]
+//   --threads N   re-run with N worker threads (default: as recorded)
+//   --dump        print the recorded header/summary, do not re-run
+//
+// Exit codes: 0 replay verified, 1 mismatch, 2 unreadable/invalid trace.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "server/record.h"
+#include "server/traffic.h"
+#include "ssl/ssl.h"
+
+namespace {
+
+using namespace wsp;
+
+void dump_record(const server::RunRecord& rec) {
+  const server::RunReport& r = rec.report;
+  std::printf("wsp-replay-v1 run record\n");
+  std::printf("  recorded at git_rev %s on %u threads\n", rec.git_rev.c_str(),
+              rec.recorded_threads);
+  std::printf("  scenario: seed %llu, %zu sessions, %s, load %.2f\n",
+              static_cast<unsigned long long>(rec.scenario.seed),
+              rec.scenario.sessions,
+              rec.scenario.model == server::ArrivalModel::kOpenLoop
+                  ? "open loop"
+                  : "closed loop",
+              rec.scenario.offered_load);
+  std::printf("  ciphers:");
+  for (ssl::Cipher c : rec.scenario.ciphers) {
+    std::printf(" %s", ssl::to_string(c));
+  }
+  std::printf("\n");
+  std::printf("  engine: %u shards, queue %zu, batch %zu, rsa %zu, "
+              "degrade depth %zu%s\n",
+              rec.config.shards, rec.config.queue_capacity,
+              rec.config.record_batch, rec.config.rsa_bits,
+              rec.config.degrade_depth,
+              rec.config.faults.enabled() ? ", faults on" : "");
+  std::printf("  outcome: offered %llu, admitted %llu, completed %llu, "
+              "aborted %llu, dropped %llu\n",
+              static_cast<unsigned long long>(r.offered),
+              static_cast<unsigned long long>(r.admitted),
+              static_cast<unsigned long long>(r.completed),
+              static_cast<unsigned long long>(r.aborted),
+              static_cast<unsigned long long>(r.dropped));
+  std::printf("  faults %llu, retried %llu, repaired %llu, shed %llu, "
+              "degrade enters %llu\n",
+              static_cast<unsigned long long>(r.faults_injected),
+              static_cast<unsigned long long>(r.retried),
+              static_cast<unsigned long long>(r.repaired),
+              static_cast<unsigned long long>(r.shed),
+              static_cast<unsigned long long>(r.degrade_enters));
+  std::printf("  throughput %.4f sessions/Gcycle, makespan %.1f Mcycles, "
+              "bytes digest %08x\n",
+              r.throughput_per_gcycle, r.makespan_cycles / 1e6,
+              r.bytes_digest);
+  std::printf("  %zu session events across %zu shards\n", r.events.size(),
+              r.shards.size());
+  for (std::size_t s = 0; s < r.shards.size(); ++s) {
+    std::printf("    shard %zu: events digest %016llx (%llu sessions)\n", s,
+                static_cast<unsigned long long>(r.shards[s].events_digest),
+                static_cast<unsigned long long>(r.shards[s].admitted));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string path;
+  unsigned threads = 0;
+  bool dump = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--dump") {
+      dump = true;
+    } else if (arg == "--threads" && i + 1 < argc) {
+      threads = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      threads = static_cast<unsigned>(
+          std::strtoul(arg.c_str() + std::strlen("--threads="), nullptr, 10));
+    } else if (!arg.empty() && arg[0] != '-' && path.empty()) {
+      path = arg;
+    } else {
+      std::fprintf(stderr, "usage: replay TRACE_FILE [--threads N] [--dump]\n");
+      return 2;
+    }
+  }
+  if (path.empty()) {
+    std::fprintf(stderr, "usage: replay TRACE_FILE [--threads N] [--dump]\n");
+    return 2;
+  }
+
+  server::RunRecord rec;
+  try {
+    rec = server::read_run_record_file(path);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "replay: %s: %s\n", path.c_str(), e.what());
+    return 2;
+  }
+
+  if (dump) {
+    dump_record(rec);
+    return 0;
+  }
+
+  std::printf("replaying %s (recorded at %s, %zu sessions) on %u threads...\n",
+              path.c_str(), rec.git_rev.c_str(), rec.scenario.sessions,
+              threads > 0 ? threads : rec.recorded_threads);
+  const server::ReplayResult result = server::replay_run(rec, threads);
+  if (!result.ok()) {
+    std::fprintf(stderr, "replay FAILED: %zu mismatches\n",
+                 result.mismatches.size());
+    for (const std::string& m : result.mismatches) {
+      std::fprintf(stderr, "  %s\n", m.c_str());
+    }
+    return 1;
+  }
+  std::printf("replay OK: RunReport, %zu shard digests and %zu session "
+              "events bit-identical\n",
+              result.report.shards.size(), result.report.events.size());
+  return 0;
+}
