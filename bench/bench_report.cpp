@@ -314,7 +314,7 @@ bench::BenchResult run_server() {
   bench::BenchResult r;
   r.name = "server";
   r.config = {{"seed", "71"}, {"sessions", "64"}, {"shards", "4"},
-              {"rsa_bits", "512"}};
+              {"rsa_bits", "512"}, {"scale_sessions", "100000"}};
   const auto t0 = Clock::now();
   server::EngineConfig cfg;
   cfg.threads = 2;  // metrics are thread-count invariant (docs/server.md)
@@ -349,6 +349,15 @@ bench::BenchResult run_server() {
         std::fprintf(stderr, "FAILED to write %s\n", path.c_str());
       }
     }
+  }
+  {
+    // Scale run: 100k resumed sessions through the slab table and MPSC
+    // rings (docs/server.md §scale).  Gates memory_per_session (structural
+    // bytes per live session) and data-plane throughput; shard count is
+    // pinned by scale_config because determinism is per shard count.
+    server::Engine engine(bench::scale_config(cfg.threads));
+    bench::append_server_metrics(r, "scale/",
+                                 engine.run(bench::scale_scenario(75, 100000)));
   }
   r.wall_ns = ns_since(t0);
   r.threads = cfg.threads;

@@ -15,7 +15,10 @@
 //   --sessions N    arrivals per scenario (default 96)
 //   --shards N      table/scheduler/service shards (default 4)
 //   --queue-cap N   per-shard waiting room for the steady/closed runs
-//   --scenario S    steady|overload|closed|chaos|all (default all)
+//   --scenario S    steady|overload|closed|chaos|scale|all (default all)
+//   --scale-sessions N  arrivals for the scale scenario (default 100000)
+//   --scale-sweep   sweep the scale scenario 100k -> 1M (overrides
+//                   --scale-sessions; the 1M point takes a few seconds)
 //   --outdir DIR    write BENCH_server.json here (default ".")
 //   --record-dir D  also write a wsp-replay-v1 trace per scenario
 //                   (REPLAY_server_<scenario>.wspr; replay with tools/replay)
@@ -24,6 +27,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "bench_util.h"
 #include "server/record.h"
@@ -98,6 +103,11 @@ int main(int argc, char** argv) {
       nullptr, 10));
   const std::string which =
       bench::parse_string_flag(argc, argv, "--scenario", "all");
+  const auto scale_sessions = static_cast<std::size_t>(std::strtoull(
+      bench::parse_string_flag(argc, argv, "--scale-sessions", "100000")
+          .c_str(),
+      nullptr, 10));
+  const bool scale_sweep = bench::parse_bool_flag(argc, argv, "--scale-sweep");
   const std::string outdir =
       bench::parse_string_flag(argc, argv, "--outdir", ".");
   const std::string record_dir =
@@ -139,7 +149,8 @@ int main(int argc, char** argv) {
                    {"sessions", std::to_string(sessions)},
                    {"shards", std::to_string(shards)},
                    {"queue_cap", std::to_string(queue_cap)},
-                   {"rsa_bits", std::to_string(cfg.rsa_bits)}};
+                   {"rsa_bits", std::to_string(cfg.rsa_bits)},
+                   {"scale_sessions", std::to_string(scale_sessions)}};
 
   std::printf("\n%u threads, %u shards, queue capacity %zu, %zu sessions/run\n",
               threads, shards, queue_cap, sessions);
@@ -191,6 +202,44 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "chaos scenario injected no faults — "
                            "fault plan broken\n");
       return 1;
+    }
+  }
+
+  if (which == "all" || which == "scale") {
+    // Million-session regime (docs/server.md): resumed sessions, RC4-only
+    // short records, deep pinned-shard rings.  The headline "scale/" prefix
+    // is always the --scale-sessions point so the regression gate compares
+    // like with like; --scale-sweep adds labeled 100k/250k/1M points.
+    const server::EngineConfig scfg = bench::scale_config(threads);
+    std::vector<std::pair<std::string, std::size_t>> points;
+    if (scale_sweep) {
+      points = {{"scale_100k/", 100000},
+                {"scale_250k/", 250000},
+                {"scale_1m/", 1000000}};
+    }
+    const auto rep = run_scenario(
+        scfg, bench::scale_scenario(seed + 4, scale_sessions), "scale");
+    print_report("scale (resumed sessions, open loop 1.2x)", rep);
+    bench::append_server_metrics(result, "scale/", rep);
+    if (sessions_leaked(rep)) {
+      std::fprintf(stderr,
+                   "scale scenario leaked sessions: admitted %llu != "
+                   "completed %llu + aborted %llu\n",
+                   static_cast<unsigned long long>(rep.admitted),
+                   static_cast<unsigned long long>(rep.completed),
+                   static_cast<unsigned long long>(rep.aborted));
+      return 1;
+    }
+    for (const auto& [prefix, n] : points) {
+      server::Engine engine(scfg);
+      const auto swept = engine.run(bench::scale_scenario(seed + 4, n));
+      print_report(("scale sweep: " + std::to_string(n) + " sessions").c_str(),
+                   swept);
+      bench::append_server_metrics(result, prefix, swept);
+      if (sessions_leaked(swept)) {
+        std::fprintf(stderr, "scale sweep (%zu sessions) leaked sessions\n", n);
+        return 1;
+      }
     }
   }
 

@@ -61,6 +61,37 @@ inline server::TrafficScenario chaos_scenario(std::uint64_t seed,
   return s;
 }
 
+/// Scale run traffic: the million-session regime (docs/server.md).  Sessions
+/// resume from tickets instead of doing fresh RSA handshakes — that is what
+/// makes 10^5..10^6 sessions per run tractable — and stream short RC4
+/// records, so the run measures data-plane capacity (table, rings, channel
+/// setup), not modexp throughput.
+inline server::TrafficScenario scale_scenario(std::uint64_t seed,
+                                              std::size_t sessions) {
+  server::TrafficScenario s;
+  s.seed = seed;
+  s.sessions = sessions;
+  s.model = server::ArrivalModel::kOpenLoop;
+  s.offered_load = 1.2;  // mild over-admission: the table must churn
+  s.resume_sessions = true;
+  s.ciphers = {ssl::Cipher::kRc4};
+  s.transaction_sizes = {256, 512};
+  s.record_bytes = 256;
+  return s;
+}
+
+/// Engine shape for the scale run: shard count pinned (determinism is per
+/// shard count), deep per-shard rings so arrivals stay on the lock-free
+/// path, and large record batches to amortize pump dispatch.
+inline server::EngineConfig scale_config(unsigned threads) {
+  server::EngineConfig cfg;
+  cfg.threads = threads;
+  cfg.shards = 8;
+  cfg.queue_capacity = 32768;
+  cfg.record_batch = 32;
+  return cfg;
+}
+
 /// Canonical chaos fault mix (docs/faults.md): 1-10% rates across the four
 /// fault classes.  Non-aborted sessions must still complete, and the
 /// RunReport must stay bit-identical for any --threads.
@@ -99,6 +130,10 @@ inline void append_server_metrics(BenchResult& r, const std::string& prefix,
   put("queue_depth_peak", static_cast<double>(rep.peak_virtual_depth));
   put("sessions_peak", static_cast<double>(rep.peak_sessions));
   put("mean_service_cycles", rep.mean_service_cycles);
+  // Structural bytes per live session (slab slot + cold key block + index
+  // share) — a property of the build, so regressions here are layout
+  // regressions, not load artifacts.
+  put("memory_per_session", static_cast<double>(rep.memory_per_session));
   put("platform_cycles_base", rep.platform_cycles_base);
   put("platform_cycles_opt", rep.platform_cycles_optimized);
   put("platform_equiv_speedup", rep.equivalent_speedup);

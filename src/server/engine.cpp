@@ -4,6 +4,7 @@
 #include <chrono>
 #include <deque>
 #include <string>
+#include <thread>
 
 #include "server/session_table.h"
 #include "support/trace.h"
@@ -72,20 +73,26 @@ double backoff_cycles(const FaultConfig& fc, unsigned attempt) {
 /// the doomed repair ladder, a stall adds dead time.
 double modeled_service(const ssl::PlatformCosts& price, std::size_t bytes,
                        std::size_t record_bytes, const FaultSchedule& f,
-                       const FaultConfig& fc) {
+                       const FaultConfig& fc, bool resume) {
   double service = 0.0;
+  // A failed full exchange pays both asymmetric operations before the
+  // premaster check rejects it; a failed resumption only burns the
+  // abbreviated protocol work (the ticket is rejected before any key
+  // exchange).  Either way the backoff follows.
+  const double failed_attempt_cycles =
+      resume ? 0.25 * price.handshake_misc_cycles
+             : price.rsa_private_cycles + price.rsa_public_cycles;
   const unsigned failures =
       std::min(f.handshake_failures, fc.handshake_retry_budget + 1);
   for (unsigned i = 0; i < failures; ++i) {
-    // A failed exchange still pays both asymmetric operations before the
-    // premaster check rejects it, then waits out the backoff.
-    service += price.rsa_private_cycles + price.rsa_public_cycles;
+    service += failed_attempt_cycles;
     service += backoff_cycles(fc, i);
   }
   if (f.handshake_failures > fc.handshake_retry_budget) {
     return service;  // aborted before any record moved
   }
-  double body = ssl::transaction_cost(price, bytes).total();
+  double body = resume ? ssl::resumed_transaction_cost(price, bytes).total()
+                       : ssl::transaction_cost(price, bytes).total();
   if (f.wire_flip_rate > 0.0) {
     body *= 1.0 + f.wire_flip_rate;  // retransmission surcharge
   }
@@ -122,7 +129,10 @@ std::uint64_t SessionEvent::digest() const {
 
 Engine::Engine(const EngineConfig& config) : config_(config) {
   if (config_.shards == 0) {
-    throw std::invalid_argument("server: EngineConfig.shards must be > 0");
+    // Auto: scale the data plane with the machine.  Callers that need
+    // cross-host reproducible virtual timelines pin an explicit count.
+    const unsigned hw = std::thread::hardware_concurrency();
+    config_.shards = std::clamp(hw == 0 ? 4u : hw, 1u, 64u);
   }
   if (config_.queue_capacity == 0) {
     throw std::invalid_argument(
@@ -154,12 +164,20 @@ RunReport Engine::run(const TrafficScenario& scenario) {
   const ssl::PlatformCosts base = calibrated_costs(Pricing::kBase);
   const ssl::PlatformCosts opt = calibrated_costs(Pricing::kOptimized);
 
+  const bool resume = scenario.resume_sessions;
+  auto price_transaction = [resume](const ssl::PlatformCosts& costs,
+                                    std::size_t bytes) {
+    return resume ? ssl::resumed_transaction_cost(costs, bytes).total()
+                  : ssl::transaction_cost(costs, bytes).total();
+  };
+
   double mean_service = 0.0;
   for (const std::size_t bytes : scenario.transaction_sizes) {
-    mean_service += ssl::transaction_cost(price, bytes).total();
+    mean_service += price_transaction(price, bytes);
   }
   mean_service /= static_cast<double>(scenario.transaction_sizes.size());
   rep.mean_service_cycles = mean_service;
+  rep.memory_per_session = SessionTable::bytes_per_session();
 
   TrafficGenerator gen(scenario, mean_service, shards);
   const FaultPlan plan(config_.faults, scenario.seed);
@@ -254,7 +272,8 @@ RunReport Engine::run(const TrafficScenario& scenario) {
     }
     const double service =
         modeled_service(price, arrival->transaction_bytes,
-                        scenario.record_bytes, schedule, config_.faults);
+                        scenario.record_bytes, schedule, config_.faults,
+                        resume);
     const double start = std::max(v.busy_until, arrival->at_cycles);
     const double completion = start + service;
     v.busy_until = completion;
@@ -265,9 +284,9 @@ RunReport Engine::run(const TrafficScenario& scenario) {
     latencies.push_back(completion - arrival->at_cycles);
     rep.makespan_cycles = std::max(rep.makespan_cycles, completion);
     rep.platform_cycles_base +=
-        ssl::transaction_cost(base, arrival->transaction_bytes).total();
+        price_transaction(base, arrival->transaction_bytes);
     rep.platform_cycles_optimized +=
-        ssl::transaction_cost(opt, arrival->transaction_bytes).total();
+        price_transaction(opt, arrival->transaction_bytes);
     ++rep.admitted;
     ++rep.shards[shard].admitted;
     gen.on_outcome(*arrival, completion, /*dropped=*/false);
@@ -281,7 +300,9 @@ RunReport Engine::run(const TrafficScenario& scenario) {
     cfg.record_bytes = scenario.record_bytes;
     cfg.seed = arrival->session_seed;
     cfg.faults = schedule;
-    Session* session = table.insert(std::make_unique<Session>(cfg));
+    const SessionTable::Inserted ins = table.insert(cfg);
+    Session* session = ins.session;  // slab addresses are stable for life
+    const SessionHandle handle = ins.handle;
     WSP_TRACE_COUNTER("server", "live_sessions",
                       static_cast<double>(table.size()));
 
@@ -292,19 +313,25 @@ RunReport Engine::run(const TrafficScenario& scenario) {
     const std::size_t batch =
         degraded ? std::max<std::size_t>(1, config_.record_batch / 2)
                  : config_.record_batch;
-    sched.push(shard, [slot, session, &table, &server_key, batch, hs_budget] {
+    sched.push(shard, [slot, session, handle, &table, &server_key, batch,
+                       hs_budget, resume] {
       bool aborted = false;
       try {
-        ModexpEngine client_engine{ModexpConfig{}};
-        ModexpConfig server_cfg;  // the explored-optimal configuration
-        server_cfg.mul = MulAlgo::kMontCIOS;
-        server_cfg.window_bits = 5;
-        server_cfg.crt = CrtMode::kGarner;
-        server_cfg.caching = Caching::kFull;
-        ModexpEngine server_engine(server_cfg);
         for (unsigned attempt = 0;; ++attempt) {
           try {
-            session->handshake(server_key, client_engine, server_engine);
+            if (resume) {
+              // Abbreviated handshake: no key exchange, no modexp engines.
+              session->resume();
+            } else {
+              ModexpEngine client_engine{ModexpConfig{}};
+              ModexpConfig server_cfg;  // the explored-optimal configuration
+              server_cfg.mul = MulAlgo::kMontCIOS;
+              server_cfg.window_bits = 5;
+              server_cfg.crt = CrtMode::kGarner;
+              server_cfg.caching = Caching::kFull;
+              ModexpEngine server_engine(server_cfg);
+              session->handshake(server_key, client_engine, server_engine);
+            }
             break;
           } catch (const SessionError& e) {
             if (e.kind() != SessionErrorKind::kHandshakeFailed ||
@@ -336,7 +363,7 @@ RunReport Engine::run(const TrafficScenario& scenario) {
       slot->repairs = session->repairs();
       slot->faults = session->faults_seen();
       slot->aborted = aborted;
-      table.erase(slot->id);
+      table.erase(handle);
     });
   }
 

@@ -55,14 +55,18 @@ enum class Pricing { kBase, kOptimized };
 /// the server's virtual timeline never depends on re-running the ISS.
 ssl::PlatformCosts calibrated_costs(Pricing pricing);
 
-/// Validated by Engine's constructor: shards, queue_capacity and
-/// record_batch must be positive, rsa_bits at least 512, and the fault
-/// rates well-formed — violations throw std::invalid_argument instead of
-/// being silently clamped.  `threads` is host-dependent anyway and is
-/// clamped to >= 1.
+/// Validated by Engine's constructor: queue_capacity and record_batch must
+/// be positive, rsa_bits at least 512, and the fault rates well-formed —
+/// violations throw std::invalid_argument instead of being silently
+/// clamped.  `threads` is host-dependent anyway and is clamped to >= 1.
 struct EngineConfig {
   unsigned threads = 1;          ///< worker threads (clamped >= 1)
-  unsigned shards = 4;           ///< session-table / scheduler / service shards
+  /// Session-table / scheduler / service shards.  0 (the default) resolves
+  /// to the hardware core count (clamped to [1, 64]) in Engine's
+  /// constructor — read it back via config().shards.  NOTE: the shard
+  /// count shapes the virtual queueing model, so results are deterministic
+  /// *per shard count*; benches and replay pin an explicit value.
+  unsigned shards = 0;
   std::size_t queue_capacity = 64;  ///< per-shard waiting room AND real bound
   std::size_t record_batch = 16;    ///< records per execution quantum
   std::size_t rsa_bits = 512;    ///< server key size for the real handshakes
@@ -144,6 +148,10 @@ struct RunReport {
   std::size_t peak_virtual_depth = 0;  ///< max modeled queue depth, any shard
   std::size_t peak_sessions = 0;  ///< max concurrent live sessions (virtual)
   double mean_service_cycles = 0.0;
+  /// Structural bytes one live session costs in the data plane (hot slab
+  /// slot + cold key block + index share) — SessionTable::bytes_per_session.
+  /// A property of the build, so it sits on the deterministic side.
+  std::uint64_t memory_per_session = 0;
   /// Total crypto work of the completed sessions priced through the cost
   /// model for both platform configurations ("platform-equivalent" cost).
   double platform_cycles_base = 0.0;

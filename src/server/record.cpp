@@ -43,6 +43,9 @@ std::vector<std::uint8_t> encode_scenario(const TrafficScenario& s) {
     prev = bytes;
   }
   put_varint(p, s.record_bytes);
+  // Appended after v1's last field; decoders treat absence as false, so
+  // pre-existing records stay readable.
+  put_varint(p, s.resume_sessions ? 1 : 0);
   return p;
 }
 
@@ -77,6 +80,7 @@ TrafficScenario decode_scenario(const std::vector<std::uint8_t>& payload) {
     s.transaction_sizes.push_back(static_cast<std::size_t>(prev));
   }
   s.record_bytes = static_cast<std::size_t>(c.varint());
+  if (!c.done()) s.resume_sessions = c.varint() != 0;
   return s;
 }
 
@@ -182,6 +186,8 @@ std::vector<std::uint8_t> encode_report(const RunReport& r) {
     put_varint(p, sh.peak_virtual_depth);
     put_varint(p, sh.events_digest);
   }
+  // Appended after v1's last field (see encode_scenario note).
+  put_varint(p, r.memory_per_session);
   return p;
 }
 
@@ -228,6 +234,7 @@ RunReport decode_report(const std::vector<std::uint8_t>& payload) {
     sh.peak_virtual_depth = static_cast<std::size_t>(c.varint());
     sh.events_digest = c.varint();
   }
+  if (!c.done()) r.memory_per_session = c.varint();
   return r;
 }
 
@@ -287,6 +294,10 @@ RunRecord record_run(const EngineConfig& config,
   rec.config = config;
   rec.config.record_events = true;
   Engine engine(rec.config);
+  // Store the RESOLVED config: auto-shards (shards == 0) is a property of
+  // the recording host, and a replay elsewhere must pin the same count.
+  rec.config = engine.config();
+  rec.config.record_events = true;
   rec.report = engine.run(scenario);
   return rec;
 }
@@ -461,6 +472,11 @@ ReplayResult replay_run(const RunRecord& record, unsigned threads_override) {
              got.platform_cycles_optimized);
   expect_f64(mm, "equivalent_speedup", want.equivalent_speedup,
              got.equivalent_speedup);
+  if (want.memory_per_session != 0) {
+    // Zero means the record predates the field; nothing to verify then.
+    expect_u64(mm, "memory_per_session", want.memory_per_session,
+               got.memory_per_session);
+  }
 
   expect_u64(mm, "shard count", want.shards.size(), got.shards.size());
   const std::size_t shards = std::min(want.shards.size(), got.shards.size());

@@ -55,8 +55,35 @@ void Session::handshake(const rsa::PrivateKey& server_key,
     throw SessionError(SessionErrorKind::kHandshakeFailed, cfg_.id,
                        "corrupted premaster unexpectedly accepted");
   }
-  keys_.emplace(ssl::perform_handshake(server_key, cfg_.cipher, client_engine,
-                                       server_engine, rng_));
+  keys_ = std::make_unique<ssl::Handshake>(ssl::perform_handshake(
+      server_key, cfg_.cipher, client_engine, server_engine, rng_));
+  handshake_bytes_ = keys_->handshake_bytes;
+  wire_bytes_ += handshake_bytes_;
+  state_ = SessionState::kEstablished;
+}
+
+void Session::resume() {
+  require(SessionState::kPending, "resume");
+  WSP_TRACE_SPAN("server.session", "resume");
+  const unsigned attempt = handshake_attempts_++;
+  if (attempt < cfg_.faults.handshake_failures) {
+    ++faults_seen_;
+    WSP_TRACE_INSTANT_V("server.fault", "resume_fail",
+                        static_cast<double>(attempt));
+    // The hellos carrying the session id went on the wire before the
+    // ticket was rejected.
+    wire_bytes_ += 64;
+    throw SessionError(SessionErrorKind::kHandshakeFailed, cfg_.id,
+                       "session ticket rejected (attempt " +
+                           std::to_string(attempt) + ")");
+  }
+  // Both sides hold the cached master secret; this session's copy is a
+  // pure function of its seed, so resumed runs stay bit-deterministic.
+  auto master = rng_.bytes(48);
+  auto channels = derive_channel_pair(master);
+  keys_ = std::make_unique<ssl::Handshake>(
+      ssl::Handshake{std::move(channels.first), std::move(channels.second),
+                     std::move(master), kResumedHandshakeBytes});
   handshake_bytes_ = keys_->handshake_bytes;
   wire_bytes_ += handshake_bytes_;
   state_ = SessionState::kEstablished;
@@ -136,17 +163,16 @@ std::size_t Session::pump(std::size_t max_records) {
   return moved;
 }
 
-void Session::rekey() {
-  require(SessionState::kEstablished, "rekey");
-  WSP_TRACE_SPAN("server.session", "rekey");
-  // SSLv3-style renegotiation-lite: fresh nonces, same master secret.
+std::pair<ssl::SecureChannel, ssl::SecureChannel> Session::derive_channel_pair(
+    const std::vector<std::uint8_t>& master) {
+  // SSLv3-style derivation: fresh nonces, caller-supplied master secret.
   const auto client_random = rng_.bytes(32);
   const auto server_random = rng_.bytes(32);
   const ssl::CipherProfile spec = ssl::cipher_profile(cfg_.cipher);
   const std::size_t block_len =
       2 * (Sha1::kDigestSize + spec.key_len + spec.iv_len);
-  const auto key_block = ssl::kdf_ssl3(keys_->master_secret, server_random,
-                                       client_random, block_len);
+  const auto key_block =
+      ssl::kdf_ssl3(master, server_random, client_random, block_len);
   std::size_t off = 0;
   auto take = [&](std::size_t n) {
     std::vector<std::uint8_t> v(
@@ -161,10 +187,16 @@ void Session::rekey() {
   const auto server_key = take(spec.key_len);
   const auto client_iv = take(spec.iv_len);
   const auto server_iv = take(spec.iv_len);
-  keys_->client_write =
-      ssl::SecureChannel(cfg_.cipher, client_key, client_mac, client_iv);
-  keys_->server_write =
-      ssl::SecureChannel(cfg_.cipher, server_key, server_mac, server_iv);
+  return {ssl::SecureChannel(cfg_.cipher, client_key, client_mac, client_iv),
+          ssl::SecureChannel(cfg_.cipher, server_key, server_mac, server_iv)};
+}
+
+void Session::rekey() {
+  require(SessionState::kEstablished, "rekey");
+  WSP_TRACE_SPAN("server.session", "rekey");
+  auto channels = derive_channel_pair(keys_->master_secret);
+  keys_->client_write = std::move(channels.first);
+  keys_->server_write = std::move(channels.second);
   wire_bytes_ += 64;  // the two hello nonces on the wire
   ++rekeys_;
 }

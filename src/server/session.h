@@ -22,12 +22,19 @@
 // tampered record left behind), then abort with a typed SessionError.
 // Stream-cipher sessions typically heal on plain retransmit; CBC sessions
 // need the rekey leg.  Every step is deterministic per session.
+//
+// Memory layout (million-session data plane): the Session object itself is
+// the HOT block — config, state, Rng and accounting, a flat POD-ish struct
+// the SessionTable packs densely into slab slots.  Key material (the
+// ssl::Handshake: two channels + master secret) is the COLD block, heap-
+// allocated behind one pointer only while the session is established, so a
+// large admitted-but-pending backlog costs hot blocks only.
 #pragma once
 
 #include <cstdint>
 #include <memory>
-#include <optional>
 #include <stdexcept>
+#include <utility>
 
 #include "server/faults.h"
 #include "ssl/ssl.h"
@@ -63,6 +70,16 @@ class Session {
   /// to its budget.
   void handshake(const rsa::PrivateKey& server_key, ModexpEngine& client_engine,
                  ModexpEngine& server_engine);
+
+  /// Abbreviated (session-resumption) handshake: no RSA key exchange — the
+  /// two sides share a cached master secret, re-derived here from the
+  /// per-session Rng, and only hellos + Finished cross the wire
+  /// (kResumedHandshakeBytes).  Same state machine and fault semantics as
+  /// handshake(): throws SessionError(kHandshakeFailed) while the fault
+  /// schedule says the attempt fails (ticket rejected), session stays
+  /// kPending for retry.  This is what makes 10^5..10^6-session scale runs
+  /// tractable: record-layer costs dominate instead of RSA.
+  void resume();
 
   /// Seals and opens up to `max_records` records of the transaction stream
   /// (client seals, server opens).  Scheduled wire faults corrupt records
@@ -100,13 +117,28 @@ class Session {
   std::uint32_t faults_seen() const { return faults_seen_; }
   std::uint32_t handshake_attempts() const { return handshake_attempts_; }
 
+  /// Wire bytes of the abbreviated handshake resume() models (hellos with
+  /// session id + both Finished messages).
+  static constexpr std::size_t kResumedHandshakeBytes = 128;
+
+  /// Size of the out-of-line cold block an established session carries —
+  /// the structural term the memory-per-session accounting charges per
+  /// slot on top of the hot block (see SessionTable::bytes_per_session).
+  static constexpr std::size_t cold_bytes() { return sizeof(ssl::Handshake); }
+
  private:
   void require(SessionState expected, const char* op) const;
+
+  /// Derives a fresh {client_write, server_write} channel pair from
+  /// `master` via fresh nonces + kdf_ssl3 (the SSLv3 key-block split).
+  /// Shared by rekey() and resume(); no wire/byte accounting here.
+  std::pair<ssl::SecureChannel, ssl::SecureChannel> derive_channel_pair(
+      const std::vector<std::uint8_t>& master);
 
   SessionConfig cfg_;
   SessionState state_ = SessionState::kPending;
   Rng rng_;
-  std::optional<ssl::Handshake> keys_;  ///< channels + master secret
+  std::unique_ptr<ssl::Handshake> keys_;  ///< cold block: channels + master secret
   std::size_t bytes_sent_ = 0;
   std::uint64_t wire_bytes_ = 0;
   std::uint64_t handshake_bytes_ = 0;

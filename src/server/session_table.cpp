@@ -5,35 +5,79 @@
 
 namespace wsp::server {
 
-SessionTable::SessionTable(unsigned shards)
-    : shards_(std::max(1u, shards)) {}
+SessionTable::SessionTable(unsigned shards) {
+  const unsigned count = std::max(1u, shards);
+  shards_.reserve(count);
+  for (unsigned i = 0; i < count; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
 
-Session* SessionTable::insert(std::unique_ptr<Session> session) {
-  Shard& shard = shards_[shard_of(session->id())];
-  std::lock_guard<std::mutex> lock(shard.mutex);
-  auto [it, inserted] = shard.map.emplace(session->id(), std::move(session));
-  if (!inserted) throw std::logic_error("server: duplicate session id");
+SessionTable::Inserted SessionTable::insert(const SessionConfig& cfg) {
+  Shard& shard = *shards_[shard_of(cfg.id)];
+  support::SlabRef ref;
+  Session* session = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    if (shard.index.find(cfg.id) != nullptr) {
+      throw std::logic_error("server: duplicate session id");
+    }
+    ref = shard.slab.emplace(cfg);
+    shard.index.insert(cfg.id, ref);
+    session = shard.slab.get(ref);
+  }
   const std::size_t now = size_.fetch_add(1, std::memory_order_relaxed) + 1;
   std::size_t peak = peak_.load(std::memory_order_relaxed);
   while (now > peak &&
          !peak_.compare_exchange_weak(peak, now, std::memory_order_relaxed)) {
   }
-  return it->second.get();
+  return Inserted{SessionHandle{cfg.id, ref}, session};
+}
+
+Session* SessionTable::get(const SessionHandle& handle) {
+  Shard& shard = *shards_[shard_of(handle.id)];
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  return shard.slab.get(handle.ref);
 }
 
 Session* SessionTable::find(std::uint64_t id) {
-  Shard& shard = shards_[shard_of(id)];
+  Shard& shard = *shards_[shard_of(id)];
   std::lock_guard<std::mutex> lock(shard.mutex);
-  const auto it = shard.map.find(id);
-  return it == shard.map.end() ? nullptr : it->second.get();
+  const detail::FlatIndex::Entry* e = shard.index.find(id);
+  return e == nullptr ? nullptr : shard.slab.get(e->ref);
+}
+
+bool SessionTable::erase(const SessionHandle& handle) {
+  Shard& shard = *shards_[shard_of(handle.id)];
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    if (!shard.slab.erase(handle.ref)) return false;  // stale handle
+    shard.index.erase(handle.id);
+  }
+  size_.fetch_sub(1, std::memory_order_relaxed);
+  return true;
 }
 
 bool SessionTable::erase(std::uint64_t id) {
-  Shard& shard = shards_[shard_of(id)];
-  std::lock_guard<std::mutex> lock(shard.mutex);
-  if (shard.map.erase(id) == 0) return false;
+  Shard& shard = *shards_[shard_of(id)];
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    const detail::FlatIndex::Entry* e = shard.index.find(id);
+    if (e == nullptr) return false;
+    shard.slab.erase(e->ref);
+    shard.index.erase(id);
+  }
   size_.fetch_sub(1, std::memory_order_relaxed);
   return true;
+}
+
+std::size_t SessionTable::bytes_reserved() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    total += shard->slab.bytes_reserved() + shard->index.bytes_reserved();
+  }
+  return total;
 }
 
 }  // namespace wsp::server

@@ -50,6 +50,13 @@ struct TrafficScenario {
   std::vector<std::size_t> transaction_sizes = {1024, 2048, 4096,
                                                 8192, 16384, 32768};
   std::size_t record_bytes = 1024;
+
+  /// Sessions reconnect with cached credentials: the engine runs the
+  /// abbreviated resumption handshake (Session::resume — no RSA) and
+  /// prices sessions with ssl::resumed_transaction_cost.  This is the
+  /// million-session regime, where key exchange is amortized across
+  /// reconnects and record-layer throughput dominates.
+  bool resume_sessions = false;
 };
 
 struct SessionArrival {

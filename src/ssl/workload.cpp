@@ -27,6 +27,21 @@ TransactionCost transaction_cost(const PlatformCosts& costs, std::size_t bytes) 
   return t;
 }
 
+TransactionCost resumed_transaction_cost(const PlatformCosts& costs,
+                                         std::size_t bytes) {
+  TransactionCost t;
+  // Abbreviated handshake: the cached master secret replaces the RSA
+  // exchange entirely.
+  t.public_key = 0.0;
+  const double b = static_cast<double>(bytes);
+  t.symmetric = costs.symmetric_cycles_per_byte * b;
+  // Hellos + Finished + key-block KDF are a fraction of the full
+  // handshake's protocol work (no premaster framing, no cert handling).
+  t.misc = 0.25 * costs.handshake_misc_cycles +
+           (costs.hash_cycles_per_byte + costs.misc_cycles_per_byte) * b;
+  return t;
+}
+
 std::vector<SpeedupRow> ssl_speedup_table(const PlatformCosts& base,
                                           const PlatformCosts& optimized,
                                           const std::vector<std::size_t>& sizes) {

@@ -49,6 +49,14 @@ struct TransactionCost {
 /// Cycle cost of one transaction of `bytes` application data.
 TransactionCost transaction_cost(const PlatformCosts& costs, std::size_t bytes);
 
+/// Cycle cost of a transaction on a RESUMED session (abbreviated
+/// handshake): no RSA exchange at all, and only the short hello/Finished
+/// protocol work up front — the record-layer transfer is unchanged.  This
+/// prices the server engine's session-resumption mode, where amortizing the
+/// key exchange across reconnects is exactly the point.
+TransactionCost resumed_transaction_cost(const PlatformCosts& costs,
+                                         std::size_t bytes);
+
 struct SpeedupRow {
   std::size_t bytes = 0;
   TransactionCost base;

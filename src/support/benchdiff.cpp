@@ -27,6 +27,10 @@ const std::vector<ToleranceRule>& default_tolerance_table() {
       {"*/aborted", Direction::kExact, 0.0},
       // The headline server metrics.
       {"*/throughput_per_gcycle", Direction::kHigherBetter, 5.0},
+      // Structural bytes per live session (slab slot + cold block + index
+      // share): a build-layout property, so the tolerance only absorbs
+      // ABI/padding noise — real growth must be blessed deliberately.
+      {"*/memory_per_session", Direction::kLowerBetter, 2.0},
       {"*/latency_p50_cycles", Direction::kLowerBetter, 10.0},
       {"*/latency_p90_cycles", Direction::kLowerBetter, 10.0},
       {"*/latency_p99_cycles", Direction::kLowerBetter, 10.0},

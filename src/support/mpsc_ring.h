@@ -1,0 +1,115 @@
+// Bounded multi-producer / single-consumer ring buffer — the lock-free
+// shard queue of the record scheduler (ROADMAP item 1: million-session
+// scale-out replaces the mutex+deque FIFO on the scheduler hot path).
+//
+// The algorithm is Vyukov's bounded queue: each cell carries a sequence
+// number that encodes whose turn the cell is.  Producers claim a cell with
+// one CAS on `head_` and publish with a release store of the sequence; the
+// consumer observes the sequence with an acquire load, so the value written
+// by the producer is visible before the pop returns it.  Per-producer FIFO
+// order is preserved (and with a single producer, total FIFO order — which
+// is what the scheduler's one-pump-per-shard contract relies on).
+//
+// try_push()/try_pop() never block and never allocate; a full ring refuses
+// the push (the value is NOT consumed), which is what lets the scheduler
+// layer its two overflow policies — blocking backpressure for external
+// producers, overflow spill for re-entrant pushes from a pump — on top.
+//
+// Capacity is rounded up to a power of two.  size_approx() is exact when
+// quiescent and never exceeds capacity(); under concurrency it is a
+// point-in-time estimate (fine for depth high-water marks, wrong tool for
+// an is-empty handshake — the scheduler uses the pump-active flag protocol
+// for that).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+namespace wsp::support {
+
+template <typename T>
+class MpscRing {
+ public:
+  /// Capacity is `min_capacity` rounded up to a power of two (>= 2).
+  explicit MpscRing(std::size_t min_capacity) {
+    std::size_t cap = 2;
+    while (cap < min_capacity) cap <<= 1;
+    mask_ = cap - 1;
+    cells_ = std::make_unique<Cell[]>(cap);
+    for (std::size_t i = 0; i < cap; ++i) {
+      cells_[i].seq.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  MpscRing(const MpscRing&) = delete;
+  MpscRing& operator=(const MpscRing&) = delete;
+
+  /// Multi-producer safe.  Returns false when the ring is full; the value
+  /// is only moved from on success.
+  bool try_push(T& value) {
+    std::size_t pos = head_.load(std::memory_order_relaxed);
+    for (;;) {
+      Cell& cell = cells_[pos & mask_];
+      const std::size_t seq = cell.seq.load(std::memory_order_acquire);
+      const std::intptr_t dif = static_cast<std::intptr_t>(seq) -
+                                static_cast<std::intptr_t>(pos);
+      if (dif == 0) {
+        if (head_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed)) {
+          cell.value = std::move(value);
+          cell.seq.store(pos + 1, std::memory_order_release);
+          return true;
+        }
+        // CAS refreshed `pos`; retry against the new head.
+      } else if (dif < 0) {
+        return false;  // the cell is still occupied: ring full
+      } else {
+        pos = head_.load(std::memory_order_relaxed);
+      }
+    }
+  }
+  bool try_push(T&& value) { return try_push(value); }
+
+  /// Single consumer only.  Returns false when the ring is empty.
+  bool try_pop(T& out) {
+    const std::size_t pos = tail_.load(std::memory_order_relaxed);
+    Cell& cell = cells_[pos & mask_];
+    const std::size_t seq = cell.seq.load(std::memory_order_acquire);
+    if (static_cast<std::intptr_t>(seq) -
+            static_cast<std::intptr_t>(pos + 1) < 0) {
+      return false;  // producer has not published this cell yet
+    }
+    out = std::move(cell.value);
+    cell.value = T();  // drop captured state now, not at next overwrite
+    cell.seq.store(pos + mask_ + 1, std::memory_order_release);
+    tail_.store(pos + 1, std::memory_order_relaxed);
+    return true;
+  }
+
+  std::size_t capacity() const { return mask_ + 1; }
+
+  /// head - tail snapshot; exact when no operation is in flight.  Clamped
+  /// to [0, capacity()] — a stale tail read can otherwise overshoot.
+  std::size_t size_approx() const {
+    const std::size_t tail = tail_.load(std::memory_order_acquire);
+    const std::size_t head = head_.load(std::memory_order_acquire);
+    const std::size_t n = head >= tail ? head - tail : 0;
+    return n > mask_ + 1 ? mask_ + 1 : n;
+  }
+
+ private:
+  struct Cell {
+    std::atomic<std::size_t> seq{0};
+    T value{};
+  };
+
+  std::unique_ptr<Cell[]> cells_;
+  std::size_t mask_ = 0;
+  alignas(64) std::atomic<std::size_t> head_{0};  ///< next producer slot
+  alignas(64) std::atomic<std::size_t> tail_{0};  ///< next consumer slot
+};
+
+}  // namespace wsp::support

@@ -1,0 +1,204 @@
+// Tier-1 tests for the million-session data-plane primitives: the Slab
+// arena (generation-counted handles over chunked storage) and the Vyukov
+// bounded MPSC ring (the record scheduler's shard queue).  Concurrency
+// soaks live in test_server_determinism (tier2, sanitizer builds); these
+// pin the single-threaded contracts.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "support/arena.h"
+#include "support/mpsc_ring.h"
+
+namespace wsp {
+namespace {
+
+using support::MpscRing;
+using support::Slab;
+using support::SlabRef;
+
+// Counts constructions/destructions so leak and double-destroy bugs in the
+// slab show up as arithmetic, not as sanitizer-only findings.
+struct Tracked {
+  static int live;
+  explicit Tracked(int v = 0) : value(v) { ++live; }
+  Tracked(const Tracked& o) : value(o.value) { ++live; }
+  ~Tracked() { --live; }
+  int value;
+};
+int Tracked::live = 0;
+
+TEST(Slab, EmplaceGetEraseRoundTrip) {
+  Slab<Tracked, 8> slab;
+  EXPECT_EQ(slab.live(), 0u);
+
+  const SlabRef a = slab.emplace(41);
+  const SlabRef b = slab.emplace(42);
+  ASSERT_NE(slab.get(a), nullptr);
+  ASSERT_NE(slab.get(b), nullptr);
+  EXPECT_EQ(slab.get(a)->value, 41);
+  EXPECT_EQ(slab.get(b)->value, 42);
+  EXPECT_EQ(slab.live(), 2u);
+  EXPECT_EQ(Tracked::live, 2);
+
+  EXPECT_TRUE(slab.erase(a));
+  EXPECT_EQ(slab.get(a), nullptr);   // stale handle
+  EXPECT_FALSE(slab.erase(a));       // double erase refused
+  EXPECT_EQ(slab.live(), 1u);
+  EXPECT_EQ(Tracked::live, 1);
+  EXPECT_EQ(slab.get(b)->value, 42);  // unaffected neighbour
+}
+
+TEST(Slab, StaleHandleNeverAliasesSlotReuse) {
+  Slab<Tracked, 8> slab;
+  const SlabRef a = slab.emplace(1);
+  slab.erase(a);
+  const SlabRef b = slab.emplace(2);  // free list reuses a's slot
+  EXPECT_EQ(b.slot, a.slot);
+  EXPECT_NE(b.gen, a.gen);
+  EXPECT_EQ(slab.get(a), nullptr);  // old handle stays stale
+  EXPECT_EQ(slab.get(b)->value, 2);
+}
+
+TEST(Slab, DefaultRefAndOutOfRangeAreRejected) {
+  Slab<Tracked, 8> slab;
+  EXPECT_EQ(slab.get(SlabRef{}), nullptr);
+  EXPECT_FALSE(slab.erase(SlabRef{}));
+  slab.emplace(1);
+  EXPECT_EQ(slab.get(SlabRef{99, 1}), nullptr);
+}
+
+TEST(Slab, AddressesStableAcrossChunkGrowth) {
+  using SmallSlab = Slab<Tracked, 4>;  // small chunks force several allocations
+  SmallSlab slab;
+  std::vector<SlabRef> refs;
+  std::vector<const Tracked*> ptrs;
+  for (int i = 0; i < 64; ++i) {
+    refs.push_back(slab.emplace(i));
+    ptrs.push_back(slab.get(refs.back()));
+  }
+  EXPECT_GE(slab.capacity(), 64u);
+  EXPECT_EQ(slab.bytes_reserved(), slab.capacity() * SmallSlab::slot_bytes());
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(slab.get(refs[static_cast<std::size_t>(i)]),
+              ptrs[static_cast<std::size_t>(i)]);
+    EXPECT_EQ(ptrs[static_cast<std::size_t>(i)]->value, i);
+  }
+}
+
+TEST(Slab, FreeListReusesSlotsBeforeGrowing) {
+  Slab<Tracked, 8> slab;
+  std::vector<SlabRef> refs;
+  for (int i = 0; i < 8; ++i) refs.push_back(slab.emplace(i));
+  const std::size_t cap = slab.capacity();
+  for (const SlabRef& r : refs) slab.erase(r);
+  for (int i = 0; i < 8; ++i) slab.emplace(100 + i);
+  EXPECT_EQ(slab.capacity(), cap);  // churn must not grow the arena
+  EXPECT_EQ(slab.live(), 8u);
+}
+
+TEST(Slab, ClearDestroysEverythingAndResets) {
+  Slab<Tracked, 8> slab;
+  for (int i = 0; i < 20; ++i) slab.emplace(i);
+  EXPECT_EQ(Tracked::live, 20);
+  slab.clear();
+  EXPECT_EQ(Tracked::live, 0);
+  EXPECT_EQ(slab.live(), 0u);
+  EXPECT_EQ(slab.bytes_reserved(), 0u);
+  // Usable again after clear().
+  const SlabRef r = slab.emplace(7);
+  EXPECT_EQ(slab.get(r)->value, 7);
+  slab.clear();
+}
+
+TEST(Slab, DestructorRunsLiveDestructors) {
+  {
+    Slab<Tracked, 8> slab;
+    slab.emplace(1);
+    slab.emplace(2);
+    EXPECT_EQ(Tracked::live, 2);
+  }
+  EXPECT_EQ(Tracked::live, 0);
+}
+
+TEST(MpscRing, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(MpscRing<int>(1).capacity(), 2u);
+  EXPECT_EQ(MpscRing<int>(4).capacity(), 4u);
+  EXPECT_EQ(MpscRing<int>(5).capacity(), 8u);
+  EXPECT_EQ(MpscRing<int>(1000).capacity(), 1024u);
+}
+
+TEST(MpscRing, FifoOrderAndFullEmptyBoundaries) {
+  MpscRing<int> ring(4);
+  int out = 0;
+  EXPECT_FALSE(ring.try_pop(out));  // empty
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(ring.try_push(i));
+  EXPECT_FALSE(ring.try_push(99));  // full
+  EXPECT_EQ(ring.size_approx(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(ring.try_pop(out));
+    EXPECT_EQ(out, i);
+  }
+  EXPECT_FALSE(ring.try_pop(out));
+  EXPECT_EQ(ring.size_approx(), 0u);
+}
+
+TEST(MpscRing, RefusedPushDoesNotConsumeTheValue) {
+  // The scheduler's backpressure wait retries try_push(work) as a condvar
+  // predicate, so a refused push must leave the value intact.
+  MpscRing<std::unique_ptr<int>> ring(2);
+  EXPECT_TRUE(ring.try_push(std::make_unique<int>(1)));
+  EXPECT_TRUE(ring.try_push(std::make_unique<int>(2)));
+  auto held = std::make_unique<int>(3);
+  EXPECT_FALSE(ring.try_push(held));
+  ASSERT_NE(held, nullptr);  // still ours after the refusal
+  EXPECT_EQ(*held, 3);
+  std::unique_ptr<int> out;
+  ASSERT_TRUE(ring.try_pop(out));
+  EXPECT_EQ(*out, 1);
+  EXPECT_TRUE(ring.try_push(held));  // same value goes through now
+  EXPECT_EQ(held, nullptr);
+}
+
+TEST(MpscRing, PopDropsCapturedStateImmediately) {
+  MpscRing<std::shared_ptr<int>> ring(4);
+  auto tracked = std::make_shared<int>(5);
+  std::weak_ptr<int> weak = tracked;
+  EXPECT_TRUE(ring.try_push(std::move(tracked)));
+  std::shared_ptr<int> out;
+  ASSERT_TRUE(ring.try_pop(out));
+  out.reset();
+  // The cell must not keep a copy alive until its next overwrite.
+  EXPECT_TRUE(weak.expired());
+}
+
+TEST(MpscRing, WrapsAroundManyTimes) {
+  MpscRing<int> ring(4);
+  int out = 0;
+  for (int round = 0; round < 1000; ++round) {
+    EXPECT_TRUE(ring.try_push(round));
+    EXPECT_TRUE(ring.try_push(round + 1000000));
+    ASSERT_TRUE(ring.try_pop(out));
+    EXPECT_EQ(out, round);
+    ASSERT_TRUE(ring.try_pop(out));
+    EXPECT_EQ(out, round + 1000000);
+  }
+  EXPECT_EQ(ring.size_approx(), 0u);
+}
+
+TEST(MpscRing, HoldsMoveOnlyWork) {
+  MpscRing<std::function<void()>> ring(8);
+  int ran = 0;
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(ring.try_push([&ran] { ++ran; }));
+  }
+  std::function<void()> work;
+  while (ring.try_pop(work)) work();
+  EXPECT_EQ(ran, 3);
+}
+
+}  // namespace
+}  // namespace wsp

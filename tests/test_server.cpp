@@ -3,6 +3,7 @@
 // session table, the bounded scheduler, and an engine smoke run.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <memory>
 
 #include "server/engine.h"
@@ -129,8 +130,10 @@ TEST(ServerTable, InsertFindEraseAcrossShards) {
   server::SessionTable table(4);
   EXPECT_EQ(table.shard_count(), 4u);
   for (std::uint64_t id = 0; id < 12; ++id) {
-    table.insert(std::make_unique<Session>(
-        small_session(id, ssl::Cipher::kRc4, 64)));
+    const auto ins = table.insert(small_session(id, ssl::Cipher::kRc4, 64));
+    ASSERT_NE(ins.session, nullptr);
+    EXPECT_EQ(ins.session->id(), id);
+    EXPECT_EQ(ins.handle.id, id);
     EXPECT_EQ(table.shard_of(id), id % 4);
   }
   EXPECT_EQ(table.size(), 12u);
@@ -146,9 +149,59 @@ TEST(ServerTable, InsertFindEraseAcrossShards) {
   EXPECT_EQ(table.size(), 11u);
   EXPECT_EQ(table.peak_size(), 12u);  // high-water mark sticks
 
-  EXPECT_THROW(table.insert(std::make_unique<Session>(
-                   small_session(3, ssl::Cipher::kRc4, 64))),
+  EXPECT_THROW(table.insert(small_session(3, ssl::Cipher::kRc4, 64)),
                std::logic_error);
+}
+
+TEST(ServerTable, HandlesGoStaleOnEraseAndSlotReuse) {
+  server::SessionTable table(2);
+  const auto a = table.insert(small_session(10, ssl::Cipher::kRc4, 64));
+  EXPECT_EQ(table.get(a.handle), a.session);
+
+  EXPECT_TRUE(table.erase(a.handle));
+  EXPECT_EQ(table.get(a.handle), nullptr);   // stale, not dangling
+  EXPECT_FALSE(table.erase(a.handle));       // double-erase refused
+  EXPECT_EQ(table.size(), 0u);
+
+  // A new session reuses the freed slot (same shard: 12 % 2 == 10 % 2);
+  // the old handle's generation no longer matches, so it stays stale
+  // instead of aliasing the new tenant.
+  const auto b = table.insert(small_session(12, ssl::Cipher::kRc4, 64));
+  EXPECT_EQ(table.get(a.handle), nullptr);
+  ASSERT_NE(table.get(b.handle), nullptr);
+  EXPECT_EQ(table.get(b.handle)->id(), 12u);
+}
+
+TEST(ServerTable, ChurnKeepsIndexAndAccountingExact) {
+  // Insert/erase waves across slot reuse: the flat index's backward-shift
+  // deletion and the slab free list must agree with find()/size() exactly.
+  server::SessionTable table(3);
+  std::size_t live = 0;
+  for (std::uint64_t wave = 0; wave < 4; ++wave) {
+    for (std::uint64_t i = 0; i < 30; ++i) {
+      table.insert(small_session(wave * 1000 + i, ssl::Cipher::kRc4, 0));
+      ++live;
+    }
+    for (std::uint64_t i = 0; i < 30; i += 2) {
+      EXPECT_TRUE(table.erase(wave * 1000 + i));
+      --live;
+    }
+    EXPECT_EQ(table.size(), live);
+    for (std::uint64_t i = 0; i < 30; ++i) {
+      Session* s = table.find(wave * 1000 + i);
+      if (i % 2 == 0) {
+        EXPECT_EQ(s, nullptr);
+      } else {
+        ASSERT_NE(s, nullptr);
+        EXPECT_EQ(s->id(), wave * 1000 + i);
+      }
+    }
+  }
+  // Each wave nets +15 live; the peak lands in the last wave's insert
+  // burst: 45 survivors + 30 new.
+  EXPECT_EQ(table.peak_size(), 75u);
+  EXPECT_GT(table.bytes_reserved(), 0u);
+  EXPECT_GT(server::SessionTable::bytes_per_session(), sizeof(Session));
 }
 
 TEST(ServerScheduler, ExecutesFifoPerShardWithBoundedQueue) {
@@ -166,6 +219,75 @@ TEST(ServerScheduler, ExecutesFifoPerShardWithBoundedQueue) {
   EXPECT_EQ(counters.executed, 20u);
   EXPECT_LE(counters.peak_depth, 4u);  // bounded despite 20 pushes
   EXPECT_GE(counters.batches, 20u / 3u);
+}
+
+TEST(ServerScheduler, ShardIndexIsBoundsChecked) {
+  ThreadPool pool(1);
+  server::RecordScheduler sched(pool, 2, /*capacity=*/4);
+  EXPECT_THROW(sched.push(2, [] {}), std::out_of_range);
+  EXPECT_THROW(sched.push(7, [] {}), std::out_of_range);
+  EXPECT_THROW(sched.counters(2), std::out_of_range);
+  // Valid indices still work after the rejected calls.
+  sched.push(1, [] {});
+  sched.drain();
+  EXPECT_EQ(sched.counters(1).executed, 1u);
+  EXPECT_EQ(sched.counters(0).enqueued, 0u);
+}
+
+TEST(ServerScheduler, ReentrantPushFromPumpSpillsInsteadOfDeadlocking) {
+  // Regression: a work item pushing into its own FULL shard used to block
+  // on the backpressure condvar from the pump thread — and the pump is the
+  // only thing that frees space, so the shard deadlocked.  Re-entrant
+  // pushes must spill and complete instead.
+  ThreadPool pool(1);
+  server::RecordScheduler sched(pool, 1, /*capacity=*/2, /*batch=*/1);
+  std::atomic<int> ran{0};
+  sched.push(0, [&sched, &ran] {
+    // 8 pushes into a ring of 2 from inside the pump: guaranteed overflow.
+    for (int i = 0; i < 8; ++i) {
+      sched.push(0, [&ran] { ran.fetch_add(1); });
+    }
+    ran.fetch_add(1);
+  });
+  sched.drain();
+  EXPECT_EQ(ran.load(), 9);
+  const auto counters = sched.counters(0);
+  EXPECT_EQ(counters.enqueued, 9u);
+  EXPECT_EQ(counters.executed, 9u);
+  EXPECT_GT(counters.overflow_spills, 0u);
+  EXPECT_EQ(counters.failed, 0u);
+}
+
+TEST(ServerSession, ResumeSkipsKeyExchangeAndStreamsRecords) {
+  Session s(small_session(21, ssl::Cipher::kAes128Cbc, 600));
+  s.resume();
+  EXPECT_EQ(s.state(), SessionState::kEstablished);
+  EXPECT_EQ(s.handshake_bytes(), Session::kResumedHandshakeBytes);
+
+  const std::size_t moved = s.pump(100);
+  EXPECT_TRUE(s.finished());
+  EXPECT_EQ(s.records(), 3u);
+  EXPECT_GT(moved, 600u);  // MAC + padding overhead on the wire
+  EXPECT_EQ(s.wire_bytes(), s.handshake_bytes() + moved);
+
+  // Rekey works from the resumed master secret, and the state machine is
+  // the same one: double-resume and resume-after-teardown are rejected.
+  s.rekey();
+  EXPECT_EQ(s.rekeys(), 1u);
+  EXPECT_THROW(s.resume(), std::logic_error);
+  s.teardown();
+  EXPECT_THROW(s.resume(), std::logic_error);
+}
+
+TEST(ServerSession, ResumedByteTotalsAreSeedDeterministic) {
+  auto run = [] {
+    Session s(small_session(22, ssl::Cipher::kRc4, 900));
+    s.resume();
+    s.pump(100);
+    s.teardown();
+    return s.wire_bytes();
+  };
+  EXPECT_EQ(run(), run());
 }
 
 TEST(ServerEngine, SmokeRunAccountsEverySession) {
@@ -203,6 +325,39 @@ TEST(ServerEngine, SmokeRunAccountsEverySession) {
   }
   EXPECT_EQ(shard_admitted, rep.admitted);
   EXPECT_EQ(shard_bytes, rep.wire_bytes);
+}
+
+TEST(ServerEngine, ResumeModeCompletesAndReportsMemory) {
+  server::EngineConfig cfg;
+  cfg.threads = 1;
+  cfg.shards = 2;
+  server::TrafficScenario scenario;
+  scenario.seed = 11;
+  scenario.sessions = 40;
+  scenario.offered_load = 0.8;
+  scenario.ciphers = {ssl::Cipher::kRc4};
+  scenario.transaction_sizes = {256, 512};
+  scenario.record_bytes = 256;
+  scenario.resume_sessions = true;
+
+  server::Engine engine(cfg);
+  const auto rep = engine.run(scenario);
+  EXPECT_EQ(rep.offered, 40u);
+  EXPECT_EQ(rep.completed + rep.aborted + rep.dropped, rep.offered);
+  EXPECT_GT(rep.completed, 0u);
+  EXPECT_GT(rep.throughput_per_gcycle, 0.0);
+  EXPECT_EQ(rep.memory_per_session, server::SessionTable::bytes_per_session());
+  // Resumed sessions skip both RSA operations, so their platform-equivalent
+  // speedup reflects record-layer acceleration only — well under the full
+  // handshake's, but still > 1.
+  EXPECT_GT(rep.equivalent_speedup, 1.0);
+}
+
+TEST(ServerEngine, AutoShardCountScalesWithHardware) {
+  server::EngineConfig cfg;  // shards defaults to 0 = auto
+  server::Engine engine(cfg);
+  EXPECT_GE(engine.config().shards, 1u);
+  EXPECT_LE(engine.config().shards, 64u);
 }
 
 TEST(ServerEngine, CalibratedCostsOrdering) {

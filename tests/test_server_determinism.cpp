@@ -10,10 +10,16 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <thread>
 #include <vector>
 
 #include "server/engine.h"
+#include "server/record.h"
+#include "server/session_table.h"
 #include "server_section.h"
+#include "support/mpsc_ring.h"
 
 namespace wsp {
 namespace {
@@ -263,6 +269,171 @@ TEST(ServerChaosSoak, DegradeModeShedsAndRecovers) {
   cfg2.threads = 8;
   const auto rep2 = server::Engine(cfg2).run(scenario);
   expect_same_deterministic_metrics(rep, rep2, "degrade thread sweep");
+}
+
+// --- million-session data plane (ISSUE 7) ---------------------------------
+
+// Multi-producer soak for the scheduler's shard queue: several producers
+// hammer one small ring while a single consumer drains it.  Per-producer
+// FIFO order and exact delivery counts must survive; under TSan this is the
+// designated race workload for support/mpsc_ring.h.
+TEST(MpscRingSoak, MultiProducerSingleConsumerDeliversEverythingInOrder) {
+  constexpr unsigned kProducers = 4;
+  constexpr std::uint64_t kPerProducer = 5000;
+  support::MpscRing<std::uint64_t> ring(64);
+
+  std::vector<std::thread> producers;
+  for (unsigned p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&ring, p] {
+      for (std::uint64_t i = 0; i < kPerProducer; ++i) {
+        // High bits: producer id; low bits: that producer's sequence.
+        std::uint64_t v = (static_cast<std::uint64_t>(p) << 32) | i;
+        while (!ring.try_push(v)) std::this_thread::yield();
+      }
+    });
+  }
+
+  std::vector<std::uint64_t> next_seq(kProducers, 0);
+  std::uint64_t popped = 0;
+  while (popped < kProducers * kPerProducer) {
+    std::uint64_t v = 0;
+    if (!ring.try_pop(v)) {
+      std::this_thread::yield();
+      continue;
+    }
+    const auto p = static_cast<unsigned>(v >> 32);
+    ASSERT_LT(p, kProducers);
+    EXPECT_EQ(v & 0xFFFFFFFFu, next_seq[p]) << "producer " << p;
+    ++next_seq[p];
+    ++popped;
+  }
+  for (auto& t : producers) t.join();
+
+  std::uint64_t v = 0;
+  EXPECT_FALSE(ring.try_pop(v));
+  for (unsigned p = 0; p < kProducers; ++p) EXPECT_EQ(next_seq[p], kPerProducer);
+}
+
+// Concurrent churn through the sharded slab table: each worker owns a
+// disjoint id range and repeatedly inserts, reads back and erases sessions.
+// Size/peak accounting must come out exact and no worker may ever observe
+// another worker's session through its own handles.
+TEST(ServerTableSoak, ConcurrentInsertEraseChurnKeepsAccountingExact) {
+  constexpr unsigned kWorkers = 4;
+  constexpr std::uint64_t kIdsPerWorker = 200;
+  constexpr int kWaves = 5;
+  server::SessionTable table(4);
+  std::atomic<bool> failed{false};
+
+  std::vector<std::thread> workers;
+  for (unsigned w = 0; w < kWorkers; ++w) {
+    workers.emplace_back([&table, &failed, w] {
+      const std::uint64_t base = 1 + w * 100000ull;
+      for (int wave = 0; wave < kWaves; ++wave) {
+        std::vector<server::SessionHandle> handles;
+        for (std::uint64_t i = 0; i < kIdsPerWorker; ++i) {
+          server::SessionConfig cfg;
+          cfg.id = base + i;
+          cfg.transaction_bytes = 512;
+          cfg.seed = cfg.id;
+          const auto ins = table.insert(cfg);
+          if (ins.session == nullptr || ins.session->id() != cfg.id) {
+            failed = true;
+            return;
+          }
+          handles.push_back(ins.handle);
+        }
+        for (const auto& h : handles) {
+          server::Session* s = table.get(h);
+          if (s == nullptr || s->id() < base ||
+              s->id() >= base + kIdsPerWorker || !table.erase(h)) {
+            failed = true;
+            return;
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : workers) t.join();
+
+  EXPECT_FALSE(failed.load());
+  EXPECT_EQ(table.size(), 0u);
+  // Peak is at least one worker's full wave and at most everyone's.
+  EXPECT_GE(table.peak_size(), kIdsPerWorker);
+  EXPECT_LE(table.peak_size(), kWorkers * kIdsPerWorker);
+}
+
+// Resume mode (the million-session regime, docs/server.md): the abbreviated
+// handshake path must honor the same thread-invariance contract as the full
+// one, and the structural memory_per_session figure is a build constant.
+TEST(ServerDeterminism, ResumeModeIsThreadCountInvariant) {
+  auto scenario = small_mix(8181, 48, 0.9);
+  scenario.resume_sessions = true;
+  const auto base = run_with_threads(1, scenario);
+  EXPECT_EQ(base.completed, base.admitted);
+  EXPECT_GT(base.completed, 0u);
+  EXPECT_EQ(base.memory_per_session, server::SessionTable::bytes_per_session());
+  for (unsigned threads : {2u, 8u}) {
+    const auto rep = run_with_threads(threads, scenario);
+    expect_same_deterministic_metrics(base, rep, "resume thread sweep");
+    EXPECT_EQ(rep.memory_per_session, base.memory_per_session);
+  }
+}
+
+// Record a resume-mode run, replay it at other thread counts: RunReport,
+// shard digests and the full event stream must verify bit-exactly — the
+// scale scenario rides the same wsp-replay-v1 path as everything else.
+TEST(ServerDeterminism, ResumeModeRecordReplayRoundTrip) {
+  auto scenario = small_mix(9292, 40, 1.1);
+  scenario.resume_sessions = true;
+  server::EngineConfig cfg;
+  cfg.threads = 2;
+  cfg.shards = 4;
+  cfg.queue_capacity = 32;
+  cfg.record_batch = 4;
+
+  const server::RunRecord rec = server::record_run(cfg, scenario);
+  EXPECT_TRUE(rec.scenario.resume_sessions);
+  EXPECT_EQ(rec.report.memory_per_session,
+            server::SessionTable::bytes_per_session());
+  const auto bytes = server::encode_run_record(rec);
+  const server::RunRecord decoded = server::decode_run_record(bytes);
+  EXPECT_TRUE(decoded.scenario.resume_sessions);
+  EXPECT_EQ(decoded.report.memory_per_session, rec.report.memory_per_session);
+
+  for (unsigned threads : {1u, 8u}) {
+    const auto result = server::replay_run(decoded, threads);
+    EXPECT_TRUE(result.ok()) << "threads=" << threads << ": "
+                             << (result.mismatches.empty()
+                                     ? ""
+                                     : result.mismatches.front());
+  }
+}
+
+// Scale soak: a 20k-session slice of the bench `scale` scenario (resumed
+// sessions, RC4 short records, deep pinned-shard rings).  The leak
+// invariant must hold with tens of thousands of live sessions churning
+// through the slab table; this is the designated sanitizer workload for
+// the scale path (tools/ci/sanitize.sh runs the 100k point separately).
+TEST(ServerScaleSoak, TwentyThousandResumedSessionsDoNotLeak) {
+  const auto scenario = bench::scale_scenario(75, 20000);
+  server::EngineConfig cfg = bench::scale_config(4);
+  server::Engine engine(cfg);
+  const auto rep = engine.run(scenario);
+
+  EXPECT_EQ(rep.offered, 20000u);
+  EXPECT_EQ(rep.admitted + rep.dropped, rep.offered);
+  EXPECT_EQ(rep.completed + rep.aborted, rep.admitted) << "session leak";
+  EXPECT_GT(rep.completed, 0u);
+  EXPECT_GT(rep.peak_sessions, 1000u) << "scale run must hold many live sessions";
+  EXPECT_EQ(rep.failed_tasks, 0u);
+  EXPECT_EQ(rep.memory_per_session, server::SessionTable::bytes_per_session());
+
+  // Same scenario, different thread count: deterministic metrics agree.
+  server::EngineConfig cfg2 = cfg;
+  cfg2.threads = 1;
+  const auto rep2 = server::Engine(cfg2).run(scenario);
+  expect_same_deterministic_metrics(rep, rep2, "scale soak rerun");
 }
 
 }  // namespace

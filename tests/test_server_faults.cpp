@@ -125,8 +125,11 @@ TEST(EngineConfigValidation, RejectsDegenerateConfigs) {
     EXPECT_THROW(server::Engine{cfg}, std::invalid_argument);
   };
   server::EngineConfig cfg;
+  // shards = 0 is not degenerate any more: it resolves to the hardware
+  // core count (clamped to [1, 64]).
   cfg.shards = 0;
-  expect_invalid(cfg);
+  EXPECT_GE(server::Engine(cfg).config().shards, 1u);
+  EXPECT_LE(server::Engine(cfg).config().shards, 64u);
   cfg = server::EngineConfig{};
   cfg.queue_capacity = 0;
   expect_invalid(cfg);

@@ -8,6 +8,8 @@
 #      chaos tests drive the sharded session table, batched scheduler and
 #      fault-containment path from multiple worker threads, which is
 #      exactly the surface a data race would hit.
+#   3. A 100k-session `scale` smoke under both sanitizer builds: the slab
+#      arena, lock-free MPSC rings and pump handoff at real volume.
 #
 # Usage: tools/ci/sanitize.sh [build-dir]   (default: build-asan; the TSan
 # build lands next to it with a -tsan suffix)
@@ -30,6 +32,9 @@ export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}"
         --output-on-failure
   ctest -R 'ServerDeterminism|ServerSoak|ServerChaos|TamperRecovery' \
         --output-on-failure
+  # Million-session data-plane primitives (slab arena, MPSC ring, sharded
+  # table) plus the concurrent churn/ring soaks.
+  ctest -R 'Slab\.|MpscRing|ServerTable|ServerScaleSoak' --output-on-failure
 )
 
 # Chaos soak under ASan/UBSan: the full fault mix through the real repair
@@ -43,6 +48,13 @@ export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}"
     > /dev/null
 echo "sanitize.sh: chaos run replayed bit-exactly at a different --threads"
 
+# Scale smoke under ASan/UBSan: 100k resumed sessions through the slab
+# table and MPSC rings, gated on the same leak invariant.  This is the
+# million-session data plane at enough volume for heap bugs to surface.
+"$BUILD_DIR"/bench/bench_server --scenario scale --threads 4 \
+    --outdir "$BUILD_DIR" > /dev/null
+echo "sanitize.sh: 100k-session scale run clean under ASan/UBSan"
+
 # Bench regression gate (docs/benchmarks.md): the server section against
 # the committed baselines.  Sanitizers change wall time, never the cycles
 # metrics, so the gate must pass here too.
@@ -55,7 +67,7 @@ TSAN_DIR="${BUILD_DIR}-tsan"
 cmake -B "$TSAN_DIR" -S "$SRC_DIR" -DWSP_SANITIZE=thread
 cmake --build "$TSAN_DIR" -j "$JOBS" \
       --target test_server test_server_faults test_server_determinism \
-               test_threadpool
+               test_threadpool test_ring_arena bench_server
 export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
 
 (
@@ -63,8 +75,14 @@ export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
   # ServerScheduler includes the fault-containment tests (a poisoned task
   # racing the pump's failure accounting is the interesting interleaving);
   # ServerChaos runs the whole engine under fault injection.
-  ctest -R 'ServerScheduler|ServerEngine|ServerDeterminism|ServerSoak|ServerChaos|ServerSessionFaults|ThreadPool' \
+  ctest -R 'ServerScheduler|ServerEngine|ServerDeterminism|ServerSoak|ServerChaos|ServerSessionFaults|ServerTable|MpscRing|ServerScaleSoak|ThreadPool' \
         --output-on-failure
 )
+
+# Scale smoke under TSan: the lock-free ring push/pop path, the Dekker
+# pump-handoff fence and the table's shard locks at 100k-session volume.
+"$TSAN_DIR"/bench/bench_server --scenario scale --threads 4 \
+    --outdir "$TSAN_DIR" > /dev/null
+echo "sanitize.sh: 100k-session scale run clean under TSan"
 
 echo "sanitize.sh: scheduler/threadpool/chaos tests clean under TSan"
