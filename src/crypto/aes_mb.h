@@ -1,0 +1,57 @@
+// Multi-buffer (lane-interleaved) AES-CBC kernels for the host fast path.
+//
+// CBC is strictly serial *within* one stream, so the only way to widen AES
+// on the host is across independent streams: each lane is one session's
+// record, and the round loop advances all lanes in lockstep so the eight
+// T-table lookups per round per lane overlap in the load pipeline.  The
+// `Lanes` template parameter follows the compile-time-specialization idiom
+// of the AES<KeyLength, Mode> template in SNIPPETS.md: widths 1/2/4/8 are
+// stamped out at compile time and selected at runtime, and a group with
+// fewer live lanes than the width simply shrinks its active prefix (the
+// scalar tail loop degenerates to Lanes == 1).
+//
+// These kernels are bit-identical to aes::encrypt_cbc / aes::decrypt_cbc;
+// tests/test_crypto_batch.cpp holds the differential proof.  They are host
+// acceleration only — the platform-cycle timeline keeps pricing records
+// through calibrated_costs (see docs/server.md).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "aes.h"
+
+namespace wsp::aes_mb {
+
+/// Widest interleave stamped out by the templates below.
+inline constexpr unsigned kMaxLanes = 8;
+
+/// One independent CBC stream.  `chain` is the 16-byte IV on entry and the
+/// running CBC residue on exit (the last ciphertext block), matching the
+/// residue-chaining contract of ssl::SecureChannel.  `blocks == 0` lanes
+/// are legal no-ops; otherwise all pointers must be non-null.  `in` and
+/// `out` may alias exactly (in-place), but must not partially overlap.
+struct CbcLane {
+  const aes::KeySchedule* ks = nullptr;
+  const std::uint8_t* in = nullptr;
+  std::uint8_t* out = nullptr;
+  std::size_t blocks = 0;     ///< whole 16-byte blocks
+  std::uint8_t* chain = nullptr;  ///< 16-byte IV in / residue out
+};
+
+/// Compile-time-width kernels: encrypt/decrypt up to `Lanes` streams in
+/// lockstep.  `n` may be smaller than `Lanes` (ragged group); lanes may use
+/// different keys and key sizes.  Instantiated for Lanes in {1, 2, 4, 8}.
+template <int Lanes>
+void encrypt_cbc(CbcLane* lanes, std::size_t n);
+template <int Lanes>
+void decrypt_cbc(CbcLane* lanes, std::size_t n);
+
+/// Runtime-width entry points: partition `lanes` into groups of
+/// `lane_width` and run each group through the widest matching template.
+/// Throws std::invalid_argument on lane_width == 0 or > kMaxLanes, or on a
+/// lane with blocks > 0 and a null pointer field.
+void encrypt_cbc(CbcLane* lanes, std::size_t n, unsigned lane_width);
+void decrypt_cbc(CbcLane* lanes, std::size_t n, unsigned lane_width);
+
+}  // namespace wsp::aes_mb

@@ -1,0 +1,127 @@
+#include "batch.h"
+
+#include "aes.h"
+#include "aes_mb.h"
+#include "des.h"
+#include "des_mb.h"
+
+namespace wsp::crypto {
+namespace {
+
+void validate_job(const BatchJob& job) {
+  if (job.key == nullptr || job.in == nullptr || job.out == nullptr ||
+      job.chain == nullptr) {
+    throw BatchError(BatchErrorKind::kBadJob, "batch: null field in job");
+  }
+  const std::size_t bs = block_size(job.cipher);
+  if (job.bytes == 0 || job.bytes % bs != 0) {
+    throw BatchError(BatchErrorKind::kBadLength,
+                     "batch: job length is zero or not a block multiple");
+  }
+}
+
+void run_aes(BatchDir dir, const BatchJob* jobs, std::size_t count,
+             unsigned lanes) {
+  std::vector<aes_mb::CbcLane> ls(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    ls[i].ks = static_cast<const aes::KeySchedule*>(jobs[i].key);
+    ls[i].in = jobs[i].in;
+    ls[i].out = jobs[i].out;
+    ls[i].blocks = jobs[i].bytes / 16;
+    ls[i].chain = jobs[i].chain;
+  }
+  if (dir == BatchDir::kEncrypt) {
+    aes_mb::encrypt_cbc(ls.data(), ls.size(), lanes);
+  } else {
+    aes_mb::decrypt_cbc(ls.data(), ls.size(), lanes);
+  }
+}
+
+void run_des(BatchCipher cipher, BatchDir dir, const BatchJob* jobs,
+             std::size_t count, unsigned lanes) {
+  std::vector<des_mb::CbcLane> ls(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    if (cipher == BatchCipher::kTripleDes) {
+      ls[i].ks3 = static_cast<const des::TripleKeySchedule*>(jobs[i].key);
+    } else {
+      ls[i].ks = static_cast<const des::KeySchedule*>(jobs[i].key);
+    }
+    ls[i].in = jobs[i].in;
+    ls[i].out = jobs[i].out;
+    ls[i].blocks = jobs[i].bytes / 8;
+    ls[i].chain = jobs[i].chain;
+  }
+  if (dir == BatchDir::kEncrypt) {
+    des_mb::encrypt_cbc(ls.data(), ls.size(), lanes);
+  } else {
+    des_mb::decrypt_cbc(ls.data(), ls.size(), lanes);
+  }
+}
+
+}  // namespace
+
+std::size_t block_size(BatchCipher cipher) {
+  return cipher == BatchCipher::kAes ? 16 : 8;
+}
+
+void run_batch_group(BatchCipher cipher, BatchDir dir, const BatchJob* jobs,
+                     std::size_t count, unsigned lanes) {
+  if (count == 0) {
+    throw BatchError(BatchErrorKind::kEmptyBatch, "batch: empty group");
+  }
+  if (lanes == 0 || lanes > kMaxBatchLanes) {
+    throw BatchError(BatchErrorKind::kBadLanes,
+                     "batch: lane width must be in [1, 8]");
+  }
+  for (std::size_t i = 0; i < count; ++i) {
+    if (jobs[i].cipher != cipher || jobs[i].dir != dir) {
+      throw BatchError(BatchErrorKind::kMixedCipher,
+                       "batch: mixed cipher/direction in group");
+    }
+    validate_job(jobs[i]);
+  }
+  if (cipher == BatchCipher::kAes) {
+    run_aes(dir, jobs, count, lanes);
+  } else {
+    run_des(cipher, dir, jobs, count, lanes);
+  }
+}
+
+BatchDispatcher::BatchDispatcher(unsigned lanes) : lanes_(lanes) {
+  if (lanes == 0 || lanes > kMaxBatchLanes) {
+    throw BatchError(BatchErrorKind::kBadLanes,
+                     "batch: lane width must be in [1, 8]");
+  }
+}
+
+void BatchDispatcher::submit(const BatchJob& job) {
+  validate_job(job);
+  pending_.push_back(job);
+  ++jobs_submitted_;
+}
+
+void BatchDispatcher::flush() {
+  if (pending_.empty()) return;
+  ++flushes_;
+  // Stable partition by (cipher, dir), preserving submission order inside
+  // each group: deterministic regardless of what the sessions interleaved.
+  std::vector<BatchJob> jobs;
+  jobs.swap(pending_);
+  std::vector<char> used(jobs.size(), 0);
+  std::vector<BatchJob> group;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    if (used[i]) continue;
+    group.clear();
+    const BatchCipher cipher = jobs[i].cipher;
+    const BatchDir dir = jobs[i].dir;
+    for (std::size_t j = i; j < jobs.size(); ++j) {
+      if (!used[j] && jobs[j].cipher == cipher && jobs[j].dir == dir) {
+        group.push_back(jobs[j]);
+        used[j] = 1;
+      }
+    }
+    run_batch_group(cipher, dir, group.data(), group.size(), lanes_);
+  }
+}
+
+}  // namespace wsp::crypto

@@ -1,0 +1,100 @@
+// Cross-session record batching: groups pending CBC jobs by
+// (cipher, direction) and drives the multi-buffer kernels in aes_mb / des_mb.
+//
+// The dispatcher is deliberately dumb and deterministic: submit() only
+// queues, flush() partitions the queue into per-(cipher, direction) groups
+// preserving submission order and hands each group to run_batch_group(),
+// which slices it into lane_width-wide kernel calls.  Each job's `chain`
+// is read and updated exactly as the scalar CBC path would, so a batch of
+// records from N sessions produces byte-identical streams to N scalar
+// calls — the differential harness in tests/test_crypto_batch.cpp is the
+// proof obligation for every change here.
+//
+// Error handling is typed (BatchError with a BatchErrorKind) because the
+// ragged-edge hazards — empty batches, mixed-cipher groups, non-block
+// lengths — are exactly where a batching layer silently corrupts streams
+// (mirrors the PR 7 unchecked-shard-index fix).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+namespace wsp::crypto {
+
+inline constexpr unsigned kMaxBatchLanes = 8;
+
+enum class BatchCipher { kAes, kDes, kTripleDes };
+enum class BatchDir { kEncrypt, kDecrypt };
+
+enum class BatchErrorKind {
+  kEmptyBatch,   ///< run_batch_group() with count == 0
+  kMixedCipher,  ///< a group whose jobs disagree on cipher or direction
+  kBadLength,    ///< job bytes == 0 or not a multiple of the block size
+  kBadLanes,     ///< lane width 0 or > kMaxBatchLanes
+  kBadJob,       ///< null key/in/out/chain on a job
+};
+
+class BatchError : public std::runtime_error {
+ public:
+  BatchError(BatchErrorKind kind, const char* what)
+      : std::runtime_error(what), kind_(kind) {}
+  BatchErrorKind kind() const { return kind_; }
+
+ private:
+  BatchErrorKind kind_;
+};
+
+/// One pending CBC operation.  `key` points at the cipher's cached key
+/// schedule: aes::KeySchedule for kAes, des::KeySchedule for kDes,
+/// des::TripleKeySchedule for kTripleDes.  `chain` is the caller's live
+/// IV/residue buffer (16 bytes for AES, 8 for DES/3DES), updated in place.
+struct BatchJob {
+  BatchCipher cipher = BatchCipher::kAes;
+  BatchDir dir = BatchDir::kEncrypt;
+  const void* key = nullptr;
+  const std::uint8_t* in = nullptr;
+  std::uint8_t* out = nullptr;
+  std::size_t bytes = 0;
+  std::uint8_t* chain = nullptr;
+};
+
+/// CBC block size for a cipher (16 for AES, 8 for DES/3DES).
+std::size_t block_size(BatchCipher cipher);
+
+/// Runs one homogeneous group through the multi-buffer kernels.  Every job
+/// must share (cipher, dir); throws BatchError on an empty group, a mixed
+/// group, a bad length, a bad lane width, or null job fields.
+void run_batch_group(BatchCipher cipher, BatchDir dir, const BatchJob* jobs,
+                     std::size_t count, unsigned lanes);
+
+/// Order-preserving grouping front end for the server data plane.
+class BatchDispatcher {
+ public:
+  explicit BatchDispatcher(unsigned lanes = 1);
+
+  unsigned lanes() const { return lanes_; }
+
+  /// Validates and queues one job (throws BatchError, leaves state clean).
+  void submit(const BatchJob& job);
+
+  std::size_t pending() const { return pending_.size(); }
+
+  /// Drains the queue: partitions by (cipher, dir) in submission order and
+  /// runs each group.  No-op when empty.
+  void flush();
+
+  // Host-side statistics (never part of the deterministic RunReport
+  // fields; surfaced next to wall-time metrics).
+  std::uint64_t jobs_submitted() const { return jobs_submitted_; }
+  std::uint64_t flushes() const { return flushes_; }
+
+ private:
+  unsigned lanes_;
+  std::vector<BatchJob> pending_;
+  std::uint64_t jobs_submitted_ = 0;
+  std::uint64_t flushes_ = 0;
+};
+
+}  // namespace wsp::crypto

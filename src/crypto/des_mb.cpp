@@ -1,0 +1,294 @@
+// Lane-interleaved DES/3DES-CBC.
+//
+// Fast E expansion: with ro = rotr32(R, 1), the eight 6-bit E groups are
+// consecutive windows of ro — group i (0..6) is (ro >> (26 - 4i)) & 0x3f
+// and group 7 wraps as ((ro & 0xF) << 2) | (ro >> 30).  Subkeys are
+// pre-split into eight 6-bit chunks per round so the round body is eight
+// shift/xor/lookup chains with no 48-bit permute.
+//
+// IP/FP: a bit permutation is linear over OR of disjoint-support inputs,
+// so tab[p][v] = perm(uint64(v) << (56 - 8p)) gives an 8x256 scatter
+// table whose per-byte OR reproduces the exact des.cpp permutation.
+//
+// 3DES fusion: encrypt = FP.R16(k3).IP . FP.R16rev(k2).IP . FP.R16(k1).IP
+// where the crypt core's pre-output swaps halves; the interior FP.IP pairs
+// cancel, leaving IP, three 16-round stages with swap(l, r) between them,
+// pre-output swap, FP.
+#include "des_mb.h"
+
+#include <algorithm>
+#include <array>
+#include <stdexcept>
+#include <vector>
+
+namespace wsp::des_mb {
+namespace {
+
+using des::KeySchedule;
+using des::TripleKeySchedule;
+
+struct PermTabs {
+  std::uint64_t ip[8][256];
+  std::uint64_t fp[8][256];
+};
+
+const PermTabs& perm_tabs() {
+  static const PermTabs tabs = [] {
+    PermTabs t{};
+    for (int p = 0; p < 8; ++p) {
+      for (int v = 0; v < 256; ++v) {
+        const std::uint64_t x = std::uint64_t(v) << (56 - 8 * p);
+        t.ip[p][v] = des::initial_permutation(x);
+        t.fp[p][v] = des::final_permutation(x);
+      }
+    }
+    return t;
+  }();
+  return tabs;
+}
+
+std::uint64_t apply_tab(const std::uint64_t (*tab)[256], std::uint64_t v) {
+  return tab[0][(v >> 56) & 0xff] | tab[1][(v >> 48) & 0xff] |
+         tab[2][(v >> 40) & 0xff] | tab[3][(v >> 32) & 0xff] |
+         tab[4][(v >> 24) & 0xff] | tab[5][(v >> 16) & 0xff] |
+         tab[6][(v >> 8) & 0xff] | tab[7][v & 0xff];
+}
+
+struct SpTabs {
+  const std::uint32_t* sp[8];
+};
+
+const SpTabs& sp_tabs() {
+  static const SpTabs tabs = [] {
+    SpTabs t{};
+    for (int i = 0; i < 8; ++i) t.sp[i] = des::sp_table(i).data();
+    return t;
+  }();
+  return tabs;
+}
+
+inline std::uint32_t feistel_fast(std::uint32_t r, const std::uint8_t k[8],
+                                  const SpTabs& t) {
+  const std::uint32_t ro = (r >> 1) | (r << 31);
+  return t.sp[0][((ro >> 26) & 0x3f) ^ k[0]] ^
+         t.sp[1][((ro >> 22) & 0x3f) ^ k[1]] ^
+         t.sp[2][((ro >> 18) & 0x3f) ^ k[2]] ^
+         t.sp[3][((ro >> 14) & 0x3f) ^ k[3]] ^
+         t.sp[4][((ro >> 10) & 0x3f) ^ k[4]] ^
+         t.sp[5][((ro >> 6) & 0x3f) ^ k[5]] ^
+         t.sp[6][((ro >> 2) & 0x3f) ^ k[6]] ^
+         t.sp[7][((((ro & 0xFu) << 2) | (ro >> 30)) & 0x3f) ^ k[7]];
+}
+
+// Flatten one 16-round stage into 6-bit subkey chunks, optionally in
+// reverse round order (the decrypt direction).
+void flatten_stage(const KeySchedule& ks, bool reverse,
+                   std::uint8_t out[][8]) {
+  for (int r = 0; r < 16; ++r) {
+    const std::uint64_t k48 = ks.k48[reverse ? 15 - r : r];
+    for (int i = 0; i < 8; ++i) {
+      out[r][i] = std::uint8_t((k48 >> (42 - 6 * i)) & 0x3f);
+    }
+  }
+}
+
+template <int Lanes>
+struct Group {
+  std::uint8_t kcbuf[Lanes][48][8];
+  const std::uint8_t (*kc[Lanes])[8];
+  const std::uint8_t* in[Lanes];
+  std::uint8_t* out[Lanes];
+  std::uint8_t* chain[Lanes];
+  std::size_t rem[Lanes];
+  std::uint64_t c[Lanes];
+  int active = 0;
+
+  void add(const CbcLane& l, bool encrypt, bool triple) {
+    const int j = active;
+    if (triple) {
+      const TripleKeySchedule& t3 = *l.ks3;
+      if (encrypt) {
+        flatten_stage(t3.k1, false, kcbuf[j] + 0);
+        flatten_stage(t3.k2, true, kcbuf[j] + 16);
+        flatten_stage(t3.k3, false, kcbuf[j] + 32);
+      } else {
+        flatten_stage(t3.k3, true, kcbuf[j] + 0);
+        flatten_stage(t3.k2, false, kcbuf[j] + 16);
+        flatten_stage(t3.k1, true, kcbuf[j] + 32);
+      }
+    } else {
+      flatten_stage(*l.ks, !encrypt, kcbuf[j] + 0);
+    }
+    kc[j] = kcbuf[j];
+    in[j] = l.in;
+    out[j] = l.out;
+    chain[j] = l.chain;
+    rem[j] = l.blocks;
+    c[j] = des::load_be64(l.chain);
+    ++active;
+  }
+
+  void compact() {
+    for (int j = active - 1; j >= 0; --j) {
+      if (rem[j] != 0) continue;
+      des::store_be64(c[j], chain[j]);
+      const int last = active - 1;
+      if (j != last) {
+        kc[j] = kc[last];
+        in[j] = in[last];
+        out[j] = out[last];
+        chain[j] = chain[last];
+        rem[j] = rem[last];
+        c[j] = c[last];
+      }
+      --active;
+    }
+  }
+};
+
+// One lockstep CBC pass over a group; all lanes share the stage count
+// (1 for DES, 3 for 3DES) so the swap points are uniform.
+template <int Lanes>
+void crypt_group(Group<Lanes>& g, int stages, bool encrypt) {
+  const PermTabs& pt = perm_tabs();
+  const SpTabs& sp = sp_tabs();
+  std::uint32_t l[Lanes], r[Lanes];
+  std::uint64_t x[Lanes];
+  while (g.active > 0) {
+    const int a = g.active;
+    for (int j = 0; j < a; ++j) {
+      std::uint64_t b = des::load_be64(g.in[j]);
+      if (encrypt) b ^= g.c[j];  // CBC xor before the cipher
+      x[j] = b;                  // decrypt keeps the raw ciphertext for chaining
+      const std::uint64_t ip = apply_tab(pt.ip, encrypt ? b : x[j]);
+      l[j] = std::uint32_t(ip >> 32);
+      r[j] = std::uint32_t(ip);
+    }
+    for (int s = 0; s < stages; ++s) {
+      const int base = 16 * s;
+      for (int round = 0; round < 16; ++round) {
+        for (int j = 0; j < a; ++j) {
+          const std::uint32_t nl = r[j];
+          r[j] = l[j] ^ feistel_fast(r[j], g.kc[j][base + round], sp);
+          l[j] = nl;
+        }
+      }
+      if (s + 1 < stages) {
+        for (int j = 0; j < a; ++j) std::swap(l[j], r[j]);
+      }
+    }
+    for (int j = 0; j < a; ++j) {
+      const std::uint64_t preout = (std::uint64_t(r[j]) << 32) | l[j];
+      std::uint64_t y = apply_tab(pt.fp, preout);
+      if (encrypt) {
+        g.c[j] = y;  // residue = ciphertext just produced
+      } else {
+        y ^= g.c[j];   // CBC xor after the cipher
+        g.c[j] = x[j];  // residue = ciphertext just consumed
+      }
+      des::store_be64(y, g.out[j]);
+      g.in[j] += 8;
+      g.out[j] += 8;
+      --g.rem[j];
+    }
+    g.compact();
+  }
+}
+
+// Partition a group's lanes into single-DES and 3DES runs (the stage count
+// must be uniform inside one lockstep group).
+template <int Lanes>
+void run_partitioned(CbcLane* lanes, std::size_t n, bool encrypt) {
+  for (int triple = 0; triple < 2; ++triple) {
+    Group<Lanes> g;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (lanes[i].blocks == 0) continue;
+      const bool is_triple = lanes[i].ks3 != nullptr;
+      if (is_triple != (triple != 0)) continue;
+      g.add(lanes[i], encrypt, is_triple);
+      if (g.active == Lanes) {
+        crypt_group<Lanes>(g, triple ? 3 : 1, encrypt);
+        g.active = 0;
+      }
+    }
+    if (g.active > 0) crypt_group<Lanes>(g, triple ? 3 : 1, encrypt);
+  }
+}
+
+void validate(const CbcLane* lanes, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const CbcLane& l = lanes[i];
+    if (l.blocks == 0) continue;
+    if ((l.ks == nullptr && l.ks3 == nullptr) || l.in == nullptr ||
+        l.out == nullptr || l.chain == nullptr) {
+      throw std::invalid_argument("des_mb: null field in live lane");
+    }
+  }
+}
+
+void dispatch_width(CbcLane* lanes, std::size_t n, unsigned lane_width,
+                    bool encrypt) {
+  if (lane_width == 0 || lane_width > kMaxLanes) {
+    throw std::invalid_argument("des_mb: lane_width must be in [1, 8]");
+  }
+  validate(lanes, n);
+  if (n == 0) return;
+  std::vector<CbcLane> work(lanes, lanes + n);
+  std::sort(work.begin(), work.end(), [](const CbcLane& a, const CbcLane& b) {
+    return a.blocks > b.blocks;
+  });
+  for (std::size_t off = 0; off < work.size(); off += lane_width) {
+    const std::size_t cnt = std::min<std::size_t>(lane_width, work.size() - off);
+    CbcLane* grp = work.data() + off;
+    if (lane_width <= 1) {
+      run_partitioned<1>(grp, cnt, encrypt);
+    } else if (lane_width <= 2) {
+      run_partitioned<2>(grp, cnt, encrypt);
+    } else if (lane_width <= 4) {
+      run_partitioned<4>(grp, cnt, encrypt);
+    } else {
+      run_partitioned<8>(grp, cnt, encrypt);
+    }
+  }
+}
+
+}  // namespace
+
+template <int Lanes>
+void encrypt_cbc(CbcLane* lanes, std::size_t n) {
+  while (n > std::size_t(Lanes)) {
+    run_partitioned<Lanes>(lanes, std::size_t(Lanes), true);
+    lanes += Lanes;
+    n -= Lanes;
+  }
+  run_partitioned<Lanes>(lanes, n, true);
+}
+
+template <int Lanes>
+void decrypt_cbc(CbcLane* lanes, std::size_t n) {
+  while (n > std::size_t(Lanes)) {
+    run_partitioned<Lanes>(lanes, std::size_t(Lanes), false);
+    lanes += Lanes;
+    n -= Lanes;
+  }
+  run_partitioned<Lanes>(lanes, n, false);
+}
+
+template void encrypt_cbc<1>(CbcLane*, std::size_t);
+template void encrypt_cbc<2>(CbcLane*, std::size_t);
+template void encrypt_cbc<4>(CbcLane*, std::size_t);
+template void encrypt_cbc<8>(CbcLane*, std::size_t);
+template void decrypt_cbc<1>(CbcLane*, std::size_t);
+template void decrypt_cbc<2>(CbcLane*, std::size_t);
+template void decrypt_cbc<4>(CbcLane*, std::size_t);
+template void decrypt_cbc<8>(CbcLane*, std::size_t);
+
+void encrypt_cbc(CbcLane* lanes, std::size_t n, unsigned lane_width) {
+  dispatch_width(lanes, n, lane_width, true);
+}
+
+void decrypt_cbc(CbcLane* lanes, std::size_t n, unsigned lane_width) {
+  dispatch_width(lanes, n, lane_width, false);
+}
+
+}  // namespace wsp::des_mb

@@ -1,11 +1,14 @@
 #include "server/engine.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <deque>
+#include <optional>
 #include <string>
 #include <thread>
 
+#include "crypto/batch.h"
 #include "server/session_table.h"
 #include "support/trace.h"
 
@@ -146,6 +149,10 @@ Engine::Engine(const EngineConfig& config) : config_(config) {
     throw std::invalid_argument(
         "server: EngineConfig.rsa_bits must be >= 512");
   }
+  if (config_.batch_lanes < 1 || config_.batch_lanes > crypto::kMaxBatchLanes) {
+    throw std::invalid_argument(
+        "server: EngineConfig.batch_lanes must be in [1, 8]");
+  }
   config_.faults.validate();
   config_.threads = std::max(1u, config_.threads);
 }
@@ -183,10 +190,16 @@ RunReport Engine::run(const TrafficScenario& scenario) {
   const FaultPlan plan(config_.faults, scenario.seed);
 
   // Real execution: one server key per run (the server's identity), worker
-  // pool, bounded scheduler, sharded connection table.
-  Rng key_rng(scenario.seed ^ 0xC3A5C85C97CB3127ULL);
-  const rsa::PrivateKey server_key =
-      rsa::generate_key(config_.rsa_bits, key_rng);
+  // pool, bounded scheduler, sharded connection table.  Resumed scenarios
+  // never touch the key (no RSA exchange happens), so skip the generation —
+  // at 512 bits it otherwise dominates the wall time of small resumed runs.
+  std::optional<rsa::PrivateKey> server_key_storage;
+  if (!resume) {
+    Rng key_rng(scenario.seed ^ 0xC3A5C85C97CB3127ULL);
+    server_key_storage = rsa::generate_key(config_.rsa_bits, key_rng);
+  }
+  const rsa::PrivateKey* server_key =
+      server_key_storage ? &*server_key_storage : nullptr;
   ThreadPool pool(config_.threads);
   SessionTable table(shards);
   RecordScheduler sched(pool, shards, config_.queue_capacity,
@@ -218,6 +231,162 @@ RunReport Engine::run(const TrafficScenario& scenario) {
   std::vector<double> latencies;
   bool degraded = false;
   const unsigned hs_budget = config_.faults.handshake_retry_budget;
+
+  // Shared by the scalar closure and the batched cohorts: the handshake
+  // retry ladder (returns true when the session aborted instead of
+  // establishing) and the slot/table finalization every session gets
+  // exactly once.  Both are called from worker threads; `table` is sharded
+  // and a shard's sessions are pumped FIFO on one worker (scheduler.h).
+  auto establish = [server_key, hs_budget, resume](Session* session) -> bool {
+    for (unsigned attempt = 0;; ++attempt) {
+      try {
+        if (resume) {
+          // Abbreviated handshake: no key exchange, no modexp engines.
+          session->resume();
+        } else {
+          ModexpEngine client_engine{ModexpConfig{}};
+          ModexpConfig server_cfg;  // the explored-optimal configuration
+          server_cfg.mul = MulAlgo::kMontCIOS;
+          server_cfg.window_bits = 5;
+          server_cfg.crt = CrtMode::kGarner;
+          server_cfg.caching = Caching::kFull;
+          ModexpEngine server_engine(server_cfg);
+          session->handshake(*server_key, client_engine, server_engine);
+        }
+        return false;
+      } catch (const SessionError& e) {
+        if (e.kind() != SessionErrorKind::kHandshakeFailed ||
+            attempt >= hs_budget) {
+          session->abort();
+          return true;
+        }
+        // Retry; the matching exponential backoff is priced on the
+        // virtual timeline by modeled_service().
+      }
+    }
+  };
+  auto finalize = [&table](Session* session, SessionHandle handle, Slot* slot,
+                           bool aborted) {
+    slot->wire_bytes = session->wire_bytes();
+    slot->records = session->records();
+    const std::uint32_t attempts = session->handshake_attempts();
+    slot->retries = session->retries() + (attempts > 0 ? attempts - 1 : 0);
+    slot->repairs = session->repairs();
+    slot->faults = session->faults_seen();
+    slot->aborted = aborted;
+    table.erase(handle);
+  };
+
+  // Batched data plane (batch_lanes > 1): sessions are collected into
+  // per-shard cohorts and drained three-phase — every member stages one
+  // record's seal, one dispatcher flush runs the cipher passes
+  // lane-interleaved, then the opens, then verification — so the kernels
+  // see `batch_lanes` records from distinct sessions side by side.  All
+  // per-session state advances in the same order pump() uses, so the
+  // deterministic report is bit-identical to the scalar plane.
+  struct CohortMember {
+    Slot* slot;
+    Session* session;
+    SessionHandle handle;
+  };
+  const unsigned lanes = config_.batch_lanes;
+  const std::size_t cohort_cap =
+      std::max<std::size_t>(lanes, config_.record_batch);
+  std::vector<std::vector<CohortMember>> cohort_staging(lanes > 1 ? shards : 0);
+  std::atomic<std::uint64_t> batched_records{0};
+  std::atomic<std::uint64_t> batch_flushes{0};
+  auto run_cohort = [&establish, &finalize, lanes, &batched_records,
+                     &batch_flushes](std::vector<CohortMember>& members) {
+    crypto::BatchDispatcher dispatcher(lanes);
+    struct Active {
+      CohortMember m;
+      Session::Staged st;
+      bool finished = false;  ///< transaction complete, teardown pending
+      bool dead = false;      ///< aborted mid-stream
+    };
+    std::vector<Active> live;
+    live.reserve(members.size());
+    for (CohortMember& m : members) {
+      bool aborted;
+      try {
+        aborted = establish(m.session);
+      } catch (...) {
+        m.session->abort();
+        aborted = true;
+      }
+      if (aborted) {
+        finalize(m.session, m.handle, m.slot, /*aborted=*/true);
+      } else {
+        live.push_back(Active{m, Session::Staged{}, false, false});
+      }
+    }
+    try {
+      while (!live.empty()) {
+        // Phase 1: stage every member's next seal, then run the encrypt
+        // passes in one batched flush.
+        for (Active& a : live) {
+          try {
+            if (!a.m.session->stage_seal(a.st, dispatcher)) a.finished = true;
+          } catch (...) {
+            a.m.session->abort();
+            a.dead = true;
+          }
+        }
+        dispatcher.flush();
+        // Phase 2: complete seals, tamper/account, stage the opens.
+        for (Active& a : live) {
+          if (a.finished || a.dead) continue;
+          try {
+            a.m.session->stage_open(a.st, dispatcher);
+          } catch (...) {
+            a.m.session->abort();
+            a.dead = true;
+          }
+        }
+        dispatcher.flush();
+        // Phase 3: verify; failures run the scalar repair ladder, which
+        // throws SessionError(kAborted) when exhausted — same as pump().
+        for (Active& a : live) {
+          if (a.finished || a.dead) continue;
+          try {
+            a.m.session->finish_staged(a.st);
+          } catch (...) {
+            a.m.session->abort();
+            a.dead = true;
+          }
+        }
+        // Retire finished and dead members; the rest stage another record.
+        std::size_t w = 0;
+        for (Active& a : live) {
+          if (a.finished) {
+            try {
+              a.m.session->teardown();
+              a.m.slot->completed = true;
+              finalize(a.m.session, a.m.handle, a.m.slot, /*aborted=*/false);
+            } catch (...) {
+              a.m.session->abort();
+              finalize(a.m.session, a.m.handle, a.m.slot, /*aborted=*/true);
+            }
+          } else if (a.dead) {
+            finalize(a.m.session, a.m.handle, a.m.slot, /*aborted=*/true);
+          } else {
+            live[w++] = std::move(a);
+          }
+        }
+        live.resize(w);
+      }
+    } catch (...) {
+      // A dispatcher-level failure (never expected for well-formed jobs):
+      // preserve the leak invariant — every admitted session finalizes.
+      for (Active& a : live) {
+        a.m.session->abort();
+        finalize(a.m.session, a.m.handle, a.m.slot, /*aborted=*/true);
+      }
+    }
+    batched_records.fetch_add(dispatcher.jobs_submitted(),
+                              std::memory_order_relaxed);
+    batch_flushes.fetch_add(dispatcher.flushes(), std::memory_order_relaxed);
+  };
 
   while (auto arrival = gen.next()) {
     ++rep.offered;
@@ -306,6 +475,19 @@ RunReport Engine::run(const TrafficScenario& scenario) {
     WSP_TRACE_COUNTER("server", "live_sessions",
                       static_cast<double>(table.size()));
 
+    if (lanes > 1) {
+      // Batched plane: collect into the shard's cohort; a full cohort
+      // becomes one scheduler task draining all its members three-phase.
+      cohort_staging[shard].push_back(CohortMember{slot, session, handle});
+      if (cohort_staging[shard].size() >= cohort_cap) {
+        auto members = std::make_shared<std::vector<CohortMember>>(
+            std::move(cohort_staging[shard]));
+        cohort_staging[shard].clear();
+        sched.push(shard, [members, &run_cohort] { run_cohort(*members); });
+      }
+      continue;
+    }
+
     // Sessions admitted while degraded run at half the record batch: finer
     // quanta interleave shard work and cap how long one session can hold
     // the pump.  Decided here, on the virtual timeline, so it is
@@ -313,37 +495,10 @@ RunReport Engine::run(const TrafficScenario& scenario) {
     const std::size_t batch =
         degraded ? std::max<std::size_t>(1, config_.record_batch / 2)
                  : config_.record_batch;
-    sched.push(shard, [slot, session, handle, &table, &server_key, batch,
-                       hs_budget, resume] {
+    sched.push(shard, [slot, session, handle, batch, &establish, &finalize] {
       bool aborted = false;
       try {
-        for (unsigned attempt = 0;; ++attempt) {
-          try {
-            if (resume) {
-              // Abbreviated handshake: no key exchange, no modexp engines.
-              session->resume();
-            } else {
-              ModexpEngine client_engine{ModexpConfig{}};
-              ModexpConfig server_cfg;  // the explored-optimal configuration
-              server_cfg.mul = MulAlgo::kMontCIOS;
-              server_cfg.window_bits = 5;
-              server_cfg.crt = CrtMode::kGarner;
-              server_cfg.caching = Caching::kFull;
-              ModexpEngine server_engine(server_cfg);
-              session->handshake(server_key, client_engine, server_engine);
-            }
-            break;
-          } catch (const SessionError& e) {
-            if (e.kind() != SessionErrorKind::kHandshakeFailed ||
-                attempt >= hs_budget) {
-              session->abort();
-              aborted = true;
-              break;
-            }
-            // Retry; the matching exponential backoff is priced on the
-            // virtual timeline by modeled_service().
-          }
-        }
+        aborted = establish(session);
         if (!aborted) {
           while (!session->finished()) session->pump(batch);
           session->teardown();
@@ -356,15 +511,16 @@ RunReport Engine::run(const TrafficScenario& scenario) {
         session->abort();
         aborted = true;
       }
-      slot->wire_bytes = session->wire_bytes();
-      slot->records = session->records();
-      const std::uint32_t attempts = session->handshake_attempts();
-      slot->retries = session->retries() + (attempts > 0 ? attempts - 1 : 0);
-      slot->repairs = session->repairs();
-      slot->faults = session->faults_seen();
-      slot->aborted = aborted;
-      table.erase(handle);
+      finalize(session, handle, slot, aborted);
     });
+  }
+
+  // Flush the partial cohorts the arrival stream left behind.
+  for (unsigned s = 0; s < static_cast<unsigned>(cohort_staging.size()); ++s) {
+    if (cohort_staging[s].empty()) continue;
+    auto members = std::make_shared<std::vector<CohortMember>>(
+        std::move(cohort_staging[s]));
+    sched.push(s, [members, &run_cohort] { run_cohort(*members); });
   }
 
   sched.drain();
@@ -439,6 +595,9 @@ RunReport Engine::run(const TrafficScenario& scenario) {
     rep.equivalent_speedup =
         rep.platform_cycles_base / rep.platform_cycles_optimized;
   }
+  rep.batched_records = batched_records.load(std::memory_order_relaxed);
+  rep.batch_flushes = batch_flushes.load(std::memory_order_relaxed);
+  rep.batch_lanes = config_.batch_lanes;
   rep.wall_ns = static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - t0)
           .count());

@@ -76,6 +76,14 @@ struct EngineConfig {
   /// Exit is at degrade_depth / 2 (hysteresis, so the mode cannot flap on
   /// every arrival).
   std::size_t degrade_depth = 0;
+  /// Lane width of the batched record data plane (1..8, validated).  At 1
+  /// (the default) every session runs the classic scalar pump.  Above 1,
+  /// each shard drains its sessions in cohorts: record seals and opens from
+  /// many sessions are staged onto one crypto::BatchDispatcher and executed
+  /// by the multi-buffer CBC kernels, `batch_lanes` records side by side.
+  /// A purely host-side knob: every deterministic RunReport field and the
+  /// replay event digests are bit-identical for any value (docs/server.md).
+  unsigned batch_lanes = 1;
   /// Fill RunReport.events with the per-session outcome stream (arrival
   /// order).  Off by default: the record/replay layer (server/record.h)
   /// turns it on; large-scale benches leave it off to avoid the per-session
@@ -168,6 +176,11 @@ struct RunReport {
   std::uint64_t failed_tasks = 0;  ///< scheduler-contained raw task failures
   std::size_t peak_real_depth = 0;
   unsigned threads = 1;
+  /// Batched data-plane execution stats (host-side: which path the cipher
+  /// passes actually took; zero when batch_lanes == 1).
+  std::uint64_t batched_records = 0;  ///< cipher jobs run through dispatchers
+  std::uint64_t batch_flushes = 0;    ///< dispatcher flushes across cohorts
+  unsigned batch_lanes = 1;           ///< echo of EngineConfig.batch_lanes
 };
 
 class Engine {

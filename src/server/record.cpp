@@ -101,6 +101,11 @@ std::vector<std::uint8_t> encode_config(const EngineConfig& cfg) {
   put_varint(p, cfg.faults.handshake_retry_budget);
   put_double(p, cfg.faults.backoff_base_cycles);
   put_double(p, cfg.faults.backoff_cap_cycles);
+  // Appended after v1's last field; decoders treat absence as 1 (scalar
+  // plane), so pre-existing records stay readable.  Recorded so a replay
+  // re-executes on the plane the original run used — the report must match
+  // either way, but faithful re-execution is the point of the record.
+  put_varint(p, cfg.batch_lanes);
   return p;
 }
 
@@ -122,6 +127,7 @@ EngineConfig decode_config(const std::vector<std::uint8_t>& payload) {
   cfg.faults.handshake_retry_budget = static_cast<unsigned>(c.varint());
   cfg.faults.backoff_base_cycles = c.f64();
   cfg.faults.backoff_cap_cycles = c.f64();
+  if (!c.done()) cfg.batch_lanes = static_cast<unsigned>(c.varint());
   return cfg;
 }
 

@@ -10,6 +10,9 @@
 #      exactly the surface a data race would hit.
 #   3. A 100k-session `scale` smoke under both sanitizer builds: the slab
 #      arena, lock-free MPSC rings and pump handoff at real volume.
+#   4. Batched data-plane smokes: the chaos scenario at --batch-lanes 8
+#      under both builds (multi-buffer kernels + cohort staging + repair
+#      fallback), plus the lanes-invariance tests in ServerBatchDeterminism.
 #
 # Usage: tools/ci/sanitize.sh [build-dir]   (default: build-asan; the TSan
 # build lands next to it with a -tsan suffix)
@@ -30,7 +33,7 @@ export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}"
   ctest -L tier1 --output-on-failure
   ctest -R 'Trace|TraceJson|Json\.|BenchFlags|BenchJson|BenchServerSchema|BenchGate' \
         --output-on-failure
-  ctest -R 'ServerDeterminism|ServerSoak|ServerChaos|TamperRecovery' \
+  ctest -R 'ServerDeterminism|ServerSoak|ServerChaos|ServerBatch|TamperRecovery' \
         --output-on-failure
   # Million-session data-plane primitives (slab arena, MPSC ring, sharded
   # table) plus the concurrent churn/ring soaks.
@@ -55,6 +58,13 @@ echo "sanitize.sh: chaos run replayed bit-exactly at a different --threads"
     --outdir "$BUILD_DIR" > /dev/null
 echo "sanitize.sh: 100k-session scale run clean under ASan/UBSan"
 
+# Batched-plane chaos smoke under ASan/UBSan: cohort staging, the
+# multi-buffer CBC kernels and the batched->scalar repair fallback, with
+# lane-crossing pointer bugs exactly what ASan would catch.
+"$BUILD_DIR"/bench/bench_server --scenario chaos --threads 4 --batch-lanes 8 \
+    --outdir "$BUILD_DIR" > /dev/null
+echo "sanitize.sh: chaos run at --batch-lanes 8 clean under ASan/UBSan"
+
 # Bench regression gate (docs/benchmarks.md): the server section against
 # the committed baselines.  Sanitizers change wall time, never the cycles
 # metrics, so the gate must pass here too.
@@ -75,7 +85,7 @@ export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
   # ServerScheduler includes the fault-containment tests (a poisoned task
   # racing the pump's failure accounting is the interesting interleaving);
   # ServerChaos runs the whole engine under fault injection.
-  ctest -R 'ServerScheduler|ServerEngine|ServerDeterminism|ServerSoak|ServerChaos|ServerSessionFaults|ServerTable|MpscRing|ServerScaleSoak|ThreadPool' \
+  ctest -R 'ServerScheduler|ServerEngine|ServerDeterminism|ServerSoak|ServerChaos|ServerBatch|ServerSessionFaults|ServerTable|MpscRing|ServerScaleSoak|ThreadPool' \
         --output-on-failure
 )
 
@@ -84,5 +94,12 @@ export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
 "$TSAN_DIR"/bench/bench_server --scenario scale --threads 4 \
     --outdir "$TSAN_DIR" > /dev/null
 echo "sanitize.sh: 100k-session scale run clean under TSan"
+
+# Batched-plane chaos smoke under TSan: per-shard cohorts on concurrent
+# workers, each with a private dispatcher — the cross-thread surface is the
+# scheduler handoff plus the engine's batched_records accumulation.
+"$TSAN_DIR"/bench/bench_server --scenario chaos --threads 4 --batch-lanes 8 \
+    --outdir "$TSAN_DIR" > /dev/null
+echo "sanitize.sh: chaos run at --batch-lanes 8 clean under TSan"
 
 echo "sanitize.sh: scheduler/threadpool/chaos tests clean under TSan"
