@@ -22,7 +22,8 @@
 //
 // Flags:
 //   --outdir DIR       where to write BENCH_*.json (default ".")
-//   --only NAME        run a single section (fig1|table1|fig4|fig5|fig6|fig8|server)
+//   --only NAME        run a single section
+//                      (fig1|table1|fig4|fig5|fig6|fig8|server|scenario)
 //   --with-explore     also run the Sec. 4.3 sweep (adds ~30 s)
 //   --threads N        worker threads for the explore sweep
 //   --trace FILE       write a Chrome-trace of this run
@@ -36,6 +37,7 @@
 
 #include "bench_util.h"
 #include "explore/space.h"
+#include "scenario/compile.h"
 #include "server_section.h"
 #include "server/record.h"
 #include "support/benchdiff.h"
@@ -49,6 +51,7 @@
 #include "select/callgraph.h"
 #include "ssl/workload.h"
 #include "support/random.h"
+#include "support/rss.h"
 #include "support/threadpool.h"
 #include "tie/adcurve.h"
 
@@ -361,6 +364,10 @@ bench::BenchResult run_server() {
     server::Engine engine(bench::scale_config(cfg.threads));
     bench::append_server_metrics(r, "scale/",
                                  engine.run(bench::scale_scenario(75, 100000)));
+    // Actual process RSS next to the modeled memory_per_session: info
+    // direction (host-dependent), 0 when /proc/self/statm is unavailable.
+    r.cycles["scale/rss_mib"] =
+        static_cast<double>(support::resident_set_bytes()) / (1024.0 * 1024.0);
   }
   {
     // Batched data plane (docs/server.md §batching): the same CBC-heavy
@@ -391,6 +398,97 @@ bench::BenchResult run_server() {
                                          static_cast<double>(reps[1].wall_ns);
     r.cycles["batch/host_speedup_8v1"] = static_cast<double>(reps[0].wall_ns) /
                                          static_cast<double>(reps[2].wall_ns);
+  }
+  r.wall_ns = ns_since(t0);
+  r.threads = cfg.threads;
+  return r;
+}
+
+// --- Scenario compiler: .wsp traffic programs (docs/scenarios.md) ----------
+//
+// The sources are embedded so the section is hermetic: --check must gate the
+// compiler + multi-phase engine without depending on repo-relative paths.
+bench::BenchResult run_scenario_section() {
+  WSP_TRACE_SPAN("bench", "scenario");
+  bench::BenchResult r;
+  r.name = "scenario";
+  r.config = {{"seed", "71"}, {"shards", "4"}, {"rsa_bits", "512"}};
+  const auto t0 = Clock::now();
+  server::EngineConfig cfg;
+  cfg.threads = 2;  // metrics are thread-count invariant (docs/server.md)
+  cfg.shards = 4;
+
+  {
+    // Legacy-equivalence gate: a one-phase .wsp spelling of the Fig. 8
+    // steady scenario must produce a report IDENTICAL to the flat code
+    // path — same Rng consumption, same means, same everything.  Gated
+    // exact-zero via */equiv_mismatch.
+    static const char* kFig8Wsp =
+        "scenario \"fig8\" {\n"
+        "  seed 71\n"
+        "  record_bytes 1024\n"
+        "  phase \"steady\" { sessions 64, arrivals open, load 0.6 }\n"
+        "}\n";
+    const auto compiled = scenario::compile(kFig8Wsp, "<fig8>");
+    server::Engine wsp_engine(cfg);
+    const auto wsp_rep = wsp_engine.run(compiled.scenario);
+    server::Engine flat_engine(cfg);
+    const auto flat_rep = flat_engine.run(bench::steady_scenario(71, 64));
+    bench::append_server_metrics(r, "fig8/", wsp_rep);
+    r.cycles["fig8/equiv_mismatch"] =
+        bench::reports_deterministically_equal(wsp_rep, flat_rep) ? 0.0 : 1.0;
+  }
+  {
+    // Multi-phase program under load: calm -> overload spike of resumed
+    // sessions -> fault-overlay storm.  The leak gate (*/leaked, exact
+    // zero) covers phase transitions: a session arriving in one phase and
+    // finishing in the next must not be lost by the closed-out phase.
+    static const char* kFlashWsp =
+        "scenario \"flash\" {\n"
+        "  seed 74\n"
+        "  defaults { arrivals open, mix { aes128: 2, rc4: 1 } }\n"
+        "  phase \"calm\"  { sessions 32, load 0.4, sizes { 4096: 1 } }\n"
+        "  phase \"spike\" { sessions 96, load 3.0, resume 0.75,\n"
+        "                    sizes { 1024: 3, 2048: 1 } }\n"
+        "  phase \"storm\" { sessions 32, load 0.8, resume 0.5,\n"
+        "                    sizes { 4096: 1, 8192: 1 },\n"
+        "                    faults { handshake_failure_rate 0.2,\n"
+        "                             wire_flip_rate 0.02,\n"
+        "                             handshake_retry_budget 3,\n"
+        "                             record_retry_budget 2 } }\n"
+        "}\n";
+    const auto compiled = scenario::compile(kFlashWsp, "<flash>");
+    const server::RunRecord record =
+        server::record_run(cfg, compiled.scenario, compiled.source);
+    bench::append_server_metrics(r, "flash/", record.report);
+    if (!g_replay_trace_dir.empty()) {
+      const std::string path =
+          g_replay_trace_dir + "/REPLAY_scenario_flash.wspr";
+      if (server::write_run_record_file(record, path)) {
+        std::printf(" [replay trace %s]", path.c_str());
+      } else {
+        std::fprintf(stderr, "FAILED to write %s\n", path.c_str());
+      }
+    }
+  }
+  {
+    // Closed-loop population handing over to an open-loop burst: gates the
+    // phase-entry reseeding of the closed-loop heap and the open-clock
+    // monotonicity across models.
+    static const char* kMixedWsp =
+        "scenario \"mixed\" {\n"
+        "  seed 75\n"
+        "  record_bytes 512\n"
+        "  phase \"devices\"  { sessions 24, arrivals closed, users 6,\n"
+        "                       think 50000, mix { rc4: 1 },\n"
+        "                       sizes { 1024: 1 } }\n"
+        "  phase \"browsers\" { sessions 40, arrivals open, load 0.7,\n"
+        "                       resume 0.5, mix { aes128: 1 },\n"
+        "                       sizes { 2048: 1, 8192: 1 } }\n"
+        "}\n";
+    const auto compiled = scenario::compile(kMixedWsp, "<mixed>");
+    server::Engine engine(cfg);
+    bench::append_server_metrics(r, "mixed/", engine.run(compiled.scenario));
   }
   r.wall_ns = ns_since(t0);
   r.threads = cfg.threads;
@@ -482,7 +580,7 @@ int main(int argc, char** argv) {
   const Section sections[] = {
       {"fig1", run_fig1},   {"table1", run_table1}, {"fig4", run_fig4},
       {"fig5", run_fig5},   {"fig6", run_fig6},     {"fig8", run_fig8},
-      {"server", run_server},
+      {"server", run_server}, {"scenario", run_scenario_section},
   };
 
   std::vector<bench::BenchResult> results;

@@ -25,6 +25,10 @@
 //   --outdir DIR    write BENCH_server.json here (default ".")
 //   --record-dir D  also write a wsp-replay-v1 trace per scenario
 //                   (REPLAY_server_<scenario>.wspr; replay with tools/replay)
+//   --scenario-file F  compile and run a .wsp traffic program
+//                   (docs/scenarios.md) under the same engine config;
+//                   metrics appear under wsp/<name>/ and a recording (when
+//                   --record-dir is set) embeds the scenario source
 //   --trace FILE    write a Chrome-trace of this run
 #include <algorithm>
 #include <cstdio>
@@ -34,8 +38,10 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "scenario/compile.h"
 #include "server/record.h"
 #include "server_section.h"
+#include "support/rss.h"
 
 namespace {
 
@@ -118,20 +124,25 @@ int main(int argc, char** argv) {
       bench::parse_string_flag(argc, argv, "--outdir", ".");
   const std::string record_dir =
       bench::parse_string_flag(argc, argv, "--record-dir");
+  const std::string scenario_file =
+      bench::parse_string_flag(argc, argv, "--scenario-file");
   const std::string trace_path = bench::maybe_start_trace(argc, argv);
 
   int record_failures = 0;
   // Runs one scenario, optionally leaving a bit-exact replay trace behind
   // (docs/benchmarks.md): any number printed below can be reproduced from
-  // that one file via tools/replay, at any --threads value.
+  // that one file via tools/replay, at any --threads value.  A non-empty
+  // `source` is the .wsp text the scenario was compiled from; it rides
+  // along in the recording (RecordChunk::kScenarioSource).
   const auto run_scenario = [&](const server::EngineConfig& cfg_in,
                                 const server::TrafficScenario& scenario,
-                                const char* name) {
+                                const char* name,
+                                const std::string& source = {}) {
     if (record_dir.empty()) {
       server::Engine engine(cfg_in);
       return engine.run(scenario);
     }
-    server::RunRecord rec = server::record_run(cfg_in, scenario);
+    server::RunRecord rec = server::record_run(cfg_in, scenario, source);
     const std::string path =
         record_dir + "/REPLAY_server_" + name + ".wspr";
     if (server::write_run_record_file(rec, path)) {
@@ -273,6 +284,19 @@ int main(int argc, char** argv) {
         scfg, bench::scale_scenario(seed + 4, scale_sessions), "scale");
     print_report("scale (resumed sessions, open loop 1.2x)", rep);
     bench::append_server_metrics(result, "scale/", rep);
+    // Actual process RSS next to the modeled memory_per_session: an
+    // info-direction sanity metric (host-dependent, never gated — the
+    // */rss_* benchdiff rule).  0 when /proc/self/statm is unavailable.
+    const double rss_mib =
+        static_cast<double>(support::resident_set_bytes()) / (1024.0 * 1024.0);
+    result.cycles["scale/rss_mib"] = rss_mib;
+    std::printf("  process RSS %.1f MiB vs modeled %.1f MiB structural "
+                "(%llu B/session x %llu sessions)\n",
+                rss_mib,
+                static_cast<double>(rep.memory_per_session) *
+                    static_cast<double>(rep.admitted) / (1024.0 * 1024.0),
+                static_cast<unsigned long long>(rep.memory_per_session),
+                static_cast<unsigned long long>(rep.admitted));
     if (sessions_leaked(rep)) {
       std::fprintf(stderr,
                    "scale scenario leaked sessions: admitted %llu != "
@@ -292,6 +316,36 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "scale sweep (%zu sessions) leaked sessions\n", n);
         return 1;
       }
+    }
+  }
+
+  if (!scenario_file.empty()) {
+    // Compiled .wsp traffic program under the same engine config.  The
+    // leak gate applies like everywhere else; metrics land under
+    // wsp/<name>/ (unmatched in the default baseline, so benchdiff reports
+    // them as info rather than gating).
+    scenario::CompiledScenario compiled;
+    try {
+      compiled = scenario::compile_file(scenario_file);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return 1;
+    }
+    const std::string name =
+        compiled.name.empty() ? std::string("scenario") : compiled.name;
+    const auto rep = run_scenario(cfg, compiled.scenario,
+                                  ("wsp_" + name).c_str(), compiled.source);
+    print_report(("wsp: " + name + " (" + scenario_file + ")").c_str(), rep);
+    bench::append_server_metrics(result, "wsp/" + name + "/", rep);
+    if (sessions_leaked(rep)) {
+      std::fprintf(stderr,
+                   "scenario %s leaked sessions: admitted %llu != "
+                   "completed %llu + aborted %llu\n",
+                   scenario_file.c_str(),
+                   static_cast<unsigned long long>(rep.admitted),
+                   static_cast<unsigned long long>(rep.completed),
+                   static_cast<unsigned long long>(rep.aborted));
+      return 1;
     }
   }
 

@@ -1,0 +1,52 @@
+// Parse tree for the .wsp scenario language (docs/scenarios.md §2).
+//
+// The surface grammar is a uniform key/value tree, so one recursive node
+// type covers it:
+//
+//   scenario ::= 'scenario' [STRING] block EOF
+//   block    ::= '{' entry* '}'
+//   entry    ::= IDENT [STRING] ( block | [':'] value ) [',']
+//   value    ::= NUMBER | IDENT | STRING
+//
+// `phase "peak" { ... }` is an Entry with key "phase", a label and a child
+// block; `load 1.4` (or `load: 1.4`) is an Entry with a scalar value;
+// `aes128: 3` inside a mix block is the same shape.  All meaning — which
+// keys exist where, types, ranges — lives in the semantic pass (sema.h).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "scenario/diag.h"
+
+namespace wsp::scenario {
+
+struct Value {
+  enum class Kind { kNumber, kIdent, kString };
+  Kind kind = Kind::kNumber;
+  double number = 0.0;
+  std::string text;  ///< ident spelling / string body
+  SourceLoc loc;
+};
+
+struct Entry {
+  std::string key;
+  /// Keys are usually identifiers, but `sizes { 1024: 2 }` keys entries by
+  /// number; the parser accepts both and records which one it saw.
+  bool key_is_number = false;
+  double key_number = 0.0;
+  SourceLoc loc;        ///< at the key token
+  std::string label;    ///< optional STRING after the key (phase names)
+  bool has_label = false;
+  bool is_block = false;
+  std::vector<Entry> block;  ///< children when is_block
+  Value value;               ///< scalar when !is_block
+};
+
+struct ScenarioAst {
+  std::string name;  ///< optional STRING after `scenario`
+  SourceLoc loc;     ///< at the `scenario` keyword
+  std::vector<Entry> entries;
+};
+
+}  // namespace wsp::scenario

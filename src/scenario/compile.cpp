@@ -1,0 +1,37 @@
+#include "scenario/compile.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "scenario/lexer.h"
+#include "scenario/parser.h"
+#include "scenario/sema.h"
+
+namespace wsp::scenario {
+
+CompiledScenario compile(std::string_view source, std::string_view filename) {
+  const std::vector<Token> tokens = lex(source, filename);
+  const ScenarioAst ast = parse(tokens, source, filename);
+  ResolvedScenario resolved = resolve(ast, source, filename);
+  CompiledScenario out;
+  out.name = std::move(resolved.name);
+  out.source.assign(source.begin(), source.end());
+  out.scenario = std::move(resolved.scenario);
+  return out;
+}
+
+CompiledScenario compile_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("cannot open scenario file: " + path);
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (!in.good() && !in.eof()) {
+    throw std::runtime_error("failed reading scenario file: " + path);
+  }
+  return compile(buf.str(), path);
+}
+
+}  // namespace wsp::scenario

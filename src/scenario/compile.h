@@ -1,0 +1,31 @@
+// Front door of the .wsp scenario compiler: source text -> validated
+// server::TrafficScenario traffic program, via lex -> parse -> resolve
+// (docs/scenarios.md).  All passes throw ScenarioError (diag.h) with a
+// line:column diagnostic and a stable Ennn code.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "scenario/diag.h"
+#include "server/traffic.h"
+
+namespace wsp::scenario {
+
+struct CompiledScenario {
+  std::string name;    ///< from `scenario "name"`, may be empty
+  std::string source;  ///< the exact input text (embedded into recordings)
+  server::TrafficScenario scenario;
+};
+
+/// Compiles .wsp source text.  `filename` only labels diagnostics.
+/// Throws ScenarioError on any lexical/syntactic/semantic error; the
+/// returned scenario satisfies TrafficScenario::validate().
+CompiledScenario compile(std::string_view source,
+                         std::string_view filename = "<string>");
+
+/// Reads `path` and compiles it.  Throws std::runtime_error if the file
+/// cannot be read, ScenarioError on compile errors.
+CompiledScenario compile_file(const std::string& path);
+
+}  // namespace wsp::scenario

@@ -1,0 +1,63 @@
+#include "scenario/diag.h"
+
+#include <cstdio>
+
+namespace wsp::scenario {
+
+std::string code_label(Code code) {
+  char buf[8];
+  std::snprintf(buf, sizeof buf, "E%03d", static_cast<int>(code));
+  return buf;
+}
+
+std::string Diagnostic::render(std::string_view filename) const {
+  std::string out;
+  out += filename;
+  out += ':';
+  out += std::to_string(loc.line);
+  out += ':';
+  out += std::to_string(loc.column);
+  out += ": error ";
+  out += code_label(code);
+  out += ": ";
+  out += message;
+  if (!excerpt.empty()) {
+    out += "\n  ";
+    out += excerpt;
+    out += "\n  ";
+    // Tabs in the excerpt keep their width-1 rendering above, so a plain
+    // space run lands the caret on the right column.
+    for (std::size_t i = 1; i < loc.column; ++i) out += ' ';
+    out += '^';
+  }
+  return out;
+}
+
+Diagnostic make_diagnostic(Code code, SourceLoc loc, std::string message,
+                           std::string_view source) {
+  Diagnostic d;
+  d.code = code;
+  d.loc = loc;
+  d.message = std::move(message);
+  // Slice the line containing `loc.offset` (offset may equal source.size()
+  // for end-of-input diagnostics; then the last line is the excerpt).
+  const std::size_t at = std::min(loc.offset, source.size());
+  std::size_t begin = source.rfind('\n', at == 0 ? 0 : at - 1);
+  begin = (begin == std::string_view::npos || at == 0) ? 0 : begin + 1;
+  std::size_t end = source.find('\n', at);
+  if (end == std::string_view::npos) end = source.size();
+  if (begin <= end) {
+    std::string line(source.substr(begin, end - begin));
+    for (char& c : line) {
+      if (c == '\t') c = ' ';  // keep the caret column honest
+      if (c == '\r') c = ' ';
+    }
+    d.excerpt = std::move(line);
+  }
+  return d;
+}
+
+ScenarioError::ScenarioError(Diagnostic diag, std::string_view filename)
+    : std::runtime_error(diag.render(filename)), diag_(std::move(diag)) {}
+
+}  // namespace wsp::scenario

@@ -1,0 +1,85 @@
+// Diagnostics for the .wsp scenario compiler (docs/scenarios.md).
+//
+// Every lex, parse and semantic error is a Diagnostic: a stable error code
+// (E0xx lexical, E1xx syntactic, E2xx semantic — the code is part of the
+// compiler's contract and is matched by the golden error-message tests), a
+// 1-based line:column position, a one-line message, and the offending
+// source line with a caret under the column.  Diagnostics travel as a
+// ScenarioError exception whose what() is the fully rendered form:
+//
+//   flood.wsp:4:10: error E205: offered load must be finite and > 0
+//       load -2.5
+//            ^
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace wsp::scenario {
+
+/// Stable diagnostic codes.  Never renumber: scripts and the golden tests
+/// key off these.
+enum class Code {
+  // Lexical.
+  kInvalidChar = 1,        ///< E001: byte outside the language's alphabet
+  kUnterminatedString = 2, ///< E002: string literal hits newline/EOF
+  kMalformedNumber = 3,    ///< E003: numeric-looking token that isn't one
+  // Syntactic.
+  kUnexpectedToken = 101,  ///< E101: parser expected something else here
+  kUnexpectedEnd = 102,    ///< E102: input ended inside a construct
+  kExpectedScenario = 103, ///< E103: file must open with `scenario {`
+  kTrailingInput = 104,    ///< E104: tokens after the scenario block
+  // Semantic.
+  kUnknownKey = 201,       ///< E201: key not defined in this block
+  kDuplicateKey = 202,     ///< E202: key given twice in one block
+  kUnknownCipher = 203,    ///< E203: mix names no known cipher
+  kTypeMismatch = 204,     ///< E204: value has the wrong shape/type
+  kOutOfRange = 205,       ///< E205: value outside its legal range
+  kNoPhases = 206,         ///< E206: scenario declares no phase blocks
+  kMissingKey = 207,       ///< E207: required key absent (phase sessions)
+  kEmptyMix = 208,         ///< E208: mix/sizes block has no entries
+  kUnknownEnum = 209,      ///< E209: bad enum word (arrivals/resume)
+  kDuplicateEntry = 210,   ///< E210: same cipher/size listed twice in a mix
+};
+
+/// "E001", "E101", ... — zero-padded to three digits.
+std::string code_label(Code code);
+
+/// 1-based source position.  `offset` is the byte offset into the source
+/// (used to slice the excerpt line out again).
+struct SourceLoc {
+  std::size_t line = 1;
+  std::size_t column = 1;
+  std::size_t offset = 0;
+};
+
+struct Diagnostic {
+  Code code = Code::kInvalidChar;
+  SourceLoc loc;
+  std::string message;  ///< one line, no trailing period
+  std::string excerpt;  ///< the source line the error points into
+
+  /// "file:line:col: error Ennn: message\n  <line>\n  <caret>"
+  std::string render(std::string_view filename) const;
+};
+
+/// Builds a Diagnostic from a source buffer: slices out the line `loc`
+/// points into for the excerpt.
+Diagnostic make_diagnostic(Code code, SourceLoc loc, std::string message,
+                           std::string_view source);
+
+/// The compiler's one exception type.  what() is the rendered diagnostic.
+class ScenarioError : public std::runtime_error {
+ public:
+  ScenarioError(Diagnostic diag, std::string_view filename);
+
+  const Diagnostic& diagnostic() const { return diag_; }
+  Code code() const { return diag_.code; }
+
+ private:
+  Diagnostic diag_;
+};
+
+}  // namespace wsp::scenario

@@ -1,0 +1,194 @@
+#include "scenario/lexer.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+namespace wsp::scenario {
+
+const char* to_string(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kIdent:  return "identifier";
+    case TokenKind::kNumber: return "number";
+    case TokenKind::kString: return "string";
+    case TokenKind::kLBrace: return "'{'";
+    case TokenKind::kRBrace: return "'}'";
+    case TokenKind::kColon:  return "':'";
+    case TokenKind::kComma:  return "','";
+    case TokenKind::kEnd:    return "end of input";
+  }
+  return "?";
+}
+
+namespace {
+
+bool is_word_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '.';
+}
+
+bool is_digit(char c) { return c >= '0' && c <= '9'; }
+
+class Scanner {
+ public:
+  Scanner(std::string_view source, std::string_view filename)
+      : src_(source), filename_(filename) {}
+
+  std::vector<Token> run() {
+    std::vector<Token> out;
+    for (;;) {
+      skip_blank();
+      Token t;
+      t.loc = loc();
+      if (at_end()) {
+        t.kind = TokenKind::kEnd;
+        out.push_back(std::move(t));
+        return out;
+      }
+      const char c = peek();
+      if (c == '{') { advance(); t.kind = TokenKind::kLBrace; }
+      else if (c == '}') { advance(); t.kind = TokenKind::kRBrace; }
+      else if (c == ':') { advance(); t.kind = TokenKind::kColon; }
+      else if (c == ',') { advance(); t.kind = TokenKind::kComma; }
+      else if (c == '"') { scan_string(t); }
+      else if (is_word_char(c) || ((c == '-' || c == '+') && pos_ + 1 < src_.size() &&
+                                   is_digit(src_[pos_ + 1]))) {
+        scan_word(t);
+      } else {
+        fail(Code::kInvalidChar, t.loc,
+             std::string("invalid character '") + printable(c) +
+                 "' (not part of the scenario language)");
+      }
+      out.push_back(std::move(t));
+    }
+  }
+
+ private:
+  bool at_end() const { return pos_ >= src_.size(); }
+  char peek() const { return src_[pos_]; }
+
+  SourceLoc loc() const { return SourceLoc{line_, col_, pos_}; }
+
+  void advance() {
+    if (src_[pos_] == '\n') {
+      ++line_;
+      col_ = 1;
+    } else {
+      ++col_;
+    }
+    ++pos_;
+  }
+
+  void skip_blank() {
+    while (!at_end()) {
+      const char c = peek();
+      if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+        advance();
+      } else if (c == '#') {
+        while (!at_end() && peek() != '\n') advance();
+      } else {
+        return;
+      }
+    }
+  }
+
+  static std::string printable(char c) {
+    const auto u = static_cast<unsigned char>(c);
+    if (u >= 0x20 && u < 0x7F) return std::string(1, c);
+    char buf[8];
+    std::snprintf(buf, sizeof buf, "\\x%02X", u);
+    return buf;
+  }
+
+  [[noreturn]] void fail(Code code, SourceLoc at, std::string message) {
+    throw ScenarioError(make_diagnostic(code, at, std::move(message), src_),
+                        filename_);
+  }
+
+  void scan_string(Token& t) {
+    const SourceLoc open = loc();
+    advance();  // opening quote
+    std::string body;
+    while (!at_end() && peek() != '\n') {
+      const char c = peek();
+      if (c == '"') {
+        advance();
+        t.kind = TokenKind::kString;
+        t.text = std::move(body);
+        return;
+      }
+      if (c == '\\') {
+        advance();
+        if (at_end() || peek() == '\n') break;
+        body.push_back(peek());  // \" and \\ (any escaped byte passes through)
+        advance();
+        continue;
+      }
+      body.push_back(c);
+      advance();
+    }
+    fail(Code::kUnterminatedString, open,
+         "unterminated string literal (strings may not span lines)");
+  }
+
+  // One maximal word: identifiers and numbers share an alphabet because
+  // cipher names like `3des` start with a digit.  The word is a NUMBER when
+  // strtod consumes it entirely, an IDENT when it matches [A-Za-z0-9_]+,
+  // and E003 otherwise (e.g. `1.5x`, `--3`).
+  void scan_word(Token& t) {
+    const std::size_t start = pos_;
+    if (peek() == '-' || peek() == '+') advance();
+    while (!at_end()) {
+      const char c = peek();
+      if (is_word_char(c)) {
+        advance();
+        // Exponent signs belong to the number: 1e-5, 2.5E+6.  Only when the
+        // 'e' follows a digit/dot inside the word — `e-3` alone is not one.
+        if ((c == 'e' || c == 'E') && pos_ - start >= 2 &&
+            (is_digit(src_[pos_ - 2]) || src_[pos_ - 2] == '.') &&
+            !at_end() && (peek() == '-' || peek() == '+') &&
+            pos_ + 1 < src_.size() && is_digit(src_[pos_ + 1])) {
+          advance();
+        }
+        continue;
+      }
+      break;
+    }
+    const std::string word(src_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double v = std::strtod(word.c_str(), &end);
+    if (end == word.c_str() + word.size() && !word.empty()) {
+      t.kind = TokenKind::kNumber;
+      t.number = v;
+      t.text = word;
+      return;
+    }
+    bool ident = !word.empty();
+    for (const char c : word) {
+      if (!(std::isalnum(static_cast<unsigned char>(c)) || c == '_')) {
+        ident = false;
+        break;
+      }
+    }
+    if (ident) {
+      t.kind = TokenKind::kIdent;
+      t.text = word;
+      return;
+    }
+    fail(Code::kMalformedNumber, t.loc,
+         "malformed number '" + word + "'");
+  }
+
+  std::string_view src_;
+  std::string_view filename_;
+  std::size_t pos_ = 0;
+  std::size_t line_ = 1;
+  std::size_t col_ = 1;
+};
+
+}  // namespace
+
+std::vector<Token> lex(std::string_view source, std::string_view filename) {
+  return Scanner(source, filename).run();
+}
+
+}  // namespace wsp::scenario

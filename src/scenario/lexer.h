@@ -1,0 +1,47 @@
+// Lexer for the .wsp scenario language (docs/scenarios.md §2).
+//
+// The token alphabet is deliberately tiny: identifiers (which may start
+// with a digit — `3des` is an identifier, `3e5` is a number), decimal
+// numbers with optional fraction/exponent, double-quoted strings with
+// `\"`/`\\` escapes, the punctuation `{ } : ,`, and `#` comments to end of
+// line.  Newlines are whitespace; the grammar does not need them.
+//
+// The lexer never aborts the process on bad input: every failure throws
+// ScenarioError with a line:column diagnostic (E001 invalid character,
+// E002 unterminated string, E003 malformed number).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "scenario/diag.h"
+
+namespace wsp::scenario {
+
+enum class TokenKind {
+  kIdent,   ///< bare word: keys, enum words, cipher names (incl. `3des`)
+  kNumber,  ///< decimal literal, optional fraction / exponent / leading '-'
+  kString,  ///< double-quoted; backslash escapes the quote and itself
+  kLBrace,
+  kRBrace,
+  kColon,
+  kComma,
+  kEnd,  ///< one synthetic end-of-input token closes the stream
+};
+
+const char* to_string(TokenKind kind);
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;     ///< ident spelling or decoded string body
+  double number = 0.0;  ///< value when kind == kNumber
+  SourceLoc loc;
+};
+
+/// Tokenizes the whole buffer (throws ScenarioError on the first lexical
+/// error).  `filename` only labels diagnostics.
+std::vector<Token> lex(std::string_view source, std::string_view filename);
+
+}  // namespace wsp::scenario

@@ -1,0 +1,144 @@
+#include "scenario/parser.h"
+
+namespace wsp::scenario {
+
+namespace {
+
+class Parser {
+ public:
+  Parser(const std::vector<Token>& tokens, std::string_view source,
+         std::string_view filename)
+      : toks_(tokens), src_(source), filename_(filename) {}
+
+  ScenarioAst run() {
+    ScenarioAst ast;
+    const Token& head = peek();
+    if (head.kind != TokenKind::kIdent || head.text != "scenario") {
+      fail(Code::kExpectedScenario, head.loc,
+           "a scenario file must start with `scenario [\"name\"] { ... }`");
+    }
+    ast.loc = head.loc;
+    advance();
+    if (peek().kind == TokenKind::kString) {
+      ast.name = peek().text;
+      advance();
+    }
+    ast.entries = block("scenario");
+    if (peek().kind != TokenKind::kEnd) {
+      fail(Code::kTrailingInput, peek().loc,
+           "unexpected input after the scenario block");
+    }
+    return ast;
+  }
+
+ private:
+  const Token& peek() const { return toks_[pos_]; }
+  void advance() {
+    if (pos_ + 1 < toks_.size()) ++pos_;
+  }
+
+  [[noreturn]] void fail(Code code, SourceLoc at, std::string message) {
+    throw ScenarioError(make_diagnostic(code, at, std::move(message), src_),
+                        filename_);
+  }
+
+  [[noreturn]] void unexpected(const char* wanted) {
+    const Token& t = peek();
+    if (t.kind == TokenKind::kEnd) {
+      fail(Code::kUnexpectedEnd, t.loc,
+           std::string("unexpected end of input (expected ") + wanted + ")");
+    }
+    std::string got = to_string(t.kind);
+    if (t.kind == TokenKind::kIdent) got += " '" + t.text + "'";
+    fail(Code::kUnexpectedToken, t.loc,
+         std::string("expected ") + wanted + ", found " + got);
+  }
+
+  /// '{' entry* '}' — `context` names the enclosing construct in messages.
+  std::vector<Entry> block(const char* context) {
+    if (peek().kind != TokenKind::kLBrace) {
+      unexpected(("'{' to open the " + std::string(context) + " block").c_str());
+    }
+    advance();
+    std::vector<Entry> entries;
+    for (;;) {
+      while (peek().kind == TokenKind::kComma) advance();  // separators
+      if (peek().kind == TokenKind::kRBrace) {
+        advance();
+        return entries;
+      }
+      if (peek().kind == TokenKind::kEnd) {
+        fail(Code::kUnexpectedEnd, peek().loc,
+             "unexpected end of input: unclosed '{' in " + std::string(context) +
+                 " block");
+      }
+      entries.push_back(entry());
+    }
+  }
+
+  Entry entry() {
+    const Token& k = peek();
+    if (k.kind != TokenKind::kIdent && k.kind != TokenKind::kNumber) {
+      unexpected("a key (identifier)");
+    }
+    Entry e;
+    e.key = k.text;
+    e.key_is_number = k.kind == TokenKind::kNumber;
+    e.key_number = k.number;
+    e.loc = k.loc;
+    advance();
+    if (peek().kind == TokenKind::kString) {
+      e.label = peek().text;
+      e.has_label = true;
+      advance();
+    }
+    if (peek().kind == TokenKind::kLBrace) {
+      e.is_block = true;
+      e.block = block(e.key.c_str());
+      return e;
+    }
+    if (peek().kind == TokenKind::kColon) advance();  // `key: value` sugar
+    const Token& v = peek();
+    switch (v.kind) {
+      case TokenKind::kNumber:
+        e.value.kind = Value::Kind::kNumber;
+        e.value.number = v.number;
+        e.value.text = v.text;
+        break;
+      case TokenKind::kIdent:
+        e.value.kind = Value::Kind::kIdent;
+        e.value.text = v.text;
+        break;
+      case TokenKind::kString:
+        e.value.kind = Value::Kind::kString;
+        e.value.text = v.text;
+        break;
+      default:
+        unexpected(("a value or '{' block for key '" + e.key + "'").c_str());
+    }
+    e.value.loc = v.loc;
+    advance();
+    return e;
+  }
+
+  const std::vector<Token>& toks_;
+  std::string_view src_;
+  std::string_view filename_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+ScenarioAst parse(const std::vector<Token>& tokens, std::string_view source,
+                  std::string_view filename) {
+  if (tokens.empty()) {
+    // lex() always appends kEnd; an empty vector means the caller skipped it.
+    throw ScenarioError(
+        make_diagnostic(Code::kUnexpectedEnd, SourceLoc{}, "empty token stream",
+                        source),
+        filename);
+  }
+  return Parser(tokens, source, filename).run();
+}
+
+}  // namespace wsp::scenario

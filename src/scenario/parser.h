@@ -1,0 +1,20 @@
+// Recursive-descent parser for the .wsp scenario language: token stream ->
+// ScenarioAst.  Throws ScenarioError with a line:column diagnostic on the
+// first syntax error (E101 unexpected token, E102 unexpected end of input,
+// E103 missing `scenario` block, E104 trailing input).
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "scenario/ast.h"
+#include "scenario/lexer.h"
+
+namespace wsp::scenario {
+
+/// `source` is only consulted for diagnostic excerpts; the tokens must have
+/// been lexed from it.
+ScenarioAst parse(const std::vector<Token>& tokens, std::string_view source,
+                  std::string_view filename);
+
+}  // namespace wsp::scenario

@@ -1,0 +1,33 @@
+// Semantic resolution for .wsp scenarios: ScenarioAst ->
+// server::TrafficScenario traffic program (docs/scenarios.md §3).
+//
+// Responsibilities:
+//   * key checking per block (E201 unknown, E202 duplicate, E207 missing),
+//   * type/range checking of every value (E204 / E205),
+//   * enum words (`arrivals open|closed`, `resume on|off|<fraction>`),
+//   * cipher-name resolution (`3des`, `aes128`, `rc4` -> ssl::Cipher),
+//   * defaults inheritance: a `defaults { ... }` block rebinds the built-in
+//     phase template (Fig. 8 grid, open loop at 0.6), and every `phase`
+//     starts from the resolved defaults.
+//
+// The output always uses the program form (TrafficScenario.phases
+// non-empty) and satisfies TrafficScenario::validate() by construction.
+#pragma once
+
+#include <string_view>
+
+#include "scenario/ast.h"
+#include "server/traffic.h"
+
+namespace wsp::scenario {
+
+struct ResolvedScenario {
+  std::string name;  ///< from `scenario "name"`, may be empty
+  server::TrafficScenario scenario;
+};
+
+/// Throws ScenarioError on the first semantic error.
+ResolvedScenario resolve(const ScenarioAst& ast, std::string_view source,
+                         std::string_view filename);
+
+}  // namespace wsp::scenario

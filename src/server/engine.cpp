@@ -162,6 +162,10 @@ RunReport Engine::run(const TrafficScenario& scenario) {
   using Clock = std::chrono::steady_clock;
   const auto t0 = Clock::now();
 
+  // Reject degenerate scenarios (zero sessions, empty grids/mixes,
+  // non-finite loads, ...) before any state is built.
+  scenario.validate();
+
   RunReport rep;
   rep.threads = config_.threads;
   const unsigned shards = config_.shards;
@@ -171,30 +175,90 @@ RunReport Engine::run(const TrafficScenario& scenario) {
   const ssl::PlatformCosts base = calibrated_costs(Pricing::kBase);
   const ssl::PlatformCosts opt = calibrated_costs(Pricing::kOptimized);
 
-  const bool resume = scenario.resume_sessions;
-  auto price_transaction = [resume](const ssl::PlatformCosts& costs,
-                                    std::size_t bytes) {
-    return resume ? ssl::resumed_transaction_cost(costs, bytes).total()
-                  : ssl::transaction_cost(costs, bytes).total();
+  const bool phased = scenario.phased();
+  auto price_one = [](const ssl::PlatformCosts& costs, std::size_t bytes,
+                      bool resumed) {
+    return resumed ? ssl::resumed_transaction_cost(costs, bytes).total()
+                   : ssl::transaction_cost(costs, bytes).total();
   };
 
+  // Mean service time: the flat path averages the uniform size grid; a
+  // program gets one weighted figure per phase (size-mix weights, blended
+  // across the resume fraction), and reports the session-weighted mean.
   double mean_service = 0.0;
-  for (const std::size_t bytes : scenario.transaction_sizes) {
-    mean_service += price_transaction(price, bytes);
+  std::vector<double> phase_means;
+  if (!phased) {
+    const bool resume = scenario.resume_sessions;
+    for (const std::size_t bytes : scenario.transaction_sizes) {
+      mean_service += price_one(price, bytes, resume);
+    }
+    mean_service /= static_cast<double>(scenario.transaction_sizes.size());
+  } else {
+    phase_means.reserve(scenario.phases.size());
+    for (const TrafficPhase& ph : scenario.phases) {
+      double full = 0.0, resumed = 0.0;
+      std::uint64_t wsum = 0;
+      for (const SizeMix& m : ph.size_mix) {
+        const double w = static_cast<double>(m.weight);
+        full += price_one(price, m.bytes, false) * w;
+        resumed += price_one(price, m.bytes, true) * w;
+        wsum += m.weight;
+      }
+      full /= static_cast<double>(wsum);
+      resumed /= static_cast<double>(wsum);
+      const double f = ph.resume_fraction;
+      phase_means.push_back(f <= 0.0   ? full
+                            : f >= 1.0 ? resumed
+                                       : (1.0 - f) * full + f * resumed);
+    }
+    if (scenario.phases.size() == 1) {
+      // Exactly the single phase's figure (no weighting round-trip), so a
+      // one-phase program reproduces the flat path's report bit for bit.
+      mean_service = phase_means[0];
+    } else {
+      double acc = 0.0;
+      for (std::size_t i = 0; i < scenario.phases.size(); ++i) {
+        acc += phase_means[i] *
+               static_cast<double>(scenario.phases[i].sessions);
+      }
+      mean_service = acc / static_cast<double>(scenario.total_sessions());
+    }
   }
-  mean_service /= static_cast<double>(scenario.transaction_sizes.size());
   rep.mean_service_cycles = mean_service;
   rep.memory_per_session = SessionTable::bytes_per_session();
 
-  TrafficGenerator gen(scenario, mean_service, shards);
+  TrafficGenerator gen = phased ? TrafficGenerator(scenario, phase_means, shards)
+                                : TrafficGenerator(scenario, mean_service, shards);
+
+  // Fault plans: the engine-wide plan, plus one per phase where a .wsp
+  // fault overlay replaces it (rekey storms, adversarial floods).  Every
+  // plan keys off the scenario seed, so schedules stay pure in
+  // (seed, session id) regardless of which phase a session lands in.
   const FaultPlan plan(config_.faults, scenario.seed);
+  std::vector<FaultPlan> phase_plans;
+  std::vector<FaultConfig> phase_faults;
+  if (phased) {
+    phase_plans.reserve(scenario.phases.size());
+    for (const TrafficPhase& ph : scenario.phases) {
+      const FaultConfig& fc = ph.faults ? *ph.faults : config_.faults;
+      phase_faults.push_back(fc);
+      phase_plans.emplace_back(fc, scenario.seed);
+    }
+  }
 
   // Real execution: one server key per run (the server's identity), worker
   // pool, bounded scheduler, sharded connection table.  Resumed scenarios
   // never touch the key (no RSA exchange happens), so skip the generation —
   // at 512 bits it otherwise dominates the wall time of small resumed runs.
+  bool any_full_handshake = !scenario.resume_sessions;
+  if (phased) {
+    any_full_handshake = false;
+    for (const TrafficPhase& ph : scenario.phases) {
+      if (ph.resume_fraction < 1.0) any_full_handshake = true;
+    }
+  }
   std::optional<rsa::PrivateKey> server_key_storage;
-  if (!resume) {
+  if (any_full_handshake) {
     Rng key_rng(scenario.seed ^ 0xC3A5C85C97CB3127ULL);
     server_key_storage = rsa::generate_key(config_.rsa_bits, key_rng);
   }
@@ -230,14 +294,16 @@ RunReport Engine::run(const TrafficScenario& scenario) {
 
   std::vector<double> latencies;
   bool degraded = false;
-  const unsigned hs_budget = config_.faults.handshake_retry_budget;
 
   // Shared by the scalar closure and the batched cohorts: the handshake
   // retry ladder (returns true when the session aborted instead of
   // establishing) and the slot/table finalization every session gets
   // exactly once.  Both are called from worker threads; `table` is sharded
   // and a shard's sessions are pumped FIFO on one worker (scheduler.h).
-  auto establish = [server_key, hs_budget, resume](Session* session) -> bool {
+  // `resume` and `hs_budget` are per session now: a program phase sets its
+  // own resume fraction and may override the fault budgets.
+  auto establish = [server_key](Session* session, bool resume,
+                                unsigned hs_budget) -> bool {
     for (unsigned attempt = 0;; ++attempt) {
       try {
         if (resume) {
@@ -288,6 +354,8 @@ RunReport Engine::run(const TrafficScenario& scenario) {
     Slot* slot;
     Session* session;
     SessionHandle handle;
+    bool resume;         ///< this session's establishment path
+    unsigned hs_budget;  ///< its phase's handshake retry budget
   };
   const unsigned lanes = config_.batch_lanes;
   const std::size_t cohort_cap =
@@ -309,7 +377,7 @@ RunReport Engine::run(const TrafficScenario& scenario) {
     for (CohortMember& m : members) {
       bool aborted;
       try {
-        aborted = establish(m.session);
+        aborted = establish(m.session, m.resume, m.hs_budget);
       } catch (...) {
         m.session->abort();
         aborted = true;
@@ -434,15 +502,19 @@ RunReport Engine::run(const TrafficScenario& scenario) {
       continue;
     }
 
-    const FaultSchedule schedule = plan.schedule_for(arrival->id);
+    const FaultConfig& fc =
+        phased ? phase_faults[arrival->phase] : config_.faults;
+    const FaultSchedule schedule =
+        (phased ? phase_plans[arrival->phase] : plan)
+            .schedule_for(arrival->id);
+    const bool resume = arrival->resume;
     if (schedule.stall_scheduled) {
       WSP_TRACE_INSTANT_V("server.fault", "stall/shard" + std::to_string(shard),
                           schedule.stall_cycles);
     }
     const double service =
         modeled_service(price, arrival->transaction_bytes,
-                        scenario.record_bytes, schedule, config_.faults,
-                        resume);
+                        scenario.record_bytes, schedule, fc, resume);
     const double start = std::max(v.busy_until, arrival->at_cycles);
     const double completion = start + service;
     v.busy_until = completion;
@@ -453,9 +525,9 @@ RunReport Engine::run(const TrafficScenario& scenario) {
     latencies.push_back(completion - arrival->at_cycles);
     rep.makespan_cycles = std::max(rep.makespan_cycles, completion);
     rep.platform_cycles_base +=
-        price_transaction(base, arrival->transaction_bytes);
+        price_one(base, arrival->transaction_bytes, resume);
     rep.platform_cycles_optimized +=
-        price_transaction(opt, arrival->transaction_bytes);
+        price_one(opt, arrival->transaction_bytes, resume);
     ++rep.admitted;
     ++rep.shards[shard].admitted;
     gen.on_outcome(*arrival, completion, /*dropped=*/false);
@@ -478,7 +550,8 @@ RunReport Engine::run(const TrafficScenario& scenario) {
     if (lanes > 1) {
       // Batched plane: collect into the shard's cohort; a full cohort
       // becomes one scheduler task draining all its members three-phase.
-      cohort_staging[shard].push_back(CohortMember{slot, session, handle});
+      cohort_staging[shard].push_back(CohortMember{
+          slot, session, handle, resume, fc.handshake_retry_budget});
       if (cohort_staging[shard].size() >= cohort_cap) {
         auto members = std::make_shared<std::vector<CohortMember>>(
             std::move(cohort_staging[shard]));
@@ -495,10 +568,12 @@ RunReport Engine::run(const TrafficScenario& scenario) {
     const std::size_t batch =
         degraded ? std::max<std::size_t>(1, config_.record_batch / 2)
                  : config_.record_batch;
-    sched.push(shard, [slot, session, handle, batch, &establish, &finalize] {
+    const unsigned hs_budget = fc.handshake_retry_budget;
+    sched.push(shard, [slot, session, handle, batch, resume, hs_budget,
+                       &establish, &finalize] {
       bool aborted = false;
       try {
-        aborted = establish(session);
+        aborted = establish(session, resume, hs_budget);
         if (!aborted) {
           while (!session->finished()) session->pump(batch);
           session->teardown();

@@ -188,8 +188,11 @@ class Engine {
   /// Throws std::invalid_argument on an invalid config (see EngineConfig).
   explicit Engine(const EngineConfig& config);
 
-  /// Offers the scenario's traffic, executes every admitted session to
-  /// completion, and reports.  Synchronous; callable repeatedly.
+  /// Offers the scenario's traffic — a flat parameter set or a compiled
+  /// multi-phase program (TrafficScenario.phases, docs/scenarios.md) —
+  /// executes every admitted session to completion, and reports.
+  /// Synchronous; callable repeatedly.  Throws std::invalid_argument on a
+  /// degenerate scenario (TrafficScenario::validate).
   RunReport run(const TrafficScenario& scenario);
 
   const EngineConfig& config() const { return config_; }

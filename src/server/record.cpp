@@ -23,6 +23,34 @@ constexpr std::uint64_t tag(RecordChunk c) {
   return static_cast<std::uint64_t>(c);
 }
 
+// FaultConfig's nine fields, shared by the config chunk and per-phase fault
+// overlays.  Order is load-bearing: it IS the kConfig byte layout.
+void put_fault_config(std::vector<std::uint8_t>& p, const FaultConfig& f) {
+  put_double(p, f.wire_flip_rate);
+  put_double(p, f.handshake_failure_rate);
+  put_double(p, f.abort_rate);
+  put_double(p, f.stall_rate);
+  put_double(p, f.stall_cycles);
+  put_varint(p, f.record_retry_budget);
+  put_varint(p, f.handshake_retry_budget);
+  put_double(p, f.backoff_base_cycles);
+  put_double(p, f.backoff_cap_cycles);
+}
+
+FaultConfig get_fault_config(Cursor& c) {
+  FaultConfig f;
+  f.wire_flip_rate = c.f64();
+  f.handshake_failure_rate = c.f64();
+  f.abort_rate = c.f64();
+  f.stall_rate = c.f64();
+  f.stall_cycles = c.f64();
+  f.record_retry_budget = static_cast<unsigned>(c.varint());
+  f.handshake_retry_budget = static_cast<unsigned>(c.varint());
+  f.backoff_base_cycles = c.f64();
+  f.backoff_cap_cycles = c.f64();
+  return f;
+}
+
 std::vector<std::uint8_t> encode_scenario(const TrafficScenario& s) {
   std::vector<std::uint8_t> p;
   put_varint(p, s.seed);
@@ -46,6 +74,31 @@ std::vector<std::uint8_t> encode_scenario(const TrafficScenario& s) {
   // Appended after v1's last field; decoders treat absence as false, so
   // pre-existing records stay readable.
   put_varint(p, s.resume_sessions ? 1 : 0);
+  // Traffic program, appended the same way: legacy decoders skip it (chunk
+  // payloads carry their own length) and legacy records decode with zero
+  // phases, i.e. as the flat scenarios they were.
+  put_varint(p, s.phases.size());
+  for (const TrafficPhase& ph : s.phases) {
+    put_string(p, ph.name);
+    put_varint(p, ph.sessions);
+    put_varint(p, ph.model == ArrivalModel::kOpenLoop ? 0 : 1);
+    put_double(p, ph.offered_load);
+    put_varint(p, ph.users);
+    put_double(p, ph.think_cycles);
+    put_double(p, ph.resume_fraction);
+    put_varint(p, ph.cipher_mix.size());
+    for (const CipherMix& m : ph.cipher_mix) {
+      put_varint(p, static_cast<std::uint64_t>(m.cipher));
+      put_varint(p, m.weight);
+    }
+    put_varint(p, ph.size_mix.size());
+    for (const SizeMix& m : ph.size_mix) {
+      put_varint(p, m.bytes);
+      put_varint(p, m.weight);
+    }
+    put_varint(p, ph.faults ? 1 : 0);
+    if (ph.faults) put_fault_config(p, *ph.faults);
+  }
   return p;
 }
 
@@ -81,6 +134,45 @@ TrafficScenario decode_scenario(const std::vector<std::uint8_t>& payload) {
   }
   s.record_bytes = static_cast<std::size_t>(c.varint());
   if (!c.done()) s.resume_sessions = c.varint() != 0;
+  if (!c.done()) {
+    const std::uint64_t phases = c.varint();
+    for (std::uint64_t i = 0; i < phases; ++i) {
+      TrafficPhase ph;
+      ph.name = c.str();
+      ph.sessions = static_cast<std::size_t>(c.varint());
+      ph.model =
+          c.varint() == 0 ? ArrivalModel::kOpenLoop : ArrivalModel::kClosedLoop;
+      ph.offered_load = c.f64();
+      ph.users = static_cast<unsigned>(c.varint());
+      ph.think_cycles = c.f64();
+      ph.resume_fraction = c.f64();
+      const std::uint64_t mixes = c.varint();
+      for (std::uint64_t j = 0; j < mixes; ++j) {
+        CipherMix m;
+        const std::uint64_t raw = c.varint();
+        if (raw > static_cast<std::uint64_t>(ssl::Cipher::kRc4)) {
+          throw ReplayError(ErrorKind::kMalformed, c.offset(),
+                            "unknown cipher id " + std::to_string(raw));
+        }
+        m.cipher = static_cast<ssl::Cipher>(raw);
+        m.weight = static_cast<std::uint32_t>(c.varint());
+        ph.cipher_mix.push_back(m);
+      }
+      const std::uint64_t sizes_n = c.varint();
+      for (std::uint64_t j = 0; j < sizes_n; ++j) {
+        SizeMix m;
+        m.bytes = static_cast<std::size_t>(c.varint());
+        if (m.bytes == 0) {
+          throw ReplayError(ErrorKind::kMalformed, c.offset(),
+                            "zero transaction size in phase mix");
+        }
+        m.weight = static_cast<std::uint32_t>(c.varint());
+        ph.size_mix.push_back(m);
+      }
+      if (c.varint() != 0) ph.faults = get_fault_config(c);
+      s.phases.push_back(std::move(ph));
+    }
+  }
   return s;
 }
 
@@ -92,15 +184,7 @@ std::vector<std::uint8_t> encode_config(const EngineConfig& cfg) {
   put_varint(p, cfg.rsa_bits);
   put_varint(p, cfg.pricing == Pricing::kBase ? 0 : 1);
   put_varint(p, cfg.degrade_depth);
-  put_double(p, cfg.faults.wire_flip_rate);
-  put_double(p, cfg.faults.handshake_failure_rate);
-  put_double(p, cfg.faults.abort_rate);
-  put_double(p, cfg.faults.stall_rate);
-  put_double(p, cfg.faults.stall_cycles);
-  put_varint(p, cfg.faults.record_retry_budget);
-  put_varint(p, cfg.faults.handshake_retry_budget);
-  put_double(p, cfg.faults.backoff_base_cycles);
-  put_double(p, cfg.faults.backoff_cap_cycles);
+  put_fault_config(p, cfg.faults);
   // Appended after v1's last field; decoders treat absence as 1 (scalar
   // plane), so pre-existing records stay readable.  Recorded so a replay
   // re-executes on the plane the original run used — the report must match
@@ -118,15 +202,7 @@ EngineConfig decode_config(const std::vector<std::uint8_t>& payload) {
   cfg.rsa_bits = static_cast<std::size_t>(c.varint());
   cfg.pricing = c.varint() == 0 ? Pricing::kBase : Pricing::kOptimized;
   cfg.degrade_depth = static_cast<std::size_t>(c.varint());
-  cfg.faults.wire_flip_rate = c.f64();
-  cfg.faults.handshake_failure_rate = c.f64();
-  cfg.faults.abort_rate = c.f64();
-  cfg.faults.stall_rate = c.f64();
-  cfg.faults.stall_cycles = c.f64();
-  cfg.faults.record_retry_budget = static_cast<unsigned>(c.varint());
-  cfg.faults.handshake_retry_budget = static_cast<unsigned>(c.varint());
-  cfg.faults.backoff_base_cycles = c.f64();
-  cfg.faults.backoff_cap_cycles = c.f64();
+  cfg.faults = get_fault_config(c);
   if (!c.done()) cfg.batch_lanes = static_cast<unsigned>(c.varint());
   return cfg;
 }
@@ -292,11 +368,13 @@ std::vector<SessionEvent> decode_events(
 }  // namespace
 
 RunRecord record_run(const EngineConfig& config,
-                     const TrafficScenario& scenario) {
+                     const TrafficScenario& scenario,
+                     std::string scenario_source) {
   RunRecord rec;
   rec.git_rev = WSP_GIT_REV;
   rec.recorded_threads = std::max(1u, config.threads);
   rec.scenario = scenario;
+  rec.scenario_source = std::move(scenario_source);
   rec.config = config;
   rec.config.record_events = true;
   Engine engine(rec.config);
@@ -318,6 +396,15 @@ std::vector<std::uint8_t> encode_run_record(const RunRecord& record) {
     writer.chunk(tag(RecordChunk::kMeta), meta);
   }
   writer.chunk(tag(RecordChunk::kScenario), encode_scenario(record.scenario));
+  if (!record.scenario_source.empty()) {
+    // Informational: the .wsp text the scenario was compiled from.  Replay
+    // runs from the lowered kScenario chunk, never from this text, so the
+    // compiler cannot drift a recorded run; older binaries skip the
+    // unknown tag entirely.
+    std::vector<std::uint8_t> src;
+    put_string(src, record.scenario_source);
+    writer.chunk(tag(RecordChunk::kScenarioSource), src);
+  }
   writer.chunk(tag(RecordChunk::kConfig), encode_config(record.config));
   {
     std::vector<std::uint8_t> costs;
@@ -350,6 +437,11 @@ RunRecord decode_run_record(const std::vector<std::uint8_t>& bytes) {
         rec.scenario = decode_scenario(chunk->payload);
         scenario = true;
         break;
+      case RecordChunk::kScenarioSource: {
+        Cursor c(chunk->payload);
+        rec.scenario_source = c.str();
+        break;
+      }
       case RecordChunk::kConfig:
         rec.config = decode_config(chunk->payload);
         rec.config.threads = rec.recorded_threads;

@@ -34,19 +34,29 @@ enum class RecordChunk : std::uint64_t {
   kCosts = 4,     ///< calibrated base/opt PlatformCosts of the recorder
   kReport = 5,    ///< deterministic RunReport scalars + per-shard reports
   kEvents = 6,    ///< per-session event stream (delta-coded ids)
+  /// The .wsp source text the scenario was compiled from (optional,
+  /// informational).  Replay always runs from the lowered kScenario chunk;
+  /// pre-existing binaries skip this tag, so no format version bump.
+  kScenarioSource = 7,
 };
 
 struct RunRecord {
   std::string git_rev;            ///< of the recording binary
   unsigned recorded_threads = 1;  ///< informational; replay may differ
   TrafficScenario scenario;
+  /// .wsp text the scenario was compiled from; empty for flat/hand-built
+  /// scenarios and for records written before the scenario compiler.
+  std::string scenario_source;
   EngineConfig config;            ///< threads carried but not authoritative
   RunReport report;               ///< deterministic fields + events only
 };
 
 /// Runs the engine with event recording enabled and packages the result.
+/// `scenario_source` (optional) embeds the originating .wsp text into the
+/// recording (RecordChunk::kScenarioSource).
 RunRecord record_run(const EngineConfig& config,
-                     const TrafficScenario& scenario);
+                     const TrafficScenario& scenario,
+                     std::string scenario_source = {});
 
 std::vector<std::uint8_t> encode_run_record(const RunRecord& record);
 

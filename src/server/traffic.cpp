@@ -6,10 +6,77 @@
 
 namespace wsp::server {
 
+namespace {
+
+void check(bool ok, const char* msg) {
+  if (!ok) throw std::invalid_argument(std::string("traffic: ") + msg);
+}
+
+bool finite_positive(double v) { return std::isfinite(v) && v > 0.0; }
+
+}  // namespace
+
+std::size_t TrafficScenario::total_sessions() const {
+  if (!phased()) return sessions;
+  std::size_t total = 0;
+  for (const TrafficPhase& ph : phases) total += ph.sessions;
+  return total;
+}
+
+void TrafficScenario::validate() const {
+  check(record_bytes > 0, "record_bytes must be > 0");
+  if (!phased()) {
+    check(sessions > 0, "sessions must be > 0");
+    check(!ciphers.empty(), "empty cipher grid");
+    check(!transaction_sizes.empty(), "empty transaction size grid");
+    for (const std::size_t bytes : transaction_sizes) {
+      check(bytes > 0, "transaction sizes must be > 0");
+    }
+    if (model == ArrivalModel::kOpenLoop) {
+      check(finite_positive(offered_load),
+            "offered_load must be finite and > 0");
+    } else {
+      check(users > 0, "closed loop needs users > 0");
+    }
+    check(std::isfinite(think_cycles) && think_cycles >= 0.0,
+          "think_cycles must be finite and >= 0");
+    return;
+  }
+  for (const TrafficPhase& ph : phases) {
+    check(ph.sessions > 0, "phase sessions must be > 0");
+    check(!ph.cipher_mix.empty(), "phase has an empty cipher mix");
+    check(!ph.size_mix.empty(), "phase has an empty size mix");
+    for (const CipherMix& m : ph.cipher_mix) {
+      check(m.weight > 0, "cipher mix weights must be > 0");
+    }
+    for (const SizeMix& m : ph.size_mix) {
+      check(m.bytes > 0, "transaction sizes must be > 0");
+      check(m.weight > 0, "size mix weights must be > 0");
+    }
+    if (ph.model == ArrivalModel::kOpenLoop) {
+      check(finite_positive(ph.offered_load),
+            "offered_load must be finite and > 0");
+    } else {
+      check(ph.users > 0, "closed loop needs users > 0");
+    }
+    check(std::isfinite(ph.think_cycles) && ph.think_cycles >= 0.0,
+          "think_cycles must be finite and >= 0");
+    check(std::isfinite(ph.resume_fraction) && ph.resume_fraction >= 0.0 &&
+              ph.resume_fraction <= 1.0,
+          "resume_fraction must be in [0, 1]");
+    if (ph.faults) ph.faults->validate();
+  }
+}
+
 TrafficGenerator::TrafficGenerator(const TrafficScenario& scenario,
                                    double mean_service_cycles,
                                    unsigned service_units)
     : scenario_(scenario), rng_(scenario.seed) {
+  if (scenario_.phased()) {
+    throw std::logic_error(
+        "traffic: a phased scenario needs the per-phase constructor");
+  }
+  total_sessions_ = scenario_.sessions;
   if (scenario_.ciphers.empty() || scenario_.transaction_sizes.empty()) {
     throw std::invalid_argument("traffic: empty cipher/size grid");
   }
@@ -35,16 +102,116 @@ TrafficGenerator::TrafficGenerator(const TrafficScenario& scenario,
   }
 }
 
+TrafficGenerator::TrafficGenerator(
+    const TrafficScenario& scenario,
+    const std::vector<double>& phase_mean_service_cycles,
+    unsigned service_units)
+    : scenario_(scenario), rng_(scenario.seed) {
+  if (!scenario_.phased()) {
+    throw std::logic_error(
+        "traffic: the per-phase constructor needs a phased scenario");
+  }
+  if (phase_mean_service_cycles.size() != scenario_.phases.size()) {
+    throw std::logic_error(
+        "traffic: one mean service figure per phase is required");
+  }
+  scenario_.validate();
+  total_sessions_ = scenario_.total_sessions();
+  phase_mean_service_ = phase_mean_service_cycles;
+  const double units = static_cast<double>(std::max(1u, service_units));
+  phase_interarrival_.reserve(scenario_.phases.size());
+  for (std::size_t i = 0; i < scenario_.phases.size(); ++i) {
+    const TrafficPhase& ph = scenario_.phases[i];
+    phase_interarrival_.push_back(
+        ph.model == ArrivalModel::kOpenLoop
+            ? phase_mean_service_[i] / (units * ph.offered_load)
+            : 0.0);
+    std::uint64_t ctotal = 0, stotal = 0;
+    std::vector<std::uint32_t> cw, sw;
+    for (const CipherMix& m : ph.cipher_mix) {
+      ctotal += m.weight;
+      cw.push_back(m.weight);
+    }
+    for (const SizeMix& m : ph.size_mix) {
+      stotal += m.weight;
+      sw.push_back(m.weight);
+    }
+    cipher_weight_total_.push_back(ctotal);
+    size_weight_total_.push_back(stotal);
+    cipher_weights_.push_back(std::move(cw));
+    size_weights_.push_back(std::move(sw));
+  }
+}
+
 double TrafficGenerator::exp_draw(double mean) {
   if (mean <= 0.0) return 0.0;
   // Inverse-CDF with u in [0, 1); 1-u is in (0, 1] so log() is finite.
   return -mean * std::log(1.0 - rng_.next_double());
 }
 
+void TrafficGenerator::enter_phase(std::size_t idx) {
+  const TrafficPhase& ph = scenario_.phases[idx];
+  interarrival_mean_ = phase_interarrival_[idx];
+  if (ph.model == ArrivalModel::kClosedLoop) {
+    // A fresh population: leftover pending arrivals from an earlier closed
+    // phase are dropped, and the new users' first arrivals are staggered
+    // from the current virtual-clock cursor (exactly like the flat path
+    // staggers from t = 0).
+    ready_ = {};
+    const double spread =
+        ph.think_cycles > 0.0 ? ph.think_cycles : phase_mean_service_[idx];
+    for (unsigned u = 0; u < ph.users; ++u) {
+      ready_.emplace(open_clock_ + exp_draw(spread), u);
+    }
+  }
+  phase_entered_ = true;
+}
+
+std::size_t TrafficGenerator::pick_weighted(
+    std::uint64_t total, const std::vector<std::uint32_t>& weights) {
+  // One Rng draw either way; with unit weights `total == weights.size()`,
+  // so the consumed value AND the picked index match the flat path's
+  // uniform `below(n)` bit for bit.
+  std::uint64_t r = rng_.below(total);
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    if (r < weights[i]) return i;
+    r -= weights[i];
+  }
+  return weights.size() - 1;  // unreachable: r < total == sum(weights)
+}
+
 std::optional<SessionArrival> TrafficGenerator::next() {
-  if (next_id_ >= scenario_.sessions) return std::nullopt;
+  if (next_id_ >= total_sessions_) return std::nullopt;
   SessionArrival a;
-  if (scenario_.model == ArrivalModel::kOpenLoop) {
+  if (!scenario_.phased()) {
+    if (scenario_.model == ArrivalModel::kOpenLoop) {
+      open_clock_ += exp_draw(interarrival_mean_);
+      a.at_cycles = open_clock_;
+    } else {
+      if (ready_.empty()) return std::nullopt;  // all users awaiting outcomes
+      const auto [at, user] = ready_.top();
+      ready_.pop();
+      a.at_cycles = at;
+      a.user = user;
+    }
+    a.id = next_id_++;
+    a.cipher = scenario_.ciphers[rng_.below(scenario_.ciphers.size())];
+    a.transaction_bytes =
+        scenario_
+            .transaction_sizes[rng_.below(scenario_.transaction_sizes.size())];
+    a.session_seed = rng_.next_u64();
+    a.resume = scenario_.resume_sessions;
+    return a;
+  }
+
+  while (phase_done_ >= scenario_.phases[phase_idx_].sessions) {
+    ++phase_idx_;
+    phase_done_ = 0;
+    phase_entered_ = false;
+  }
+  if (!phase_entered_) enter_phase(phase_idx_);
+  const TrafficPhase& ph = scenario_.phases[phase_idx_];
+  if (ph.model == ArrivalModel::kOpenLoop) {
     open_clock_ += exp_draw(interarrival_mean_);
     a.at_cycles = open_clock_;
   } else {
@@ -53,20 +220,47 @@ std::optional<SessionArrival> TrafficGenerator::next() {
     ready_.pop();
     a.at_cycles = at;
     a.user = user;
+    // Keep the cursor monotone so a following open phase resumes from the
+    // latest arrival, not from before this phase ran.
+    open_clock_ = std::max(open_clock_, at);
   }
   a.id = next_id_++;
-  a.cipher = scenario_.ciphers[rng_.below(scenario_.ciphers.size())];
+  ++phase_done_;
+  a.phase = static_cast<std::uint32_t>(phase_idx_);
+  a.cipher =
+      ph.cipher_mix[pick_weighted(cipher_weight_total_[phase_idx_],
+                                  cipher_weights_[phase_idx_])]
+          .cipher;
   a.transaction_bytes =
-      scenario_.transaction_sizes[rng_.below(scenario_.transaction_sizes.size())];
+      ph.size_mix[pick_weighted(size_weight_total_[phase_idx_],
+                                size_weights_[phase_idx_])]
+          .bytes;
   a.session_seed = rng_.next_u64();
+  // The resume coin consumes a draw ONLY for a genuinely mixed fraction, so
+  // all-full and all-resumed phases stay bit-compatible with the flat path.
+  if (ph.resume_fraction >= 1.0) {
+    a.resume = true;
+  } else if (ph.resume_fraction > 0.0) {
+    a.resume = rng_.next_double() < ph.resume_fraction;
+  }
   return a;
 }
 
 void TrafficGenerator::on_outcome(const SessionArrival& arrival,
                                   double completion_cycles, bool dropped) {
-  if (scenario_.model != ArrivalModel::kClosedLoop) return;
+  if (!scenario_.phased()) {
+    if (scenario_.model != ArrivalModel::kClosedLoop) return;
+    const double base = dropped ? arrival.at_cycles : completion_cycles;
+    ready_.emplace(base + exp_draw(scenario_.think_cycles), arrival.user);
+    return;
+  }
+  // Feedback only drives the arrival's own phase; once the program has
+  // moved on, the user population it belonged to is gone.
+  if (arrival.phase != phase_idx_) return;
+  const TrafficPhase& ph = scenario_.phases[arrival.phase];
+  if (ph.model != ArrivalModel::kClosedLoop) return;
   const double base = dropped ? arrival.at_cycles : completion_cycles;
-  ready_.emplace(base + exp_draw(scenario_.think_cycles), arrival.user);
+  ready_.emplace(base + exp_draw(ph.think_cycles), arrival.user);
 }
 
 }  // namespace wsp::server

@@ -13,9 +13,19 @@
 //     session when the previous one completes (plus exponential think
 //     time) — the classic benchmark-client shape.
 //
-// Each arrival draws its cipher and transaction size uniformly from the
-// scenario's grid — by default the Fig. 8 measurement grid (1KB..32KB)
-// crossed with the three record ciphers.
+// A scenario is either FLAT — one parameter set, each arrival drawing its
+// cipher and transaction size uniformly from the grid (by default the
+// Fig. 8 measurement grid, 1KB..32KB, crossed with the three record
+// ciphers) — or a PROGRAM: a non-empty `phases` list, usually compiled from
+// a .wsp file (src/scenario, docs/scenarios.md).  A program executes its
+// phases back to back on the virtual clock; each phase carries its own
+// arrival model, load/population, WEIGHTED cipher×size mix, resumption
+// fraction and optional fault overlay.  Per arrival the generator draws, in
+// this fixed order: arrival time, cipher, size, session seed, and — only
+// when the phase's resume_fraction is strictly between 0 and 1 — the resume
+// coin.  A single-phase program with unit weights and resume_fraction in
+// {0, 1} therefore consumes the Rng exactly like the flat path and
+// reproduces it bit for bit.
 #pragma once
 
 #include <cstdint>
@@ -23,6 +33,7 @@
 #include <queue>
 #include <vector>
 
+#include "server/faults.h"
 #include "ssl/ssl.h"
 #include "support/random.h"
 
@@ -30,9 +41,44 @@ namespace wsp::server {
 
 enum class ArrivalModel { kOpenLoop, kClosedLoop };
 
+/// One weighted entry of a phase's cipher mix.  Weights are relative
+/// (integers >= 1); unit weights reproduce the flat path's uniform draw.
+struct CipherMix {
+  ssl::Cipher cipher = ssl::Cipher::kRc4;
+  std::uint32_t weight = 1;
+};
+
+/// One weighted entry of a phase's transaction-size mix.
+struct SizeMix {
+  std::size_t bytes = 0;
+  std::uint32_t weight = 1;
+};
+
+/// One phase of a traffic program: `sessions` arrivals under one parameter
+/// set.  Compiled from a .wsp `phase` block (src/scenario/sema.cpp), which
+/// fills every field; hand-built phases must satisfy
+/// TrafficScenario::validate().
+struct TrafficPhase {
+  std::string name;           ///< diagnostic label ("flash", "night", ...)
+  std::size_t sessions = 0;   ///< arrivals this phase offers (> 0)
+  ArrivalModel model = ArrivalModel::kOpenLoop;
+  double offered_load = 0.6;  ///< open loop, fraction of modeled capacity
+  unsigned users = 8;         ///< closed loop population
+  double think_cycles = 0.0;  ///< closed loop mean think time
+  /// Fraction of this phase's sessions that resume with cached credentials
+  /// (abbreviated handshake, resumed pricing).  0 = all full handshakes,
+  /// 1 = all resumed; in between, a per-arrival deterministic coin.
+  double resume_fraction = 0.0;
+  std::vector<CipherMix> cipher_mix;
+  std::vector<SizeMix> size_mix;
+  /// Overrides the engine's FaultConfig for sessions arriving in this phase
+  /// (rekey storms, adversarial floods); nullopt inherits the engine's.
+  std::optional<FaultConfig> faults;
+};
+
 struct TrafficScenario {
   std::uint64_t seed = 1;
-  std::size_t sessions = 64;  ///< total arrivals to offer
+  std::size_t sessions = 64;  ///< total arrivals to offer (flat scenarios)
   ArrivalModel model = ArrivalModel::kOpenLoop;
 
   // Open loop: offered load as a fraction of modeled service capacity
@@ -57,6 +103,24 @@ struct TrafficScenario {
   /// million-session regime, where key exchange is amortized across
   /// reconnects and record-layer throughput dominates.
   bool resume_sessions = false;
+
+  /// Non-empty = this scenario is a traffic PROGRAM: the flat fields above
+  /// (except seed and record_bytes) are ignored and the phases execute back
+  /// to back.  Usually produced by the .wsp compiler (scenario::compile).
+  std::vector<TrafficPhase> phases;
+
+  bool phased() const { return !phases.empty(); }
+
+  /// Total arrivals the scenario offers (sum of phases, or `sessions`).
+  std::size_t total_sessions() const;
+
+  /// Rejects degenerate scenarios with std::invalid_argument: zero
+  /// sessions, empty cipher/size grids or mixes, non-finite or non-positive
+  /// offered_load, negative/non-finite think_cycles, zero users on a
+  /// closed loop, resume fractions outside [0, 1], zero mix weights, bad
+  /// fault overlays, zero record_bytes.  Engine::run calls this before
+  /// touching any state.
+  void validate() const;
 };
 
 struct SessionArrival {
@@ -66,24 +130,38 @@ struct SessionArrival {
   ssl::Cipher cipher = ssl::Cipher::kRc4;
   std::size_t transaction_bytes = 0;
   std::uint64_t session_seed = 0;
+  std::uint32_t phase = 0;  ///< index into scenario.phases (0 when flat)
+  /// Whether THIS session resumes (flat: the scenario flag; program: the
+  /// phase's resume_fraction, possibly a per-arrival deterministic coin).
+  bool resume = false;
 };
 
 class TrafficGenerator {
  public:
-  /// `mean_service_cycles` is the scenario-mix average session cost under
-  /// the engine's pricing model; `service_units` the number of shards.
-  /// Together they convert `offered_load` into an arrival rate.
+  /// Flat scenarios.  `mean_service_cycles` is the scenario-mix average
+  /// session cost under the engine's pricing model; `service_units` the
+  /// number of shards.  Together they convert `offered_load` into an
+  /// arrival rate.  Throws std::logic_error if `scenario` is a program.
   TrafficGenerator(const TrafficScenario& scenario, double mean_service_cycles,
                    unsigned service_units);
 
-  /// Next arrival in virtual-time order; nullopt once `sessions` arrivals
-  /// have been offered (or, closed loop, no user has a pending arrival —
+  /// Traffic programs: one pre-priced mean service figure per phase (same
+  /// order as scenario.phases; the engine computes them from each phase's
+  /// weighted mix).  Throws std::logic_error on a flat scenario or a
+  /// length mismatch.
+  TrafficGenerator(const TrafficScenario& scenario,
+                   const std::vector<double>& phase_mean_service_cycles,
+                   unsigned service_units);
+
+  /// Next arrival in virtual-time order; nullopt once all arrivals have
+  /// been offered (or, closed loop, no user has a pending arrival —
   /// report outcomes to keep the loop running).
   std::optional<SessionArrival> next();
 
   /// Closed-loop feedback: schedules the issuing user's next arrival at
   /// the session's virtual completion (or, for drops, at the arrival time
-  /// itself) plus think time.  No-op for open loop.
+  /// itself) plus think time.  No-op for open-loop arrivals and for
+  /// arrivals from an already-finished phase.
   void on_outcome(const SessionArrival& arrival, double completion_cycles,
                   bool dropped);
 
@@ -91,12 +169,28 @@ class TrafficGenerator {
 
  private:
   double exp_draw(double mean);
+  void enter_phase(std::size_t idx);
+  std::size_t pick_weighted(std::uint64_t total,
+                            const std::vector<std::uint32_t>& weights);
 
   TrafficScenario scenario_;
   Rng rng_;
   std::uint64_t next_id_ = 0;
+  std::size_t total_sessions_ = 0;
   double interarrival_mean_ = 0.0;
   double open_clock_ = 0.0;
+
+  // Program state: current phase, arrivals emitted within it, and the
+  // pre-computed per-phase rate/weight tables.
+  std::size_t phase_idx_ = 0;
+  std::size_t phase_done_ = 0;
+  bool phase_entered_ = false;
+  std::vector<double> phase_mean_service_;
+  std::vector<double> phase_interarrival_;
+  std::vector<std::uint64_t> cipher_weight_total_;
+  std::vector<std::uint64_t> size_weight_total_;
+  std::vector<std::vector<std::uint32_t>> cipher_weights_;
+  std::vector<std::vector<std::uint32_t>> size_weights_;
 
   // Closed loop: min-heap of (ready time, user), deterministic tie-break
   // on user index.

@@ -1,0 +1,29 @@
+#include "support/rss.h"
+
+#include <cstdio>
+
+#if defined(__linux__)
+#include <unistd.h>
+#endif
+
+namespace wsp::support {
+
+std::uint64_t resident_set_bytes() {
+#if defined(__linux__)
+  std::FILE* f = std::fopen("/proc/self/statm", "r");
+  if (!f) return 0;
+  // statm fields are in pages: size resident shared text lib data dt.
+  unsigned long long size_pages = 0, resident_pages = 0;
+  const int matched = std::fscanf(f, "%llu %llu", &size_pages, &resident_pages);
+  std::fclose(f);
+  if (matched != 2) return 0;
+  const long page = sysconf(_SC_PAGESIZE);
+  if (page <= 0) return 0;
+  return static_cast<std::uint64_t>(resident_pages) *
+         static_cast<std::uint64_t>(page);
+#else
+  return 0;
+#endif
+}
+
+}  // namespace wsp::support

@@ -1,0 +1,18 @@
+// Process-level resident-set-size probe (Linux /proc/self/statm).
+//
+// Strictly informational: host-dependent by nature, so it must never feed a
+// deterministic report field or a gated bench metric.  The scale bench
+// publishes it next to the modeled memory_per_session as an info-direction
+// sanity check — the modeled per-session figure times the session count
+// should stay well under what the process actually holds.
+#pragma once
+
+#include <cstdint>
+
+namespace wsp::support {
+
+/// Current resident set size in bytes, or 0 when the probe is unavailable
+/// (non-Linux hosts, sandboxed /proc).  Never throws.
+std::uint64_t resident_set_bytes();
+
+}  // namespace wsp::support

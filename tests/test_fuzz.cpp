@@ -15,6 +15,7 @@
 #include "kernels/modexp_kernel.h"
 #include "mp/modexp.h"
 #include "mp/prime.h"
+#include "scenario/compile.h"
 #include "ssl/wep.h"
 #include "support/random.h"
 
@@ -371,6 +372,74 @@ TEST(Fuzz, CrtKeyDerivationConsistency) {
     const Mpz c = random_below(key.n, rng);
     EXPECT_EQ(eg.powm_crt(c, key.d, key.crt), et.powm_crt(c, key.d, key.crt))
         << iter;
+  }
+}
+
+// The .wsp compiler must never crash or leak a non-ScenarioError exception:
+// any byte string either compiles or produces a typed diagnostic
+// (docs/scenarios.md §4).  Returns true when the input compiled cleanly.
+bool compile_survives(const std::string& src) {
+  try {
+    (void)scenario::compile(src, "<fuzz>");
+    return true;
+  } catch (const scenario::ScenarioError& err) {
+    // Diagnostics must stay renderable and carry a stable code.
+    EXPECT_FALSE(err.diagnostic().render("<fuzz>").empty());
+    EXPECT_NE(static_cast<int>(err.code()), 0);
+    return false;
+  }
+  // Anything else (std::bad_alloc, std::out_of_range from a container,
+  // SIGSEGV, ...) propagates and fails the test outright.
+}
+
+TEST(Fuzz, ScenarioCompilerRandomBytes) {
+  Rng rng(901);
+  const char alphabet[] =
+      "scenario phase defaults mix sizes faults {}\":,.0123456789\n\t\\\"#eE+-";
+  for (int iter = 0; iter < 400; ++iter) {
+    std::string src;
+    const std::size_t len = rng.below(160);
+    for (std::size_t i = 0; i < len; ++i) {
+      // Mostly grammar-adjacent bytes, occasionally raw binary.
+      if (rng.below(8) == 0) {
+        src.push_back(static_cast<char>(rng.below(256)));
+      } else {
+        src.push_back(alphabet[rng.below(sizeof(alphabet) - 1)]);
+      }
+    }
+    compile_survives(src);
+  }
+}
+
+TEST(Fuzz, ScenarioCompilerMutatedValidSource) {
+  const std::string valid =
+      "scenario \"fuzz\" {\n"
+      "  seed 7\n"
+      "  defaults { arrivals open, mix { aes128: 2, rc4: 1 } }\n"
+      "  phase \"a\" { sessions 8, load 0.5, sizes { 1024: 1 } }\n"
+      "  phase \"b\" { sessions 4, resume 0.5, sizes { 2048: 1 },\n"
+      "               faults { wire_flip_rate 0.1 } }\n"
+      "}\n";
+  ASSERT_TRUE(compile_survives(valid));
+  Rng rng(902);
+  // Truncations at every byte boundary...
+  for (std::size_t cut = 0; cut < valid.size(); ++cut) {
+    compile_survives(valid.substr(0, cut));
+  }
+  // ...and random single/multi-byte mutations of the valid program.
+  for (int iter = 0; iter < 300; ++iter) {
+    std::string src = valid;
+    const int edits = 1 + static_cast<int>(rng.below(4));
+    for (int e = 0; e < edits; ++e) {
+      const std::size_t pos = rng.below(src.size());
+      switch (rng.below(3)) {
+        case 0: src[pos] = static_cast<char>(rng.below(256)); break;
+        case 1: src.erase(pos, 1 + rng.below(5)); break;
+        default: src.insert(pos, 1, static_cast<char>(rng.below(256))); break;
+      }
+      if (src.empty()) src = "{";
+    }
+    compile_survives(src);
   }
 }
 

@@ -302,6 +302,108 @@ TEST(ReplayRunRecord, UnknownChunkTagsAreSkipped) {
   EXPECT_EQ(back.scenario.sessions, 4u);
 }
 
+// Legacy traces predate the phased-program fields and the kScenarioSource
+// chunk: a record encoded without them must decode as a flat scenario with
+// no phases and no embedded source (version-skew, old-writer direction).
+TEST(ReplayRunRecord, LegacyRecordDecodesAsFlatScenarioWithoutSource) {
+  server::RunRecord rec;
+  rec.git_rev = "legacy";
+  rec.scenario.sessions = 6;
+  rec.scenario.ciphers = {ssl::Cipher::kRc4};
+  rec.scenario.transaction_sizes = {512};
+  rec.config.shards = 2;
+  rec.report.shards.resize(2);
+  // No phases, no source: the writer emits the flat trailing layout and no
+  // kScenarioSource chunk, exactly like a pre-phase binary would.
+  const auto bytes = server::encode_run_record(rec);
+  const server::RunRecord back = server::decode_run_record(bytes);
+  EXPECT_TRUE(back.scenario.phases.empty());
+  EXPECT_FALSE(back.scenario.phased());
+  EXPECT_TRUE(back.scenario_source.empty());
+  EXPECT_EQ(back.scenario.sessions, 6u);
+}
+
+// New-writer direction: phased programs and the embedded .wsp source ride
+// in the stream and round-trip field-for-field.
+TEST(ReplayRunRecord, PhasedRecordRoundTripsPhasesAndSource) {
+  server::RunRecord rec;
+  rec.git_rev = "phased";
+  rec.scenario.seed = 99;
+  server::TrafficPhase ph;
+  ph.name = "spike";
+  ph.sessions = 12;
+  ph.model = server::ArrivalModel::kClosedLoop;
+  ph.offered_load = 2.5;
+  ph.users = 3;
+  ph.think_cycles = 1e4;
+  ph.resume_fraction = 0.25;
+  ph.cipher_mix = {{ssl::Cipher::kAes128Cbc, 2}, {ssl::Cipher::kTripleDesCbc, 1}};
+  ph.size_mix = {{1024, 3}, {4096, 1}};
+  server::FaultConfig faults;
+  faults.wire_flip_rate = 0.125;
+  faults.record_retry_budget = 3;
+  ph.faults = faults;
+  rec.scenario.phases = {ph};
+  rec.scenario.sessions = rec.scenario.total_sessions();
+  rec.scenario_source = "scenario { phase \"spike\" { sessions 12 } }\n";
+  rec.config.shards = 1;
+  rec.report.shards.resize(1);
+
+  const auto bytes = server::encode_run_record(rec);
+  const server::RunRecord back = server::decode_run_record(bytes);
+  EXPECT_EQ(back.scenario_source, rec.scenario_source);
+  ASSERT_EQ(back.scenario.phases.size(), 1u);
+  const server::TrafficPhase& b = back.scenario.phases[0];
+  EXPECT_EQ(b.name, "spike");
+  EXPECT_EQ(b.sessions, 12u);
+  EXPECT_EQ(b.model, server::ArrivalModel::kClosedLoop);
+  EXPECT_EQ(b.offered_load, 2.5);
+  EXPECT_EQ(b.users, 3u);
+  EXPECT_EQ(b.think_cycles, 1e4);
+  EXPECT_EQ(b.resume_fraction, 0.25);
+  ASSERT_EQ(b.cipher_mix.size(), 2u);
+  EXPECT_EQ(b.cipher_mix[0].cipher, ssl::Cipher::kAes128Cbc);
+  EXPECT_EQ(b.cipher_mix[0].weight, 2u);
+  EXPECT_EQ(b.cipher_mix[1].cipher, ssl::Cipher::kTripleDesCbc);
+  ASSERT_EQ(b.size_mix.size(), 2u);
+  EXPECT_EQ(b.size_mix[0].bytes, 1024u);
+  EXPECT_EQ(b.size_mix[0].weight, 3u);
+  ASSERT_TRUE(b.faults.has_value());
+  EXPECT_EQ(b.faults->wire_flip_rate, 0.125);
+  EXPECT_EQ(b.faults->record_retry_budget, 3u);
+}
+
+// A phase entry naming a cipher id this binary does not know is hostile or
+// future data, not something to guess at: kMalformed.
+TEST(ReplayRunRecord, PhaseWithUnknownCipherIdIsMalformed) {
+  server::RunRecord rec;
+  rec.git_rev = "r";
+  server::TrafficPhase ph;
+  ph.name = "p";
+  ph.sessions = 1;
+  ph.cipher_mix = {{ssl::Cipher::kRc4, 1}};
+  ph.size_mix = {{256, 1}};
+  rec.scenario.phases = {ph};
+  rec.config.shards = 1;
+  rec.report.shards.resize(1);
+  auto bytes = server::encode_run_record(rec);
+  // Corrupt the encoded cipher id byte: flip the byte that encodes kRc4's
+  // wire id inside the phase mix.  Rather than chase the offset, decode on
+  // every single-byte 0x7F overwrite and require either a successful decode
+  // or a typed ReplayError -- never a crash or a silent bad value.
+  std::size_t typed_rejections = 0;
+  for (std::size_t i = 5; i < bytes.size(); ++i) {
+    auto corrupted = bytes;
+    corrupted[i] = 0x7F;
+    try {
+      (void)server::decode_run_record(corrupted);
+    } catch (const ReplayError&) {
+      ++typed_rejections;
+    }
+  }
+  EXPECT_GT(typed_rejections, 0u);
+}
+
 TEST(ReplayRunRecord, FileRoundTrip) {
   server::RunRecord rec;
   rec.git_rev = "filetest";

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <limits>
 #include <memory>
 #include <stdexcept>
 #include <vector>
@@ -156,6 +157,101 @@ TEST(EngineConfigValidation, RejectsDegenerateConfigs) {
   cfg = server::EngineConfig{};
   cfg.threads = 0;
   EXPECT_EQ(server::Engine(cfg).config().threads, 1u);
+}
+
+// Engine::run() validates the scenario before touching any shard state
+// (docs/scenarios.md §3): a malformed TrafficScenario — hand-built or
+// decoded from a hostile replay blob — must be rejected as
+// std::invalid_argument, never half-executed.
+TEST(TrafficScenarioValidation, RejectsDegenerateFlatScenarios) {
+  auto expect_invalid = [](const server::TrafficScenario& sc) {
+    server::EngineConfig cfg;
+    cfg.shards = 2;
+    server::Engine engine(cfg);
+    EXPECT_THROW(engine.run(sc), std::invalid_argument);
+  };
+  auto base = [] {
+    server::TrafficScenario sc;
+    sc.sessions = 4;
+    sc.ciphers = {ssl::Cipher::kRc4};
+    sc.transaction_sizes = {512};
+    return sc;
+  };
+  auto sc = base();
+  sc.sessions = 0;
+  expect_invalid(sc);
+  sc = base();
+  sc.ciphers.clear();
+  expect_invalid(sc);
+  sc = base();
+  sc.transaction_sizes = {0};
+  expect_invalid(sc);
+  sc = base();
+  sc.offered_load = -1.0;
+  expect_invalid(sc);
+  sc = base();
+  sc.offered_load = std::numeric_limits<double>::infinity();
+  expect_invalid(sc);
+  sc = base();
+  sc.model = server::ArrivalModel::kClosedLoop;
+  sc.users = 0;
+  expect_invalid(sc);
+  sc = base();
+  sc.think_cycles = -5.0;
+  expect_invalid(sc);
+  sc = base();
+  sc.record_bytes = 0;
+  expect_invalid(sc);
+}
+
+TEST(TrafficScenarioValidation, RejectsDegeneratePhasedPrograms) {
+  auto expect_invalid = [](const server::TrafficScenario& sc) {
+    server::EngineConfig cfg;
+    cfg.shards = 2;
+    server::Engine engine(cfg);
+    EXPECT_THROW(engine.run(sc), std::invalid_argument);
+  };
+  auto base = [] {
+    server::TrafficScenario sc;
+    server::TrafficPhase ph;
+    ph.name = "p";
+    ph.sessions = 4;
+    ph.cipher_mix = {{ssl::Cipher::kRc4, 1}};
+    ph.size_mix = {{512, 1}};
+    sc.phases = {ph};
+    return sc;
+  };
+  auto sc = base();
+  sc.phases[0].sessions = 0;
+  expect_invalid(sc);
+  sc = base();
+  sc.phases[0].cipher_mix.clear();
+  expect_invalid(sc);
+  sc = base();
+  sc.phases[0].size_mix = {{0, 1}};
+  expect_invalid(sc);
+  sc = base();
+  sc.phases[0].cipher_mix[0].weight = 0;
+  expect_invalid(sc);
+  sc = base();
+  sc.phases[0].resume_fraction = 1.5;
+  expect_invalid(sc);
+  sc = base();
+  sc.phases[0].model = server::ArrivalModel::kClosedLoop;
+  sc.phases[0].users = 0;
+  expect_invalid(sc);
+  sc = base();
+  server::FaultConfig bad_faults;
+  bad_faults.wire_flip_rate = 2.0;
+  sc.phases[0].faults = bad_faults;
+  expect_invalid(sc);
+  // The benign phased baseline itself runs clean.
+  sc = base();
+  server::EngineConfig cfg;
+  cfg.shards = 2;
+  server::Engine engine(cfg);
+  const auto report = engine.run(sc);
+  EXPECT_EQ(report.completed + report.aborted, report.admitted);
 }
 
 // A stream-cipher session heals flipped records by plain retransmission:

@@ -13,6 +13,9 @@
 #   4. Batched data-plane smokes: the chaos scenario at --batch-lanes 8
 #      under both builds (multi-buffer kernels + cohort staging + repair
 #      fallback), plus the lanes-invariance tests in ServerBatchDeterminism.
+#   5. Scenario-compiler smokes: `wspc check` over every example .wsp file
+#      under ASan/UBSan, and the flash-crowd program executed end to end
+#      under both sanitizer builds (docs/scenarios.md).
 #
 # Usage: tools/ci/sanitize.sh [build-dir]   (default: build-asan; the TSan
 # build lands next to it with a -tsan suffix)
@@ -65,6 +68,15 @@ echo "sanitize.sh: 100k-session scale run clean under ASan/UBSan"
     --outdir "$BUILD_DIR" > /dev/null
 echo "sanitize.sh: chaos run at --batch-lanes 8 clean under ASan/UBSan"
 
+# Scenario-compiler smoke under ASan/UBSan: every example program must
+# compile cleanly, and the flash-crowd program runs end to end (multi-phase
+# generator + resumption surge + per-phase fault overlay) gated on the same
+# leak invariant via wspc's nonzero exit on failure.
+"$BUILD_DIR"/tools/wspc check "$SRC_DIR"/examples/scenarios/*.wsp > /dev/null
+"$BUILD_DIR"/tools/wspc run "$SRC_DIR"/examples/scenarios/flash_crowd.wsp \
+    --threads 4 > /dev/null
+echo "sanitize.sh: example scenarios compile; flash crowd clean under ASan/UBSan"
+
 # Bench regression gate (docs/benchmarks.md): the server section against
 # the committed baselines.  Sanitizers change wall time, never the cycles
 # metrics, so the gate must pass here too.
@@ -77,7 +89,8 @@ TSAN_DIR="${BUILD_DIR}-tsan"
 cmake -B "$TSAN_DIR" -S "$SRC_DIR" -DWSP_SANITIZE=thread
 cmake --build "$TSAN_DIR" -j "$JOBS" \
       --target test_server test_server_faults test_server_determinism \
-               test_threadpool test_ring_arena bench_server
+               test_scenario_determinism test_threadpool test_ring_arena \
+               bench_server wspc
 export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
 
 (
@@ -85,7 +98,7 @@ export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
   # ServerScheduler includes the fault-containment tests (a poisoned task
   # racing the pump's failure accounting is the interesting interleaving);
   # ServerChaos runs the whole engine under fault injection.
-  ctest -R 'ServerScheduler|ServerEngine|ServerDeterminism|ServerSoak|ServerChaos|ServerBatch|ServerSessionFaults|ServerTable|MpscRing|ServerScaleSoak|ThreadPool' \
+  ctest -R 'ServerScheduler|ServerEngine|ServerDeterminism|ServerSoak|ServerChaos|ServerBatch|ServerSessionFaults|ServerTable|MpscRing|ServerScaleSoak|ThreadPool|ScenarioDeterminism' \
         --output-on-failure
 )
 
@@ -101,5 +114,12 @@ echo "sanitize.sh: 100k-session scale run clean under TSan"
 "$TSAN_DIR"/bench/bench_server --scenario chaos --threads 4 --batch-lanes 8 \
     --outdir "$TSAN_DIR" > /dev/null
 echo "sanitize.sh: chaos run at --batch-lanes 8 clean under TSan"
+
+# Flash-crowd scenario smoke under TSan: three phases' worth of arrivals —
+# including the resumption surge — pushed through the sharded table and
+# scheduler from 4 worker threads.
+"$TSAN_DIR"/tools/wspc run "$SRC_DIR"/examples/scenarios/flash_crowd.wsp \
+    --threads 4 > /dev/null
+echo "sanitize.sh: flash-crowd scenario clean under TSan"
 
 echo "sanitize.sh: scheduler/threadpool/chaos tests clean under TSan"

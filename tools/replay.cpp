@@ -41,6 +41,38 @@ void dump_record(const server::RunRecord& rec) {
     std::printf(" %s", ssl::to_string(c));
   }
   std::printf("\n");
+  if (rec.scenario.phased()) {
+    std::printf("  program: %zu phases, %zu total sessions\n",
+                rec.scenario.phases.size(), rec.scenario.total_sessions());
+    for (const server::TrafficPhase& ph : rec.scenario.phases) {
+      std::printf("    phase '%s': %zu sessions, %s, %s%.2f, resume %.2f%s\n",
+                  ph.name.c_str(), ph.sessions,
+                  ph.model == server::ArrivalModel::kOpenLoop ? "open loop"
+                                                              : "closed loop",
+                  ph.model == server::ArrivalModel::kOpenLoop ? "load "
+                                                              : "users ",
+                  ph.model == server::ArrivalModel::kOpenLoop
+                      ? ph.offered_load
+                      : static_cast<double>(ph.users),
+                  ph.resume_fraction, ph.faults ? ", fault overlay" : "");
+    }
+  }
+  if (!rec.scenario_source.empty()) {
+    std::printf("  scenario source (.wsp, %zu bytes):\n",
+                rec.scenario_source.size());
+    // Indent each line so the embedded text reads as a quoted block.
+    std::size_t start = 0;
+    while (start < rec.scenario_source.size()) {
+      std::size_t end = rec.scenario_source.find('\n', start);
+      if (end == std::string::npos) end = rec.scenario_source.size();
+      std::printf("    %.*s\n", static_cast<int>(end - start),
+                  rec.scenario_source.c_str() + start);
+      start = end + 1;
+    }
+  } else {
+    std::printf("  scenario source: none (legacy trace or hand-built "
+                "scenario)\n");
+  }
   std::printf("  engine: %u shards, queue %zu, batch %zu, rsa %zu, "
               "degrade depth %zu%s\n",
               rec.config.shards, rec.config.queue_capacity,
