@@ -370,6 +370,60 @@ bench::BenchResult run_server() {
         static_cast<double>(support::resident_set_bytes()) / (1024.0 * 1024.0);
   }
   {
+    // Crash-fault tolerance (docs/recovery.md): the chaos mix again, but
+    // with periodic checkpoints and a scheduled process kill.  The torn
+    // trace is scanned and resumed at OTHER thread counts; the resumed
+    // report must be bit-identical to an uninterrupted reference run.
+    // resume_mismatch and torn_resume_mismatch are gated exactly zero —
+    // torn additionally tears bytes off the trace tail mid-chunk, forcing
+    // the scanner back to the previous checkpoint.
+    server::EngineConfig chaos = cfg;
+    chaos.faults = bench::chaos_fault_config();
+    chaos.degrade_depth = 12;
+    const auto scenario = bench::chaos_scenario(77, 64);
+    server::Engine ref_engine(chaos);
+    const server::RunReport ref = ref_engine.run(scenario);
+
+    server::EngineConfig crashed = chaos;
+    crashed.checkpoint_every = ref.makespan_cycles / 7.0;
+    crashed.faults.crash_at_cycles = ref.makespan_cycles * 0.6;
+    server::RunRecorder recorder(crashed, scenario);
+    bool crash_seen = false;
+    try {
+      server::Engine engine(recorder.engine_config());
+      recorder.finish(engine.run(scenario));
+    } catch (const server::CrashFault&) {
+      crash_seen = true;
+      recorder.crash();
+    }
+    double resume_mismatch = 1.0;
+    double torn_mismatch = 1.0;
+    server::RunReport resumed;  // zeros if the crash machinery failed
+    if (crash_seen && recorder.checkpoints() > 0) {
+      const auto scan = server::scan_trace_for_resume(recorder.bytes());
+      const auto res = server::resume_run(scan, 8);
+      resumed = res.report;
+      resume_mismatch =
+          bench::reports_deterministically_equal(ref, res.report) ? 0.0 : 1.0;
+      // Torn write: truncate into the last checkpoint chunk's header, so
+      // the scan must reject it and fall back one checkpoint further.
+      std::vector<std::uint8_t> torn(recorder.bytes());
+      torn.resize(recorder.checkpoint_offsets().back() + 9);
+      const auto torn_scan = server::scan_trace_for_resume(torn);
+      const auto torn_res = server::resume_run(torn_scan, 1);
+      torn_mismatch =
+          (!torn_scan.tear.empty() &&
+           torn_scan.checkpoints.size() + 1 == recorder.checkpoints() &&
+           bench::reports_deterministically_equal(ref, torn_res.report))
+              ? 0.0
+              : 1.0;
+    }
+    bench::append_server_metrics(r, "crash/", resumed);
+    r.cycles["crash/checkpoints"] = static_cast<double>(recorder.checkpoints());
+    r.cycles["crash/resume_mismatch"] = resume_mismatch;
+    r.cycles["crash/torn_resume_mismatch"] = torn_mismatch;
+  }
+  {
     // Batched data plane (docs/server.md §batching): the same CBC-heavy
     // traffic at batch_lanes 1/4/8.  Deterministic metrics must be
     // bit-identical across lane widths — lanes_mismatch counts divergences

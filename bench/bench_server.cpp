@@ -18,7 +18,8 @@
 //   --batch-lanes N batched data-plane lane width for the steady/overload/
 //                   closed/chaos/scale runs (1..8, default 1 = scalar; the
 //                   batch scenario sweeps 1/4/8 regardless)
-//   --scenario S    steady|overload|closed|chaos|batch|scale|all (default all)
+//   --scenario S    steady|overload|closed|chaos|crash|batch|scale|all
+//                   (default all)
 //   --scale-sessions N  arrivals for the scale scenario (default 100000)
 //   --scale-sweep   sweep the scale scenario 100k -> 1M (overrides
 //                   --scale-sessions; the 1M point takes a few seconds)
@@ -29,10 +30,24 @@
 //                   (docs/scenarios.md) under the same engine config;
 //                   metrics appear under wsp/<name>/ and a recording (when
 //                   --record-dir is set) embeds the scenario source
+//   --checkpoint-every C  quiesce-barrier interval in virtual cycles for the
+//                   crash scenario (default: derived, 1/7 of the reference
+//                   makespan); must be a positive finite number
+//   --resume-from FILE  crash recovery utility (docs/recovery.md): scan the
+//                   (possibly torn) trace, restore the last valid
+//                   checkpoint, continue at --threads, print the report and
+//                   exit — no scenarios run, no JSON written
 //   --trace FILE    write a Chrome-trace of this run
+//
+// Exit codes: 0 success, 1 gate failure (leak, missing drops/faults,
+// determinism mismatch, unwritable artifact), 2 invalid flag or unreadable
+// --resume-from trace.
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <exception>
+#include <stdexcept>
 #include <string>
 #include <utility>
 #include <vector>
@@ -90,6 +105,19 @@ bool sessions_leaked(const server::RunReport& rep) {
   return rep.completed + rep.aborted != rep.admitted;
 }
 
+/// A checkpoint interval must be a positive, finite virtual-cycle count
+/// (wspc run applies the same rule to its --checkpoint-every).
+double parse_checkpoint_every(const std::string& text) {
+  char* end = nullptr;
+  const double v = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || *end != '\0' || !std::isfinite(v) || v <= 0.0) {
+    throw std::invalid_argument(
+        "--checkpoint-every wants a positive virtual-cycle count, got '" +
+        text + "'");
+  }
+  return v;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -126,6 +154,53 @@ int main(int argc, char** argv) {
       bench::parse_string_flag(argc, argv, "--record-dir");
   const std::string scenario_file =
       bench::parse_string_flag(argc, argv, "--scenario-file");
+  const std::string checkpoint_every_text =
+      bench::parse_string_flag(argc, argv, "--checkpoint-every");
+  const std::string resume_from =
+      bench::parse_string_flag(argc, argv, "--resume-from");
+  double checkpoint_every = 0.0;  // 0 = derive from the reference makespan
+  if (!checkpoint_every_text.empty()) {
+    try {
+      checkpoint_every = parse_checkpoint_every(checkpoint_every_text);
+    } catch (const std::invalid_argument& e) {
+      std::fprintf(stderr, "bench_server: %s\n", e.what());
+      return 2;
+    }
+  }
+
+  if (!resume_from.empty()) {
+    // Crash recovery utility mode: no scenarios, no JSON — just resume the
+    // trace and print what the recovered run did.
+    try {
+      const server::ResumeScan scan =
+          server::scan_trace_for_resume(replay::read_file(resume_from));
+      std::printf("\nscanned %s: %zu bytes, %zu checkpoints, %s%s%s\n",
+                  resume_from.c_str(), scan.scanned_bytes,
+                  scan.checkpoints.size(),
+                  scan.complete ? "complete trace" : "torn trace",
+                  scan.tear.empty() ? "" : "\n  tear: ",
+                  scan.tear.c_str());
+      const server::ReplayResult res = server::resume_run(scan, threads);
+      if (!res.ok()) {
+        std::fprintf(stderr, "resume FAILED: %zu mismatches\n",
+                     res.mismatches.size());
+        for (const std::string& m : res.mismatches) {
+          std::fprintf(stderr, "  %s\n", m.c_str());
+        }
+        return 1;
+      }
+      print_report(("resumed: " + resume_from).c_str(), res.report);
+      if (sessions_leaked(res.report)) {
+        std::fprintf(stderr, "resumed run leaked sessions\n");
+        return 1;
+      }
+      return 0;
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "bench_server: %s: %s\n", resume_from.c_str(),
+                   e.what());
+      return 2;
+    }
+  }
   const std::string trace_path = bench::maybe_start_trace(argc, argv);
 
   int record_failures = 0;
@@ -219,6 +294,86 @@ int main(int argc, char** argv) {
     if (rep.faults_injected == 0) {
       std::fprintf(stderr, "chaos scenario injected no faults — "
                            "fault plan broken\n");
+      return 1;
+    }
+  }
+  if (which == "all" || which == "crash") {
+    // Crash-fault tolerance (docs/recovery.md): chaos traffic with periodic
+    // quiesce-barrier checkpoints and a scheduled kill at 60% of the
+    // reference makespan.  The torn trace is resumed at a different thread
+    // count; the hard gate is bit-identity with the uninterrupted run.
+    server::EngineConfig ccfg = cfg;
+    ccfg.faults = bench::chaos_fault_config();
+    ccfg.degrade_depth = 3 * shards;
+    const auto scenario = bench::chaos_scenario(seed + 6, sessions);
+    server::Engine ref_engine(ccfg);
+    const server::RunReport ref = ref_engine.run(scenario);
+
+    server::EngineConfig crash_cfg = ccfg;
+    crash_cfg.checkpoint_every = checkpoint_every > 0.0
+                                     ? checkpoint_every
+                                     : ref.makespan_cycles / 7.0;
+    crash_cfg.faults.crash_at_cycles = ref.makespan_cycles * 0.6;
+    const std::string crash_trace =
+        record_dir.empty() ? std::string()
+                           : record_dir + "/REPLAY_server_crash.wspr";
+    server::RunRecorder recorder(crash_cfg, scenario, {}, crash_trace);
+    bool crash_seen = false;
+    try {
+      server::Engine engine(recorder.engine_config());
+      recorder.finish(engine.run(scenario));
+    } catch (const server::CrashFault& e) {
+      crash_seen = true;
+      recorder.crash();
+      std::printf("\n--- crash ---\n  %s\n", e.what());
+    }
+    if (!crash_seen || recorder.checkpoints() == 0 || !recorder.ok()) {
+      std::fprintf(stderr,
+                   "crash scenario: expected a mid-run crash with prior "
+                   "checkpoints (crashed=%d, checkpoints=%zu, recorder %s)\n",
+                   crash_seen ? 1 : 0, recorder.checkpoints(),
+                   recorder.ok() ? "ok" : recorder.error().c_str());
+      return 1;
+    }
+    if (!crash_trace.empty()) {
+      std::printf("  recorded torn trace %s (%zu checkpoints)\n",
+                  crash_trace.c_str(), recorder.checkpoints());
+    }
+    const auto scan = server::scan_trace_for_resume(recorder.bytes());
+    const unsigned resume_threads = threads == 1 ? 2 : 1;
+    const auto res = server::resume_run(scan, resume_threads);
+    print_report(("crash -> resume (checkpoint " +
+                  std::to_string(scan.checkpoints.size() - 1) + ", " +
+                  std::to_string(resume_threads) + " threads)")
+                     .c_str(),
+                 res.report);
+    const bool resume_ok =
+        bench::reports_deterministically_equal(ref, res.report);
+    // Torn write on top: tear into the last checkpoint chunk's header so
+    // the scan must reject it and fall back one checkpoint.
+    std::vector<std::uint8_t> torn(recorder.bytes());
+    torn.resize(recorder.checkpoint_offsets().back() + 9);
+    const auto torn_scan = server::scan_trace_for_resume(torn);
+    const auto torn_res = server::resume_run(torn_scan, threads);
+    const bool torn_ok =
+        !torn_scan.tear.empty() &&
+        torn_scan.checkpoints.size() + 1 == recorder.checkpoints() &&
+        bench::reports_deterministically_equal(ref, torn_res.report);
+    std::printf("  resume identical: %s; torn-tail fallback identical: %s\n",
+                resume_ok ? "yes" : "NO", torn_ok ? "yes" : "NO");
+    bench::append_server_metrics(result, "crash/", res.report);
+    result.cycles["crash/checkpoints"] =
+        static_cast<double>(recorder.checkpoints());
+    result.cycles["crash/resume_mismatch"] = resume_ok ? 0.0 : 1.0;
+    result.cycles["crash/torn_resume_mismatch"] = torn_ok ? 0.0 : 1.0;
+    if (!resume_ok || !torn_ok) {
+      std::fprintf(stderr, "crash scenario: resumed run diverged from the "
+                           "uninterrupted reference\n");
+      return 1;
+    }
+    if (sessions_leaked(res.report)) {
+      std::fprintf(stderr, "crash scenario leaked sessions across the "
+                           "checkpoint/restore boundary\n");
       return 1;
     }
   }

@@ -95,14 +95,22 @@ inline json::Value to_json(const BenchResult& r) {
 }
 
 /// Writes `<outdir>/BENCH_<name>.json`; returns the path, or "" on failure.
+/// The write is temp-file-then-rename: a crash (or full disk) mid-write can
+/// tear only the .tmp file, never replace an existing artifact or baseline
+/// with a half-written one (docs/recovery.md).
 inline std::string write_bench_json(const BenchResult& r,
                                     const std::string& outdir = ".") {
   const std::string path = outdir + "/BENCH_" + r.name + ".json";
-  std::FILE* f = std::fopen(path.c_str(), "wb");
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
   if (!f) return "";
   const std::string text = to_json(r).dump(1) + "\n";
   const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
-  if (std::fclose(f) != 0 || !ok) return "";
+  if (std::fclose(f) != 0 || !ok ||
+      std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return "";
+  }
   return path;
 }
 

@@ -337,6 +337,14 @@ class Resolver {
         require_unique(seen, e);
         fc.backoff_cap_cycles =
             ranged(e, 1.0, 1e15, "expects backoff cycles in [1, 1e15]");
+      } else if (e.key == "crash_at_cycles") {
+        // A scheduled process kill at this virtual time (docs/recovery.md).
+        // Unlike the per-session fault rates it is an external event: the
+        // engine throws CrashFault when the clock passes it, and it never
+        // rides along in a recording — a resumed run must not re-crash.
+        require_unique(seen, e);
+        fc.crash_at_cycles =
+            ranged(e, 1.0, 1e15, "expects a crash time in [1, 1e15] cycles");
       } else {
         fail(Code::kUnknownKey, e.loc,
              "unknown key '" + e.key + "' in faults block");

@@ -3,12 +3,15 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <deque>
 #include <optional>
 #include <string>
 #include <thread>
+#include <unordered_map>
 
 #include "crypto/batch.h"
+#include "server/checkpoint.h"
 #include "server/session_table.h"
 #include "support/trace.h"
 
@@ -154,10 +157,25 @@ Engine::Engine(const EngineConfig& config) : config_(config) {
         "server: EngineConfig.batch_lanes must be in [1, 8]");
   }
   config_.faults.validate();
+  if (!std::isfinite(config_.checkpoint_every) ||
+      config_.checkpoint_every < 0.0) {
+    throw std::invalid_argument(
+        "server: EngineConfig.checkpoint_every must be finite and >= 0");
+  }
   config_.threads = std::max(1u, config_.threads);
 }
 
 RunReport Engine::run(const TrafficScenario& scenario) {
+  return run_internal(scenario, nullptr);
+}
+
+RunReport Engine::run(const TrafficScenario& scenario,
+                      const EngineCheckpoint& checkpoint) {
+  return run_internal(scenario, &checkpoint);
+}
+
+RunReport Engine::run_internal(const TrafficScenario& scenario,
+                               const EngineCheckpoint* restore) {
   WSP_TRACE_SPAN("server", "run");
   using Clock = std::chrono::steady_clock;
   const auto t0 = Clock::now();
@@ -354,8 +372,10 @@ RunReport Engine::run(const TrafficScenario& scenario) {
     Slot* slot;
     Session* session;
     SessionHandle handle;
-    bool resume;         ///< this session's establishment path
-    unsigned hs_budget;  ///< its phase's handshake retry budget
+    bool resume;          ///< this session's establishment path
+    unsigned hs_budget;   ///< its phase's handshake retry budget
+    std::uint32_t phase;  ///< scenario phase it arrived in (checkpointing:
+                          ///< restore re-derives its schedule from this)
   };
   const unsigned lanes = config_.batch_lanes;
   const std::size_t cohort_cap =
@@ -456,7 +476,262 @@ RunReport Engine::run(const TrafficScenario& scenario) {
     batch_flushes.fetch_add(dispatcher.flushes(), std::memory_order_relaxed);
   };
 
-  while (auto arrival = gen.next()) {
+  // The scalar data plane as one reusable push — the classic per-session
+  // pump task.  Shared by the admission loop and the checkpoint-restore
+  // path so a re-admitted parked session runs byte-identical code.
+  auto push_scalar = [&sched, &establish, &finalize](
+                         unsigned shard, Slot* slot, Session* session,
+                         SessionHandle handle, bool resume, unsigned hs_budget,
+                         std::size_t batch) {
+    sched.push(shard, [slot, session, handle, batch, resume, hs_budget,
+                       &establish, &finalize] {
+      bool aborted = false;
+      try {
+        aborted = establish(session, resume, hs_budget);
+        if (!aborted) {
+          while (!session->finished()) session->pump(batch);
+          session->teardown();
+          slot->completed = true;
+        }
+      } catch (...) {
+        // SessionError(kAborted) from the exhausted repair ladder, or any
+        // unexpected failure: the session is finished either way.  abort()
+        // is idempotent and safe from every state but kClosed.
+        session->abort();
+        aborted = true;
+      }
+      finalize(session, handle, slot, aborted);
+    });
+  };
+
+  // Crash-fault deadline: the earliest armed crash_at_cycles across the
+  // engine config and every phase overlay.  Detected at arrival
+  // granularity — the first arrival at/after the deadline kills the run.
+  double crash_at = config_.faults.crash_at_cycles;
+  for (const FaultConfig& pfc : phase_faults) {
+    if (pfc.crash_at_cycles > 0.0 &&
+        (crash_at <= 0.0 || pfc.crash_at_cycles < crash_at)) {
+      crash_at = pfc.crash_at_cycles;
+    }
+  }
+
+  // Checkpoint barriers (docs/recovery.md): at every multiple of
+  // checkpoint_every on the virtual clock, quiesce the data plane and hand
+  // the full run state to the sink.  `pre_draw` holds the generator state
+  // from BEFORE the current arrival's draw — the barrier decision is made
+  // from the drawn arrival's time, so the checkpoint must store the
+  // pre-draw state for resume to re-draw that arrival.
+  CheckpointSink* sink = config_.checkpoint_sink;
+  const double cp_every = config_.checkpoint_every;
+  const bool checkpointing = sink != nullptr && cp_every > 0.0;
+  std::uint64_t checkpoint_seq = 0;
+  double next_cp = cp_every;
+  TrafficGeneratorState pre_draw;
+
+  auto quiesce_checkpoint = [&](double cp_time) {
+    WSP_TRACE_SPAN("server", "checkpoint");
+    // Quiesce: every pushed work item has executed (proven by the
+    // scheduler, not assumed).  The only live sessions left are
+    // staged-but-unflushed cohort members, all still kPending — the walk
+    // below verifies exactly that before anything is serialized.
+    sched.quiesce();
+    std::unordered_map<const Slot*, const CohortMember*> parked;
+    for (const auto& staged : cohort_staging) {
+      for (const CohortMember& m : staged) parked.emplace(m.slot, &m);
+    }
+    std::size_t live = 0;
+    for (unsigned s = 0; s < shards; ++s) {
+      table.for_each_live(s, [&](SessionHandle, Session& session) {
+        ++live;
+        if (session.state() != SessionState::kPending) {
+          throw std::logic_error(
+              "server: quiesce barrier found a live session past kPending — "
+              "the data plane did not quiesce");
+        }
+      });
+    }
+    if (live != parked.size()) {
+      throw std::logic_error(
+          "server: quiesce barrier live-session count disagrees with the "
+          "staged cohorts");
+    }
+    for (const auto& [slot_ptr, m] : parked) {
+      (void)slot_ptr;
+      if (table.get(m->handle) != m->session) {
+        throw std::logic_error(
+            "server: staged cohort member's handle went stale before the "
+            "barrier");
+      }
+    }
+
+    EngineCheckpoint cp;
+    cp.seq = checkpoint_seq++;
+    cp.virtual_now = cp_time;
+    cp.offered = rep.offered;
+    cp.shed = rep.shed;
+    cp.degrade_enters = rep.degrade_enters;
+    cp.degraded = degraded;
+    cp.makespan_cycles = rep.makespan_cycles;
+    cp.peak_sessions = rep.peak_sessions;
+    cp.platform_cycles_base = rep.platform_cycles_base;
+    cp.platform_cycles_optimized = rep.platform_cycles_optimized;
+    cp.shards.resize(shards);
+    for (unsigned s = 0; s < shards; ++s) {
+      CheckpointShard& csh = cp.shards[s];
+      csh.busy_until = vq[s].busy_until;
+      csh.completions.assign(vq[s].completions.begin(),
+                             vq[s].completions.end());
+      csh.admitted = rep.shards[s].admitted;
+      csh.dropped = rep.shards[s].dropped;
+      csh.peak_virtual_depth = rep.shards[s].peak_virtual_depth;
+    }
+    cp.latencies = latencies;
+    cp.entries.reserve(slots.size());
+    for (const Slot& slot : slots) {
+      CheckpointEntry e;
+      e.event.id = slot.id;
+      e.event.shard = slot.shard;
+      const auto it = parked.find(&slot);
+      if (it != parked.end()) {
+        const CohortMember& m = *it->second;
+        const SessionConfig& mc = m.session->config();
+        e.parked = true;
+        e.parked_info.phase = m.phase;
+        e.parked_info.cipher = mc.cipher;
+        e.parked_info.transaction_bytes = mc.transaction_bytes;
+        e.parked_info.session_seed = mc.seed;
+        e.parked_info.resume = m.resume;
+        e.parked_info.handle = m.handle.ref;
+      } else {
+        e.event.wire_bytes = slot.wire_bytes;
+        e.event.records = slot.records;
+        e.event.retries = slot.retries;
+        e.event.repairs = slot.repairs;
+        e.event.faults = slot.faults;
+        e.event.completed = slot.completed;
+        CheckpointShard& csh = cp.shards[slot.shard];
+        csh.events_digest =
+            (csh.events_digest ^ e.event.digest()) * 1099511628211ULL + 1;
+      }
+      cp.entries.push_back(std::move(e));
+    }
+    cp.generator = pre_draw;
+    sink->on_checkpoint(cp);
+  };
+
+  // Checkpoint restore: re-arm the virtual queueing model, counters and
+  // latency ledger; refill the slot ledger in arrival order (finalized
+  // outcomes verbatim, parked sessions re-admitted through the normal
+  // staging/pump machinery); rewind the generator to the pre-draw state.
+  // Structural mismatches throw std::logic_error — the typed-error
+  // validation of untrusted traces lives in server/record.h's resume path,
+  // which runs before this is reached.
+  if (restore != nullptr) {
+    const EngineCheckpoint& cp = *restore;
+    auto bad = [](const std::string& what) {
+      throw std::logic_error("server: checkpoint does not fit this run: " +
+                             what);
+    };
+    if (cp.shards.size() != shards) bad("shard count mismatch");
+    if (cp.offered > scenario.total_sessions()) {
+      bad("offered count exceeds the scenario's total sessions");
+    }
+    rep.offered = cp.offered;
+    rep.shed = cp.shed;
+    rep.degrade_enters = cp.degrade_enters;
+    degraded = cp.degraded;
+    rep.makespan_cycles = cp.makespan_cycles;
+    rep.peak_sessions = static_cast<std::size_t>(cp.peak_sessions);
+    rep.platform_cycles_base = cp.platform_cycles_base;
+    rep.platform_cycles_optimized = cp.platform_cycles_optimized;
+    for (unsigned s = 0; s < shards; ++s) {
+      const CheckpointShard& csh = cp.shards[s];
+      vq[s].busy_until = csh.busy_until;
+      vq[s].completions.assign(csh.completions.begin(),
+                               csh.completions.end());
+      rep.shards[s].admitted = csh.admitted;
+      rep.shards[s].dropped = csh.dropped;
+      rep.shards[s].peak_virtual_depth =
+          static_cast<std::size_t>(csh.peak_virtual_depth);
+      rep.admitted += csh.admitted;
+      rep.dropped += csh.dropped;
+    }
+    latencies = cp.latencies;
+    for (const CheckpointEntry& e : cp.entries) {
+      if (e.event.shard != static_cast<std::uint32_t>(e.event.id % shards)) {
+        bad("entry shard disagrees with its session id");
+      }
+      slots.push_back(
+          Slot{e.event.id, e.event.shard, 0, 0, 0, 0, 0, false, false});
+      Slot* slot = &slots.back();
+      if (!e.parked) {
+        slot->wire_bytes = e.event.wire_bytes;
+        slot->records = e.event.records;
+        slot->retries = e.event.retries;
+        slot->repairs = e.event.repairs;
+        slot->faults = e.event.faults;
+        slot->completed = e.event.completed;
+        slot->aborted = !e.event.completed;
+        continue;
+      }
+      const ParkedSession& p = e.parked_info;
+      if (phased && p.phase >= scenario.phases.size()) {
+        bad("parked phase out of range");
+      }
+      if (!phased && p.phase != 0) bad("parked phase on a flat scenario");
+      const FaultConfig& pfc = phased ? phase_faults[p.phase] : config_.faults;
+      SessionConfig cfg;
+      cfg.id = e.event.id;
+      cfg.cipher = p.cipher;
+      cfg.transaction_bytes = static_cast<std::size_t>(p.transaction_bytes);
+      cfg.record_bytes = scenario.record_bytes;
+      cfg.seed = p.session_seed;
+      cfg.faults =
+          (phased ? phase_plans[p.phase] : plan).schedule_for(e.event.id);
+      const SessionTable::Inserted ins = table.insert(cfg);
+      if (lanes > 1) {
+        // Parked members rejoin the staging area; the continued arrival
+        // stream tops the cohorts up and flushes them exactly like the
+        // original admission path (or the post-loop partial flush does).
+        cohort_staging[e.event.shard].push_back(
+            CohortMember{slot, ins.session, ins.handle, p.resume,
+                         pfc.handshake_retry_budget, p.phase});
+      } else {
+        // Resuming a lanes>1 checkpoint on the scalar plane: the parked
+        // session runs the classic pump.  The batch quantum is a host-side
+        // knob, so deciding it from the restored degrade flag is safe.
+        const std::size_t batch =
+            degraded ? std::max<std::size_t>(1, config_.record_batch / 2)
+                     : config_.record_batch;
+        push_scalar(e.event.shard, slot, ins.session, ins.handle, p.resume,
+                    pfc.handshake_retry_budget, batch);
+      }
+    }
+    gen.restore(cp.generator);
+    checkpoint_seq = cp.seq + 1;
+    next_cp = cp.virtual_now + cp_every;
+  }
+
+  for (;;) {
+    if (checkpointing) pre_draw = gen.state();
+    const std::optional<SessionArrival> arrival = gen.next();
+    if (!arrival) break;
+    // Barriers due at/before this arrival fire first (over the pre-draw
+    // generator state), then an armed crash kills the run before the
+    // arrival is offered.  The order matters: a barrier scheduled before
+    // the crash deadline must reach the trace even when both land between
+    // the same two arrivals.
+    const double now = arrival->at_cycles;
+    const bool crash_now = crash_at > 0.0 && now >= crash_at;
+    const double barrier_limit = crash_now ? crash_at : now;
+    while (checkpointing && next_cp <= barrier_limit) {
+      quiesce_checkpoint(next_cp);
+      next_cp += cp_every;
+    }
+    if (crash_now) {
+      sched.drain();  // clean unwind: no worker may touch freed stack state
+      throw CrashFault(now, crash_at);
+    }
     ++rep.offered;
     const unsigned shard = static_cast<unsigned>(arrival->id % shards);
 
@@ -550,8 +825,9 @@ RunReport Engine::run(const TrafficScenario& scenario) {
     if (lanes > 1) {
       // Batched plane: collect into the shard's cohort; a full cohort
       // becomes one scheduler task draining all its members three-phase.
-      cohort_staging[shard].push_back(CohortMember{
-          slot, session, handle, resume, fc.handshake_retry_budget});
+      cohort_staging[shard].push_back(
+          CohortMember{slot, session, handle, resume,
+                       fc.handshake_retry_budget, arrival->phase});
       if (cohort_staging[shard].size() >= cohort_cap) {
         auto members = std::make_shared<std::vector<CohortMember>>(
             std::move(cohort_staging[shard]));
@@ -568,26 +844,8 @@ RunReport Engine::run(const TrafficScenario& scenario) {
     const std::size_t batch =
         degraded ? std::max<std::size_t>(1, config_.record_batch / 2)
                  : config_.record_batch;
-    const unsigned hs_budget = fc.handshake_retry_budget;
-    sched.push(shard, [slot, session, handle, batch, resume, hs_budget,
-                       &establish, &finalize] {
-      bool aborted = false;
-      try {
-        aborted = establish(session, resume, hs_budget);
-        if (!aborted) {
-          while (!session->finished()) session->pump(batch);
-          session->teardown();
-          slot->completed = true;
-        }
-      } catch (...) {
-        // SessionError(kAborted) from the exhausted repair ladder, or any
-        // unexpected failure: the session is finished either way.  abort()
-        // is idempotent and safe from every state but kClosed.
-        session->abort();
-        aborted = true;
-      }
-      finalize(session, handle, slot, aborted);
-    });
+    push_scalar(shard, slot, session, handle, resume,
+                fc.handshake_retry_budget, batch);
   }
 
   // Flush the partial cohorts the arrival stream left behind.

@@ -47,6 +47,19 @@
 
 namespace wsp::server {
 
+struct EngineCheckpoint;  // full definition in server/checkpoint.h
+
+/// Receives each quiesce-barrier checkpoint as it is taken (EngineConfig::
+/// checkpoint_sink).  Called on the engine's run() thread while the data
+/// plane is fully drained; the checkpoint reference is valid only for the
+/// duration of the call.  Implementations must not call back into the
+/// engine.
+class CheckpointSink {
+ public:
+  virtual ~CheckpointSink() = default;
+  virtual void on_checkpoint(const EngineCheckpoint& checkpoint) = 0;
+};
+
 /// Which platform configuration prices the virtual service times.
 enum class Pricing { kBase, kOptimized };
 
@@ -89,6 +102,18 @@ struct EngineConfig {
   /// turns it on; large-scale benches leave it off to avoid the per-session
   /// allocation.  Per-shard event digests are computed either way.
   bool record_events = false;
+  /// Virtual-cycle interval between quiesce-barrier checkpoints (0 = off,
+  /// validated finite and >= 0).  At every multiple, before admitting the
+  /// arrival that crossed it, the engine drains the scheduler, parks
+  /// in-flight cohorts and hands a full EngineCheckpoint to
+  /// `checkpoint_sink`.  Barriers fire only when a sink is installed.
+  /// Checkpoint content is deterministic (docs/recovery.md); the host-side
+  /// cost is the drain, so pick intervals per run, not per arrival.
+  double checkpoint_every = 0.0;
+  /// Where checkpoints go (borrowed, not owned; nullptr = no barriers).
+  /// server/record.h's RunRecorder is the standard sink, appending
+  /// kCheckpoint chunks to the run's trace.
+  CheckpointSink* checkpoint_sink = nullptr;
 };
 
 /// One admitted session's deterministic outcome — the unit of the replay
@@ -192,12 +217,29 @@ class Engine {
   /// multi-phase program (TrafficScenario.phases, docs/scenarios.md) —
   /// executes every admitted session to completion, and reports.
   /// Synchronous; callable repeatedly.  Throws std::invalid_argument on a
-  /// degenerate scenario (TrafficScenario::validate).
+  /// degenerate scenario (TrafficScenario::validate).  When
+  /// config.faults.crash_at_cycles (or a phase overlay's) is armed, throws
+  /// CrashFault at the first arrival at/after the earliest such deadline —
+  /// after firing every checkpoint barrier due at or before it.
   RunReport run(const TrafficScenario& scenario);
+
+  /// Resume form: restores `checkpoint` (taken by a checkpoint sink during
+  /// an earlier run of the SAME scenario under the SAME deterministic
+  /// config) and continues the run from that barrier.  The resulting report
+  /// is bit-identical to the uninterrupted run's on every deterministic
+  /// field, for any --threads / batch_lanes combination (docs/recovery.md).
+  /// Structural checkpoint/scenario mismatches throw std::logic_error; use
+  /// server/record.h's resume path for typed validation of untrusted
+  /// traces.
+  RunReport run(const TrafficScenario& scenario,
+                const EngineCheckpoint& checkpoint);
 
   const EngineConfig& config() const { return config_; }
 
  private:
+  RunReport run_internal(const TrafficScenario& scenario,
+                         const EngineCheckpoint* checkpoint);
+
   EngineConfig config_;
 };
 

@@ -1,5 +1,7 @@
 #include "server/faults.h"
 
+#include <cmath>
+
 namespace wsp::server {
 
 namespace {
@@ -44,6 +46,13 @@ SessionError::SessionError(SessionErrorKind kind, std::uint64_t session_id,
       kind_(kind),
       session_id_(session_id) {}
 
+CrashFault::CrashFault(double at_cycles, double deadline_cycles)
+    : std::runtime_error("server: simulated process crash at virtual cycle " +
+                         std::to_string(at_cycles) + " (scheduled for " +
+                         std::to_string(deadline_cycles) + ")"),
+      at_cycles_(at_cycles),
+      deadline_cycles_(deadline_cycles) {}
+
 void FaultConfig::validate() const {
   check_rate(wire_flip_rate, "wire_flip_rate");
   check_rate(handshake_failure_rate, "handshake_failure_rate");
@@ -51,6 +60,10 @@ void FaultConfig::validate() const {
   check_rate(stall_rate, "stall_rate");
   if (stall_cycles <= 0.0) {
     throw std::invalid_argument("server: FaultConfig.stall_cycles must be > 0");
+  }
+  if (!std::isfinite(crash_at_cycles) || crash_at_cycles < 0.0) {
+    throw std::invalid_argument(
+        "server: FaultConfig.crash_at_cycles must be finite and >= 0");
   }
   if (backoff_base_cycles <= 0.0 || backoff_cap_cycles < backoff_base_cycles) {
     throw std::invalid_argument(

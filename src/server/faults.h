@@ -21,6 +21,10 @@
 //     budgets and aborts cleanly (models a peer gone hostile or dead).
 //   * transient stall     — a one-off service-time inflation on the
 //     virtual timeline (models a link-layer outage the session survives).
+//   * process crash       — the whole engine is killed at a scheduled
+//     virtual time (crash_at_cycles): run() unwinds with a CrashFault after
+//     draining in-flight crypto work.  Recovery is the checkpoint/restore
+//     path (docs/recovery.md), not the per-session repair ladder.
 #pragma once
 
 #include <cstdint>
@@ -53,6 +57,25 @@ class SessionError : public std::runtime_error {
   std::uint64_t session_id_;
 };
 
+/// The simulated process kill (FaultConfig::crash_at_cycles).  Thrown by
+/// Engine::run at the first arrival whose virtual time reaches the deadline,
+/// after the scheduler has drained — so the unwind is clean, but the run is
+/// simply GONE: no report, no end-of-stream chunk in the trace.  Callers
+/// that armed the fault catch this; anyone else seeing it is a bug.
+class CrashFault : public std::runtime_error {
+ public:
+  CrashFault(double at_cycles, double deadline_cycles);
+
+  /// Virtual time the engine actually died at (first arrival >= deadline).
+  double at_cycles() const { return at_cycles_; }
+  /// The configured crash_at_cycles that triggered it.
+  double deadline_cycles() const { return deadline_cycles_; }
+
+ private:
+  double at_cycles_;
+  double deadline_cycles_;
+};
+
 /// Scenario-level fault model: rates are per-session (handshake/abort/
 /// stall) or per-record (wire flips) probabilities in [0, 1]; budgets bound
 /// the recovery machinery.  All-zero rates (the default) disable injection
@@ -68,6 +91,14 @@ struct FaultConfig {
   unsigned handshake_retry_budget = 2; ///< handshake retries before abort
   double backoff_base_cycles = 1.0e5;  ///< first handshake-retry backoff
   double backoff_cap_cycles = 1.6e6;   ///< exponential backoff ceiling
+
+  /// Virtual time at which the whole engine process is killed (0 = never).
+  /// The engine throws CrashFault at the first arrival at/after this time,
+  /// after running every checkpoint barrier due at or before it.  A crash
+  /// is an EXTERNAL event, not part of the workload: it is deliberately NOT
+  /// serialized into wsp-replay-v1 traces, so replaying or resuming a
+  /// crashed run's trace never re-crashes (docs/recovery.md).
+  double crash_at_cycles = 0.0;
 
   bool enabled() const {
     return wire_flip_rate > 0.0 || handshake_failure_rate > 0.0 ||

@@ -1,7 +1,12 @@
 #include "server/record.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <filesystem>
+#include <optional>
+#include <stdexcept>
+#include <utility>
 
 #ifndef WSP_GIT_REV
 #define WSP_GIT_REV "unknown"
@@ -365,6 +370,56 @@ std::vector<SessionEvent> decode_events(
   return evs;
 }
 
+/// The input chunks every trace starts with, whether written at once
+/// (encode_run_record) or incrementally (RunRecorder).
+void write_input_chunks(replay::ChunkWriter& writer, const RunRecord& record) {
+  {
+    std::vector<std::uint8_t> meta;
+    put_string(meta, record.git_rev);
+    put_varint(meta, record.recorded_threads);
+    writer.chunk(tag(RecordChunk::kMeta), meta);
+  }
+  writer.chunk(tag(RecordChunk::kScenario), encode_scenario(record.scenario));
+  if (!record.scenario_source.empty()) {
+    // Informational: the .wsp text the scenario was compiled from.  Replay
+    // runs from the lowered kScenario chunk, never from this text, so the
+    // compiler cannot drift a recorded run; older binaries skip the
+    // unknown tag entirely.
+    std::vector<std::uint8_t> src;
+    put_string(src, record.scenario_source);
+    writer.chunk(tag(RecordChunk::kScenarioSource), src);
+  }
+  writer.chunk(tag(RecordChunk::kConfig), encode_config(record.config));
+  {
+    std::vector<std::uint8_t> costs;
+    put_costs(costs, calibrated_costs(Pricing::kBase));
+    put_costs(costs, calibrated_costs(Pricing::kOptimized));
+    writer.chunk(tag(RecordChunk::kCosts), costs);
+  }
+}
+
+bool costs_match(const ssl::PlatformCosts& a, const ssl::PlatformCosts& b) {
+  return a.rsa_private_cycles == b.rsa_private_cycles &&
+         a.rsa_public_cycles == b.rsa_public_cycles &&
+         a.symmetric_cycles_per_byte == b.symmetric_cycles_per_byte &&
+         a.hash_cycles_per_byte == b.hash_cycles_per_byte &&
+         a.handshake_misc_cycles == b.handshake_misc_cycles &&
+         a.misc_cycles_per_byte == b.misc_cycles_per_byte;
+}
+
+/// The recorded calibration must match this binary's; a drifted cost model
+/// would re-time every virtual event and make any mismatch meaningless.
+void require_calibration(const ssl::PlatformCosts& rec_base,
+                         const ssl::PlatformCosts& rec_opt,
+                         const std::string& git_rev) {
+  if (!costs_match(rec_base, calibrated_costs(Pricing::kBase)) ||
+      !costs_match(rec_opt, calibrated_costs(Pricing::kOptimized))) {
+    throw ReplayError(ErrorKind::kMalformed, 0,
+                      "recorded calibrated_costs differ from this binary's "
+                      "(recorded at git_rev " + git_rev + ")");
+  }
+}
+
 }  // namespace
 
 RunRecord record_run(const EngineConfig& config,
@@ -389,29 +444,7 @@ RunRecord record_run(const EngineConfig& config,
 std::vector<std::uint8_t> encode_run_record(const RunRecord& record) {
   replay::VectorSink sink;
   replay::ChunkWriter writer(sink);
-  {
-    std::vector<std::uint8_t> meta;
-    put_string(meta, record.git_rev);
-    put_varint(meta, record.recorded_threads);
-    writer.chunk(tag(RecordChunk::kMeta), meta);
-  }
-  writer.chunk(tag(RecordChunk::kScenario), encode_scenario(record.scenario));
-  if (!record.scenario_source.empty()) {
-    // Informational: the .wsp text the scenario was compiled from.  Replay
-    // runs from the lowered kScenario chunk, never from this text, so the
-    // compiler cannot drift a recorded run; older binaries skip the
-    // unknown tag entirely.
-    std::vector<std::uint8_t> src;
-    put_string(src, record.scenario_source);
-    writer.chunk(tag(RecordChunk::kScenarioSource), src);
-  }
-  writer.chunk(tag(RecordChunk::kConfig), encode_config(record.config));
-  {
-    std::vector<std::uint8_t> costs;
-    put_costs(costs, calibrated_costs(Pricing::kBase));
-    put_costs(costs, calibrated_costs(Pricing::kOptimized));
-    writer.chunk(tag(RecordChunk::kCosts), costs);
-  }
+  write_input_chunks(writer, record);
   writer.chunk(tag(RecordChunk::kReport), encode_report(record.report));
   writer.chunk(tag(RecordChunk::kEvents), encode_events(record.report.events));
   writer.end();
@@ -463,6 +496,11 @@ RunRecord decode_run_record(const std::vector<std::uint8_t>& bytes) {
         rec.report.events = decode_events(chunk->payload);
         events = true;
         break;
+      case RecordChunk::kCheckpoint:
+        // Resume-only data (scan_trace_for_resume): a completed trace's
+        // checkpoints are dead weight for plain replay, which re-runs from
+        // the inputs anyway.
+        break;
       default:
         // Unknown chunk tags are skipped (CRC already validated): room for
         // forward-compatible additions within the same format version.
@@ -473,22 +511,7 @@ RunRecord decode_run_record(const std::vector<std::uint8_t>& bytes) {
     throw ReplayError(ErrorKind::kMalformed, bytes.size(),
                       "run record is missing a required chunk");
   }
-  // The recorded calibration must match this binary's; a drifted cost model
-  // would re-time every virtual event and make any mismatch meaningless.
-  const auto same = [](const ssl::PlatformCosts& a, const ssl::PlatformCosts& b) {
-    return a.rsa_private_cycles == b.rsa_private_cycles &&
-           a.rsa_public_cycles == b.rsa_public_cycles &&
-           a.symmetric_cycles_per_byte == b.symmetric_cycles_per_byte &&
-           a.hash_cycles_per_byte == b.hash_cycles_per_byte &&
-           a.handshake_misc_cycles == b.handshake_misc_cycles &&
-           a.misc_cycles_per_byte == b.misc_cycles_per_byte;
-  };
-  if (!same(rec_base, calibrated_costs(Pricing::kBase)) ||
-      !same(rec_opt, calibrated_costs(Pricing::kOptimized))) {
-    throw ReplayError(ErrorKind::kMalformed, 0,
-                      "recorded calibrated_costs differ from this binary's "
-                      "(recorded at git_rev " + rec.git_rev + ")");
-  }
+  require_calibration(rec_base, rec_opt, rec.git_rev);
   return rec;
 }
 
@@ -527,18 +550,9 @@ void expect_f64(std::vector<std::string>& out, const char* field,
 
 }  // namespace
 
-ReplayResult replay_run(const RunRecord& record, unsigned threads_override) {
-  ReplayResult result;
-  EngineConfig cfg = record.config;
-  cfg.record_events = true;
-  cfg.threads =
-      threads_override > 0 ? threads_override : record.recorded_threads;
-  Engine engine(cfg);
-  result.report = engine.run(record.scenario);
-
-  const RunReport& want = record.report;
-  const RunReport& got = result.report;
-  auto& mm = result.mismatches;
+std::vector<std::string> compare_reports(const RunReport& want,
+                                         const RunReport& got) {
+  std::vector<std::string> mm;
   expect_u64(mm, "offered", want.offered, got.offered);
   expect_u64(mm, "admitted", want.admitted, got.admitted);
   expect_u64(mm, "completed", want.completed, got.completed);
@@ -602,6 +616,291 @@ ReplayResult replay_run(const RunRecord& record, unsigned threads_override) {
                  std::to_string(want.events[i].id) + "): digest recorded " +
                  std::to_string(want.events[i].digest()) + ", replayed " +
                  std::to_string(got.events[i].digest()));
+  }
+  return mm;
+}
+
+ReplayResult replay_run(const RunRecord& record, unsigned threads_override) {
+  ReplayResult result;
+  EngineConfig cfg = record.config;
+  cfg.record_events = true;
+  cfg.threads =
+      threads_override > 0 ? threads_override : record.recorded_threads;
+  Engine engine(cfg);
+  result.report = engine.run(record.scenario);
+  result.mismatches = compare_reports(record.report, result.report);
+  return result;
+}
+
+// --- incremental recording + crash/resume ----------------------------------
+
+/// Every byte goes to the in-memory mirror and, when a path was given, to
+/// the file as well — so tests can tear the mirror exactly like the file.
+struct RunRecorder::Tee final : replay::ByteSink {
+  std::vector<std::uint8_t> buf;
+  std::optional<replay::FileSink> file;
+
+  explicit Tee(const std::string& path) {
+    if (!path.empty()) file.emplace(path);
+  }
+  void write(const std::uint8_t* data, std::size_t n) override {
+    buf.insert(buf.end(), data, data + n);
+    if (file) file->write(data, n);
+  }
+  void finish() override {
+    if (file) file->finish();
+  }
+};
+
+RunRecorder::RunRecorder(const EngineConfig& config,
+                         const TrafficScenario& scenario,
+                         std::string scenario_source, const std::string& path)
+    : path_(path) {
+  // Resolve exactly like record_run: auto-shards (shards == 0) is a property
+  // of the recording host, and a resume elsewhere must pin the same count.
+  resolved_ = Engine(config).config();
+  resolved_.record_events = true;
+  tee_ = std::make_unique<Tee>(path);
+  writer_ = std::make_unique<replay::ChunkWriter>(*tee_);
+  RunRecord inputs;
+  inputs.git_rev = WSP_GIT_REV;
+  inputs.recorded_threads = std::max(1u, resolved_.threads);
+  inputs.scenario = scenario;
+  inputs.scenario_source = std::move(scenario_source);
+  inputs.config = resolved_;
+  write_input_chunks(*writer_, inputs);
+  if (tee_->file) tee_->file->flush();
+}
+
+RunRecorder::~RunRecorder() = default;
+
+EngineConfig RunRecorder::engine_config() {
+  EngineConfig cfg = resolved_;
+  cfg.checkpoint_sink = this;
+  return cfg;
+}
+
+void RunRecorder::on_checkpoint(const EngineCheckpoint& checkpoint) {
+  if (closed_) {
+    throw std::logic_error("record: checkpoint after the trace was closed");
+  }
+  checkpoint_offsets_.push_back(tee_->buf.size());
+  std::vector<std::uint8_t> payload;
+  encode_checkpoint(payload, checkpoint);
+  writer_->chunk(tag(RecordChunk::kCheckpoint), payload);
+  // Push the chunk to the OS now: a kill after this point loses at most the
+  // bytes written since this barrier, and the scanner falls back cleanly.
+  if (tee_->file) tee_->file->flush();
+}
+
+bool RunRecorder::finish(const RunReport& report) {
+  if (closed_) return ok();
+  writer_->chunk(tag(RecordChunk::kReport), encode_report(report));
+  writer_->chunk(tag(RecordChunk::kEvents), encode_events(report.events));
+  writer_->end();  // writes the end tag and closes the tee (and the file)
+  closed_ = true;
+  return ok();
+}
+
+void RunRecorder::crash(std::size_t torn_tail_bytes) {
+  if (closed_) return;
+  closed_ = true;
+  if (tee_->file) tee_->file->finish();  // close WITHOUT the end tag
+  std::vector<std::uint8_t>& buf = tee_->buf;
+  const std::size_t torn = std::min(torn_tail_bytes, buf.size());
+  buf.resize(buf.size() - torn);
+  if (torn > 0 && !path_.empty()) {
+    std::error_code ec;
+    std::filesystem::resize_file(path_, buf.size(), ec);
+    // A failed truncation only leaves a longer torn tail; the scanner
+    // handles that shape anyway, so nothing to report here.
+  }
+}
+
+const std::vector<std::uint8_t>& RunRecorder::bytes() const {
+  return tee_->buf;
+}
+
+bool RunRecorder::ok() const { return !tee_->file || tee_->file->ok(); }
+
+std::string RunRecorder::error() const {
+  return tee_->file ? tee_->file->error() : std::string();
+}
+
+ResumeScan scan_trace_for_resume(const std::vector<std::uint8_t>& bytes) {
+  ResumeScan scan;
+  // Header errors (magic/version) identify no run at all: let them throw.
+  replay::ChunkReader reader(bytes);
+  scan.scanned_bytes = reader.offset();
+  bool meta = false, scenario = false, config = false, costs = false,
+       report = false, events = false, ended = false;
+  ssl::PlatformCosts rec_base, rec_opt;
+  const auto inputs_ok = [&] { return meta && scenario && config && costs; };
+  try {
+    for (;;) {
+      const std::size_t chunk_start = reader.offset();
+      auto chunk = reader.next();
+      if (!chunk) {
+        ended = true;
+        break;
+      }
+      switch (static_cast<RecordChunk>(chunk->tag)) {
+        case RecordChunk::kMeta: {
+          Cursor c(chunk->payload);
+          scan.record.git_rev = c.str();
+          scan.record.recorded_threads = static_cast<unsigned>(c.varint());
+          meta = true;
+          break;
+        }
+        case RecordChunk::kScenario:
+          scan.record.scenario = decode_scenario(chunk->payload);
+          scenario = true;
+          break;
+        case RecordChunk::kScenarioSource: {
+          Cursor c(chunk->payload);
+          scan.record.scenario_source = c.str();
+          break;
+        }
+        case RecordChunk::kConfig:
+          scan.record.config = decode_config(chunk->payload);
+          scan.record.config.threads = scan.record.recorded_threads;
+          scan.record.config.record_events = true;
+          config = true;
+          break;
+        case RecordChunk::kCosts: {
+          Cursor c(chunk->payload);
+          rec_base = get_costs(c);
+          rec_opt = get_costs(c);
+          costs = true;
+          break;
+        }
+        case RecordChunk::kCheckpoint: {
+          if (!inputs_ok()) {
+            throw ReplayError(ErrorKind::kMalformed, chunk_start,
+                              "checkpoint chunk before the input chunks");
+          }
+          EngineCheckpoint cp = decode_checkpoint(chunk->payload);
+          if (cp.seq != scan.checkpoints.size()) {
+            throw ReplayError(
+                ErrorKind::kMalformed, chunk_start,
+                "checkpoint seq " + std::to_string(cp.seq) +
+                    " out of order (expected " +
+                    std::to_string(scan.checkpoints.size()) + ")");
+          }
+          if (!scan.checkpoints.empty() &&
+              cp.virtual_now <= scan.checkpoints.back().virtual_now) {
+            throw ReplayError(ErrorKind::kMalformed, chunk_start,
+                              "checkpoint virtual time not increasing");
+          }
+          scan.checkpoints.push_back(std::move(cp));
+          break;
+        }
+        case RecordChunk::kReport:
+          scan.record.report = decode_report(chunk->payload);
+          report = true;
+          break;
+        case RecordChunk::kEvents:
+          scan.record.report.events = decode_events(chunk->payload);
+          events = true;
+          break;
+        default:
+          break;  // unknown tags skipped, as in decode_run_record
+      }
+      scan.scanned_bytes = reader.offset();
+    }
+  } catch (const ReplayError& e) {
+    // Before the inputs are complete there is no run to resume — the caller
+    // gets the error.  After them, damage is what a crash looks like: stop
+    // at the last good chunk and record why.
+    if (!inputs_ok()) throw;
+    scan.tear = e.what();
+  }
+  if (!inputs_ok()) {
+    throw ReplayError(ErrorKind::kMalformed, bytes.size(),
+                      "trace ends before the input chunks are complete");
+  }
+  require_calibration(rec_base, rec_opt, scan.record.git_rev);
+  scan.complete = ended && report && events && scan.tear.empty();
+  if (!scan.complete) {
+    // Don't hand out a half-read outcome: a report without its event stream
+    // (or vice versa) is not a verification target.
+    scan.record.report = RunReport{};
+  }
+  return scan;
+}
+
+ReplayResult resume_run(const ResumeScan& scan, unsigned threads_override) {
+  ReplayResult result;
+  EngineConfig cfg = scan.record.config;
+  cfg.record_events = true;
+  cfg.threads =
+      threads_override > 0 ? threads_override : scan.record.recorded_threads;
+  // A resumed run neither re-crashes nor re-checkpoints: the crash already
+  // happened, and the torn trace is evidence, not something to extend.
+  // (crash_at_cycles is never serialized, so these are belt-and-braces for
+  // callers that hand-build a ResumeScan.)
+  cfg.faults.crash_at_cycles = 0.0;
+  cfg.checkpoint_every = 0.0;
+  cfg.checkpoint_sink = nullptr;
+  TrafficScenario scenario = scan.record.scenario;
+  for (TrafficPhase& ph : scenario.phases) {
+    if (ph.faults) ph.faults->crash_at_cycles = 0.0;
+  }
+  Engine engine(cfg);
+  if (scan.checkpoints.empty()) {
+    // Nothing usable survived: restart from the beginning.  Resume is
+    // always possible; checkpoints only buy back the work.
+    result.report = engine.run(scenario);
+  } else {
+    const EngineCheckpoint& cp = scan.checkpoints.back();
+    // Everything the engine's restore path treats as a programming error
+    // (logic_error) is pre-checked here as typed kMalformed: a CRC-valid
+    // checkpoint that lies about the run it belongs to is an input problem.
+    const auto reject = [](const std::string& detail) {
+      throw ReplayError(ErrorKind::kMalformed, 0, "resume: " + detail);
+    };
+    const unsigned shards = engine.config().shards;
+    if (cp.shards.size() != shards) {
+      reject("checkpoint has " + std::to_string(cp.shards.size()) +
+             " shards, the recorded config resolves to " +
+             std::to_string(shards));
+    }
+    const std::uint64_t total = scenario.total_sessions();
+    if (cp.offered > total) {
+      reject("checkpoint offered " + std::to_string(cp.offered) +
+             " arrivals, the scenario holds only " + std::to_string(total));
+    }
+    if (cp.generator.next_id > total) {
+      reject("generator cursor past the scenario end");
+    }
+    if (scenario.phased()) {
+      const std::uint64_t nphases = scenario.phases.size();
+      if (cp.generator.phase_idx > nphases ||
+          (cp.generator.next_id < total && cp.generator.phase_idx >= nphases)) {
+        reject("generator phase index out of range");
+      }
+    } else if (cp.generator.phase_idx != 0) {
+      reject("generator phase index nonzero for a flat scenario");
+    }
+    for (const CheckpointEntry& e : cp.entries) {
+      if (e.event.shard != e.event.id % shards) {
+        reject("entry for session " + std::to_string(e.event.id) +
+               " names shard " + std::to_string(e.event.shard) +
+               ", routing places it on " + std::to_string(e.event.id % shards));
+      }
+      if (e.parked) {
+        const std::uint64_t phase = e.parked_info.phase;
+        if (scenario.phased() ? phase >= scenario.phases.size() : phase != 0) {
+          reject("parked session " + std::to_string(e.event.id) +
+                 " names phase " + std::to_string(phase) +
+                 ", which the scenario does not have");
+        }
+      }
+    }
+    result.report = engine.run(scenario, cp);
+  }
+  if (scan.complete) {
+    result.mismatches = compare_reports(scan.record.report, result.report);
   }
   return result;
 }

@@ -90,6 +90,14 @@ class RecordScheduler {
   /// Only the pushing thread may call this, after its last push().
   void drain();
 
+  /// drain() plus a proof: after the wait, verifies every shard ring and
+  /// overflow list is actually empty and throws std::logic_error otherwise.
+  /// This is the checkpoint quiesce barrier's first step (docs/recovery.md)
+  /// — a checkpoint taken over a non-empty data plane would silently lose
+  /// work, so the invariant is checked, not assumed.  The scheduler remains
+  /// usable afterwards: the next push() restarts the shard's pump.
+  void quiesce();
+
   /// Counter snapshot (stable once drain() has returned).  Throws
   /// std::out_of_range on an invalid shard index.
   ShardCounters counters(unsigned shard) const;

@@ -246,6 +246,39 @@ std::optional<SessionArrival> TrafficGenerator::next() {
   return a;
 }
 
+TrafficGeneratorState TrafficGenerator::state() const {
+  TrafficGeneratorState st;
+  st.rng = rng_.state();
+  st.next_id = next_id_;
+  st.interarrival_mean = interarrival_mean_;
+  st.open_clock = open_clock_;
+  st.phase_idx = phase_idx_;
+  st.phase_done = phase_done_;
+  st.phase_entered = phase_entered_;
+  // Drain a copy of the heap so the snapshot lists pending arrivals in
+  // ascending (time, user) order — a canonical form, so two snapshots of
+  // the same logical state compare equal byte for byte.
+  auto pending = ready_;
+  st.ready.reserve(pending.size());
+  while (!pending.empty()) {
+    st.ready.push_back(pending.top());
+    pending.pop();
+  }
+  return st;
+}
+
+void TrafficGenerator::restore(const TrafficGeneratorState& state) {
+  rng_.set_state(state.rng);
+  next_id_ = state.next_id;
+  interarrival_mean_ = state.interarrival_mean;
+  open_clock_ = state.open_clock;
+  phase_idx_ = static_cast<std::size_t>(state.phase_idx);
+  phase_done_ = static_cast<std::size_t>(state.phase_done);
+  phase_entered_ = state.phase_entered;
+  ready_ = {};
+  for (const auto& pending : state.ready) ready_.push(pending);
+}
+
 void TrafficGenerator::on_outcome(const SessionArrival& arrival,
                                   double completion_cycles, bool dropped) {
   if (!scenario_.phased()) {

@@ -136,6 +136,29 @@ struct SessionArrival {
   bool resume = false;
 };
 
+/// The generator's full mutable state — Rng words, id/phase cursors, the
+/// virtual-clock cursor and every pending closed-loop arrival.  Snapshotting
+/// it at a quiesce barrier and restoring into a freshly constructed
+/// generator (same scenario, same mean-service figures) resumes the arrival
+/// stream bit-exactly; the constructor-derived rate/weight tables are pure
+/// functions of the scenario and are NOT part of the state.  Serialized into
+/// kCheckpoint chunks by server/record.h (docs/recovery.md).
+struct TrafficGeneratorState {
+  Rng::State rng;
+  std::uint64_t next_id = 0;
+  double interarrival_mean = 0.0;
+  double open_clock = 0.0;
+  std::uint64_t phase_idx = 0;
+  std::uint64_t phase_done = 0;
+  bool phase_entered = false;
+  /// Pending closed-loop arrivals as (ready time, user), ascending.  The
+  /// heap's pop order is a pure function of this multiset (ties break on the
+  /// user index), so rebuilding the heap from the sorted list is exact.
+  std::vector<std::pair<double, unsigned>> ready;
+
+  bool operator==(const TrafficGeneratorState&) const = default;
+};
+
 class TrafficGenerator {
  public:
   /// Flat scenarios.  `mean_service_cycles` is the scenario-mix average
@@ -166,6 +189,15 @@ class TrafficGenerator {
                   bool dropped);
 
   double interarrival_mean_cycles() const { return interarrival_mean_; }
+
+  /// Snapshot of everything next()/on_outcome() mutate.  Taken BEFORE a
+  /// next() call, a later restore() re-draws that same arrival first.
+  TrafficGeneratorState state() const;
+
+  /// Restores a snapshot taken from a generator built over the same
+  /// scenario and mean-service figures; the subsequent draw sequence is
+  /// bit-identical to the original generator's.
+  void restore(const TrafficGeneratorState& state);
 
  private:
   double exp_draw(double mean);

@@ -33,6 +33,13 @@ const std::vector<ToleranceRule>& default_tolerance_table() {
       // section): a compiled one-phase Fig. 8 program must reproduce the
       // flat code path bit for bit, so the mismatch count stays zero.
       {"*/equiv_mismatch", Direction::kExact, 0.0},
+      // Crash-fault tolerance (docs/recovery.md): a crash -> restore ->
+      // continue run must match the uninterrupted reference bit for bit —
+      // covers both crash/resume_mismatch and crash/torn_resume_mismatch.
+      {"*resume_mismatch", Direction::kExact, 0.0},
+      // Checkpoint count is derived from the deterministic reference
+      // makespan, so any drift means the barrier cadence changed.
+      {"*/checkpoints", Direction::kExact, 0.0},
       // Actual process RSS next to the modeled per-session bytes: genuinely
       // host-dependent (allocator, page size, what ran before), so it is
       // tracked but never gated.
@@ -57,6 +64,14 @@ const std::vector<ToleranceRule>& default_tolerance_table() {
       // Per-session byte digests pin traffic content; they legitimately
       // change whenever the workload mix does, so they are informational.
       {"*digest*", Direction::kInfo, 0.0},
+      // Sec. 4.3 explore sweep (BENCH_sec43_explore.json, gated by
+      // sanitize.sh via --check --with-explore): the candidate count is a
+      // property of the enumerated space, the winning estimate a modeled
+      // cycle count; the worst point is tracked but not gated — nothing
+      // optimizes for it.
+      {"configs", Direction::kExact, 0.0},
+      {"best_avg_cycles", Direction::kLowerBetter, 5.0},
+      {"worst_avg_cycles", Direction::kInfo, 0.0},
       // Paper speedup figures and optimized-kernel cycle counts.
       {"speedup_*", Direction::kHigherBetter, 5.0},
       {"*_opt", Direction::kLowerBetter, 5.0},

@@ -17,7 +17,25 @@ namespace wsp {
 /// Deterministic 64-bit PRNG (xoshiro256**) with convenience helpers.
 class Rng {
  public:
+  /// The full generator state (xoshiro256**'s four words).  Snapshotting it
+  /// and restoring later resumes the exact draw sequence — the engine's
+  /// checkpoint/restore layer (docs/recovery.md) depends on this being a
+  /// bit-exact round trip.
+  struct State {
+    std::uint64_t s[4] = {0, 0, 0, 0};
+
+    bool operator==(const State&) const = default;
+  };
+
   explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  State state() const { return State{{s_[0], s_[1], s_[2], s_[3]}}; }
+  void set_state(const State& st) {
+    s_[0] = st.s[0];
+    s_[1] = st.s[1];
+    s_[2] = st.s[2];
+    s_[3] = st.s[3];
+  }
 
   /// Next raw 64-bit value.
   std::uint64_t next_u64();

@@ -1,5 +1,6 @@
 #include "support/replay.h"
 
+#include <cerrno>
 #include <cstdio>
 #include <cstring>
 
@@ -32,26 +33,47 @@ void VectorSink::write(const std::uint8_t* data, std::size_t n) {
   buf_.insert(buf_.end(), data, data + n);
 }
 
-FileSink::FileSink(const std::string& path) {
+FileSink::FileSink(const std::string& path) : path_(path) {
   file_ = std::fopen(path.c_str(), "wb");
   ok_ = file_ != nullptr;
+  if (!ok_) fail("open failed");
 }
 
 FileSink::~FileSink() {
-  if (file_ != nullptr) std::fclose(file_);
+  if (file_ == nullptr) return;
+  // Last-resort close: the flush may still fail, and a destructor cannot
+  // surface an error code — so say so, loudly, instead of silently leaving
+  // a torn file that looks complete.
+  if (std::fclose(file_) != 0) {
+    fail("close failed");
+    std::fprintf(stderr, "warning: %s\n", error_.c_str());
+  }
+}
+
+void FileSink::fail(const char* what) {
+  ok_ = false;
+  if (!error_.empty()) return;  // keep the FIRST failure
+  error_ = "file sink: " + std::string(what) + " (" +
+           std::string(std::strerror(errno)) + "): " + path_;
 }
 
 void FileSink::write(const std::uint8_t* data, std::size_t n) {
   if (file_ == nullptr) {
+    if (error_.empty()) fail("write after close");
     ok_ = false;
     return;
   }
-  if (std::fwrite(data, 1, n, file_) != n) ok_ = false;
+  if (std::fwrite(data, 1, n, file_) != n) fail("short write");
+}
+
+void FileSink::flush() {
+  if (file_ == nullptr) return;
+  if (std::fflush(file_) != 0) fail("flush failed");
 }
 
 void FileSink::finish() {
   if (file_ == nullptr) return;
-  if (std::fclose(file_) != 0) ok_ = false;
+  if (std::fclose(file_) != 0) fail("close failed");
   file_ = nullptr;
 }
 

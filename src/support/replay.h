@@ -76,18 +76,31 @@ class VectorSink final : public ByteSink {
   std::vector<std::uint8_t> buf_;
 };
 
-/// Writes through to a stdio file; ok() goes false on the first short write.
+/// Writes through to a stdio file; ok() goes false on the first failure and
+/// error() carries a description (path + errno text).  A sink destroyed
+/// while still open is closed in the destructor; if that close drops
+/// buffered bytes, the failure is reported to stderr — the destructor has
+/// nowhere else to put it, but silence would let a torn baseline or trace
+/// pass for a complete one.  Callers that need the error programmatically
+/// call finish() and check ok()/error() first.
 class FileSink final : public ByteSink {
  public:
   explicit FileSink(const std::string& path);
   ~FileSink() override;
   void write(const std::uint8_t* data, std::size_t n) override;
+  void flush();            ///< pushes buffered bytes to the OS (checkpoints)
   void finish() override;  ///< closes; further writes are errors
   bool ok() const { return ok_; }
+  /// Empty while ok(); otherwise what failed first, with the path.
+  const std::string& error() const { return error_; }
 
  private:
+  void fail(const char* what);
+
   std::FILE* file_ = nullptr;
   bool ok_ = false;
+  std::string path_;
+  std::string error_;
 };
 
 /// Pass-through filter that accumulates a running CRC-32 of everything
@@ -168,6 +181,9 @@ class ChunkReader {
 
   std::optional<Chunk> next();
   std::uint64_t version() const { return version_; }
+  /// Bytes consumed so far (after the last next(): the following chunk's
+  /// first header byte).  Lets trace scanners report tear positions.
+  std::size_t offset() const { return off_; }
 
  private:
   const std::uint8_t* data_;

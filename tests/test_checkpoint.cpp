@@ -1,0 +1,451 @@
+// Tier-1 tests for the crash-fault tolerance layer (docs/recovery.md):
+// TrafficGenerator state snapshots, the EngineCheckpoint chunk codec and
+// its semantic validator, quiesce-barrier invariants, the CrashFault
+// contract, RunRecorder torn traces, and the scan -> resume pipeline —
+// including truncation at every checkpoint-chunk boundary and rejection of
+// CRC-valid-but-lying checkpoints (stale slab handles, tampered digests).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "server/checkpoint.h"
+#include "server/engine.h"
+#include "server/record.h"
+#include "server/traffic.h"
+#include "support/replay.h"
+
+namespace wsp {
+namespace {
+
+using replay::ErrorKind;
+using replay::ReplayError;
+
+server::TrafficScenario crash_mix(std::uint64_t seed, std::size_t sessions) {
+  server::TrafficScenario s;
+  s.seed = seed;
+  s.sessions = sessions;
+  s.model = server::ArrivalModel::kOpenLoop;
+  s.offered_load = 0.8;
+  s.ciphers = {ssl::Cipher::kRc4, ssl::Cipher::kAes128Cbc,
+               ssl::Cipher::kTripleDesCbc};
+  s.transaction_sizes = {512, 2048};
+  s.record_bytes = 512;
+  return s;
+}
+
+server::EngineConfig engine_cfg(unsigned threads, unsigned lanes = 1) {
+  server::EngineConfig cfg;
+  cfg.threads = threads;
+  cfg.shards = 4;
+  cfg.queue_capacity = 32;
+  cfg.record_batch = 4;
+  cfg.batch_lanes = lanes;
+  cfg.record_events = true;
+  return cfg;
+}
+
+/// Captures every barrier checkpoint by value.
+struct CollectSink final : server::CheckpointSink {
+  std::vector<server::EngineCheckpoint> taken;
+  void on_checkpoint(const server::EngineCheckpoint& cp) override {
+    taken.push_back(cp);
+  }
+};
+
+// --- traffic generator snapshots -------------------------------------------
+
+TEST(CheckpointGenerator, SnapshotRestoreResumesDrawSequenceExactly) {
+  const auto scenario = crash_mix(11, 40);
+  server::TrafficGenerator gen(scenario, 5.0e6, 4);
+  for (int i = 0; i < 10; ++i) ASSERT_TRUE(gen.next().has_value());
+
+  const server::TrafficGeneratorState snap = gen.state();
+  server::TrafficGenerator fresh(scenario, 5.0e6, 4);
+  fresh.restore(snap);
+
+  // Every remaining draw must be identical, field for field.
+  while (true) {
+    const auto a = gen.next();
+    const auto b = fresh.next();
+    ASSERT_EQ(a.has_value(), b.has_value());
+    if (!a.has_value()) break;
+    EXPECT_EQ(a->id, b->id);
+    EXPECT_EQ(a->at_cycles, b->at_cycles);
+    EXPECT_EQ(a->cipher, b->cipher);
+    EXPECT_EQ(a->transaction_bytes, b->transaction_bytes);
+    EXPECT_EQ(a->session_seed, b->session_seed);
+    EXPECT_EQ(a->phase, b->phase);
+    EXPECT_EQ(a->resume, b->resume);
+  }
+}
+
+TEST(CheckpointGenerator, ClosedLoopPendingArrivalsSurviveSnapshot) {
+  auto scenario = crash_mix(12, 24);
+  scenario.model = server::ArrivalModel::kClosedLoop;
+  scenario.users = 4;
+  scenario.think_cycles = 1e6;
+  server::TrafficGenerator gen(scenario, 5.0e6, 4);
+  // Drain a few arrivals and feed completions back so the ready heap has
+  // genuine content when the snapshot is taken.
+  for (int i = 0; i < 6; ++i) {
+    const auto a = gen.next();
+    ASSERT_TRUE(a.has_value());
+    gen.on_outcome(*a, a->at_cycles + 2.0e6, false);
+  }
+  const auto snap = gen.state();
+  EXPECT_FALSE(snap.ready.empty());
+
+  server::TrafficGenerator fresh(scenario, 5.0e6, 4);
+  fresh.restore(snap);
+  const auto a = gen.next();
+  const auto b = fresh.next();
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(a->id, b->id);
+  EXPECT_EQ(a->at_cycles, b->at_cycles);
+  EXPECT_EQ(a->user, b->user);
+}
+
+// --- checkpoint codec -------------------------------------------------------
+
+/// Runs the scenario with barriers armed and returns the captured
+/// checkpoints (at least one, asserted).
+std::vector<server::EngineCheckpoint> capture_checkpoints(
+    const server::TrafficScenario& scenario, unsigned threads, unsigned lanes,
+    double every) {
+  CollectSink sink;
+  server::EngineConfig cfg = engine_cfg(threads, lanes);
+  cfg.checkpoint_every = every;
+  cfg.checkpoint_sink = &sink;
+  server::Engine engine(cfg);
+  (void)engine.run(scenario);
+  EXPECT_FALSE(sink.taken.empty()) << "barrier interval too long for this run";
+  return sink.taken;
+}
+
+TEST(CheckpointCodec, EncodeDecodeIsIdentityOnRealCheckpoints) {
+  const auto scenario = crash_mix(21, 32);
+  for (const auto& cp : capture_checkpoints(scenario, 2, 1, 2.0e7)) {
+    std::vector<std::uint8_t> payload;
+    server::encode_checkpoint(payload, cp);
+    const server::EngineCheckpoint back = server::decode_checkpoint(payload);
+    EXPECT_EQ(back, cp) << "seq " << cp.seq;
+    // A freshly captured checkpoint must also pass semantic validation.
+    EXPECT_NO_THROW(server::validate_checkpoint(back));
+  }
+}
+
+TEST(CheckpointCodec, TruncatedPayloadThrowsTyped) {
+  const auto scenario = crash_mix(22, 24);
+  const auto cps = capture_checkpoints(scenario, 1, 1, 3.0e7);
+  std::vector<std::uint8_t> payload;
+  server::encode_checkpoint(payload, cps.back());
+  for (std::size_t cut : {std::size_t{0}, std::size_t{1}, payload.size() / 2,
+                          payload.size() - 1}) {
+    std::vector<std::uint8_t> prefix(payload.begin(), payload.begin() + cut);
+    EXPECT_THROW((void)server::decode_checkpoint(prefix), ReplayError)
+        << "cut=" << cut;
+  }
+  // Trailing garbage is damage too, not padding.
+  auto padded = payload;
+  padded.push_back(0);
+  EXPECT_THROW((void)server::decode_checkpoint(padded), ReplayError);
+}
+
+TEST(CheckpointCodec, StaleSlabHandleGenerationIsMalformed) {
+  // Parked sessions only exist on the batched plane: lanes > 1 leaves
+  // staged-but-unflushed cohort members at the barrier.
+  const auto scenario = crash_mix(23, 48);
+  bool saw_parked = false;
+  for (auto cp : capture_checkpoints(scenario, 2, 8, 1.0e7)) {
+    for (auto& entry : cp.entries) {
+      if (!entry.parked) continue;
+      saw_parked = true;
+      // A live handle's generation is odd; an even one is a handle that was
+      // already recycled when the checkpoint claims it was live.
+      EXPECT_EQ(entry.parked_info.handle.gen % 2, 1u);
+      server::EngineCheckpoint bad = cp;
+      for (auto& e : bad.entries) {
+        if (e.parked) e.parked_info.handle.gen &= ~1u;
+      }
+      try {
+        server::validate_checkpoint(bad);
+        FAIL() << "stale generation accepted";
+      } catch (const ReplayError& e) {
+        EXPECT_EQ(e.kind(), ErrorKind::kMalformed);
+        EXPECT_NE(std::string(e.what()).find("stale"), std::string::npos);
+      }
+      break;
+    }
+  }
+  EXPECT_TRUE(saw_parked) << "no barrier caught a staged cohort; widen the "
+                             "scenario or shrink checkpoint_every";
+}
+
+TEST(CheckpointCodec, TamperedShardDigestIsMalformed) {
+  const auto scenario = crash_mix(24, 32);
+  auto cps = capture_checkpoints(scenario, 1, 1, 2.0e7);
+  server::EngineCheckpoint cp = cps.back();
+  ASSERT_FALSE(cp.shards.empty());
+  // Find a shard with finalized entries (nonzero digest chain) and lie
+  // about it: the validator recomputes the chain and must disagree.
+  bool tampered = false;
+  for (auto& sh : cp.shards) {
+    if (sh.events_digest == 0) continue;
+    sh.events_digest ^= 0x1;
+    tampered = true;
+    break;
+  }
+  ASSERT_TRUE(tampered) << "no shard had finalized entries at the barrier";
+  try {
+    server::validate_checkpoint(cp);
+    FAIL() << "tampered digest accepted";
+  } catch (const ReplayError& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::kMalformed);
+  }
+}
+
+// --- quiesce invariants -----------------------------------------------------
+
+TEST(CheckpointQuiesce, ScalarPlaneParksNothing) {
+  const auto scenario = crash_mix(31, 32);
+  for (const auto& cp : capture_checkpoints(scenario, 4, 1, 1.5e7)) {
+    for (const auto& entry : cp.entries) {
+      EXPECT_FALSE(entry.parked)
+          << "lanes == 1 has no cohorts, so quiesce must fully finalize";
+    }
+    EXPECT_EQ(cp.latencies.size(), cp.admitted());
+  }
+}
+
+TEST(CheckpointQuiesce, CountsAndTimesAreCoherent) {
+  const auto scenario = crash_mix(32, 48);
+  double prev_now = -1.0;
+  std::uint64_t seq = 0;
+  for (const auto& cp : capture_checkpoints(scenario, 2, 8, 1.0e7)) {
+    EXPECT_EQ(cp.seq, seq++);
+    EXPECT_GT(cp.virtual_now, prev_now);
+    prev_now = cp.virtual_now;
+    EXPECT_LE(cp.admitted(), cp.offered);
+    EXPECT_EQ(cp.shards.size(), 4u);
+    std::uint64_t shard_admitted = 0;
+    for (const auto& sh : cp.shards) shard_admitted += sh.admitted;
+    EXPECT_EQ(shard_admitted, cp.admitted());
+  }
+}
+
+// --- crash + restore --------------------------------------------------------
+
+TEST(CheckpointCrash, CrashFaultCarriesTimingAndFiresDueBarriers) {
+  const auto scenario = crash_mix(41, 32);
+  const auto ref = server::Engine(engine_cfg(1)).run(scenario);
+  const double crash_at = ref.makespan_cycles * 0.5;
+
+  CollectSink sink;
+  server::EngineConfig cfg = engine_cfg(1);
+  cfg.checkpoint_every = crash_at / 4.0;
+  cfg.checkpoint_sink = &sink;
+  cfg.faults.crash_at_cycles = crash_at;
+  server::Engine engine(cfg);
+  try {
+    (void)engine.run(scenario);
+    FAIL() << "expected CrashFault";
+  } catch (const server::CrashFault& e) {
+    EXPECT_EQ(e.deadline_cycles(), crash_at);
+    EXPECT_GE(e.at_cycles(), crash_at) << "death precedes the deadline";
+  }
+  // Every barrier due at or before the crash fired first, none after.
+  ASSERT_FALSE(sink.taken.empty());
+  for (const auto& cp : sink.taken) EXPECT_LE(cp.virtual_now, crash_at);
+}
+
+TEST(CheckpointCrash, RestoreFromAnyBarrierMatchesUninterruptedRun) {
+  const auto scenario = crash_mix(42, 40);
+  const auto ref = server::Engine(engine_cfg(2)).run(scenario);
+  const auto cps =
+      capture_checkpoints(scenario, 2, 1, ref.makespan_cycles / 5.0);
+  for (const auto& cp : cps) {
+    server::Engine engine(engine_cfg(2));
+    const auto resumed = engine.run(scenario, cp);
+    const auto mismatches = server::compare_reports(ref, resumed);
+    EXPECT_TRUE(mismatches.empty())
+        << "seq " << cp.seq << ": " << mismatches.front();
+  }
+}
+
+TEST(CheckpointCrash, RestoreRejectsWrongScenarioStructurally) {
+  const auto scenario = crash_mix(43, 32);
+  const auto cps = capture_checkpoints(scenario, 1, 1, 2.0e7);
+  auto other = crash_mix(43, 8);  // fewer sessions than the checkpoint offered
+  server::Engine engine(engine_cfg(1));
+  EXPECT_THROW((void)engine.run(other, cps.back()), std::logic_error);
+}
+
+// --- config validation ------------------------------------------------------
+
+TEST(CheckpointConfig, InvalidIntervalsAndCrashTimesRejected) {
+  const auto scenario = crash_mix(51, 8);
+  {
+    server::EngineConfig cfg = engine_cfg(1);
+    cfg.checkpoint_every = -1.0;
+    EXPECT_THROW(server::Engine{cfg}, std::invalid_argument);
+  }
+  {
+    server::EngineConfig cfg = engine_cfg(1);
+    cfg.checkpoint_every = std::numeric_limits<double>::infinity();
+    EXPECT_THROW(server::Engine{cfg}, std::invalid_argument);
+  }
+  {
+    server::EngineConfig cfg = engine_cfg(1);
+    cfg.faults.crash_at_cycles = -5.0;
+    EXPECT_THROW(server::Engine{cfg}, std::invalid_argument);
+  }
+  {
+    // checkpoint_every without a sink is legal and inert.
+    server::EngineConfig cfg = engine_cfg(1);
+    cfg.checkpoint_every = 1.0e7;
+    const auto rep = server::Engine(cfg).run(scenario);
+    EXPECT_EQ(rep.completed + rep.aborted, rep.admitted);
+  }
+}
+
+// --- RunRecorder + scan + resume -------------------------------------------
+
+struct TornTrace {
+  std::vector<std::uint8_t> bytes;
+  std::vector<std::size_t> offsets;  ///< checkpoint chunk boundaries
+  server::RunReport reference;       ///< the uninterrupted run
+};
+
+TornTrace record_torn_trace(const server::TrafficScenario& scenario,
+                            unsigned threads, unsigned lanes,
+                            double crash_frac = 0.6) {
+  TornTrace out;
+  server::EngineConfig cfg = engine_cfg(threads, lanes);
+  out.reference = server::Engine(cfg).run(scenario);
+
+  cfg.checkpoint_every = out.reference.makespan_cycles / 6.0;
+  cfg.faults.crash_at_cycles = out.reference.makespan_cycles * crash_frac;
+  server::RunRecorder recorder(cfg, scenario);
+  server::Engine engine(recorder.engine_config());
+  try {
+    (void)engine.run(scenario);
+    ADD_FAILURE() << "expected CrashFault";
+  } catch (const server::CrashFault&) {
+    recorder.crash();
+  }
+  EXPECT_GT(recorder.checkpoints(), 0u);
+  out.bytes = recorder.bytes();
+  out.offsets = recorder.checkpoint_offsets();
+  return out;
+}
+
+TEST(CheckpointResume, TornTraceScansAndResumesBitIdentically) {
+  const auto scenario = crash_mix(61, 40);
+  const TornTrace torn = record_torn_trace(scenario, 2, 1);
+
+  const auto scan = server::scan_trace_for_resume(torn.bytes);
+  EXPECT_FALSE(scan.complete);
+  EXPECT_FALSE(scan.tear.empty()) << "a torn trace must report its tear";
+  EXPECT_EQ(scan.checkpoints.size(), torn.offsets.size());
+  EXPECT_EQ(scan.scanned_bytes, torn.bytes.size());
+
+  const auto result = server::resume_run(scan);
+  EXPECT_TRUE(result.ok());
+  const auto mismatches = server::compare_reports(torn.reference, result.report);
+  EXPECT_TRUE(mismatches.empty()) << mismatches.front();
+  EXPECT_EQ(result.report.completed + result.report.aborted,
+            result.report.admitted)
+      << "resume must preserve the leak invariant";
+}
+
+TEST(CheckpointResume, TruncationAtEveryCheckpointBoundaryStillResumes) {
+  const auto scenario = crash_mix(62, 40);
+  const TornTrace torn = record_torn_trace(scenario, 1, 1);
+  ASSERT_GE(torn.offsets.size(), 2u);
+
+  // Cutting at checkpoint k's first header byte leaves exactly k usable
+  // checkpoints; resume from each prefix must still match the reference.
+  for (std::size_t k = 0; k < torn.offsets.size(); ++k) {
+    std::vector<std::uint8_t> prefix(torn.bytes.begin(),
+                                     torn.bytes.begin() + torn.offsets[k]);
+    const auto scan = server::scan_trace_for_resume(prefix);
+    EXPECT_EQ(scan.checkpoints.size(), k) << "cut at checkpoint " << k;
+    const auto result = server::resume_run(scan);
+    const auto mismatches =
+        server::compare_reports(torn.reference, result.report);
+    EXPECT_TRUE(mismatches.empty())
+        << "cut at checkpoint " << k << ": " << mismatches.front();
+  }
+}
+
+TEST(CheckpointResume, MidChunkTearFallsBackToPreviousCheckpoint) {
+  const auto scenario = crash_mix(63, 40);
+  const TornTrace torn = record_torn_trace(scenario, 2, 1);
+  ASSERT_GE(torn.offsets.size(), 2u);
+
+  // Tear a few bytes into the LAST checkpoint chunk: the scan must stop at
+  // the previous one and the resume must still verify.
+  std::vector<std::uint8_t> mid(torn.bytes.begin(),
+                                torn.bytes.begin() + torn.offsets.back() + 3);
+  const auto scan = server::scan_trace_for_resume(mid);
+  EXPECT_EQ(scan.checkpoints.size(), torn.offsets.size() - 1);
+  EXPECT_FALSE(scan.tear.empty());
+  const auto result = server::resume_run(scan);
+  const auto mismatches = server::compare_reports(torn.reference, result.report);
+  EXPECT_TRUE(mismatches.empty()) << mismatches.front();
+}
+
+TEST(CheckpointResume, CompleteTraceVerifiesAgainstItsOwnRecording) {
+  const auto scenario = crash_mix(64, 32);
+  server::EngineConfig cfg = engine_cfg(2);
+  server::RunRecorder recorder(cfg, scenario);
+  cfg = recorder.engine_config();
+  cfg.checkpoint_every = 2.0e7;
+  server::Engine engine(cfg);
+  ASSERT_TRUE(recorder.finish(engine.run(scenario)));
+
+  const auto scan = server::scan_trace_for_resume(recorder.bytes());
+  EXPECT_TRUE(scan.complete);
+  EXPECT_TRUE(scan.tear.empty());
+  // Complete trace: resume_run verifies against the recorded report, at a
+  // different thread count than the recording ran with.
+  const auto result = server::resume_run(scan, 8);
+  EXPECT_TRUE(result.ok()) << result.mismatches.front();
+}
+
+TEST(CheckpointResume, InputDamageRethrowsScanDamageIsTyped) {
+  const auto scenario = crash_mix(65, 24);
+  const TornTrace torn = record_torn_trace(scenario, 1, 1);
+
+  // Damage BEFORE the inputs complete: no run to resume, scan throws.
+  std::vector<std::uint8_t> early(torn.bytes.begin(), torn.bytes.begin() + 12);
+  EXPECT_THROW((void)server::scan_trace_for_resume(early), ReplayError);
+
+  // A CRC-valid checkpoint that lies about the scenario: resume_run must
+  // reject it as typed kMalformed, never feed it to the engine.
+  auto scan = server::scan_trace_for_resume(torn.bytes);
+  ASSERT_FALSE(scan.checkpoints.empty());
+  scan.checkpoints.back().offered = scenario.sessions + 1000;
+  try {
+    (void)server::resume_run(scan);
+    FAIL() << "lying checkpoint accepted";
+  } catch (const ReplayError& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::kMalformed);
+  }
+}
+
+TEST(CheckpointResume, RecorderReportsFileErrors) {
+  const auto scenario = crash_mix(66, 8);
+  server::EngineConfig cfg = engine_cfg(1);
+  server::RunRecorder recorder(cfg, scenario, {}, "/nonexistent-dir-xyz/t.wspr");
+  EXPECT_FALSE(recorder.ok());
+  EXPECT_NE(recorder.error().find("/nonexistent-dir-xyz"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wsp

@@ -16,8 +16,12 @@
 #include "mp/modexp.h"
 #include "mp/prime.h"
 #include "scenario/compile.h"
+#include "server/checkpoint.h"
+#include "server/engine.h"
+#include "server/record.h"
 #include "ssl/wep.h"
 #include "support/random.h"
+#include "support/replay.h"
 
 namespace wsp {
 namespace {
@@ -441,6 +445,166 @@ TEST(Fuzz, ScenarioCompilerMutatedValidSource) {
     }
     compile_survives(src);
   }
+}
+
+// --- crash-recovery trace fuzzing (docs/recovery.md) ------------------------
+//
+// The resume pipeline faces whatever a dying process left on disk.  The
+// contract under fuzzing: scan_trace_for_resume / resume_run /
+// decode_checkpoint either succeed or throw a typed replay::ReplayError —
+// never any other exception, never a crash, never a silently-wrong resume
+// (the per-shard digest chains make silent divergence a typed error too).
+
+/// One small torn trace: a recorded run killed mid-stream, with its
+/// checkpoint-chunk boundaries and the uninterrupted reference report.
+struct FuzzTrace {
+  std::vector<std::uint8_t> bytes;
+  std::vector<std::size_t> offsets;
+  server::RunReport reference;
+};
+
+const FuzzTrace& fuzz_trace() {
+  static const FuzzTrace trace = [] {
+    FuzzTrace t;
+    server::TrafficScenario s;
+    s.seed = 903;
+    s.sessions = 24;
+    s.model = server::ArrivalModel::kOpenLoop;
+    s.offered_load = 0.8;
+    s.ciphers = {ssl::Cipher::kRc4, ssl::Cipher::kAes128Cbc};
+    s.transaction_sizes = {512, 2048};
+    s.record_bytes = 512;
+    server::EngineConfig cfg;
+    cfg.threads = 1;
+    cfg.shards = 2;
+    cfg.queue_capacity = 32;
+    cfg.record_batch = 4;
+    cfg.batch_lanes = 8;  // staged cohorts -> parked sessions in checkpoints
+    cfg.record_events = true;
+    t.reference = server::Engine(cfg).run(s);
+
+    cfg.checkpoint_every = t.reference.makespan_cycles / 5.0;
+    cfg.faults.crash_at_cycles = t.reference.makespan_cycles * 0.7;
+    server::RunRecorder recorder(cfg, s);
+    server::Engine engine(recorder.engine_config());
+    try {
+      (void)engine.run(s);
+    } catch (const server::CrashFault&) {
+      recorder.crash();
+    }
+    t.bytes = recorder.bytes();
+    t.offsets = recorder.checkpoint_offsets();
+    return t;
+  }();
+  return trace;
+}
+
+/// Scans and (when the scan yields checkpoints) resumes `bytes`.  Any
+/// non-ReplayError escape fails the test outright.  Returns true when the
+/// resume ran and matched the reference.
+bool scan_resume_survives(const std::vector<std::uint8_t>& bytes,
+                          const server::RunReport& reference) {
+  try {
+    const auto scan = server::scan_trace_for_resume(bytes);
+    const auto result = server::resume_run(scan);
+    const auto mismatches =
+        server::compare_reports(reference, result.report);
+    EXPECT_TRUE(mismatches.empty())
+        << "corrupt trace resumed to a DIFFERENT run: " << mismatches.front();
+    return mismatches.empty();
+  } catch (const replay::ReplayError&) {
+    return false;  // typed rejection: the acceptable outcome for damage
+  }
+}
+
+TEST(Fuzz, ResumeTraceTruncatedAtEveryByte) {
+  const FuzzTrace& t = fuzz_trace();
+  ASSERT_FALSE(t.offsets.empty());
+  std::size_t resumed = 0;
+  for (std::size_t cut = 0; cut <= t.bytes.size(); ++cut) {
+    std::vector<std::uint8_t> prefix(t.bytes.begin(), t.bytes.begin() + cut);
+    if (scan_resume_survives(prefix, t.reference)) ++resumed;
+  }
+  // Every cut at or past the input chunks scans and resumes (restarting
+  // from scratch when no checkpoint survived) — in particular all of them
+  // from the first checkpoint boundary on.
+  EXPECT_GE(resumed, t.bytes.size() - t.offsets.front());
+}
+
+TEST(Fuzz, ResumeTraceRandomByteCorruption) {
+  const FuzzTrace& t = fuzz_trace();
+  Rng rng(904);
+  for (int iter = 0; iter < 150; ++iter) {
+    auto bytes = t.bytes;
+    const int edits = 1 + static_cast<int>(rng.below(4));
+    for (int e = 0; e < edits; ++e) {
+      switch (rng.below(3)) {
+        case 0:  // overwrite
+          bytes[rng.below(bytes.size())] =
+              static_cast<std::uint8_t>(rng.below(256));
+          break;
+        case 1:  // single bit flip
+          bytes[rng.below(bytes.size())] ^=
+              static_cast<std::uint8_t>(1u << rng.below(8));
+          break;
+        default: {  // tear a run of bytes out of the middle
+          const std::size_t pos = rng.below(bytes.size());
+          const std::size_t len =
+              std::min<std::size_t>(1 + rng.below(32), bytes.size() - pos);
+          bytes.erase(bytes.begin() + pos, bytes.begin() + pos + len);
+          break;
+        }
+      }
+    }
+    scan_resume_survives(bytes, t.reference);
+  }
+}
+
+TEST(Fuzz, CheckpointPayloadMutationsAreTypedOrHarmless) {
+  // Single-byte overwrites of a real checkpoint payload: decode + validate
+  // either succeeds (the byte was immaterial or the mutation produced
+  // another self-consistent checkpoint) or throws a typed ReplayError.
+  const FuzzTrace& t = fuzz_trace();
+  const auto scan = server::scan_trace_for_resume(t.bytes);
+  ASSERT_FALSE(scan.checkpoints.empty());
+  std::vector<std::uint8_t> payload;
+  server::encode_checkpoint(payload, scan.checkpoints.back());
+  Rng rng(905);
+  std::size_t typed = 0;
+  for (int iter = 0; iter < 300; ++iter) {
+    auto bytes = payload;
+    bytes[rng.below(bytes.size())] = static_cast<std::uint8_t>(rng.below(256));
+    try {
+      server::validate_checkpoint(server::decode_checkpoint(bytes));
+    } catch (const replay::ReplayError&) {
+      ++typed;
+    }
+  }
+  EXPECT_GT(typed, 0u) << "no mutation was ever detected";
+}
+
+TEST(Fuzz, StaleSlabHandlesInCheckpointsAreAlwaysTyped) {
+  // Stale-generation handles (even gen: recycled before capture) must be a
+  // typed kMalformed wherever they appear, for every parked entry.
+  const FuzzTrace& t = fuzz_trace();
+  const auto scan = server::scan_trace_for_resume(t.bytes);
+  ASSERT_FALSE(scan.checkpoints.empty());
+  bool saw_parked = false;
+  for (const auto& cp : scan.checkpoints) {
+    for (std::size_t i = 0; i < cp.entries.size(); ++i) {
+      if (!cp.entries[i].parked) continue;
+      saw_parked = true;
+      auto bad = cp;
+      bad.entries[i].parked_info.handle.gen &= ~1u;
+      try {
+        server::validate_checkpoint(bad);
+        FAIL() << "stale handle in entry " << i << " accepted";
+      } catch (const replay::ReplayError& e) {
+        EXPECT_EQ(e.kind(), replay::ErrorKind::kMalformed);
+      }
+    }
+  }
+  EXPECT_TRUE(saw_parked) << "fuzz trace captured no parked cohort members";
 }
 
 }  // namespace

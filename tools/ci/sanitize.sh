@@ -16,6 +16,11 @@
 #   5. Scenario-compiler smokes: `wspc check` over every example .wsp file
 #      under ASan/UBSan, and the flash-crowd program executed end to end
 #      under both sanitizer builds (docs/scenarios.md).
+#   6. Crash -> restore smokes (docs/recovery.md): the crash-storm scenario
+#      recorded with checkpoints at 1 thread until its scheduled kill
+#      (wspc exit 3), then resumed at 8 threads from the torn trace, under
+#      both sanitizer builds; plus the CheckpointDeterminism suites and the
+#      Sec. 4.3 explore-sweep regression gate.
 #
 # Usage: tools/ci/sanitize.sh [build-dir]   (default: build-asan; the TSan
 # build lands next to it with a -tsan suffix)
@@ -38,6 +43,9 @@ export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}"
         --output-on-failure
   ctest -R 'ServerDeterminism|ServerSoak|ServerChaos|ServerBatch|TamperRecovery' \
         --output-on-failure
+  # Crash-fault tolerance: the crash -> restore -> continue determinism
+  # sweep across threads x lanes, benign and chaos (docs/recovery.md).
+  ctest -R 'Checkpoint' --output-on-failure
   # Million-session data-plane primitives (slab arena, MPSC ring, sharded
   # table) plus the concurrent churn/ring soaks.
   ctest -R 'Slab\.|MpscRing|ServerTable|ServerScaleSoak' --output-on-failure
@@ -77,11 +85,33 @@ echo "sanitize.sh: chaos run at --batch-lanes 8 clean under ASan/UBSan"
     --threads 4 > /dev/null
 echo "sanitize.sh: example scenarios compile; flash crowd clean under ASan/UBSan"
 
+# Crash -> restore smoke under ASan/UBSan: record the crash-storm scenario
+# with checkpoints at 1 thread until the scheduled kill fires (wspc exits 3
+# on a CrashFault, anything else is a failure), then resume the torn trace
+# at 8 threads — the quiesce/restore machinery with the leak invariant
+# gated by wspc's exit code (docs/recovery.md).
+rc=0
+"$BUILD_DIR"/tools/wspc run "$SRC_DIR"/examples/scenarios/crash_storm.wsp \
+    --threads 1 --record "$BUILD_DIR"/crash_storm.wspr \
+    --checkpoint-every 2000000 > /dev/null || rc=$?
+[ "$rc" -eq 3 ] || { echo "crash_storm: expected exit 3, got $rc"; exit 1; }
+"$BUILD_DIR"/tools/wspc run "$SRC_DIR"/examples/scenarios/crash_storm.wsp \
+    --threads 8 --resume-from "$BUILD_DIR"/crash_storm.wspr > /dev/null
+echo "sanitize.sh: crash-storm checkpoint/resume clean under ASan/UBSan"
+
 # Bench regression gate (docs/benchmarks.md): the server section against
 # the committed baselines.  Sanitizers change wall time, never the cycles
 # metrics, so the gate must pass here too.
 "$BUILD_DIR"/bench/bench_report --check --only server > /dev/null
 echo "sanitize.sh: bench_report --check (server) passed against baselines"
+
+# Sec. 4.3 explore sweep gate: the enumerated candidate space and the
+# winning configuration's modeled cycles against the committed baseline
+# (BENCH_sec43_explore.json) — a selection-logic regression changes
+# `configs` or `best_avg_cycles` and fails here.
+"$BUILD_DIR"/bench/bench_report --check --with-explore --only sec43_explore \
+    > /dev/null
+echo "sanitize.sh: bench_report --check --with-explore passed against baselines"
 
 echo "sanitize.sh: tier1 + observability + server/chaos tests clean under ASan/UBSan"
 
@@ -90,7 +120,7 @@ cmake -B "$TSAN_DIR" -S "$SRC_DIR" -DWSP_SANITIZE=thread
 cmake --build "$TSAN_DIR" -j "$JOBS" \
       --target test_server test_server_faults test_server_determinism \
                test_scenario_determinism test_threadpool test_ring_arena \
-               bench_server wspc
+               test_checkpoint_determinism bench_server wspc replay
 export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
 
 (
@@ -98,7 +128,7 @@ export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
   # ServerScheduler includes the fault-containment tests (a poisoned task
   # racing the pump's failure accounting is the interesting interleaving);
   # ServerChaos runs the whole engine under fault injection.
-  ctest -R 'ServerScheduler|ServerEngine|ServerDeterminism|ServerSoak|ServerChaos|ServerBatch|ServerSessionFaults|ServerTable|MpscRing|ServerScaleSoak|ThreadPool|ScenarioDeterminism' \
+  ctest -R 'ServerScheduler|ServerEngine|ServerDeterminism|ServerSoak|ServerChaos|ServerBatch|ServerSessionFaults|ServerTable|MpscRing|ServerScaleSoak|ThreadPool|ScenarioDeterminism|CheckpointDeterminism' \
         --output-on-failure
 )
 
@@ -121,5 +151,20 @@ echo "sanitize.sh: chaos run at --batch-lanes 8 clean under TSan"
 "$TSAN_DIR"/tools/wspc run "$SRC_DIR"/examples/scenarios/flash_crowd.wsp \
     --threads 4 > /dev/null
 echo "sanitize.sh: flash-crowd scenario clean under TSan"
+
+# Crash -> restore smoke under TSan: checkpoint at 1 thread, resume at 8 —
+# the quiesce barrier is a full scheduler drain racing the worker pool, and
+# the restore re-admits parked cohorts across 8 workers; then replay the
+# torn trace's resume path through the standalone replay tool too.
+rc=0
+"$TSAN_DIR"/tools/wspc run "$SRC_DIR"/examples/scenarios/crash_storm.wsp \
+    --threads 1 --record "$TSAN_DIR"/crash_storm.wspr \
+    --checkpoint-every 2000000 > /dev/null || rc=$?
+[ "$rc" -eq 3 ] || { echo "crash_storm: expected exit 3, got $rc"; exit 1; }
+"$TSAN_DIR"/tools/wspc run "$SRC_DIR"/examples/scenarios/crash_storm.wsp \
+    --threads 8 --resume-from "$TSAN_DIR"/crash_storm.wspr > /dev/null
+"$TSAN_DIR"/tools/replay "$TSAN_DIR"/crash_storm.wspr --resume --threads 8 \
+    > /dev/null
+echo "sanitize.sh: crash-storm checkpoint/resume clean under TSan"
 
 echo "sanitize.sh: scheduler/threadpool/chaos tests clean under TSan"

@@ -6,11 +6,20 @@
 // recorded at --threads 8 under a single thread (or a debugger) is the
 // point of the format.
 //
-// Usage: replay TRACE_FILE [--threads N] [--dump]
+// Crash recovery (docs/recovery.md): --resume scans a possibly-torn trace —
+// one a crashed run left without its end tag, or with a partially-written
+// checkpoint chunk at the tail — restores the last valid checkpoint and
+// continues the run.  For a complete trace the resumed outcome is verified
+// against the recording just like a plain replay; for a torn trace there is
+// no recorded outcome, so the resumed report is printed instead.
+//
+// Usage: replay TRACE_FILE [--threads N] [--dump] [--resume]
 //   --threads N   re-run with N worker threads (default: as recorded)
 //   --dump        print the recorded header/summary, do not re-run
+//   --resume      crash recovery: restore the last valid checkpoint
 //
-// Exit codes: 0 replay verified, 1 mismatch, 2 unreadable/invalid trace.
+// Exit codes: 0 replay/resume verified, 1 mismatch, 2 unreadable/invalid
+// trace (for --resume: damage before the input chunks completed).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -112,10 +121,13 @@ int main(int argc, char** argv) {
   std::string path;
   unsigned threads = 0;
   bool dump = false;
+  bool resume = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--dump") {
       dump = true;
+    } else if (arg == "--resume") {
+      resume = true;
     } else if (arg == "--threads" && i + 1 < argc) {
       threads = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
     } else if (arg.rfind("--threads=", 0) == 0) {
@@ -124,13 +136,72 @@ int main(int argc, char** argv) {
     } else if (!arg.empty() && arg[0] != '-' && path.empty()) {
       path = arg;
     } else {
-      std::fprintf(stderr, "usage: replay TRACE_FILE [--threads N] [--dump]\n");
+      std::fprintf(stderr,
+                   "usage: replay TRACE_FILE [--threads N] [--dump] "
+                   "[--resume]\n");
       return 2;
     }
   }
   if (path.empty()) {
-    std::fprintf(stderr, "usage: replay TRACE_FILE [--threads N] [--dump]\n");
+    std::fprintf(stderr,
+                 "usage: replay TRACE_FILE [--threads N] [--dump] "
+                 "[--resume]\n");
     return 2;
+  }
+
+  if (resume) {
+    server::ResumeScan scan;
+    try {
+      scan = server::scan_trace_for_resume(wsp::replay::read_file(path));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "resume: %s: %s\n", path.c_str(), e.what());
+      return 2;
+    }
+    std::printf("scanned %s: %zu bytes, %zu checkpoint%s, %s\n", path.c_str(),
+                scan.scanned_bytes, scan.checkpoints.size(),
+                scan.checkpoints.size() == 1 ? "" : "s",
+                scan.complete ? "complete trace" : "torn trace");
+    if (!scan.tear.empty()) std::printf("  tear: %s\n", scan.tear.c_str());
+    if (!scan.checkpoints.empty()) {
+      const server::EngineCheckpoint& cp = scan.checkpoints.back();
+      std::printf("resuming from checkpoint %llu at virtual cycle %.1f "
+                  "(%llu of the run's arrivals already offered) on %u "
+                  "threads...\n",
+                  static_cast<unsigned long long>(cp.seq), cp.virtual_now,
+                  static_cast<unsigned long long>(cp.offered),
+                  threads > 0 ? threads : scan.record.recorded_threads);
+    } else {
+      std::printf("no usable checkpoint; restarting the run from the "
+                  "beginning on %u threads...\n",
+                  threads > 0 ? threads : scan.record.recorded_threads);
+    }
+    server::ReplayResult result;
+    try {
+      result = server::resume_run(scan, threads);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "resume: %s: %s\n", path.c_str(), e.what());
+      return 2;
+    }
+    if (!result.ok()) {
+      std::fprintf(stderr, "resume FAILED: %zu mismatches\n",
+                   result.mismatches.size());
+      for (const std::string& m : result.mismatches) {
+        std::fprintf(stderr, "  %s\n", m.c_str());
+      }
+      return 1;
+    }
+    const server::RunReport& r = result.report;
+    std::printf("resume OK: offered %llu, admitted %llu, completed %llu, "
+                "aborted %llu, dropped %llu%s\n",
+                static_cast<unsigned long long>(r.offered),
+                static_cast<unsigned long long>(r.admitted),
+                static_cast<unsigned long long>(r.completed),
+                static_cast<unsigned long long>(r.aborted),
+                static_cast<unsigned long long>(r.dropped),
+                scan.complete
+                    ? " — verified bit-identical against the recording"
+                    : " (torn trace: no recorded outcome to verify against)");
+    return 0;
   }
 
   server::RunRecord rec;

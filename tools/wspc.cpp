@@ -12,15 +12,29 @@
 //   --queue N       per-shard waiting room (default 64)
 //   --rsa BITS      server key size (default 512)
 //   --record FILE   write a wsp-replay-v1 recording with the source embedded
+//   --checkpoint-every C  append a quiesce-barrier checkpoint to the
+//                   recording every C virtual cycles (docs/recovery.md);
+//                   requires --record, and C must be positive and finite
+//                   (std::invalid_argument -> exit 2 otherwise)
+//   --resume-from TRACE   crash recovery: scan TRACE (possibly torn),
+//                   restore its last valid checkpoint and continue; the
+//                   run comes from the trace's lowered scenario, so FILE is
+//                   only compiled to validate it.  Engine shape flags are
+//                   ignored (the recorded config wins); --threads applies.
 //
-// Exit codes: 0 success, 1 compile error (diagnostic on stderr), 2 usage or
-// I/O error.  Compile diagnostics carry file:line:col and a stable Ennn
-// code — `wspc check` is what tools/ci/sanitize.sh runs over
+// Exit codes: 0 success, 1 compile error / leak / resume mismatch
+// (diagnostic on stderr), 2 usage, I/O or argument error, 3 the scenario's
+// scheduled crash fault fired — the recording holds the checkpoints written
+// so far and `wspc run FILE --resume-from TRACE` (or `replay TRACE
+// --resume`) recovers it.  Compile diagnostics carry file:line:col and a
+// stable Ennn code — `wspc check` is what tools/ci/sanitize.sh runs over
 // examples/scenarios/.
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <exception>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -38,8 +52,22 @@ int usage() {
                "usage: wspc check FILE...\n"
                "       wspc dump FILE\n"
                "       wspc run FILE [--threads N] [--shards N] [--lanes N]\n"
-               "                     [--queue N] [--rsa BITS] [--record FILE]\n");
+               "                     [--queue N] [--rsa BITS] [--record FILE]\n"
+               "                     [--checkpoint-every CYCLES]\n"
+               "                     [--resume-from TRACE]\n");
   return 2;
+}
+
+/// A checkpoint interval must be a positive, finite virtual-cycle count.
+double parse_checkpoint_every(const std::string& text) {
+  char* end = nullptr;
+  const double v = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || *end != '\0' || !std::isfinite(v) || v <= 0.0) {
+    throw std::invalid_argument(
+        "--checkpoint-every wants a positive virtual-cycle count, got '" +
+        text + "'");
+  }
+  return v;
 }
 
 void dump_phase(const server::TrafficPhase& ph) {
@@ -115,6 +143,8 @@ int cmd_run(const std::string& file, int argc, char** argv, int i) {
   cfg.threads = 1;
   cfg.shards = 4;
   std::string record_path;
+  std::string resume_path;
+  std::string checkpoint_every_text;
   for (; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&](const char* flag) -> const char* {
@@ -136,8 +166,25 @@ int cmd_run(const std::string& file, int argc, char** argv, int i) {
       cfg.rsa_bits = std::strtoul(next("--rsa"), nullptr, 10);
     } else if (arg == "--record") {
       record_path = next("--record");
+    } else if (arg == "--checkpoint-every") {
+      checkpoint_every_text = next("--checkpoint-every");
+    } else if (arg == "--resume-from") {
+      resume_path = next("--resume-from");
     } else {
       return usage();
+    }
+  }
+  if (!checkpoint_every_text.empty()) {
+    try {
+      cfg.checkpoint_every = parse_checkpoint_every(checkpoint_every_text);
+    } catch (const std::invalid_argument& e) {
+      std::fprintf(stderr, "wspc: %s\n", e.what());
+      return 2;
+    }
+    if (record_path.empty()) {
+      std::fprintf(stderr, "wspc: --checkpoint-every needs --record "
+                           "(checkpoints live in the recording)\n");
+      return 2;
     }
   }
 
@@ -154,15 +201,61 @@ int cmd_run(const std::string& file, int argc, char** argv, int i) {
 
   try {
     server::RunReport report;
-    if (!record_path.empty()) {
-      const server::RunRecord rec =
-          server::record_run(cfg, compiled.scenario, compiled.source);
-      if (!server::write_run_record_file(rec, record_path)) {
-        std::fprintf(stderr, "wspc: cannot write %s\n", record_path.c_str());
-        return 2;
+    if (!resume_path.empty()) {
+      // Crash recovery: the run comes from the trace's lowered scenario
+      // and recorded config; only --threads applies on top.
+      const server::ResumeScan scan =
+          server::scan_trace_for_resume(replay::read_file(resume_path));
+      std::printf("resuming %s: %zu checkpoint(s), %s%s%s\n",
+                  resume_path.c_str(), scan.checkpoints.size(),
+                  scan.complete ? "complete trace" : "torn trace",
+                  scan.tear.empty() ? "" : "; tear: ", scan.tear.c_str());
+      const server::ReplayResult res =
+          server::resume_run(scan, cfg.threads);
+      if (!res.ok()) {
+        std::fprintf(stderr, "wspc: resume diverged from the recording: "
+                             "%zu mismatches\n",
+                     res.mismatches.size());
+        for (const std::string& m : res.mismatches) {
+          std::fprintf(stderr, "  %s\n", m.c_str());
+        }
+        return 1;
       }
-      report = rec.report;
-      std::printf("recorded %s\n", record_path.c_str());
+      report = res.report;
+    } else if (!record_path.empty()) {
+      if (cfg.checkpoint_every > 0.0) {
+        // Incremental recording: each checkpoint is flushed to the file as
+        // the run goes, so a crash leaves a resumable trace behind.
+        server::RunRecorder recorder(cfg, compiled.scenario, compiled.source,
+                                     record_path);
+        try {
+          server::Engine engine(recorder.engine_config());
+          report = engine.run(compiled.scenario);
+        } catch (const server::CrashFault& e) {
+          recorder.crash();
+          std::fprintf(stderr,
+                       "wspc: %s\n  %s holds %zu checkpoint(s); recover "
+                       "with `wspc run %s --resume-from %s`\n",
+                       e.what(), record_path.c_str(), recorder.checkpoints(),
+                       file.c_str(), record_path.c_str());
+          return 3;
+        }
+        if (!recorder.finish(report)) {
+          std::fprintf(stderr, "wspc: %s\n", recorder.error().c_str());
+          return 2;
+        }
+        std::printf("recorded %s (%zu checkpoints)\n", record_path.c_str(),
+                    recorder.checkpoints());
+      } else {
+        const server::RunRecord rec =
+            server::record_run(cfg, compiled.scenario, compiled.source);
+        if (!server::write_run_record_file(rec, record_path)) {
+          std::fprintf(stderr, "wspc: cannot write %s\n", record_path.c_str());
+          return 2;
+        }
+        report = rec.report;
+        std::printf("recorded %s\n", record_path.c_str());
+      }
     } else {
       server::Engine engine(cfg);
       report = engine.run(compiled.scenario);
@@ -198,6 +291,11 @@ int cmd_run(const std::string& file, int argc, char** argv, int i) {
       return 1;
     }
     return 0;
+  } catch (const server::CrashFault& e) {
+    // A crash without --record --checkpoint-every leaves nothing to resume
+    // from; the distinct exit code still tells the caller what happened.
+    std::fprintf(stderr, "wspc: %s (no recording to resume from)\n", e.what());
+    return 3;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "wspc: %s\n", e.what());
     return 2;
